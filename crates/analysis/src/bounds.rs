@@ -1,0 +1,103 @@
+//! Closed-form bounds and constants quoted in the paper.
+
+/// The smallest threshold constant `c` for which the regular-case analysis goes through
+/// (Lemma 4): `c ≥ max(32, 288/(η·d))`.
+pub fn required_c_regular(eta: f64, d: u32) -> f64 {
+    assert!(eta > 0.0 && d > 0, "eta and d must be positive");
+    32.0_f64.max(288.0 / (eta * d as f64))
+}
+
+/// The smallest threshold constant `c` for the almost-regular case (Lemma 19):
+/// `c ≥ max(32·ρ, 288/(η·d))`.
+pub fn required_c_general(eta: f64, rho: f64, d: u32) -> f64 {
+    assert!(rho >= 1.0, "the regularity ratio is at least 1 on any bipartite graph");
+    (32.0 * rho).max(288.0 / (eta * d as f64))
+}
+
+/// The minimum client degree Theorem 1 admits: `η·log²₂ n`.
+pub fn min_admissible_degree(eta: f64, n: usize) -> f64 {
+    assert!(eta > 0.0, "eta must be positive");
+    let log = (n.max(2) as f64).log2();
+    eta * log * log
+}
+
+/// The completion horizon used throughout the proof of Theorem 1: `3·log₂ n` rounds.
+pub fn completion_horizon_rounds(n: usize) -> f64 {
+    3.0 * (n.max(2) as f64).log2()
+}
+
+/// First-order approximation of the expected maximum load of the one-choice process
+/// (n balls into n bins): `ln n / ln ln n`.
+pub fn one_choice_expected_max_load(n: usize) -> f64 {
+    let n = n.max(3) as f64;
+    n.ln() / n.ln().ln()
+}
+
+/// First-order approximation of the expected maximum load of the sequential best-of-k
+/// process (Azar et al.): `ln ln n / ln k + Θ(1)`; the returned value omits the additive
+/// constant.
+pub fn kchoice_expected_max_load(n: usize, k: u32) -> f64 {
+    assert!(k >= 2, "the k-choice bound needs k >= 2");
+    let n = n.max(3) as f64;
+    n.ln().ln() / (k as f64).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn required_c_regular_matches_lemma4() {
+        // 288/(η d) dominates for small η·d, 32 dominates once η·d ≥ 9.
+        assert_eq!(required_c_regular(1.0, 1), 288.0);
+        assert_eq!(required_c_regular(1.0, 9), 32.0);
+        assert_eq!(required_c_regular(2.0, 5), 32.0);
+        assert_eq!(required_c_regular(0.5, 1), 576.0);
+    }
+
+    #[test]
+    fn required_c_general_scales_with_rho() {
+        assert_eq!(required_c_general(1.0, 1.0, 9), 32.0);
+        assert_eq!(required_c_general(1.0, 2.0, 9), 64.0);
+        assert_eq!(required_c_general(1.0, 4.0, 1), 288.0);
+        // The general bound is never below the regular one.
+        for &(eta, d) in &[(1.0, 1u32), (0.5, 2), (2.0, 4)] {
+            assert!(required_c_general(eta, 1.0, d) >= required_c_regular(eta, d) - 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn rho_below_one_rejected() {
+        let _ = required_c_general(1.0, 0.5, 1);
+    }
+
+    #[test]
+    fn degree_and_horizon_formulas() {
+        assert!((min_admissible_degree(1.0, 1024) - 100.0).abs() < 1e-9);
+        assert!((min_admissible_degree(2.0, 1024) - 200.0).abs() < 1e-9);
+        assert!((completion_horizon_rounds(1024) - 30.0).abs() < 1e-9);
+        // Small n is clamped, never NaN or zero.
+        assert!(completion_horizon_rounds(0) > 0.0);
+        assert!(min_admissible_degree(1.0, 1) > 0.0);
+    }
+
+    #[test]
+    fn classic_balls_into_bins_orders() {
+        let one = one_choice_expected_max_load(1 << 20);
+        let two = kchoice_expected_max_load(1 << 20, 2);
+        // One-choice grows like log/loglog (≈ 5.3 at n = 2^20), two-choice like loglog
+        // (≈ 3.8): the ordering and rough magnitudes must hold.
+        assert!(one > two);
+        assert!(one > 4.0 && one < 8.0);
+        assert!(two > 2.0 && two < 5.0);
+        // More choices help.
+        assert!(kchoice_expected_max_load(1 << 20, 4) < two);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn kchoice_bound_needs_two_choices() {
+        let _ = kchoice_expected_max_load(100, 1);
+    }
+}

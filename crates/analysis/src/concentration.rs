@@ -1,0 +1,109 @@
+//! The concentration inequalities invoked by the paper's proofs (Appendix A).
+//!
+//! These are used two ways: the property-based tests check that empirical tail
+//! frequencies never exceed the bounds (the inequalities are, after all, theorems), and
+//! the experiment harness prints the predicted failure probabilities next to measured
+//! failure rates.
+
+/// Chernoff bound for sums of negatively associated `{0,1}` variables (Theorem 16):
+/// for `X = Σ X_i` with mean `μ` and any `ε ∈ (0, 1]`,
+/// `Pr(X ≥ (1+ε)·μ) ≤ exp(−ε²·μ/3)`.
+///
+/// Returns the bound value (clamped to 1). Panics if `ε` is outside `(0, 1]` or `μ < 0`.
+pub fn chernoff_upper_tail(mu: f64, epsilon: f64) -> f64 {
+    assert!(mu >= 0.0, "the mean must be non-negative");
+    assert!(epsilon > 0.0 && epsilon <= 1.0, "epsilon must be in (0, 1]");
+    (-epsilon * epsilon * mu / 3.0).exp().min(1.0)
+}
+
+/// Method of bounded differences (Theorem 17): if `f` is a function of independent
+/// variables `Y_1..Y_m` that changes by at most `β_j` when the j-th coordinate changes,
+/// and `μ` upper-bounds `E[f(Y)]`, then `Pr(f(Y) − μ ≥ M) ≤ exp(−2M²/Σβ_j²)`.
+///
+/// `beta_sq_sum` is `Σ_j β_j²`. Returns the bound value (clamped to 1).
+pub fn bounded_differences_tail(beta_sq_sum: f64, m: f64) -> f64 {
+    assert!(beta_sq_sum > 0.0, "the Lipschitz coefficients must not all be zero");
+    assert!(m >= 0.0, "the deviation must be non-negative");
+    (-2.0 * m * m / beta_sq_sum).exp().min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clb_rng::{RandomSource, SplitMix64};
+
+    #[test]
+    fn chernoff_bound_values() {
+        // ε = 1, μ = 3 ln 2 → bound = 1/2.
+        let mu = 3.0 * std::f64::consts::LN_2;
+        assert!((chernoff_upper_tail(mu, 1.0) - 0.5).abs() < 1e-12);
+        // Larger means give smaller tails.
+        assert!(chernoff_upper_tail(100.0, 0.5) < chernoff_upper_tail(10.0, 0.5));
+        // Zero mean gives the trivial bound 1.
+        assert_eq!(chernoff_upper_tail(0.0, 1.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn chernoff_epsilon_range_checked() {
+        let _ = chernoff_upper_tail(1.0, 1.5);
+    }
+
+    #[test]
+    fn bounded_differences_values() {
+        // Σβ² = 2M² / ln 2 → bound = 1/2.
+        let m = 3.0;
+        let beta_sq = 2.0 * m * m / std::f64::consts::LN_2;
+        assert!((bounded_differences_tail(beta_sq, m) - 0.5).abs() < 1e-12);
+        assert_eq!(bounded_differences_tail(1.0, 0.0), 1.0);
+        assert!(bounded_differences_tail(1.0, 10.0) < 1e-50);
+    }
+
+    #[test]
+    fn chernoff_dominates_empirical_tail_of_bernoulli_sums() {
+        // Empirical check that the inequality actually holds for the kind of variables
+        // the proof applies it to: 2000 trials of a sum of 400 independent Bernoulli(0.1).
+        let mut rng = SplitMix64::new(0xABCDE);
+        let n = 400;
+        let p = 0.1;
+        let mu = n as f64 * p;
+        let epsilon = 1.0;
+        let trials = 2000;
+        let mut exceed = 0u32;
+        for _ in 0..trials {
+            let sum: u32 = (0..n).map(|_| u32::from(rng.gen_bool(p))).sum();
+            if (sum as f64) >= (1.0 + epsilon) * mu {
+                exceed += 1;
+            }
+        }
+        let empirical = exceed as f64 / trials as f64;
+        let bound = chernoff_upper_tail(mu, epsilon);
+        assert!(
+            empirical <= bound + 0.01,
+            "empirical tail {empirical} exceeds the Chernoff bound {bound}"
+        );
+    }
+
+    #[test]
+    fn bounded_differences_dominates_empirical_tail_of_lipschitz_sums() {
+        // f(Y) = Σ Y_i with Y_i uniform in {0, 1}: β_j = 1, E[f] = m/2.
+        let mut rng = SplitMix64::new(0x1234);
+        let m = 200;
+        let mu = m as f64 / 2.0;
+        let deviation = 25.0;
+        let trials = 2000;
+        let mut exceed = 0u32;
+        for _ in 0..trials {
+            let sum: u32 = (0..m).map(|_| u32::from(rng.gen_bool(0.5))).sum();
+            if sum as f64 - mu >= deviation {
+                exceed += 1;
+            }
+        }
+        let empirical = exceed as f64 / trials as f64;
+        let bound = bounded_differences_tail(m as f64, deviation);
+        assert!(
+            empirical <= bound + 0.01,
+            "empirical tail {empirical} exceeds the bounded-differences bound {bound}"
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Theory toolkit and empirical statistics for the constrained-lb experiments.
+//!
+//! Two halves:
+//!
+//! * **Theory** ([`recurrences`], [`bounds`], [`concentration`]) — executable versions of
+//!   the quantitative objects in the paper's analysis: the `γ_t` sequence of eq. (11)
+//!   and its Lemma 12 properties, the Stage II `δ_t` sequence of eq. (17) and the
+//!   almost-regular variants (eqs. 32, 39), the admissible threshold constants
+//!   `c ≥ max(32, 288/(ηd))` / `c ≥ max(32ρ, 288/(ηd))`, the `3·log₂ n` completion
+//!   horizon, the classic balls-into-bins maxima, and the concentration inequalities
+//!   (Chernoff for negatively associated variables, bounded differences) the proofs
+//!   invoke. The experiments print these predictions next to the measurements.
+//! * **Statistics** ([`stats`]) — the estimators the harness applies to measured data:
+//!   summaries with confidence intervals, quantiles, histograms and least-squares fits
+//!   (used, e.g., to fit completion time against `log₂ n` for experiment E1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod concentration;
+pub mod recurrences;
+pub mod stats;
+
+pub use bounds::{
+    completion_horizon_rounds, kchoice_expected_max_load, min_admissible_degree,
+    one_choice_expected_max_load, required_c_general, required_c_regular,
+};
+pub use concentration::{bounded_differences_tail, chernoff_upper_tail};
+pub use recurrences::{delta_sequence, gamma_sequence, stage_one_length, GammaProperties};
+pub use stats::{linear_fit, Histogram, LinearFit, Summary};

@@ -1,0 +1,215 @@
+//! The recurrences driving the paper's two-stage analysis.
+//!
+//! Stage I (Lemma 13): conditioning on `K_j ≤ γ_j`, the per-neighbourhood request mass
+//! `r_t(N(v))` decays geometrically, where the `γ_t` sequence is defined by eq. (11):
+//!
+//! ```text
+//! γ_0 = 1,     γ_t = (2/c) · Σ_{i=1..t} Π_{j<i} γ_j
+//! ```
+//!
+//! Lemma 12 shows that if `2/c ≤ 1/α²` for some `α ≥ 2` then `γ_t` is increasing, stays
+//! below `1/α`, and the products `Π_{j<t} γ_j` decay like `α^{-t}`.
+//!
+//! Stage II (Lemma 14): once the conditional expectation of `r_t(N(v))` drops to
+//! `O(log n)` (round `T`, eq. 14), the burned fraction can only creep up by an additive
+//! `O(t·log n / (c·d·Δ))`, captured by the `δ_t` sequence of eq. (17):
+//!
+//! ```text
+//! δ_t = 1/4 + 24·t·log n / (c·d·Δ)      for t ≥ T.
+//! ```
+//!
+//! The almost-regular variants (eqs. 32 and 39) replace `2/c` by `(2/c)·Δ_max(S)/Δ_min(C)`
+//! and `Δ` by `Δ_min(C)`; both are covered by the `rho` / `delta_min` parameters below.
+
+use serde::{Deserialize, Serialize};
+
+/// The `γ_t` (or `γ'_t`) sequence of eq. (11) / eq. (32), for `t = 0..=t_max`.
+///
+/// `rho` is the almost-regularity ratio `Δ_max(S)/Δ_min(C)`; pass `1.0` for the regular
+/// case. Panics if `c == 0` or `rho <= 0`.
+pub fn gamma_sequence(c: f64, rho: f64, t_max: usize) -> Vec<f64> {
+    assert!(c > 0.0, "threshold constant c must be positive");
+    assert!(rho > 0.0, "regularity ratio must be positive");
+    let rate = 2.0 * rho / c;
+    let mut gammas = Vec::with_capacity(t_max + 1);
+    gammas.push(1.0_f64);
+    // Maintain running sum of products Π_{j<i} γ_j for i = 1..=t.
+    let mut product = 1.0; // Π_{j<1} γ_j = γ_0 = 1
+    let mut sum = 0.0;
+    for _t in 1..=t_max {
+        sum += product;
+        let gamma_t = rate * sum;
+        gammas.push(gamma_t);
+        product *= gamma_t;
+    }
+    gammas
+}
+
+/// Properties promised by Lemma 12, checked numerically on a computed sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GammaProperties {
+    /// The α for which `2ρ/c ≤ 1/α²` was verified (the largest integer α that works).
+    pub alpha: f64,
+    /// Whether the sequence is non-decreasing from `γ_1` onwards.
+    pub increasing: bool,
+    /// Whether every `γ_t` (t ≥ 1) stays at or below `1/α`.
+    pub bounded_by_inv_alpha: bool,
+    /// Whether every prefix product `Π_{j<t} γ_j` is at most `α^{-t}` for `t ≥ 2`
+    /// (for `t = 1` the product is `γ_0 = 1`, so the geometric bound only kicks in once
+    /// `γ_1 ≤ 1/α²` enters the product — this is the `t > 1` of Lemma 12).
+    pub products_geometric: bool,
+}
+
+impl GammaProperties {
+    /// Verifies the Lemma 12 properties for `gamma_sequence(c, rho, t_max)`.
+    ///
+    /// Returns `None` if no `α ≥ 2` satisfies `2ρ/c ≤ 1/α²` (i.e. `c < 8ρ`), in which
+    /// case the lemma gives no guarantee.
+    pub fn check(c: f64, rho: f64, t_max: usize) -> Option<Self> {
+        let alpha = (c / (2.0 * rho)).sqrt().floor();
+        if alpha < 2.0 {
+            return None;
+        }
+        let gammas = gamma_sequence(c, rho, t_max);
+        // "Increasing" in Lemma 12 refers to t ≥ 1: γ_0 = 1 is the conventional k_0 and
+        // the sequence restarts below it at γ_1 = 2ρ/c.
+        let increasing = gammas.windows(2).skip(1).all(|w| w[1] >= w[0] - 1e-15);
+        let bounded = gammas.iter().skip(1).all(|&g| g <= 1.0 / alpha + 1e-12);
+        let mut product = 1.0;
+        let mut geometric = true;
+        for t in 1..gammas.len() {
+            // After this update `product` equals Π_{j<t} γ_j (γ_0 = 1).
+            product *= gammas[t - 1];
+            if t >= 2 && product > alpha.powi(-(t as i32)) + 1e-12 {
+                geometric = false;
+                break;
+            }
+        }
+        Some(Self { alpha, increasing, bounded_by_inv_alpha: bounded, products_geometric: geometric })
+    }
+}
+
+/// Length of Stage I: the smallest `T` with `d·Δ·Π_{j<T} γ_j ≤ 12·log₂ n` (eq. 14),
+/// computed on the actual `γ` sequence. Returns `t_cap` if the condition is never met
+/// within `t_cap` rounds (which only happens for inadmissible parameters).
+pub fn stage_one_length(c: f64, rho: f64, d: u32, delta: usize, n: usize, t_cap: usize) -> usize {
+    let log_n = (n.max(2) as f64).log2();
+    let target = 12.0 * log_n;
+    let gammas = gamma_sequence(c, rho, t_cap);
+    let mut product = 1.0;
+    for t in 1..=t_cap {
+        product *= gammas[t - 1];
+        if d as f64 * delta as f64 * product <= target {
+            return t;
+        }
+    }
+    t_cap
+}
+
+/// The Stage II `δ_t` sequence of eq. (17) / eq. (39) for `t = t_start..=t_end`:
+/// `δ_t = 1/4 + 24·t·log₂ n / (c·d·Δ_min)`.
+pub fn delta_sequence(
+    c: f64,
+    d: u32,
+    delta_min: usize,
+    n: usize,
+    t_start: usize,
+    t_end: usize,
+) -> Vec<f64> {
+    assert!(c > 0.0 && d > 0 && delta_min > 0, "parameters must be positive");
+    assert!(t_end >= t_start, "t_end must be at least t_start");
+    let log_n = (n.max(2) as f64).log2();
+    (t_start..=t_end)
+        .map(|t| 0.25 + 24.0 * t as f64 * log_n / (c * d as f64 * delta_min as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_starts_at_one_and_is_increasing() {
+        let g = gamma_sequence(32.0, 1.0, 20);
+        assert_eq!(g[0], 1.0);
+        assert!((g[1] - 2.0 / 32.0).abs() < 1e-12);
+        for w in g.windows(2).skip(1) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn gamma_closed_form_first_terms() {
+        // γ_1 = 2/c; γ_2 = (2/c)(1 + γ_1).
+        let c = 10.0;
+        let g = gamma_sequence(c, 1.0, 3);
+        assert!((g[1] - 0.2).abs() < 1e-12);
+        assert!((g[2] - 0.2 * (1.0 + 0.2)).abs() < 1e-12);
+        assert!((g[3] - 0.2 * (1.0 + 0.2 + 0.2 * 0.24)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma12_holds_for_admissible_c() {
+        for &(c, rho) in &[(32.0, 1.0), (32.0, 1.0_f64), (64.0, 2.0), (128.0, 4.0), (8.0, 1.0)] {
+            let props = GammaProperties::check(c, rho, 60).expect("alpha >= 2 must exist");
+            assert!(props.alpha >= 2.0, "c={c} rho={rho}");
+            assert!(props.increasing, "c={c} rho={rho}");
+            assert!(props.bounded_by_inv_alpha, "c={c} rho={rho}");
+            assert!(props.products_geometric, "c={c} rho={rho}");
+        }
+    }
+
+    #[test]
+    fn lemma12_gives_no_guarantee_for_tiny_c() {
+        assert!(GammaProperties::check(4.0, 1.0, 10).is_none());
+        assert!(GammaProperties::check(16.0, 4.0, 10).is_none());
+    }
+
+    #[test]
+    fn paper_constant_c32_gives_alpha_4() {
+        // c = 32, ρ = 1: α = sqrt(16) = 4, so Π γ_j ≤ 4^{-t} as used in Lemma 13.
+        let props = GammaProperties::check(32.0, 1.0, 40).unwrap();
+        assert_eq!(props.alpha, 4.0);
+    }
+
+    #[test]
+    fn stage_one_length_is_logarithmic_in_delta_over_logn() {
+        // T ≤ ½ log(dΔ / 12 log n): for n = 2^14, Δ = log²n = 196, d = 2 the bound is ~2.
+        let t = stage_one_length(32.0, 1.0, 2, 196, 1 << 14, 100);
+        assert!(t >= 1);
+        assert!(t <= 3, "stage I length {t} larger than the paper's bound");
+        // Denser graphs take longer to drain but only logarithmically.
+        let t_dense = stage_one_length(32.0, 1.0, 2, 1 << 14, 1 << 14, 100);
+        assert!(t_dense > t);
+        assert!(t_dense <= 8);
+    }
+
+    #[test]
+    fn delta_sequence_matches_formula_and_stays_small_for_admissible_c() {
+        // With c ≥ 288/(η d) and Δ ≥ η log²n, δ_t ≤ 1/2 for all t ≤ 3 log n (proof of
+        // Lemma 14). Check on concrete numbers: n = 2^12, η = 1, d = 1, c = 288.
+        let n = 1 << 12;
+        let delta = 144; // log²n
+        let horizon = (3.0 * (n as f64).log2()).floor() as usize;
+        let deltas = delta_sequence(288.0, 1, delta, n, 1, horizon);
+        assert_eq!(deltas.len(), horizon);
+        for &x in &deltas {
+            assert!(x <= 0.5 + 1e-12, "delta_t = {x} exceeds 1/2");
+        }
+        // And the formula itself.
+        let d5 = 0.25 + 24.0 * 5.0 * (n as f64).log2() / (288.0 * 144.0);
+        assert!((deltas[4] - d5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_c_rejected() {
+        let _ = gamma_sequence(0.0, 1.0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "t_end")]
+    fn delta_sequence_range_validated() {
+        let _ = delta_sequence(32.0, 1, 100, 1024, 5, 4);
+    }
+}

@@ -1,0 +1,252 @@
+//! Empirical statistics applied to measured experiment data.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample standard deviation (0 for fewer than two observations).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (average of the middle two for even counts).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a sample. Panics if the sample is empty or contains NaN.
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarise an empty sample");
+        assert!(samples.iter().all(|x| !x.is_nan()), "sample contains NaN");
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let variance = if count > 1 {
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let median = if count % 2 == 1 {
+            sorted[count / 2]
+        } else {
+            (sorted[count / 2 - 1] + sorted[count / 2]) / 2.0
+        };
+        Self {
+            count,
+            mean,
+            std_dev: variance.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            median,
+        }
+    }
+
+    /// Convenience constructor for integer-valued measurements.
+    pub fn of_counts<T: Copy + Into<f64>>(samples: &[T]) -> Self {
+        let floats: Vec<f64> = samples.iter().map(|&x| x.into()).collect();
+        Self::of(&floats)
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval of the mean.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        1.96 * self.std_dev / (self.count as f64).sqrt()
+    }
+}
+
+/// Result of an ordinary least-squares fit `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Least-squares fit of `y` against `x`. Panics if the slices differ in length, have
+/// fewer than two points, or `x` is constant.
+pub fn linear_fit(x: &[f64], y: &[f64]) -> LinearFit {
+    assert_eq!(x.len(), y.len(), "x and y must have the same length");
+    assert!(x.len() >= 2, "need at least two points to fit a line");
+    let n = x.len() as f64;
+    let mean_x = x.iter().sum::<f64>() / n;
+    let mean_y = y.iter().sum::<f64>() / n;
+    let sxx: f64 = x.iter().map(|xi| (xi - mean_x) * (xi - mean_x)).sum();
+    assert!(sxx > 0.0, "x must not be constant");
+    let sxy: f64 = x.iter().zip(y).map(|(xi, yi)| (xi - mean_x) * (yi - mean_y)).sum();
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let ss_tot: f64 = y.iter().map(|yi| (yi - mean_y) * (yi - mean_y)).sum();
+    let ss_res: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(xi, yi)| {
+            let e = yi - (slope * xi + intercept);
+            e * e
+        })
+        .sum();
+    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    LinearFit { slope, intercept, r_squared }
+}
+
+/// A fixed-width histogram over integer values (used for server-load distributions).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Builds a histogram of non-negative integer values; bucket `i` counts occurrences
+    /// of value `i`.
+    pub fn of<I: IntoIterator<Item = u32>>(values: I) -> Self {
+        let mut counts: Vec<u64> = Vec::new();
+        for v in values {
+            let idx = v as usize;
+            if idx >= counts.len() {
+                counts.resize(idx + 1, 0);
+            }
+            counts[idx] += 1;
+        }
+        Self { counts }
+    }
+
+    /// Count of observations equal to `value`.
+    pub fn count(&self, value: u32) -> u64 {
+        self.counts.get(value as usize).copied().unwrap_or(0)
+    }
+
+    /// The largest observed value, or `None` for an empty histogram.
+    pub fn max_value(&self) -> Option<u32> {
+        self.counts.iter().rposition(|&c| c > 0).map(|i| i as u32)
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of observations that are at least `value`.
+    pub fn tail_fraction(&self, value: u32) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let tail: u64 = self.counts.iter().skip(value as usize).sum();
+        tail as f64 / total as f64
+    }
+
+    /// The buckets as a slice (`buckets()[i]` = number of observations equal to `i`).
+    pub fn buckets(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.138089935299395).abs() < 1e-9);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.median - 4.5).abs() < 1e-12);
+        assert!(s.ci95_half_width() > 0.0);
+    }
+
+    #[test]
+    fn summary_of_single_point() {
+        let s = Summary::of(&[3.0]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn summary_of_counts_converts() {
+        let s = Summary::of_counts(&[1u32, 2, 3]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_rejected() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_sample_rejected() {
+        let _ = Summary::of(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [3.0, 5.0, 7.0, 9.0];
+        let fit = linear_fit(&x, &y);
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(10.0) - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_on_noisy_data_has_reasonable_r2() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&xi| 3.0 * xi + 1.0 + if xi as u32 % 2 == 0 { 0.5 } else { -0.5 }).collect();
+        let fit = linear_fit(&x, &y);
+        assert!((fit.slope - 3.0).abs() < 0.01);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    #[should_panic(expected = "constant")]
+    fn constant_x_rejected() {
+        let _ = linear_fit(&[1.0, 1.0], &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn histogram_counts_and_tails() {
+        let h = Histogram::of([0u32, 1, 1, 3, 3, 3]);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(2), 0);
+        assert_eq!(h.count(3), 3);
+        assert_eq!(h.count(99), 0);
+        assert_eq!(h.max_value(), Some(3));
+        assert_eq!(h.total(), 6);
+        assert!((h.tail_fraction(1) - 5.0 / 6.0).abs() < 1e-12);
+        assert!((h.tail_fraction(4) - 0.0).abs() < 1e-12);
+        assert_eq!(h.buckets(), &[1, 2, 0, 3]);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::of(std::iter::empty());
+        assert_eq!(h.max_value(), None);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.tail_fraction(0), 0.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! B3 — topology generation cost for the main graph families.
+
+use clb::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_generators(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("graph_generation");
+    group.sample_size(10);
+    let n = 1 << 13;
+    let delta = log2_squared(n);
+    group.bench_with_input(BenchmarkId::new("regular", n), &n, |b, &n| {
+        b.iter(|| generators::regular_random(n, delta, 1).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("almost_regular", n), &n, |b, &n| {
+        b.iter(|| generators::almost_regular(n, delta, 2 * delta, 1).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("skewed_example", n), &n, |b, &n| {
+        b.iter(|| generators::skewed_paper_example(n, 1).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("geometric", n), &n, |b, &n| {
+        let radius = generators::radius_for_expected_degree(n, 2 * delta);
+        b.iter(|| generators::geometric_proximity(n, radius, 1).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("clusters", n), &n, |b, &n| {
+        b.iter(|| generators::trust_clusters(n, 8, delta, 4, 1).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

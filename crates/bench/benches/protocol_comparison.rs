@@ -1,0 +1,45 @@
+//! B4/B6 — wall-clock comparison of the protocols and the sequential baselines on the
+//! same sparse instance.
+
+use clb::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_protocols(criterion: &mut Criterion) {
+    let n = 1 << 12;
+    let d = 2;
+    let graph = generators::regular_random(n, log2_squared(n), 9).unwrap();
+
+    let mut group = criterion.benchmark_group("parallel_protocols");
+    group.sample_size(10);
+    let cases: Vec<(&str, ProtocolSpec)> = vec![
+        ("saer_c4", ProtocolSpec::Saer { c: 4, d }),
+        ("raes_c4", ProtocolSpec::Raes { c: 4, d }),
+        ("threshold_t2", ProtocolSpec::Threshold { per_round: 2 }),
+        ("kchoice_k2", ProtocolSpec::KChoice { k: 2, capacity: 8 }),
+        ("one_shot", ProtocolSpec::OneShot),
+    ];
+    for (name, spec) in cases {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sim = Simulation::new(
+                    &graph,
+                    spec.build(),
+                    Demand::Constant(d),
+                    SimConfig::new(5).with_max_rounds(2_000),
+                );
+                sim.run()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = criterion.benchmark_group("sequential_baselines");
+    group.sample_size(10);
+    group.bench_function("one_choice", |b| b.iter(|| one_choice(&graph, d, 5)));
+    group.bench_function("best_of_2", |b| b.iter(|| best_of_k(&graph, d, 2, 5)));
+    group.bench_function("godfrey_greedy", |b| b.iter(|| godfrey_greedy(&graph, d, 5)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

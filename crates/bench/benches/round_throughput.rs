@@ -1,0 +1,56 @@
+//! B2 — cost of a single synchronous round (the engine's inner loop): request
+//! generation, server decisions and ball settlement for the first, heaviest round.
+
+use clb::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_first_round(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("first_round");
+    group.sample_size(20);
+    let d = 2;
+    for n in [1usize << 12, 1 << 14] {
+        let graph = generators::regular_random(n, log2_squared(n), 3).unwrap();
+        group.throughput(Throughput::Elements((n * d as usize) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, graph| {
+            b.iter(|| {
+                let mut sim = Simulation::new(
+                    graph,
+                    Saer::new(4, d),
+                    Demand::Constant(d),
+                    SimConfig::new(11),
+                );
+                sim.step()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_observer_overhead(criterion: &mut Criterion) {
+    // B5 — how much the O(|E|)-per-round observers cost relative to a bare run.
+    let mut group = criterion.benchmark_group("observer_overhead");
+    group.sample_size(10);
+    let n = 1 << 12;
+    let d = 2;
+    let graph = generators::regular_random(n, log2_squared(n), 5).unwrap();
+    group.bench_function("bare_run", |b| {
+        b.iter(|| {
+            let mut sim =
+                Simulation::new(&graph, Saer::new(3, d), Demand::Constant(d), SimConfig::new(13));
+            sim.run()
+        })
+    });
+    group.bench_function("with_burned_fraction_and_mass", |b| {
+        b.iter(|| {
+            let mut sim =
+                Simulation::new(&graph, Saer::new(3, d), Demand::Constant(d), SimConfig::new(13));
+            let mut burned = clb::engine::BurnedFractionObserver::new();
+            let mut mass = clb::engine::NeighborhoodMassObserver::new();
+            sim.run_observed(&mut [&mut burned, &mut mass])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_first_round, bench_observer_overhead);
+criterion_main!(benches);

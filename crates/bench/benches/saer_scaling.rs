@@ -1,0 +1,33 @@
+//! B1 — wall-clock scaling of a full SAER run with n (simulator performance, not a
+//! paper claim; the paper's "completion time" is measured in rounds by exp_completion_time).
+
+use clb::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_saer_end_to_end(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("saer_end_to_end");
+    group.sample_size(10);
+    let d = 2;
+    let c = 4;
+    for n in [1usize << 10, 1 << 12, 1 << 14] {
+        let graph = generators::regular_random(n, log2_squared(n), 42).unwrap();
+        group.throughput(Throughput::Elements((n * d as usize) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, graph| {
+            b.iter(|| {
+                let mut sim = Simulation::new(
+                    graph,
+                    Saer::new(c, d),
+                    Demand::Constant(d),
+                    SimConfig::new(7),
+                );
+                let result = sim.run();
+                assert!(result.completed);
+                result.rounds
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_saer_end_to_end);
+criterion_main!(benches);

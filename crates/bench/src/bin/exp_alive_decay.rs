@@ -1,0 +1,74 @@
+//! E11 — the work-complexity mechanism: alive balls shrink by a constant factor per
+//! round (Section 3.2).
+//!
+//! The work analysis shows that, while at least n·d/log n balls are alive, the number of
+//! alive balls contracts by a factor ≤ 4/5 per round w.h.p. — that is what makes the
+//! total work geometric, hence Θ(n). This experiment measures the per-round contraction.
+
+use clb::prelude::*;
+use clb::report::{fmt2, fmt3};
+use clb_bench::{header, quick_mode, run};
+
+fn main() {
+    header(
+        "E11",
+        "alive balls contract by a constant factor per round",
+        "alive_t / alive_{t-1} <= 4/5 while alive_{t-1} >= n·d/log n; total work is a geometric series",
+    );
+
+    let n = if quick_mode() { 1 << 12 } else { 1 << 15 };
+    let d = 2;
+    let c = 3;
+    let report = run(ExperimentConfig::new(
+        GraphSpec::RegularLogSquared { n, eta: 1.0 },
+        ProtocolSpec::Saer { c, d },
+    )
+    .trials(1)
+    .seed(1100)
+    .measurements(Measurements { trajectory: true, ..Default::default() }));
+
+    let trial = &report.trials[0];
+    let alive = trial.alive_series.as_ref().unwrap();
+    let total = trial.result.total_balls as f64;
+    let threshold = total / (n as f64).log2();
+
+    let mut table = Table::new([
+        "round",
+        "alive before",
+        "alive after",
+        "contraction",
+        "above n·d/log n?",
+        "<= 4/5?",
+    ]);
+    let mut previous = total;
+    let mut violations = 0usize;
+    let mut relevant = 0usize;
+    for (i, &a) in alive.iter().enumerate() {
+        let ratio = if previous > 0.0 { a as f64 / previous } else { 0.0 };
+        let in_regime = previous >= threshold;
+        if in_regime {
+            relevant += 1;
+            if ratio > 0.8 {
+                violations += 1;
+            }
+        }
+        table.row([
+            (i + 1).to_string(),
+            format!("{previous:.0}"),
+            a.to_string(),
+            fmt3(ratio),
+            if in_regime { "yes" } else { "no" }.into(),
+            if ratio <= 0.8 { "yes" } else { "NO" }.into(),
+        ]);
+        previous = a as f64;
+    }
+    println!("{}", table.to_markdown());
+    println!(
+        "rounds in the heavy regime (alive >= n·d/log n = {:.0}): {relevant}; contraction-factor violations of 4/5: {violations}",
+        threshold
+    );
+    println!(
+        "geometric-series check: total work {} messages/ball (a constant multiple of the 2 messages the first round costs)",
+        fmt2(trial.result.work_per_ball())
+    );
+}

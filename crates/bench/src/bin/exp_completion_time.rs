@@ -1,0 +1,58 @@
+//! E1 — Theorem 1: SAER's completion time is O(log n).
+//!
+//! Sweeps n over powers of two with Δ = ⌈log²n⌉ and fits the measured mean completion
+//! time against log₂ n; the paper predicts a straight line (slope O(1)) far below the
+//! proof's 3·log₂ n horizon.
+
+use clb::prelude::*;
+use clb::report::fmt2;
+use clb_bench::{header, n_sweep, run, trials};
+
+fn main() {
+    header(
+        "E1",
+        "completion time of SAER is O(log n)",
+        "rounds grow linearly in log2(n) and stay below the 3*log2(n) horizon",
+    );
+
+    let d = 2;
+    let c = 3;
+    let mut table = Table::new([
+        "n",
+        "delta=log2(n)^2",
+        "trials",
+        "completed",
+        "rounds mean",
+        "rounds max",
+        "3*log2(n)",
+    ]);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for (i, n) in n_sweep().into_iter().enumerate() {
+        let report = run(ExperimentConfig::new(
+            GraphSpec::RegularLogSquared { n, eta: 1.0 },
+            ProtocolSpec::Saer { c, d },
+        )
+        .trials(trials())
+        .seed(100 + i as u64));
+        xs.push((n as f64).log2());
+        ys.push(report.rounds.mean);
+        table.row([
+            n.to_string(),
+            log2_squared(n).to_string(),
+            report.trials.len().to_string(),
+            format!("{:.0}%", 100.0 * report.completion_rate()),
+            fmt2(report.rounds.mean),
+            format!("{:.0}", report.rounds.max),
+            fmt2(completion_horizon_rounds(n)),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+
+    let fit = linear_fit(&xs, &ys);
+    println!(
+        "least-squares fit of mean rounds against log2(n): slope {:.3}, intercept {:.3}, R^2 {:.3}",
+        fit.slope, fit.intercept, fit.r_squared
+    );
+    println!("(any slope well below 3 and a roughly flat-to-linear trend is consistent with O(log n))");
+}

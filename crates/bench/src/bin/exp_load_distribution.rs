@@ -1,0 +1,88 @@
+//! E3 — the hard c·d load bound and the full load distribution.
+//!
+//! Sweeps the threshold constant c at fixed n and prints the final load histogram: the
+//! maximum must never exceed c·d (a protocol invariant, not just a w.h.p. statement),
+//! while the one-shot baseline's maximum exceeds it for small c.
+
+use clb::prelude::*;
+use clb_bench::{header, quick_mode, run};
+
+fn main() {
+    header(
+        "E3",
+        "maximum load is at most c·d; load distribution vs the one-shot baseline",
+        "max load <= c*d always; one-shot reaches ~log n / log log n ≈ 4-5 at these sizes",
+    );
+
+    let n = if quick_mode() { 1 << 12 } else { 1 << 14 };
+    let d = 2;
+    let mut table = Table::new([
+        "protocol",
+        "c*d",
+        "max load",
+        "servers at load 0",
+        "servers at max",
+        "completed",
+    ]);
+
+    for c in [2u32, 4, 8, 16, 32] {
+        let report = run(ExperimentConfig::new(
+            GraphSpec::RegularLogSquared { n, eta: 1.0 },
+            ProtocolSpec::Saer { c, d },
+        )
+        .trials(3)
+        .seed(300 + c as u64));
+        let hist = &report.trials[0].load_histogram;
+        let max = hist.max_value().unwrap_or(0);
+        table.row([
+            format!("SAER(c={c}, d={d})"),
+            (c * d).to_string(),
+            max.to_string(),
+            hist.count(0).to_string(),
+            hist.count(max).to_string(),
+            format!("{:.0}%", 100.0 * report.completion_rate()),
+        ]);
+    }
+
+    let oneshot = run(ExperimentConfig::new(
+        GraphSpec::RegularLogSquared { n, eta: 1.0 },
+        ProtocolSpec::OneShot,
+    )
+    .demand(Demand::Constant(d))
+    .trials(3)
+    .seed(399));
+    let hist = &oneshot.trials[0].load_histogram;
+    let max = hist.max_value().unwrap_or(0);
+    table.row([
+        "one-shot uniform".into(),
+        "-".into(),
+        max.to_string(),
+        hist.count(0).to_string(),
+        hist.count(max).to_string(),
+        "100%".into(),
+    ]);
+    println!("{}", table.to_markdown());
+
+    println!(
+        "classic one-choice prediction for the max load at n = {n}: ~{:.1} (d·ln n/ln ln n scale)",
+        d as f64 * clb::analysis::one_choice_expected_max_load(n)
+    );
+    println!("full load histogram (SAER c=4 vs one-shot), load -> number of servers:");
+    let saer4 = run(ExperimentConfig::new(
+        GraphSpec::RegularLogSquared { n, eta: 1.0 },
+        ProtocolSpec::Saer { c: 4, d },
+    )
+    .trials(1)
+    .seed(304));
+    let mut hist_table = Table::new(["load", "SAER(c=4)", "one-shot"]);
+    let saer_hist = &saer4.trials[0].load_histogram;
+    let upper = saer_hist.max_value().unwrap_or(0).max(hist.max_value().unwrap_or(0));
+    for load in 0..=upper {
+        hist_table.row([
+            load.to_string(),
+            saer_hist.count(load).to_string(),
+            hist.count(load).to_string(),
+        ]);
+    }
+    println!("{}", hist_table.to_markdown());
+}

@@ -1,0 +1,59 @@
+//! E2 — Theorem 1: the total work of SAER is Θ(n).
+//!
+//! Same sweep as E1, reporting total messages and messages per ball; the paper predicts
+//! the per-ball figure converges to a constant independent of n.
+
+use clb::prelude::*;
+use clb::report::fmt2;
+use clb_bench::{header, n_sweep, run, trials};
+
+fn main() {
+    header(
+        "E2",
+        "total work of SAER is Θ(n)",
+        "messages per ball stay O(1) (flat) as n grows",
+    );
+
+    let d = 2;
+    let c = 4;
+    let mut table = Table::new([
+        "n",
+        "balls (n*d)",
+        "messages mean",
+        "messages / ball",
+        "messages / ball (max)",
+    ]);
+    let mut per_ball = Vec::new();
+    for (i, n) in n_sweep().into_iter().enumerate() {
+        let report = run(ExperimentConfig::new(
+            GraphSpec::RegularLogSquared { n, eta: 1.0 },
+            ProtocolSpec::Saer { c, d },
+        )
+        .trials(trials())
+        .seed(200 + i as u64));
+        let messages_mean: f64 = report
+            .trials
+            .iter()
+            .map(|t| t.result.total_messages as f64)
+            .sum::<f64>()
+            / report.trials.len() as f64;
+        per_ball.push(report.work_per_ball.mean);
+        table.row([
+            n.to_string(),
+            (n as u64 * d as u64).to_string(),
+            format!("{messages_mean:.0}"),
+            fmt2(report.work_per_ball.mean),
+            fmt2(report.work_per_ball.max),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+
+    let min = per_ball.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = per_ball.iter().copied().fold(0.0f64, f64::max);
+    println!(
+        "messages-per-ball spread across the sweep: [{:.2}, {:.2}] (ratio {:.2}; Θ(n) total work means this stays ~flat)",
+        min,
+        max,
+        max / min
+    );
+}

@@ -1,0 +1,360 @@
+//! Declarative, reproducible, parallel experiments.
+//!
+//! An [`ExperimentConfig`] pairs a [`GraphSpec`] with a [`ProtocolSpec`], a demand, a
+//! number of independent trials and a base seed. [`ExperimentConfig::run`] materialises
+//! a fresh graph *and* a fresh protocol execution per trial (trial `i` uses seed
+//! `base_seed + i` for both), runs the trials in parallel with rayon, and aggregates the
+//! per-trial outcomes into an [`ExperimentReport`] with the summary statistics the
+//! experiment tables in `EXPERIMENTS.md` report.
+
+use clb_analysis::{Histogram, Summary};
+use clb_engine::{
+    BurnedFractionObserver, Demand, NeighborhoodMassObserver, Observer, RunResult, SimConfig,
+    Simulation, TrajectoryObserver,
+};
+use clb_graph::{DegreeStats, GraphSpec};
+use clb_protocols::ProtocolSpec;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Which optional (and more expensive) per-round measurements to record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Measurements {
+    /// Record the burned/saturated fraction `S_t` per round (O(|E|) per round).
+    pub burned_fraction: bool,
+    /// Record the per-neighbourhood request mass `r_t` per round (O(|E|) per round).
+    pub neighborhood_mass: bool,
+    /// Record the full per-round trajectory (alive balls, requests, messages, ...).
+    pub trajectory: bool,
+}
+
+impl Measurements {
+    /// Everything on.
+    pub fn all() -> Self {
+        Self { burned_fraction: true, neighborhood_mass: true, trajectory: true }
+    }
+}
+
+/// A fully specified experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Topology family and size.
+    pub graph: GraphSpec,
+    /// Protocol and parameters.
+    pub protocol: ProtocolSpec,
+    /// Demand per client; defaults to `Constant(d)` for SAER/RAES and `Constant(1)`
+    /// otherwise.
+    pub demand: Demand,
+    /// Number of independent trials (graph and execution re-randomised per trial).
+    pub trials: usize,
+    /// Base seed; trial `i` uses `base_seed + i`.
+    pub base_seed: u64,
+    /// Round cap per trial.
+    pub max_rounds: u32,
+    /// Optional measurements.
+    pub measurements: Measurements,
+}
+
+impl ExperimentConfig {
+    /// Creates a config with sensible defaults: 10 trials, seed 0, the engine's default
+    /// round cap, no optional measurements, demand derived from the protocol.
+    pub fn new(graph: GraphSpec, protocol: ProtocolSpec) -> Self {
+        let demand = match protocol {
+            ProtocolSpec::Saer { d, .. } | ProtocolSpec::Raes { d, .. } => Demand::Constant(d),
+            _ => Demand::Constant(1),
+        };
+        Self {
+            graph,
+            protocol,
+            demand,
+            trials: 10,
+            base_seed: 0,
+            max_rounds: SimConfig::DEFAULT_MAX_ROUNDS,
+            measurements: Measurements::default(),
+        }
+    }
+
+    /// Sets the number of trials.
+    pub fn trials(mut self, trials: usize) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the base seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Overrides the demand.
+    pub fn demand(mut self, demand: Demand) -> Self {
+        self.demand = demand;
+        self
+    }
+
+    /// Sets the round cap.
+    pub fn max_rounds(mut self, max_rounds: u32) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Enables optional measurements.
+    pub fn measurements(mut self, measurements: Measurements) -> Self {
+        self.measurements = measurements;
+        self
+    }
+
+    /// Runs one trial with an explicit seed.
+    pub fn run_trial(&self, seed: u64) -> Result<TrialOutcome, clb_graph::GraphError> {
+        let graph = self.graph.build(seed)?;
+        let protocol = self.protocol.build();
+        let config = SimConfig { seed, max_rounds: self.max_rounds };
+        let mut sim = Simulation::new(&graph, protocol, self.demand.clone(), config);
+
+        let mut burned = BurnedFractionObserver::new();
+        let mut mass = NeighborhoodMassObserver::new();
+        let mut trajectory = TrajectoryObserver::new();
+        let result = {
+            let mut observers: Vec<&mut dyn Observer> = Vec::new();
+            if self.measurements.burned_fraction {
+                observers.push(&mut burned);
+            }
+            if self.measurements.neighborhood_mass {
+                observers.push(&mut mass);
+            }
+            if self.measurements.trajectory {
+                observers.push(&mut trajectory);
+            }
+            sim.run_observed(&mut observers)
+        };
+
+        Ok(TrialOutcome {
+            seed,
+            degree_stats: DegreeStats::of(&graph),
+            load_histogram: Histogram::of(sim.server_loads().iter().copied()),
+            result,
+            burned_fraction_series: self
+                .measurements
+                .burned_fraction
+                .then(|| burned.max_fraction_per_round.clone()),
+            neighborhood_mass_series: self
+                .measurements
+                .neighborhood_mass
+                .then(|| mass.max_mass_per_round.clone()),
+            alive_series: self.measurements.trajectory.then(|| trajectory.alive_series()),
+        })
+    }
+
+    /// Runs all trials (in parallel) and aggregates them.
+    pub fn run(&self) -> Result<ExperimentReport, clb_graph::GraphError> {
+        assert!(self.trials > 0, "an experiment needs at least one trial");
+        let outcomes: Result<Vec<TrialOutcome>, _> = (0..self.trials as u64)
+            .into_par_iter()
+            .map(|i| self.run_trial(self.base_seed + i))
+            .collect();
+        let outcomes = outcomes?;
+        Ok(ExperimentReport::aggregate(self.clone(), outcomes))
+    }
+}
+
+/// Outcome of one trial.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialOutcome {
+    /// Seed used for the graph and the execution.
+    pub seed: u64,
+    /// Degree statistics of the generated graph.
+    pub degree_stats: DegreeStats,
+    /// Engine-level outcome (rounds, work, max load, completion).
+    pub result: RunResult,
+    /// Histogram of final server loads.
+    pub load_histogram: Histogram,
+    /// `S_t` per round, when requested.
+    pub burned_fraction_series: Option<Vec<f64>>,
+    /// `max_v r_t(N(v))` per round, when requested.
+    pub neighborhood_mass_series: Option<Vec<u64>>,
+    /// Alive balls per round, when requested.
+    pub alive_series: Option<Vec<u64>>,
+}
+
+impl TrialOutcome {
+    /// Peak burned fraction over the run, if it was measured.
+    pub fn peak_burned_fraction(&self) -> Option<f64> {
+        self.burned_fraction_series
+            .as_ref()
+            .map(|s| s.iter().copied().fold(0.0, f64::max))
+    }
+}
+
+/// Aggregated experiment results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// The configuration the report was produced from.
+    pub config: ExperimentConfig,
+    /// Per-trial outcomes, in seed order.
+    pub trials: Vec<TrialOutcome>,
+    /// Summary of completion rounds (over all trials, completed or not).
+    pub rounds: Summary,
+    /// Summary of work per ball (messages / balls).
+    pub work_per_ball: Summary,
+    /// Summary of the maximum server load.
+    pub max_load: Summary,
+    /// Number of trials that terminated within the round cap.
+    pub completed_trials: usize,
+}
+
+impl ExperimentReport {
+    fn aggregate(config: ExperimentConfig, trials: Vec<TrialOutcome>) -> Self {
+        let rounds: Vec<f64> = trials.iter().map(|t| t.result.rounds as f64).collect();
+        let work: Vec<f64> = trials.iter().map(|t| t.result.work_per_ball()).collect();
+        let max_load: Vec<f64> = trials.iter().map(|t| t.result.max_load as f64).collect();
+        let completed_trials = trials.iter().filter(|t| t.result.completed).count();
+        Self {
+            config,
+            rounds: Summary::of(&rounds),
+            work_per_ball: Summary::of(&work),
+            max_load: Summary::of(&max_load),
+            completed_trials,
+            trials,
+        }
+    }
+
+    /// Fraction of trials that terminated within the round cap.
+    pub fn completion_rate(&self) -> f64 {
+        self.completed_trials as f64 / self.trials.len() as f64
+    }
+
+    /// Summary of the peak burned fraction across trials, if it was measured.
+    pub fn peak_burned_fraction(&self) -> Option<Summary> {
+        let peaks: Vec<f64> = self.trials.iter().filter_map(|t| t.peak_burned_fraction()).collect();
+        if peaks.is_empty() {
+            None
+        } else {
+            Some(Summary::of(&peaks))
+        }
+    }
+
+    /// One-paragraph markdown rendering of the aggregate results.
+    pub fn to_markdown(&self) -> String {
+        let mut table = crate::report::Table::new([
+            "graph",
+            "protocol",
+            "trials",
+            "completed",
+            "rounds (mean ± sd)",
+            "work/ball (mean)",
+            "max load (max)",
+        ]);
+        table.row([
+            self.config.graph.label(),
+            self.config.protocol.label(),
+            self.trials.len().to_string(),
+            format!("{:.0}%", 100.0 * self.completion_rate()),
+            format!("{:.1} ± {:.1}", self.rounds.mean, self.rounds.std_dev),
+            format!("{:.2}", self.work_per_ball.mean),
+            format!("{:.0}", self.max_load.max),
+        ]);
+        table.to_markdown()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> ExperimentConfig {
+        ExperimentConfig::new(
+            GraphSpec::RegularLogSquared { n: 128, eta: 1.0 },
+            ProtocolSpec::Saer { c: 8, d: 2 },
+        )
+        .trials(4)
+        .seed(100)
+    }
+
+    #[test]
+    fn default_demand_follows_protocol() {
+        let saer = ExperimentConfig::new(
+            GraphSpec::Regular { n: 16, delta: 4 },
+            ProtocolSpec::Saer { c: 4, d: 3 },
+        );
+        assert_eq!(saer.demand, Demand::Constant(3));
+        let oneshot =
+            ExperimentConfig::new(GraphSpec::Regular { n: 16, delta: 4 }, ProtocolSpec::OneShot);
+        assert_eq!(oneshot.demand, Demand::Constant(1));
+    }
+
+    #[test]
+    fn report_aggregates_all_trials() {
+        let report = quick_config().run().unwrap();
+        assert_eq!(report.trials.len(), 4);
+        assert_eq!(report.completion_rate(), 1.0);
+        assert_eq!(report.rounds.count, 4);
+        assert!(report.max_load.max <= 16.0);
+        // Seeds are base_seed + i.
+        let seeds: Vec<u64> = report.trials.iter().map(|t| t.seed).collect();
+        assert_eq!(seeds, vec![100, 101, 102, 103]);
+        // Load histograms account for every ball.
+        for t in &report.trials {
+            let balls: u64 = t
+                .load_histogram
+                .buckets()
+                .iter()
+                .enumerate()
+                .map(|(load, &count)| load as u64 * count)
+                .sum();
+            assert_eq!(balls, t.result.total_balls);
+        }
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let a = quick_config().run().unwrap();
+        let b = quick_config().run().unwrap();
+        assert_eq!(a.trials, b.trials);
+        let c = quick_config().seed(999).run().unwrap();
+        assert_ne!(a.trials, c.trials);
+    }
+
+    #[test]
+    fn optional_measurements_are_recorded_when_requested() {
+        let report = quick_config().trials(2).measurements(Measurements::all()).run().unwrap();
+        for t in &report.trials {
+            let burned = t.burned_fraction_series.as_ref().expect("burned fraction recorded");
+            let mass = t.neighborhood_mass_series.as_ref().expect("mass recorded");
+            let alive = t.alive_series.as_ref().expect("trajectory recorded");
+            assert_eq!(burned.len(), t.result.rounds as usize);
+            assert_eq!(mass.len(), t.result.rounds as usize);
+            assert_eq!(alive.len(), t.result.rounds as usize);
+            assert!(t.peak_burned_fraction().unwrap() <= 1.0);
+        }
+        assert!(report.peak_burned_fraction().is_some());
+
+        let bare = quick_config().trials(1).run().unwrap();
+        assert!(bare.trials[0].burned_fraction_series.is_none());
+        assert!(bare.peak_burned_fraction().is_none());
+    }
+
+    #[test]
+    fn markdown_report_mentions_labels() {
+        let report = quick_config().trials(2).run().unwrap();
+        let md = report.to_markdown();
+        assert!(md.contains("saer(c=8, d=2)"));
+        assert!(md.contains("regular-log2"));
+        assert!(md.contains("100%"));
+    }
+
+    #[test]
+    fn invalid_graph_spec_surfaces_the_error() {
+        let config = ExperimentConfig::new(
+            GraphSpec::Regular { n: 8, delta: 20 },
+            ProtocolSpec::OneShot,
+        )
+        .trials(1);
+        assert!(config.run().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        let _ = quick_config().trials(0).run();
+    }
+}

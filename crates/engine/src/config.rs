@@ -1,0 +1,58 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a single protocol run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Experiment seed; all randomness (demand, destination choices) derives from it.
+    pub seed: u64,
+    /// Hard cap on the number of rounds; a run that does not terminate within the cap is
+    /// reported as not completed (this is how the harness detects e.g. sub-log²n degree
+    /// failures without hanging).
+    pub max_rounds: u32,
+}
+
+impl SimConfig {
+    /// Default round cap: generous enough that any run satisfying the paper's
+    /// `O(log n)` bound finishes well within it, small enough that pathological
+    /// configurations terminate quickly.
+    pub const DEFAULT_MAX_ROUNDS: u32 = 10_000;
+
+    /// Creates a config with the given seed and the default round cap.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, max_rounds: Self::DEFAULT_MAX_ROUNDS }
+    }
+
+    /// Sets the round cap.
+    pub fn with_max_rounds(mut self, max_rounds: u32) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_style_configuration() {
+        let cfg = SimConfig::new(7).with_max_rounds(50);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.max_rounds, 50);
+    }
+
+    #[test]
+    fn default_has_generous_round_cap() {
+        let cfg = SimConfig::default();
+        assert_eq!(cfg.seed, 0);
+        assert_eq!(cfg.max_rounds, SimConfig::DEFAULT_MAX_ROUNDS);
+        assert!(cfg.max_rounds >= 1000);
+    }
+}

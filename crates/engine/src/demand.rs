@@ -1,0 +1,116 @@
+//! Client demand: how many balls each client starts with.
+//!
+//! The paper's protocol description assumes every client holds exactly `d` balls and
+//! notes that the general case of *at most* `d` balls is analogous. The engine supports
+//! both, plus fully explicit per-client demand for adversarial test workloads.
+
+use clb_rng::{RandomSource, StreamFactory};
+use serde::{Deserialize, Serialize};
+
+/// Domain tag for demand randomness.
+const DEMAND_DOMAIN: u64 = 0x64656d; // "dem"
+
+/// Number of balls each client must place.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Demand {
+    /// Every client has exactly `d` balls (the paper's main setting).
+    Constant(u32),
+    /// Every client has an independent uniform number of balls in `1..=d`
+    /// (the "at most d" general case).
+    UniformAtMost(u32),
+    /// Explicit per-client ball counts; the vector length must equal the number of
+    /// clients of the graph the simulation runs on.
+    Explicit(Vec<u32>),
+}
+
+impl Demand {
+    /// Materialises the per-client ball counts for `num_clients` clients.
+    ///
+    /// # Panics
+    /// Panics if an [`Demand::Explicit`] vector has the wrong length, or if a constant
+    /// demand of zero is requested (the problem is vacuous without balls).
+    pub fn materialize(&self, num_clients: usize, seed: u64) -> Vec<u32> {
+        match self {
+            Demand::Constant(d) => {
+                assert!(*d > 0, "constant demand must be positive");
+                vec![*d; num_clients]
+            }
+            Demand::UniformAtMost(d) => {
+                assert!(*d > 0, "demand bound must be positive");
+                let factory = StreamFactory::new(seed).domain(DEMAND_DOMAIN);
+                (0..num_clients)
+                    .map(|c| {
+                        let mut rng = factory.stream(c as u64, 0);
+                        1 + rng.gen_index(*d as usize) as u32
+                    })
+                    .collect()
+            }
+            Demand::Explicit(counts) => {
+                assert_eq!(
+                    counts.len(),
+                    num_clients,
+                    "explicit demand length {} does not match the number of clients {}",
+                    counts.len(),
+                    num_clients
+                );
+                counts.clone()
+            }
+        }
+    }
+
+    /// The maximum number of balls any client can hold under this demand (the `d` that
+    /// enters the `c·d` threshold).
+    pub fn max_per_client(&self) -> u32 {
+        match self {
+            Demand::Constant(d) | Demand::UniformAtMost(d) => *d,
+            Demand::Explicit(counts) => counts.iter().copied().max().unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_demand() {
+        let d = Demand::Constant(3).materialize(5, 1);
+        assert_eq!(d, vec![3, 3, 3, 3, 3]);
+        assert_eq!(Demand::Constant(3).max_per_client(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_constant_demand_panics() {
+        let _ = Demand::Constant(0).materialize(5, 1);
+    }
+
+    #[test]
+    fn uniform_at_most_is_in_range_and_deterministic() {
+        let a = Demand::UniformAtMost(4).materialize(100, 9);
+        let b = Demand::UniformAtMost(4).materialize(100, 9);
+        let c = Demand::UniformAtMost(4).materialize(100, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|&x| (1..=4).contains(&x)));
+        // With 100 draws from {1,2,3,4} we should see some variety.
+        let distinct: std::collections::HashSet<_> = a.iter().collect();
+        assert!(distinct.len() >= 2);
+        assert_eq!(Demand::UniformAtMost(4).max_per_client(), 4);
+    }
+
+    #[test]
+    fn explicit_demand_round_trips() {
+        let counts = vec![1, 0, 5, 2];
+        let d = Demand::Explicit(counts.clone()).materialize(4, 0);
+        assert_eq!(d, counts);
+        assert_eq!(Demand::Explicit(counts).max_per_client(), 5);
+        assert_eq!(Demand::Explicit(vec![]).max_per_client(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn explicit_demand_length_mismatch_panics() {
+        let _ = Demand::Explicit(vec![1, 2]).materialize(3, 0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Synchronous round engine for client-server load-balancing protocols (model **M**).
+//!
+//! The paper's computational model (Section 2.1) is a fully decentralised synchronous
+//! system: clients and servers exchange messages only along the edges of a fixed
+//! bipartite graph, in lock-step rounds, clients send ball IDs and servers answer each
+//! request with a single accept/reject bit. This crate is that model as an executable
+//! substrate:
+//!
+//! * [`protocol::Protocol`] — the small trait a protocol implements: per-server state
+//!   plus the threshold rule deciding how many of a round's incoming requests to accept.
+//!   SAER, RAES and the baselines live in the `clb-protocols` crate.
+//! * [`Simulation`] — executes rounds: every alive ball picks destination servers
+//!   uniformly at random from its owner's neighbourhood (symmetric, non-adaptive),
+//!   servers apply the protocol's threshold rule, and accepted balls settle. Request
+//!   generation and ball bookkeeping are parallelised with rayon; all randomness is
+//!   derived from per-(ball, round) streams so results are bit-identical regardless of
+//!   the number of worker threads.
+//! * [`observe`] — round observers that record the quantities the paper's analysis
+//!   tracks: the burned/saturated fraction `S_t`, the per-neighbourhood request mass
+//!   `r_t(N(v))`, alive balls, loads and work.
+//! * Work accounting follows the paper exactly: each submitted request is one message
+//!   and each accept/reject answer is another, so the reported work is
+//!   `2 · Σ_t (requests sent in round t)`.
+//!
+//! # Example: one full run
+//!
+//! ```
+//! use clb_engine::{Demand, SimConfig, Simulation};
+//! use clb_engine::protocol::{Protocol, ServerCtx};
+//! use clb_graph::generators;
+//!
+//! // A toy protocol: servers accept everything (classic one-choice).
+//! struct AcceptAll;
+//! impl Protocol for AcceptAll {
+//!     type ServerState = ();
+//!     fn init_server(&self) -> () {}
+//!     fn server_decide(&self, _state: &mut (), ctx: &ServerCtx) -> u32 { ctx.incoming }
+//!     fn server_is_closed(&self, _state: &(), _load: u32) -> bool { false }
+//! }
+//!
+//! let graph = generators::regular_random(64, 16, 7).unwrap();
+//! let mut sim = Simulation::new(&graph, AcceptAll, Demand::Constant(2), SimConfig::new(42));
+//! let result = sim.run();
+//! assert!(result.completed);
+//! assert_eq!(result.rounds, 1); // everything is accepted in the first round
+//! assert_eq!(result.total_messages, 2 * 64 * 2); // request + answer per ball
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod demand;
+pub mod observe;
+pub mod protocol;
+pub mod simulation;
+
+pub use config::SimConfig;
+pub use demand::Demand;
+pub use observe::{
+    AliveBallsObserver, BurnedFractionObserver, MaxLoadObserver, NeighborhoodMassObserver,
+    Observer, RoundView, TrajectoryObserver,
+};
+pub use protocol::{Protocol, ServerCtx};
+pub use simulation::{RoundRecord, RunResult, Simulation};

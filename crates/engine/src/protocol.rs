@@ -1,0 +1,116 @@
+//! The protocol trait: what a server does with the requests it receives in a round.
+//!
+//! The class of protocols the paper studies (symmetric, non-adaptive, threshold-based)
+//! fixes the *client* side completely: in every round, each ball that is still alive is
+//! re-submitted to a destination chosen independently and uniformly at random from the
+//! owner's neighbourhood. What distinguishes SAER from RAES from the classic threshold
+//! algorithms is only the *server* acceptance rule, so that is all the trait models.
+
+/// Context handed to the server decision rule for one round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerCtx {
+    /// Dense index of the server taking the decision.
+    pub server: u32,
+    /// Current round, starting at 1.
+    pub round: u32,
+    /// Number of balls already assigned to (accepted by) this server before this round.
+    pub current_load: u32,
+    /// Number of requests the server received in phase 1 of this round.
+    pub incoming: u32,
+}
+
+/// A symmetric, non-adaptive, threshold-style protocol.
+///
+/// Implementations keep whatever per-server bookkeeping they need in `ServerState`
+/// (e.g. SAER's cumulative received-request counter and burned flag) and expose the
+/// acceptance rule through [`Protocol::server_decide`].
+pub trait Protocol: Sync {
+    /// Per-server persistent state, initialised by [`Protocol::init_server`].
+    type ServerState: Send + Sync + Clone;
+
+    /// Creates the initial state of a server.
+    fn init_server(&self) -> Self::ServerState;
+
+    /// Number of destination servers each alive ball contacts per round
+    /// (1 for SAER/RAES; `k` for the parallel k-choice baseline).
+    fn choices_per_round(&self) -> u32 {
+        1
+    }
+
+    /// Decides how many of the `ctx.incoming` requests the server accepts this round.
+    ///
+    /// The engine passes the requests in a canonical deterministic order and accepts the
+    /// first `k` of them, where `k` is the returned value (clamped to `ctx.incoming`).
+    /// Returning `0` rejects the whole batch; returning `ctx.incoming` accepts it all.
+    /// The method is only called for servers that received at least one request.
+    fn server_decide(&self, state: &mut Self::ServerState, ctx: &ServerCtx) -> u32;
+
+    /// True if the server is currently *closed*: it would reject any request regardless
+    /// of the batch size. For SAER this is "burned", for RAES "saturated" (load = c·d).
+    /// Observers use this to measure the `S_t` quantity of the paper's analysis.
+    fn server_is_closed(&self, state: &Self::ServerState, current_load: u32) -> bool;
+
+    /// Called when a ball that was accepted by this server in the current round settles
+    /// elsewhere (only possible when `choices_per_round() > 1`). `count` balls are
+    /// released; implementations that track cumulative accepted counts should subtract.
+    fn server_on_release(&self, state: &mut Self::ServerState, count: u32) {
+        let _ = (state, count);
+    }
+
+    /// A short human-readable name used in reports and experiment tables.
+    fn name(&self) -> String {
+        std::any::type_name::<Self>().rsplit("::").next().unwrap_or("protocol").to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct UpTo(u32);
+    impl Protocol for UpTo {
+        type ServerState = u32;
+        fn init_server(&self) -> u32 {
+            0
+        }
+        fn server_decide(&self, state: &mut u32, ctx: &ServerCtx) -> u32 {
+            let room = self.0.saturating_sub(*state);
+            let take = room.min(ctx.incoming);
+            *state += take;
+            take
+        }
+        fn server_is_closed(&self, state: &u32, _load: u32) -> bool {
+            *state >= self.0
+        }
+    }
+
+    #[test]
+    fn default_choices_is_one() {
+        assert_eq!(UpTo(3).choices_per_round(), 1);
+    }
+
+    #[test]
+    fn default_name_is_type_name() {
+        assert_eq!(UpTo(3).name(), "UpTo");
+    }
+
+    #[test]
+    fn decide_and_closed_interact() {
+        let p = UpTo(3);
+        let mut s = p.init_server();
+        let ctx = ServerCtx { server: 0, round: 1, current_load: 0, incoming: 2 };
+        assert_eq!(p.server_decide(&mut s, &ctx), 2);
+        assert!(!p.server_is_closed(&s, 2));
+        let ctx = ServerCtx { server: 0, round: 2, current_load: 2, incoming: 5 };
+        assert_eq!(p.server_decide(&mut s, &ctx), 1);
+        assert!(p.server_is_closed(&s, 3));
+    }
+
+    #[test]
+    fn default_release_is_noop() {
+        let p = UpTo(3);
+        let mut s = 2;
+        p.server_on_release(&mut s, 1);
+        assert_eq!(s, 2);
+    }
+}

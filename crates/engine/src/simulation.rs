@@ -1,0 +1,548 @@
+//! The synchronous round executor.
+
+use crate::{config::SimConfig, demand::Demand, observe::{Observer, RoundView}, protocol::{Protocol, ServerCtx}};
+use clb_graph::{BipartiteGraph, ClientId};
+use clb_rng::{RandomSource, StreamFactory};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Sentinel for "ball not yet assigned to any server".
+const UNASSIGNED: u32 = u32::MAX;
+
+/// Domain tag for the protocol-execution randomness (distinct from graph generation and
+/// demand materialisation).
+const PROTOCOL_DOMAIN: u64 = 0x70726f74; // "prot"
+
+/// Per-round summary statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round number (starting at 1).
+    pub round: u32,
+    /// Requests submitted by clients in this round.
+    pub requests_sent: u64,
+    /// Balls that settled (were accepted and kept) in this round.
+    pub balls_assigned: u64,
+    /// Balls still alive after this round.
+    pub alive_after: u64,
+    /// Messages exchanged in this round (requests + accept/reject answers).
+    pub messages: u64,
+    /// Servers that are closed (burned / saturated) at the end of this round.
+    pub closed_servers: u64,
+    /// Maximum server load at the end of this round.
+    pub max_load: u32,
+}
+
+/// Final outcome of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// True if every ball was assigned within the round cap.
+    pub completed: bool,
+    /// Rounds executed.
+    pub rounds: u32,
+    /// Total messages exchanged (the paper's work complexity).
+    pub total_messages: u64,
+    /// Maximum server load at the end of the run.
+    pub max_load: u32,
+    /// Balls left unassigned (0 when `completed`).
+    pub unassigned_balls: u64,
+    /// Total number of balls in the system.
+    pub total_balls: u64,
+}
+
+impl RunResult {
+    /// Work normalised by the number of balls: `total_messages / total_balls`.
+    /// Theorem 1 predicts this stays `O(1)` for SAER on admissible graphs.
+    pub fn work_per_ball(&self) -> f64 {
+        if self.total_balls == 0 {
+            return 0.0;
+        }
+        self.total_messages as f64 / self.total_balls as f64
+    }
+}
+
+/// A protocol run on a fixed graph: owns all mutable state of the process.
+pub struct Simulation<'g, P: Protocol> {
+    graph: &'g BipartiteGraph,
+    protocol: P,
+    config: SimConfig,
+    factory: StreamFactory,
+
+    // Ball layout: balls of client `c` occupy indices `ball_offsets[c]..ball_offsets[c+1]`.
+    ball_offsets: Vec<u32>,
+    ball_owner: Vec<u32>,
+    ball_assigned: Vec<u32>,
+
+    server_load: Vec<u32>,
+    server_states: Vec<P::ServerState>,
+
+    round: u32,
+    alive_balls: Vec<u32>,
+    total_messages: u64,
+}
+
+impl<'g, P: Protocol> Simulation<'g, P> {
+    /// Creates a simulation of `protocol` on `graph` with the given demand.
+    ///
+    /// # Panics
+    /// Panics if a client with a non-empty demand has an empty neighbourhood (its balls
+    /// could never be placed, so the run would trivially never complete), or if the
+    /// demand is inconsistent with the graph (see [`Demand::materialize`]).
+    pub fn new(graph: &'g BipartiteGraph, protocol: P, demand: Demand, config: SimConfig) -> Self {
+        let n = graph.num_clients();
+        let per_client = demand.materialize(n, config.seed);
+        let mut ball_offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        ball_offsets.push(0);
+        for (c, &balls) in per_client.iter().enumerate() {
+            if balls > 0 {
+                assert!(
+                    graph.client_degree(ClientId::new(c)) > 0,
+                    "client {c} has {balls} balls but no admissible server"
+                );
+            }
+            acc += balls;
+            ball_offsets.push(acc);
+        }
+        let total_balls = acc as usize;
+        let mut ball_owner = vec![0u32; total_balls];
+        for c in 0..n {
+            for b in ball_offsets[c]..ball_offsets[c + 1] {
+                ball_owner[b as usize] = c as u32;
+            }
+        }
+        let server_states = (0..graph.num_servers()).map(|_| protocol.init_server()).collect();
+        Self {
+            graph,
+            protocol,
+            config,
+            factory: StreamFactory::new(config.seed).domain(PROTOCOL_DOMAIN),
+            ball_offsets,
+            ball_owner,
+            ball_assigned: vec![UNASSIGNED; total_balls],
+            server_load: vec![0; graph.num_servers()],
+            server_states,
+            round: 0,
+            alive_balls: (0..total_balls as u32).collect(),
+            total_messages: 0,
+        }
+    }
+
+    /// The graph the simulation runs on.
+    pub fn graph(&self) -> &BipartiteGraph {
+        self.graph
+    }
+
+    /// The protocol instance.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// Number of balls not yet assigned.
+    pub fn alive_count(&self) -> u64 {
+        self.alive_balls.len() as u64
+    }
+
+    /// Total number of balls in the system.
+    pub fn total_balls(&self) -> u64 {
+        self.ball_owner.len() as u64
+    }
+
+    /// True if every ball has been assigned.
+    pub fn is_complete(&self) -> bool {
+        self.alive_balls.is_empty()
+    }
+
+    /// Current load of every server.
+    pub fn server_loads(&self) -> &[u32] {
+        &self.server_load
+    }
+
+    /// Per-server protocol state (e.g. to inspect burned flags after a run).
+    pub fn server_states(&self) -> &[P::ServerState] {
+        &self.server_states
+    }
+
+    /// The servers assigned to the balls of `client`, one entry per ball;
+    /// `None` for balls still alive.
+    pub fn client_assignment(&self, client: ClientId) -> Vec<Option<u32>> {
+        let lo = self.ball_offsets[client.index()] as usize;
+        let hi = self.ball_offsets[client.index() + 1] as usize;
+        self.ball_assigned[lo..hi]
+            .iter()
+            .map(|&s| if s == UNASSIGNED { None } else { Some(s) })
+            .collect()
+    }
+
+    /// Executes one round and returns its summary record.
+    pub fn step(&mut self) -> RoundRecord {
+        let (record, _, _) = self.step_internal();
+        record
+    }
+
+    /// Executes rounds until completion or the round cap, with no observers.
+    pub fn run(&mut self) -> RunResult {
+        self.run_observed(&mut [])
+    }
+
+    /// Executes rounds until completion or the round cap, invoking every observer after
+    /// each round.
+    pub fn run_observed(&mut self, observers: &mut [&mut dyn Observer]) -> RunResult {
+        while !self.is_complete() && self.round < self.config.max_rounds {
+            let (record, requests_per_server, closed) = self.step_internal();
+            if !observers.is_empty() {
+                let view = RoundView {
+                    record: &record,
+                    graph: self.graph,
+                    server_loads: &self.server_load,
+                    requests_per_server: &requests_per_server,
+                    closed: &closed,
+                };
+                for obs in observers.iter_mut() {
+                    obs.on_round(&view);
+                }
+            }
+        }
+        self.result()
+    }
+
+    /// The outcome so far (callable at any point; `completed` reflects the current
+    /// alive-ball count).
+    pub fn result(&self) -> RunResult {
+        RunResult {
+            completed: self.is_complete(),
+            rounds: self.round,
+            total_messages: self.total_messages,
+            max_load: self.server_load.iter().copied().max().unwrap_or(0),
+            unassigned_balls: self.alive_balls.len() as u64,
+            total_balls: self.ball_owner.len() as u64,
+        }
+    }
+
+    /// One round: phase 1 (clients submit), phase 2 (servers decide), phase 3 (balls
+    /// settle). Returns the record plus the per-server request counts and closed flags
+    /// needed by observers.
+    fn step_internal(&mut self) -> (RoundRecord, Vec<u32>, Vec<bool>) {
+        self.round += 1;
+        let round = self.round;
+        let choices = self.protocol.choices_per_round().max(1);
+        let graph = self.graph;
+        let factory = self.factory;
+        let ball_owner = &self.ball_owner;
+
+        // Phase 1 — every alive ball picks `choices` destinations independently and
+        // uniformly at random (with replacement) from its owner's neighbourhood.
+        // Parallel over balls; the per-(ball, round) stream keeps it deterministic.
+        let requests: Vec<(u32, u32)> = self
+            .alive_balls
+            .par_iter()
+            .flat_map_iter(|&ball| {
+                let client = ball_owner[ball as usize];
+                let neigh = graph.client_neighbors(ClientId::new(client as usize));
+                let mut rng = factory.stream3(client as u64, ball as u64, round as u64);
+                let mut picks = Vec::with_capacity(choices as usize);
+                for _ in 0..choices {
+                    let server = neigh[rng.gen_index(neigh.len())].0;
+                    picks.push((ball, server));
+                }
+                picks
+            })
+            .collect();
+
+        let num_requests = requests.len() as u64;
+        self.total_messages += 2 * num_requests;
+
+        // Canonical server-major order: sort (server, request-index) keys so each
+        // server's batch is a contiguous segment processed in a deterministic order.
+        let mut keys: Vec<u64> = (0..requests.len())
+            .map(|i| ((requests[i].1 as u64) << 32) | i as u64)
+            .collect();
+        keys.par_sort_unstable();
+
+        // Phase 2 — per-server threshold decisions.
+        let mut requests_per_server = vec![0u32; graph.num_servers()];
+        let mut accepted = vec![false; requests.len()];
+        let mut segment_start = 0usize;
+        while segment_start < keys.len() {
+            let server = (keys[segment_start] >> 32) as u32;
+            let mut segment_end = segment_start + 1;
+            while segment_end < keys.len() && (keys[segment_end] >> 32) as u32 == server {
+                segment_end += 1;
+            }
+            let incoming = (segment_end - segment_start) as u32;
+            requests_per_server[server as usize] = incoming;
+            let ctx = ServerCtx {
+                server,
+                round,
+                current_load: self.server_load[server as usize],
+                incoming,
+            };
+            let accept = self
+                .protocol
+                .server_decide(&mut self.server_states[server as usize], &ctx)
+                .min(incoming);
+            self.server_load[server as usize] += accept;
+            for (rank, &key) in keys[segment_start..segment_end].iter().enumerate() {
+                if (rank as u32) < accept {
+                    accepted[(key & 0xFFFF_FFFF) as usize] = true;
+                }
+            }
+            segment_start = segment_end;
+        }
+
+        // Phase 3 — balls settle. With a single choice per round each ball has exactly
+        // one request; with k choices a ball keeps the first accepted destination and
+        // the engine releases the rest back to their servers.
+        let mut balls_assigned = 0u64;
+        let mut still_alive = Vec::with_capacity(self.alive_balls.len());
+        let per_ball = choices as usize;
+        for (slot, &ball) in self.alive_balls.iter().enumerate() {
+            let base = slot * per_ball;
+            let mut settled: Option<u32> = None;
+            for offset in 0..per_ball {
+                let idx = base + offset;
+                if !accepted[idx] {
+                    continue;
+                }
+                let server = requests[idx].1;
+                if settled.is_none() {
+                    settled = Some(server);
+                } else {
+                    // Surplus accept: release it.
+                    self.server_load[server as usize] -= 1;
+                    self.protocol
+                        .server_on_release(&mut self.server_states[server as usize], 1);
+                }
+            }
+            match settled {
+                Some(server) => {
+                    self.ball_assigned[ball as usize] = server;
+                    balls_assigned += 1;
+                }
+                None => still_alive.push(ball),
+            }
+        }
+        self.alive_balls = still_alive;
+
+        // Closed-server census for the observers and the record.
+        let closed: Vec<bool> = self
+            .server_states
+            .par_iter()
+            .zip(self.server_load.par_iter())
+            .map(|(state, &load)| self.protocol.server_is_closed(state, load))
+            .collect();
+        let closed_servers = closed.iter().filter(|&&c| c).count() as u64;
+
+        let record = RoundRecord {
+            round,
+            requests_sent: num_requests,
+            balls_assigned,
+            alive_after: self.alive_balls.len() as u64,
+            messages: 2 * num_requests,
+            closed_servers,
+            max_load: self.server_load.iter().copied().max().unwrap_or(0),
+        };
+        (record, requests_per_server, closed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clb_graph::generators;
+
+    /// Servers accept everything: classic one-choice.
+    struct AcceptAll;
+    impl Protocol for AcceptAll {
+        type ServerState = ();
+        fn init_server(&self) {}
+        fn server_decide(&self, _state: &mut (), ctx: &ServerCtx) -> u32 {
+            ctx.incoming
+        }
+        fn server_is_closed(&self, _state: &(), _load: u32) -> bool {
+            false
+        }
+    }
+
+    /// Servers reject everything before `open_round`, then accept everything.
+    struct OpensAt(u32);
+    impl Protocol for OpensAt {
+        type ServerState = ();
+        fn init_server(&self) {}
+        fn server_decide(&self, _state: &mut (), ctx: &ServerCtx) -> u32 {
+            if ctx.round >= self.0 {
+                ctx.incoming
+            } else {
+                0
+            }
+        }
+        fn server_is_closed(&self, _state: &(), _load: u32) -> bool {
+            false
+        }
+    }
+
+    /// Capacity-1 servers contacted with two choices per ball: exercises the release path.
+    struct TwoChoiceCapacityOne;
+    impl Protocol for TwoChoiceCapacityOne {
+        type ServerState = u32; // accepted so far (net of releases)
+        fn init_server(&self) -> u32 {
+            0
+        }
+        fn choices_per_round(&self) -> u32 {
+            2
+        }
+        fn server_decide(&self, state: &mut u32, ctx: &ServerCtx) -> u32 {
+            let take = 1u32.saturating_sub(*state).min(ctx.incoming);
+            *state += take;
+            take
+        }
+        fn server_is_closed(&self, state: &u32, _load: u32) -> bool {
+            *state >= 1
+        }
+        fn server_on_release(&self, state: &mut u32, count: u32) {
+            *state -= count;
+        }
+    }
+
+    #[test]
+    fn accept_all_finishes_in_one_round() {
+        let g = generators::regular_random(32, 8, 1).unwrap();
+        let mut sim = Simulation::new(&g, AcceptAll, Demand::Constant(3), SimConfig::new(5));
+        assert_eq!(sim.total_balls(), 96);
+        let result = sim.run();
+        assert!(result.completed);
+        assert_eq!(result.rounds, 1);
+        assert_eq!(result.unassigned_balls, 0);
+        assert_eq!(result.total_messages, 2 * 96);
+        // Every ball landed on a neighbour of its owner.
+        for c in g.clients() {
+            for server in sim.client_assignment(c) {
+                let server = server.expect("all balls assigned");
+                assert!(g.client_neighbors(c).iter().any(|s| s.0 == server));
+            }
+        }
+        // Load conservation: total load equals total balls.
+        let total_load: u32 = sim.server_loads().iter().sum();
+        assert_eq!(total_load as u64, sim.total_balls());
+    }
+
+    #[test]
+    fn rejections_delay_completion_and_cost_work() {
+        let g = generators::regular_random(16, 4, 2).unwrap();
+        let mut sim = Simulation::new(&g, OpensAt(4), Demand::Constant(1), SimConfig::new(1));
+        let result = sim.run();
+        assert!(result.completed);
+        assert_eq!(result.rounds, 4);
+        // Every ball was re-submitted in rounds 1..4: work = 2 * balls * 4.
+        assert_eq!(result.total_messages, 2 * 16 * 4);
+    }
+
+    #[test]
+    fn round_cap_stops_non_terminating_runs() {
+        let g = generators::regular_random(8, 2, 3).unwrap();
+        let mut sim = Simulation::new(
+            &g,
+            OpensAt(u32::MAX),
+            Demand::Constant(1),
+            SimConfig::new(1).with_max_rounds(7),
+        );
+        let result = sim.run();
+        assert!(!result.completed);
+        assert_eq!(result.rounds, 7);
+        assert_eq!(result.unassigned_balls, 8);
+        assert_eq!(result.max_load, 0);
+    }
+
+    #[test]
+    fn step_by_step_matches_run() {
+        let g = generators::regular_random(16, 4, 9).unwrap();
+        let mut a = Simulation::new(&g, OpensAt(3), Demand::Constant(2), SimConfig::new(11));
+        let mut b = Simulation::new(&g, OpensAt(3), Demand::Constant(2), SimConfig::new(11));
+        let result_a = a.run();
+        let mut rounds = 0;
+        while !b.is_complete() && rounds < 100 {
+            let record = b.step();
+            rounds += 1;
+            assert_eq!(record.round, rounds);
+        }
+        assert_eq!(result_a, b.result());
+    }
+
+    #[test]
+    fn two_choice_release_keeps_loads_consistent() {
+        // 8 clients, 8 servers, capacity 1, one ball each: a perfect matching must
+        // eventually emerge and no server may end with load > 1.
+        let g = generators::complete(8, 8).unwrap();
+        let mut sim = Simulation::new(
+            &g,
+            TwoChoiceCapacityOne,
+            Demand::Constant(1),
+            SimConfig::new(3).with_max_rounds(500),
+        );
+        let result = sim.run();
+        assert!(result.completed, "matching should complete: {result:?}");
+        assert!(result.max_load <= 1);
+        let total_load: u32 = sim.server_loads().iter().sum();
+        assert_eq!(total_load, 8);
+        // Protocol state (net accepted) must agree with the engine's load accounting.
+        for (state, load) in sim.server_states().iter().zip(sim.server_loads()) {
+            assert_eq!(state, load);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let g = generators::regular_random(64, 16, 21).unwrap();
+        let run_with = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            pool.install(|| {
+                let mut sim =
+                    Simulation::new(&g, OpensAt(2), Demand::Constant(2), SimConfig::new(77));
+                let result = sim.run();
+                (result, sim.server_loads().to_vec())
+            })
+        };
+        let (r1, loads1) = run_with(1);
+        let (r4, loads4) = run_with(4);
+        assert_eq!(r1, r4);
+        assert_eq!(loads1, loads4);
+    }
+
+    #[test]
+    fn explicit_demand_with_zero_ball_clients() {
+        let g = generators::regular_random(4, 2, 5).unwrap();
+        let demand = Demand::Explicit(vec![0, 3, 0, 1]);
+        let mut sim = Simulation::new(&g, AcceptAll, demand, SimConfig::new(2));
+        assert_eq!(sim.total_balls(), 4);
+        let result = sim.run();
+        assert!(result.completed);
+        assert_eq!(sim.client_assignment(ClientId::new(0)).len(), 0);
+        assert_eq!(sim.client_assignment(ClientId::new(1)).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no admissible server")]
+    fn isolated_client_with_demand_panics() {
+        let g = clb_graph::BipartiteGraph::from_edges(2, 2, &[(0, 0)]).unwrap();
+        let _ = Simulation::new(&g, AcceptAll, Demand::Constant(1), SimConfig::new(1));
+    }
+
+    #[test]
+    fn work_per_ball_helper() {
+        let r = RunResult {
+            completed: true,
+            rounds: 3,
+            total_messages: 600,
+            max_load: 4,
+            unassigned_balls: 0,
+            total_balls: 100,
+        };
+        assert!((r.work_per_ball() - 6.0).abs() < 1e-12);
+        let empty = RunResult { total_balls: 0, ..r };
+        assert_eq!(empty.work_per_ball(), 0.0);
+    }
+}

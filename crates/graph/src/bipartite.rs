@@ -1,0 +1,289 @@
+//! The immutable CSR bipartite graph.
+
+use crate::{ids::{ClientId, ServerId}, GraphError, Result};
+use serde::{Deserialize, Serialize};
+
+/// An immutable bipartite client-server graph in compressed sparse row form.
+///
+/// Adjacency is stored in both directions:
+/// * client → servers, for the protocols (a client only ever contacts `N(v)`);
+/// * server → clients, for the analysis observers (e.g. computing `r_t(N(v))` and the
+///   burned fraction `S_t(v)` requires walking server neighbourhoods).
+///
+/// The graph is *simple*: no duplicate (client, server) edges. Multi-edges would skew
+/// the uniform-neighbour sampling distribution the paper's protocols rely on, so the
+/// [`crate::GraphBuilder`] either rejects or de-duplicates them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BipartiteGraph {
+    num_clients: usize,
+    num_servers: usize,
+    client_offsets: Vec<u64>,
+    client_edges: Vec<ServerId>,
+    server_offsets: Vec<u64>,
+    server_edges: Vec<ClientId>,
+}
+
+impl BipartiteGraph {
+    /// Builds a graph from a (client, server) edge list.
+    ///
+    /// The edge list may be in any order; it must not contain duplicates (use
+    /// [`crate::GraphBuilder`] if de-duplication is wanted). Every index must be in
+    /// range.
+    pub fn from_edges(
+        num_clients: usize,
+        num_servers: usize,
+        edges: &[(u32, u32)],
+    ) -> Result<Self> {
+        // Count degrees first.
+        let mut client_deg = vec![0u64; num_clients];
+        let mut server_deg = vec![0u64; num_servers];
+        for &(c, s) in edges {
+            let (ci, si) = (c as usize, s as usize);
+            if ci >= num_clients {
+                return Err(GraphError::ClientOutOfRange { client: ci, num_clients });
+            }
+            if si >= num_servers {
+                return Err(GraphError::ServerOutOfRange { server: si, num_servers });
+            }
+            client_deg[ci] += 1;
+            server_deg[si] += 1;
+        }
+
+        let client_offsets = prefix_sum(&client_deg);
+        let server_offsets = prefix_sum(&server_deg);
+
+        let mut client_edges = vec![ServerId(0); edges.len()];
+        let mut server_edges = vec![ClientId(0); edges.len()];
+        let mut client_cursor = client_offsets.clone();
+        let mut server_cursor = server_offsets.clone();
+        for &(c, s) in edges {
+            let (ci, si) = (c as usize, s as usize);
+            let cc = client_cursor[ci] as usize;
+            client_edges[cc] = ServerId(s);
+            client_cursor[ci] += 1;
+            let sc = server_cursor[si] as usize;
+            server_edges[sc] = ClientId(c);
+            server_cursor[si] += 1;
+        }
+
+        let mut graph = Self {
+            num_clients,
+            num_servers,
+            client_offsets,
+            client_edges,
+            server_offsets,
+            server_edges,
+        };
+        graph.sort_adjacency();
+        graph.check_no_duplicates()?;
+        Ok(graph)
+    }
+
+    /// Sorts each adjacency list; canonical order makes equality, snapshots and
+    /// duplicate detection deterministic.
+    fn sort_adjacency(&mut self) {
+        for c in 0..self.num_clients {
+            let (lo, hi) = self.client_range(c);
+            self.client_edges[lo..hi].sort_unstable();
+        }
+        for s in 0..self.num_servers {
+            let (lo, hi) = self.server_range(s);
+            self.server_edges[lo..hi].sort_unstable();
+        }
+    }
+
+    fn check_no_duplicates(&self) -> Result<()> {
+        for c in 0..self.num_clients {
+            let neigh = self.client_neighbors(ClientId::new(c));
+            for w in neigh.windows(2) {
+                if w[0] == w[1] {
+                    return Err(GraphError::DuplicateEdge { client: c, server: w[0].index() });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn client_range(&self, c: usize) -> (usize, usize) {
+        (self.client_offsets[c] as usize, self.client_offsets[c + 1] as usize)
+    }
+
+    #[inline]
+    fn server_range(&self, s: usize) -> (usize, usize) {
+        (self.server_offsets[s] as usize, self.server_offsets[s + 1] as usize)
+    }
+
+    /// Number of clients `|C|`.
+    #[inline]
+    pub fn num_clients(&self) -> usize {
+        self.num_clients
+    }
+
+    /// Number of servers `|S|`.
+    #[inline]
+    pub fn num_servers(&self) -> usize {
+        self.num_servers
+    }
+
+    /// Number of edges `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.client_edges.len()
+    }
+
+    /// The servers adjacent to client `v` — the neighbourhood `N(v)` of the paper.
+    #[inline]
+    pub fn client_neighbors(&self, v: ClientId) -> &[ServerId] {
+        let (lo, hi) = self.client_range(v.index());
+        &self.client_edges[lo..hi]
+    }
+
+    /// The clients adjacent to server `u` — the neighbourhood `N(u)`.
+    #[inline]
+    pub fn server_neighbors(&self, u: ServerId) -> &[ClientId] {
+        let (lo, hi) = self.server_range(u.index());
+        &self.server_edges[lo..hi]
+    }
+
+    /// Degree of client `v`, written `Δ_v` in the paper.
+    #[inline]
+    pub fn client_degree(&self, v: ClientId) -> usize {
+        let (lo, hi) = self.client_range(v.index());
+        hi - lo
+    }
+
+    /// Degree of server `u`, written `Δ_u` in the paper.
+    #[inline]
+    pub fn server_degree(&self, u: ServerId) -> usize {
+        let (lo, hi) = self.server_range(u.index());
+        hi - lo
+    }
+
+    /// Returns `true` if the edge (v, u) is present. Binary search, `O(log Δ_v)`.
+    pub fn has_edge(&self, v: ClientId, u: ServerId) -> bool {
+        self.client_neighbors(v).binary_search(&u).is_ok()
+    }
+
+    /// Iterates over all clients.
+    pub fn clients(&self) -> impl Iterator<Item = ClientId> + '_ {
+        (0..self.num_clients).map(ClientId::new)
+    }
+
+    /// Iterates over all servers.
+    pub fn servers(&self) -> impl Iterator<Item = ServerId> + '_ {
+        (0..self.num_servers).map(ServerId::new)
+    }
+
+    /// Iterates over all edges in canonical (client, server) order.
+    pub fn edges(&self) -> impl Iterator<Item = (ClientId, ServerId)> + '_ {
+        self.clients().flat_map(move |c| {
+            self.client_neighbors(c).iter().map(move |&s| (c, s))
+        })
+    }
+
+    /// Returns `true` if some client has an empty neighbourhood (such a client can never
+    /// place its balls, so every protocol run on the graph would fail to terminate).
+    pub fn has_isolated_client(&self) -> bool {
+        self.clients().any(|c| self.client_degree(c) == 0)
+    }
+}
+
+fn prefix_sum(degrees: &[u64]) -> Vec<u64> {
+    let mut offsets = Vec::with_capacity(degrees.len() + 1);
+    let mut acc = 0u64;
+    offsets.push(0);
+    for &d in degrees {
+        acc += d;
+        offsets.push(acc);
+    }
+    offsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_graph() -> BipartiteGraph {
+        // 3 clients, 4 servers.
+        // c0 - s0, s1 ; c1 - s1, s2, s3 ; c2 - s3
+        BipartiteGraph::from_edges(3, 4, &[(0, 0), (0, 1), (1, 1), (1, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn sizes_and_degrees() {
+        let g = small_graph();
+        assert_eq!(g.num_clients(), 3);
+        assert_eq!(g.num_servers(), 4);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.client_degree(ClientId(0)), 2);
+        assert_eq!(g.client_degree(ClientId(1)), 3);
+        assert_eq!(g.client_degree(ClientId(2)), 1);
+        assert_eq!(g.server_degree(ServerId(0)), 1);
+        assert_eq!(g.server_degree(ServerId(1)), 2);
+        assert_eq!(g.server_degree(ServerId(3)), 2);
+    }
+
+    #[test]
+    fn adjacency_is_sorted_and_symmetric() {
+        let g = small_graph();
+        assert_eq!(g.client_neighbors(ClientId(1)), &[ServerId(1), ServerId(2), ServerId(3)]);
+        assert_eq!(g.server_neighbors(ServerId(1)), &[ClientId(0), ClientId(1)]);
+        // Every client edge appears in the corresponding server list and vice versa.
+        for (c, s) in g.edges() {
+            assert!(g.server_neighbors(s).contains(&c));
+        }
+    }
+
+    #[test]
+    fn has_edge_queries() {
+        let g = small_graph();
+        assert!(g.has_edge(ClientId(0), ServerId(1)));
+        assert!(!g.has_edge(ClientId(0), ServerId(3)));
+        assert!(!g.has_edge(ClientId(2), ServerId(0)));
+    }
+
+    #[test]
+    fn edge_order_does_not_matter() {
+        let a = BipartiteGraph::from_edges(2, 2, &[(0, 0), (1, 1), (0, 1)]).unwrap();
+        let b = BipartiteGraph::from_edges(2, 2, &[(0, 1), (0, 0), (1, 1)]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let err = BipartiteGraph::from_edges(2, 2, &[(2, 0)]).unwrap_err();
+        assert!(matches!(err, GraphError::ClientOutOfRange { client: 2, .. }));
+        let err = BipartiteGraph::from_edges(2, 2, &[(0, 5)]).unwrap_err();
+        assert!(matches!(err, GraphError::ServerOutOfRange { server: 5, .. }));
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let err = BipartiteGraph::from_edges(2, 2, &[(0, 1), (0, 1)]).unwrap_err();
+        assert!(matches!(err, GraphError::DuplicateEdge { client: 0, server: 1 }));
+    }
+
+    #[test]
+    fn empty_graph_and_isolated_clients() {
+        let g = BipartiteGraph::from_edges(2, 2, &[(0, 0)]).unwrap();
+        assert!(g.has_isolated_client());
+        let g = BipartiteGraph::from_edges(2, 2, &[(0, 0), (1, 1)]).unwrap();
+        assert!(!g.has_isolated_client());
+        let g = BipartiteGraph::from_edges(0, 0, &[]).unwrap();
+        assert_eq!(g.num_edges(), 0);
+        assert!(!g.has_isolated_client());
+    }
+
+    #[test]
+    fn edges_iterator_is_exhaustive_and_canonical() {
+        let g = small_graph();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 6);
+        assert_eq!(edges[0], (ClientId(0), ServerId(0)));
+        assert_eq!(edges[5], (ClientId(2), ServerId(3)));
+        let mut sorted = edges.clone();
+        sorted.sort();
+        assert_eq!(edges, sorted);
+    }
+}

@@ -1,0 +1,143 @@
+//! Incremental graph construction with validation and optional de-duplication.
+
+use crate::{bipartite::BipartiteGraph, GraphError, Result};
+use std::collections::HashSet;
+
+/// Builds a [`BipartiteGraph`] from edges added one at a time.
+///
+/// The builder validates indices eagerly and can either reject duplicate edges
+/// ([`GraphBuilder::strict`], the default) or silently drop them
+/// ([`GraphBuilder::deduplicating`]); generators that may propose the same edge twice
+/// (e.g. the Erdős–Rényi and cluster generators) use the latter.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    num_clients: usize,
+    num_servers: usize,
+    edges: Vec<(u32, u32)>,
+    seen: HashSet<(u32, u32)>,
+    dedup: bool,
+}
+
+impl GraphBuilder {
+    /// Creates a strict builder: adding a duplicate edge is an error.
+    pub fn strict(num_clients: usize, num_servers: usize) -> Self {
+        Self::new(num_clients, num_servers, false)
+    }
+
+    /// Creates a de-duplicating builder: duplicate edges are silently ignored.
+    pub fn deduplicating(num_clients: usize, num_servers: usize) -> Self {
+        Self::new(num_clients, num_servers, true)
+    }
+
+    fn new(num_clients: usize, num_servers: usize, dedup: bool) -> Self {
+        Self {
+            num_clients,
+            num_servers,
+            edges: Vec::new(),
+            seen: HashSet::new(),
+            dedup,
+        }
+    }
+
+    /// Number of edges accepted so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns true if the (client, server) edge has already been accepted.
+    pub fn contains(&self, client: usize, server: usize) -> bool {
+        self.seen.contains(&(client as u32, server as u32))
+    }
+
+    /// Adds an edge between `client` and `server`.
+    pub fn add_edge(&mut self, client: usize, server: usize) -> Result<()> {
+        if client >= self.num_clients {
+            return Err(GraphError::ClientOutOfRange { client, num_clients: self.num_clients });
+        }
+        if server >= self.num_servers {
+            return Err(GraphError::ServerOutOfRange { server, num_servers: self.num_servers });
+        }
+        let key = (client as u32, server as u32);
+        if !self.seen.insert(key) {
+            if self.dedup {
+                return Ok(());
+            }
+            return Err(GraphError::DuplicateEdge { client, server });
+        }
+        self.edges.push(key);
+        Ok(())
+    }
+
+    /// Adds every edge in the iterator; stops at the first error.
+    pub fn add_edges<I: IntoIterator<Item = (usize, usize)>>(&mut self, iter: I) -> Result<()> {
+        for (c, s) in iter {
+            self.add_edge(c, s)?;
+        }
+        Ok(())
+    }
+
+    /// Finalises the builder into an immutable [`BipartiteGraph`].
+    pub fn build(self) -> Result<BipartiteGraph> {
+        BipartiteGraph::from_edges(self.num_clients, self.num_servers, &self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ClientId, ServerId};
+
+    #[test]
+    fn strict_builder_rejects_duplicates() {
+        let mut b = GraphBuilder::strict(2, 2);
+        b.add_edge(0, 1).unwrap();
+        let err = b.add_edge(0, 1).unwrap_err();
+        assert!(matches!(err, GraphError::DuplicateEdge { client: 0, server: 1 }));
+    }
+
+    #[test]
+    fn dedup_builder_drops_duplicates() {
+        let mut b = GraphBuilder::deduplicating(2, 2);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 0).unwrap();
+        assert_eq!(b.num_edges(), 2);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn contains_reflects_accepted_edges() {
+        let mut b = GraphBuilder::strict(3, 3);
+        assert!(!b.contains(1, 2));
+        b.add_edge(1, 2).unwrap();
+        assert!(b.contains(1, 2));
+    }
+
+    #[test]
+    fn range_validation() {
+        let mut b = GraphBuilder::strict(2, 2);
+        assert!(b.add_edge(2, 0).is_err());
+        assert!(b.add_edge(0, 2).is_err());
+        assert_eq!(b.num_edges(), 0);
+    }
+
+    #[test]
+    fn add_edges_bulk_and_build() {
+        let mut b = GraphBuilder::strict(3, 3);
+        b.add_edges([(0, 0), (1, 1), (2, 2), (0, 1)]).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.has_edge(ClientId(0), ServerId(1)));
+        assert!(!g.has_edge(ClientId(1), ServerId(0)));
+    }
+
+    #[test]
+    fn add_edges_stops_on_error() {
+        let mut b = GraphBuilder::strict(2, 2);
+        let result = b.add_edges([(0, 0), (0, 0), (1, 1)]);
+        assert!(result.is_err());
+        // The edge after the failure was not added.
+        assert_eq!(b.num_edges(), 1);
+    }
+}

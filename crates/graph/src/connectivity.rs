@@ -1,0 +1,129 @@
+//! Connectivity analysis of bipartite graphs.
+//!
+//! Connectivity is not required by Theorem 1, but disconnected or fragmented topologies
+//! are useful failure-injection workloads for the test suite, and the experiment
+//! harness reports the number of connected components of every generated graph so that
+//! anomalous runs can be explained.
+
+use crate::{bipartite::BipartiteGraph, ClientId, ServerId};
+
+/// The result of a connected-components sweep over a bipartite graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// Component label of every client (dense, starting at 0).
+    pub client_component: Vec<u32>,
+    /// Component label of every server; servers with no edges get their own components.
+    pub server_component: Vec<u32>,
+    /// Number of connected components (counting isolated nodes).
+    pub count: usize,
+}
+
+impl Components {
+    /// Computes connected components with an iterative BFS over both sides.
+    pub fn of(g: &BipartiteGraph) -> Self {
+        const UNVISITED: u32 = u32::MAX;
+        let mut client_component = vec![UNVISITED; g.num_clients()];
+        let mut server_component = vec![UNVISITED; g.num_servers()];
+        let mut next_label = 0u32;
+        let mut queue: std::collections::VecDeque<Node> = std::collections::VecDeque::new();
+
+        #[derive(Clone, Copy)]
+        enum Node {
+            Client(usize),
+            Server(usize),
+        }
+
+        let visit_from_client = |start: usize,
+                                     client_component: &mut Vec<u32>,
+                                     server_component: &mut Vec<u32>,
+                                     queue: &mut std::collections::VecDeque<Node>,
+                                     label: u32| {
+            client_component[start] = label;
+            queue.push_back(Node::Client(start));
+            while let Some(node) = queue.pop_front() {
+                match node {
+                    Node::Client(c) => {
+                        for &s in g.client_neighbors(ClientId::new(c)) {
+                            if server_component[s.index()] == UNVISITED {
+                                server_component[s.index()] = label;
+                                queue.push_back(Node::Server(s.index()));
+                            }
+                        }
+                    }
+                    Node::Server(s) => {
+                        for &c in g.server_neighbors(ServerId::new(s)) {
+                            if client_component[c.index()] == UNVISITED {
+                                client_component[c.index()] = label;
+                                queue.push_back(Node::Client(c.index()));
+                            }
+                        }
+                    }
+                }
+            }
+        };
+
+        for c in 0..g.num_clients() {
+            if client_component[c] == UNVISITED {
+                visit_from_client(c, &mut client_component, &mut server_component, &mut queue, next_label);
+                next_label += 1;
+            }
+        }
+        // Isolated servers (no incident edges) each form their own component.
+        for s in 0..g.num_servers() {
+            if server_component[s] == UNVISITED {
+                server_component[s] = next_label;
+                next_label += 1;
+            }
+        }
+
+        Self { client_component, server_component, count: next_label as usize }
+    }
+
+    /// True if all clients and servers belong to a single component.
+    pub fn is_connected(&self) -> bool {
+        self.count <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BipartiteGraph;
+
+    #[test]
+    fn connected_graph_has_one_component() {
+        let g = BipartiteGraph::from_edges(3, 3, &[(0, 0), (1, 0), (1, 1), (2, 1), (2, 2)]).unwrap();
+        let c = Components::of(&g);
+        assert!(c.is_connected());
+        assert_eq!(c.count, 1);
+        assert!(c.client_component.iter().all(|&l| l == 0));
+        assert!(c.server_component.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn two_islands() {
+        let g = BipartiteGraph::from_edges(4, 4, &[(0, 0), (1, 0), (2, 2), (3, 3), (2, 3)]).unwrap();
+        let c = Components::of(&g);
+        // {c0,c1,s0} and {c2,c3,s2,s3}, plus isolated s1.
+        assert_eq!(c.count, 3);
+        assert!(!c.is_connected());
+        assert_eq!(c.client_component[0], c.client_component[1]);
+        assert_ne!(c.client_component[0], c.client_component[2]);
+        assert_eq!(c.client_component[2], c.client_component[3]);
+    }
+
+    #[test]
+    fn isolated_nodes_are_their_own_components() {
+        let g = BipartiteGraph::from_edges(2, 2, &[]).unwrap();
+        let c = Components::of(&g);
+        assert_eq!(c.count, 4);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteGraph::from_edges(0, 0, &[]).unwrap();
+        let c = Components::of(&g);
+        assert_eq!(c.count, 0);
+        assert!(c.is_connected());
+    }
+}

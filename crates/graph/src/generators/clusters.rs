@@ -1,0 +1,173 @@
+//! Trust-cluster topologies: clients only trust a subset of servers.
+//!
+//! The paper's motivation i: "based on previous experiences, a client (a server) may
+//! decide to send (accept) the requests only to (from) a fixed subset of trusted servers
+//! (clients)". We model this as a community structure: clients and servers are split
+//! into `k` clusters; a client connects to `intra_degree` random servers of its own
+//! cluster and `inter_degree` random servers outside it.
+
+use crate::{bipartite::BipartiteGraph, GraphBuilder, GraphError, Result};
+use clb_rng::{floyd_sample, StreamFactory};
+
+const CLUSTER_DOMAIN: u64 = 0x636c7573; // "clus"
+
+/// Generates a trust-cluster bipartite graph with `n` clients and `n` servers.
+///
+/// Nodes are assigned to `num_clusters` clusters round-robin (so cluster sizes differ by
+/// at most one). Each client connects to `intra_degree` distinct servers drawn uniformly
+/// from its own cluster and `inter_degree` distinct servers drawn uniformly from the
+/// other clusters. With `intra_degree = Θ(log²n)` and a small `inter_degree` the graph
+/// satisfies the Theorem 1 hypotheses while exhibiting strong locality.
+pub fn trust_clusters(
+    n: usize,
+    num_clusters: usize,
+    intra_degree: usize,
+    inter_degree: usize,
+    seed: u64,
+) -> Result<BipartiteGraph> {
+    if n == 0 {
+        return Err(GraphError::InvalidParameters("n must be positive".into()));
+    }
+    if num_clusters == 0 || num_clusters > n {
+        return Err(GraphError::InvalidParameters(format!(
+            "num_clusters {num_clusters} must be in 1..={n}"
+        )));
+    }
+    // Round-robin assignment: cluster of node i is i % num_clusters. Cluster k contains
+    // the servers {k, k + num_clusters, k + 2*num_clusters, ...}.
+    let cluster_size = |k: usize| -> usize { (n - k + num_clusters - 1) / num_clusters };
+    let smallest_cluster = (0..num_clusters).map(cluster_size).min().unwrap_or(0);
+    if intra_degree > smallest_cluster {
+        return Err(GraphError::InvalidParameters(format!(
+            "intra_degree {intra_degree} exceeds the smallest cluster size {smallest_cluster}"
+        )));
+    }
+    if inter_degree > n - smallest_cluster {
+        return Err(GraphError::InvalidParameters(format!(
+            "inter_degree {inter_degree} exceeds the number of out-of-cluster servers"
+        )));
+    }
+
+    let factory = StreamFactory::new(seed).domain(CLUSTER_DOMAIN);
+    let mut builder = GraphBuilder::deduplicating(n, n);
+    for c in 0..n {
+        let mut rng = factory.stream(c as u64, 0);
+        let own = c % num_clusters;
+        let own_size = cluster_size(own);
+        // Intra-cluster edges: sample distinct in-cluster positions.
+        for pos in floyd_sample(own_size, intra_degree, &mut rng) {
+            let server = own + pos * num_clusters;
+            builder.add_edge(c, server)?;
+        }
+        // Inter-cluster edges: sample distinct positions among the servers of other
+        // clusters, enumerated by skipping the own cluster.
+        let outside = n - own_size;
+        for pos in floyd_sample(outside, inter_degree.min(outside), &mut rng) {
+            let server = outside_position_to_server(pos, own, num_clusters, n);
+            builder.add_edge(c, server)?;
+        }
+    }
+    builder.build()
+}
+
+/// Maps the `pos`-th server (in increasing id order) that is *not* in cluster `own` to
+/// its server id, for round-robin cluster assignment.
+fn outside_position_to_server(pos: usize, own: usize, num_clusters: usize, n: usize) -> usize {
+    // Walk the ids in blocks of `num_clusters`: each full block contributes
+    // (num_clusters - 1) outside servers.
+    let per_block = num_clusters - 1;
+    if per_block == 0 {
+        // Single cluster: there are no outside servers; callers guard against this.
+        unreachable!("outside_position_to_server called with a single cluster");
+    }
+    let block = pos / per_block;
+    let within = pos % per_block;
+    // Within a block, ids are block*num_clusters + k for k in 0..num_clusters, skipping own.
+    let k = if within < own { within } else { within + 1 };
+    let id = block * num_clusters + k;
+    debug_assert!(id < n, "outside position {pos} maps to id {id} >= n {n}");
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{stats::DegreeStats, ClientId};
+
+    #[test]
+    fn degrees_match_parameters() {
+        let g = trust_clusters(120, 4, 10, 3, 7).unwrap();
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.min_client_degree, 13);
+        assert_eq!(s.max_client_degree, 13);
+        assert_eq!(s.num_edges, 120 * 13);
+    }
+
+    #[test]
+    fn intra_edges_stay_in_cluster_when_inter_is_zero() {
+        let num_clusters = 5;
+        let g = trust_clusters(100, num_clusters, 8, 0, 3).unwrap();
+        for c in g.clients() {
+            let own = c.index() % num_clusters;
+            for &s in g.client_neighbors(c) {
+                assert_eq!(s.index() % num_clusters, own, "client {c} has an out-of-cluster edge");
+            }
+        }
+    }
+
+    #[test]
+    fn inter_edges_leave_the_cluster() {
+        let num_clusters = 4;
+        let g = trust_clusters(80, num_clusters, 0, 6, 9).unwrap();
+        for c in g.clients() {
+            let own = c.index() % num_clusters;
+            for &s in g.client_neighbors(c) {
+                assert_ne!(s.index() % num_clusters, own, "client {c} has an in-cluster edge");
+            }
+        }
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(trust_clusters(0, 1, 1, 0, 1).is_err());
+        assert!(trust_clusters(10, 0, 1, 0, 1).is_err());
+        assert!(trust_clusters(10, 11, 1, 0, 1).is_err());
+        // Intra degree larger than the smallest cluster.
+        assert!(trust_clusters(10, 3, 4, 0, 1).is_err());
+        // Inter degree larger than the outside world.
+        assert!(trust_clusters(10, 2, 1, 6, 1).is_err());
+    }
+
+    #[test]
+    fn single_cluster_behaves_like_uniform_subset() {
+        let g = trust_clusters(40, 1, 12, 0, 5).unwrap();
+        assert_eq!(g.client_degree(ClientId::new(0)), 12);
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.min_client_degree, 12);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = trust_clusters(60, 3, 6, 2, 42).unwrap();
+        let b = trust_clusters(60, 3, 6, 2, 42).unwrap();
+        let c = trust_clusters(60, 3, 6, 2, 43).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn outside_position_mapping_is_a_bijection() {
+        let n = 20;
+        let num_clusters = 4;
+        for own in 0..num_clusters {
+            let outside = n - (n - own + num_clusters - 1) / num_clusters;
+            let mut seen = std::collections::HashSet::new();
+            for pos in 0..outside {
+                let id = outside_position_to_server(pos, own, num_clusters, n);
+                assert!(id < n);
+                assert_ne!(id % num_clusters, own);
+                assert!(seen.insert(id), "duplicate id {id}");
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Dense topologies: the regime of Becchetti et al.'s original RAES analysis.
+
+use crate::{bipartite::BipartiteGraph, GraphBuilder, GraphError, Result};
+use clb_rng::{floyd_sample, Binomial, StreamFactory};
+
+const ER_DOMAIN: u64 = 0x6572_6e64; // "ernd"
+
+/// The complete bipartite graph `K_{num_clients, num_servers}`: every client may contact
+/// every server. This is the classic (unconstrained) parallel balls-into-bins setting.
+pub fn complete(num_clients: usize, num_servers: usize) -> Result<BipartiteGraph> {
+    if num_clients == 0 || num_servers == 0 {
+        return Err(GraphError::InvalidParameters(
+            "complete graph needs at least one client and one server".into(),
+        ));
+    }
+    let mut edges = Vec::with_capacity(num_clients * num_servers);
+    for c in 0..num_clients as u32 {
+        for s in 0..num_servers as u32 {
+            edges.push((c, s));
+        }
+    }
+    BipartiteGraph::from_edges(num_clients, num_servers, &edges)
+}
+
+/// A bipartite Erdős–Rényi graph: every (client, server) pair is an edge independently
+/// with probability `p`. The expected degree is `p · num_servers` per client, so with
+/// `p = Θ(1)` this reproduces the dense `Δ = Ω(n)` regime.
+///
+/// Sampling is done per client by first drawing the degree from `Bin(num_servers, p)`
+/// and then choosing that many distinct servers, which is equivalent to the naive
+/// coin-flip process but runs in `O(|E|)` instead of `O(n²)`.
+pub fn erdos_renyi(
+    num_clients: usize,
+    num_servers: usize,
+    p: f64,
+    seed: u64,
+) -> Result<BipartiteGraph> {
+    if num_clients == 0 || num_servers == 0 {
+        return Err(GraphError::InvalidParameters(
+            "Erdős–Rényi graph needs at least one client and one server".into(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&p) || p.is_nan() {
+        return Err(GraphError::InvalidParameters(format!(
+            "edge probability {p} must lie in [0, 1]"
+        )));
+    }
+    let factory = StreamFactory::new(seed).domain(ER_DOMAIN);
+    let degree_dist = Binomial::new(num_servers as u64, p);
+    let mut builder = GraphBuilder::strict(num_clients, num_servers);
+    for c in 0..num_clients {
+        let mut rng = factory.stream(c as u64, 0);
+        let degree = degree_dist.sample(&mut rng) as usize;
+        for s in floyd_sample(num_servers, degree, &mut rng) {
+            builder.add_edge(c, s)?;
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DegreeStats;
+
+    #[test]
+    fn complete_graph_has_all_edges() {
+        let g = complete(5, 7).unwrap();
+        assert_eq!(g.num_edges(), 35);
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.min_client_degree, 7);
+        assert_eq!(s.max_client_degree, 7);
+        assert_eq!(s.min_server_degree, 5);
+        assert_eq!(s.max_server_degree, 5);
+    }
+
+    #[test]
+    fn complete_graph_rejects_empty_sides() {
+        assert!(complete(0, 5).is_err());
+        assert!(complete(5, 0).is_err());
+    }
+
+    #[test]
+    fn erdos_renyi_edge_count_tracks_probability() {
+        let n = 200;
+        let p = 0.25;
+        let g = erdos_renyi(n, n, p, 77).unwrap();
+        let expected = (n * n) as f64 * p;
+        let actual = g.num_edges() as f64;
+        // 4 standard deviations of Bin(n², p).
+        let sigma = ((n * n) as f64 * p * (1.0 - p)).sqrt();
+        assert!(
+            (actual - expected).abs() < 4.0 * sigma,
+            "edge count {actual} too far from expectation {expected}"
+        );
+    }
+
+    #[test]
+    fn erdos_renyi_extreme_probabilities() {
+        let g = erdos_renyi(10, 10, 0.0, 1).unwrap();
+        assert_eq!(g.num_edges(), 0);
+        let g = erdos_renyi(10, 10, 1.0, 1).unwrap();
+        assert_eq!(g.num_edges(), 100);
+        assert!(erdos_renyi(10, 10, 1.5, 1).is_err());
+        assert!(erdos_renyi(10, 10, f64::NAN, 1).is_err());
+        assert!(erdos_renyi(0, 10, 0.5, 1).is_err());
+    }
+
+    #[test]
+    fn erdos_renyi_is_deterministic_in_seed() {
+        let a = erdos_renyi(50, 50, 0.2, 42).unwrap();
+        let b = erdos_renyi(50, 50, 0.2, 42).unwrap();
+        let c = erdos_renyi(50, 50, 0.2, 43).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

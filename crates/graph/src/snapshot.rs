@@ -1,0 +1,133 @@
+//! Compact binary snapshots of generated graphs.
+//!
+//! Generating a large Δ-regular graph is much more expensive than running a protocol on
+//! it, so the benchmark harness caches generated topologies. The format is a simple
+//! length-prefixed little-endian encoding of the edge list built on the `bytes` crate;
+//! it is deliberately independent of the in-memory CSR layout so the format stays stable
+//! even if the internal representation changes.
+
+use crate::{bipartite::BipartiteGraph, GraphError, Result};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Magic number identifying a graph snapshot ("CLBG" in ASCII).
+const MAGIC: u32 = 0x434C_4247;
+/// Format version; bump when the encoding changes.
+const VERSION: u32 = 1;
+
+/// Serialises a graph into a compact binary snapshot.
+pub fn encode(graph: &BipartiteGraph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(24 + graph.num_edges() * 8);
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(graph.num_clients() as u64);
+    buf.put_u64_le(graph.num_servers() as u64);
+    buf.put_u64_le(graph.num_edges() as u64);
+    for (c, s) in graph.edges() {
+        buf.put_u32_le(c.0);
+        buf.put_u32_le(s.0);
+    }
+    buf.freeze()
+}
+
+/// Reconstructs a graph from a snapshot produced by [`encode`].
+pub fn decode(mut data: &[u8]) -> Result<BipartiteGraph> {
+    let need = |data: &[u8], bytes: usize, what: &str| -> Result<()> {
+        if data.remaining() < bytes {
+            return Err(GraphError::CorruptSnapshot(format!("truncated while reading {what}")));
+        }
+        Ok(())
+    };
+
+    need(data, 4, "magic")?;
+    let magic = data.get_u32_le();
+    if magic != MAGIC {
+        return Err(GraphError::CorruptSnapshot(format!("bad magic 0x{magic:08x}")));
+    }
+    need(data, 4, "version")?;
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(GraphError::CorruptSnapshot(format!("unsupported version {version}")));
+    }
+    need(data, 24, "header")?;
+    let num_clients = data.get_u64_le() as usize;
+    let num_servers = data.get_u64_le() as usize;
+    let num_edges = data.get_u64_le() as usize;
+    need(data, num_edges.saturating_mul(8), "edge list")?;
+    let mut edges = Vec::with_capacity(num_edges);
+    for _ in 0..num_edges {
+        let c = data.get_u32_le();
+        let s = data.get_u32_le();
+        edges.push((c, s));
+    }
+    if data.has_remaining() {
+        return Err(GraphError::CorruptSnapshot(format!(
+            "{} trailing bytes after edge list",
+            data.remaining()
+        )));
+    }
+    BipartiteGraph::from_edges(num_clients, num_servers, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn round_trip_preserves_graph() {
+        let g = generators::regular_random(64, 9, 4).unwrap();
+        let bytes = encode(&g);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn round_trip_empty_graph() {
+        let g = BipartiteGraph::from_edges(0, 0, &[]).unwrap();
+        let back = decode(&encode(&g)).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let g = generators::regular_random(8, 2, 1).unwrap();
+        let mut bytes = encode(&g).to_vec();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(decode(&bytes), Err(GraphError::CorruptSnapshot(_))));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let g = generators::regular_random(8, 2, 1).unwrap();
+        let mut bytes = encode(&g).to_vec();
+        bytes[4] = 99;
+        assert!(matches!(decode(&bytes), Err(GraphError::CorruptSnapshot(_))));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let g = generators::regular_random(8, 2, 1).unwrap();
+        let bytes = encode(&g);
+        for cut in [0usize, 3, 7, 20, bytes.len() - 1] {
+            assert!(
+                decode(&bytes[..cut]).is_err(),
+                "decoding a snapshot truncated to {cut} bytes should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let g = generators::regular_random(8, 2, 1).unwrap();
+        let mut bytes = encode(&g).to_vec();
+        bytes.push(0);
+        assert!(matches!(decode(&bytes), Err(GraphError::CorruptSnapshot(_))));
+    }
+
+    #[test]
+    fn snapshot_size_is_linear_in_edges() {
+        let g = generators::regular_random(32, 4, 2).unwrap();
+        let bytes = encode(&g);
+        assert_eq!(bytes.len(), 32 + g.num_edges() * 8);
+    }
+}

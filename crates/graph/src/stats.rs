@@ -1,0 +1,207 @@
+//! Degree statistics and the Theorem 1 admissibility checks.
+
+use crate::{bipartite::BipartiteGraph, log2_squared};
+use serde::{Deserialize, Serialize};
+
+/// Degree statistics of a bipartite graph, in the paper's notation:
+/// `Δ_min(C)`, `Δ_max(S)` and friends.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegreeStats {
+    /// `Δ_min(C)`: minimum client degree.
+    pub min_client_degree: usize,
+    /// Maximum client degree.
+    pub max_client_degree: usize,
+    /// Mean client degree.
+    pub mean_client_degree: f64,
+    /// Minimum server degree.
+    pub min_server_degree: usize,
+    /// `Δ_max(S)`: maximum server degree.
+    pub max_server_degree: usize,
+    /// Mean server degree.
+    pub mean_server_degree: f64,
+    /// Number of clients.
+    pub num_clients: usize,
+    /// Number of servers.
+    pub num_servers: usize,
+    /// Number of edges.
+    pub num_edges: usize,
+}
+
+impl DegreeStats {
+    /// Computes the statistics of `g`. Runs in `O(|C| + |S|)`.
+    pub fn of(g: &BipartiteGraph) -> Self {
+        let mut min_c = usize::MAX;
+        let mut max_c = 0usize;
+        let mut sum_c = 0u64;
+        for v in g.clients() {
+            let d = g.client_degree(v);
+            min_c = min_c.min(d);
+            max_c = max_c.max(d);
+            sum_c += d as u64;
+        }
+        let mut min_s = usize::MAX;
+        let mut max_s = 0usize;
+        let mut sum_s = 0u64;
+        for u in g.servers() {
+            let d = g.server_degree(u);
+            min_s = min_s.min(d);
+            max_s = max_s.max(d);
+            sum_s += d as u64;
+        }
+        if g.num_clients() == 0 {
+            min_c = 0;
+        }
+        if g.num_servers() == 0 {
+            min_s = 0;
+        }
+        Self {
+            min_client_degree: min_c,
+            max_client_degree: max_c,
+            mean_client_degree: if g.num_clients() == 0 {
+                0.0
+            } else {
+                sum_c as f64 / g.num_clients() as f64
+            },
+            min_server_degree: min_s,
+            max_server_degree: max_s,
+            mean_server_degree: if g.num_servers() == 0 {
+                0.0
+            } else {
+                sum_s as f64 / g.num_servers() as f64
+            },
+            num_clients: g.num_clients(),
+            num_servers: g.num_servers(),
+            num_edges: g.num_edges(),
+        }
+    }
+
+    /// The almost-regularity ratio `ρ = Δ_max(S) / Δ_min(C)` from Theorem 1.
+    ///
+    /// Returns `f64::INFINITY` if some client is isolated.
+    pub fn regularity_ratio(&self) -> f64 {
+        if self.min_client_degree == 0 {
+            return f64::INFINITY;
+        }
+        self.max_server_degree as f64 / self.min_client_degree as f64
+    }
+
+    /// True if the graph is Δ-regular on both sides (every degree equal).
+    pub fn is_regular(&self) -> bool {
+        self.min_client_degree == self.max_client_degree
+            && self.min_server_degree == self.max_server_degree
+            && self.min_client_degree == self.min_server_degree
+    }
+
+    /// Checks the hypotheses of Theorem 1 for the given `η` and `ρ`:
+    /// `Δ_min(C) ≥ η·log²₂(n)` and `Δ_max(S)/Δ_min(C) ≤ ρ` where `n = |C|`.
+    pub fn satisfies_theorem1(&self, eta: f64, rho: f64) -> bool {
+        let n = self.num_clients;
+        let threshold = eta * log2_squared(n) as f64;
+        (self.min_client_degree as f64) >= threshold && self.regularity_ratio() <= rho
+    }
+
+    /// The smallest `η` for which `Δ_min(C) ≥ η·log²₂(n)` holds (i.e. the measured
+    /// sparsity margin), or 0 when the graph has no clients.
+    pub fn implied_eta(&self) -> f64 {
+        if self.num_clients == 0 {
+            return 0.0;
+        }
+        self.min_client_degree as f64 / log2_squared(self.num_clients) as f64
+    }
+}
+
+impl std::fmt::Display for DegreeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|C|={} |S|={} |E|={} deg(C)=[{},{}] mean {:.2} deg(S)=[{},{}] mean {:.2} rho={:.3}",
+            self.num_clients,
+            self.num_servers,
+            self.num_edges,
+            self.min_client_degree,
+            self.max_client_degree,
+            self.mean_client_degree,
+            self.min_server_degree,
+            self.max_server_degree,
+            self.mean_server_degree,
+            self.regularity_ratio(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BipartiteGraph;
+
+    fn graph(edges: &[(u32, u32)], nc: usize, ns: usize) -> BipartiteGraph {
+        BipartiteGraph::from_edges(nc, ns, edges).unwrap()
+    }
+
+    #[test]
+    fn stats_of_small_graph() {
+        let g = graph(&[(0, 0), (0, 1), (1, 1), (1, 2), (1, 3), (2, 3)], 3, 4);
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.min_client_degree, 1);
+        assert_eq!(s.max_client_degree, 3);
+        assert_eq!(s.min_server_degree, 1);
+        assert_eq!(s.max_server_degree, 2);
+        assert_eq!(s.num_edges, 6);
+        assert!((s.mean_client_degree - 2.0).abs() < 1e-12);
+        assert!((s.mean_server_degree - 1.5).abs() < 1e-12);
+        assert!((s.regularity_ratio() - 2.0).abs() < 1e-12);
+        assert!(!s.is_regular());
+    }
+
+    #[test]
+    fn regular_graph_detected() {
+        // 2-regular bipartite graph on 3+3 nodes (a 6-cycle).
+        let g = graph(&[(0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (2, 0)], 3, 3);
+        let s = DegreeStats::of(&g);
+        assert!(s.is_regular());
+        assert_eq!(s.regularity_ratio(), 1.0);
+    }
+
+    #[test]
+    fn isolated_client_gives_infinite_ratio() {
+        let g = graph(&[(0, 0)], 2, 2);
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.min_client_degree, 0);
+        assert!(s.regularity_ratio().is_infinite());
+        assert!(!s.satisfies_theorem1(1.0, 2.0));
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = graph(&[], 0, 0);
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.min_client_degree, 0);
+        assert_eq!(s.max_client_degree, 0);
+        assert_eq!(s.mean_client_degree, 0.0);
+        assert_eq!(s.implied_eta(), 0.0);
+    }
+
+    #[test]
+    fn theorem1_check_uses_eta_and_rho() {
+        // Complete bipartite 4x4: every degree 4; log2_squared(4) = 4.
+        let mut edges = Vec::new();
+        for c in 0..4u32 {
+            for s in 0..4u32 {
+                edges.push((c, s));
+            }
+        }
+        let g = graph(&edges, 4, 4);
+        let s = DegreeStats::of(&g);
+        assert!(s.satisfies_theorem1(1.0, 1.0));
+        assert!(!s.satisfies_theorem1(1.5, 1.0)); // needs degree >= 6
+        assert!((s.implied_eta() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_key_figures() {
+        let g = graph(&[(0, 0), (1, 1)], 2, 2);
+        let text = DegreeStats::of(&g).to_string();
+        assert!(text.contains("|C|=2"));
+        assert!(text.contains("|E|=2"));
+    }
+}

@@ -1,0 +1,243 @@
+//! Data-driven protocol selection.
+//!
+//! Experiments are configured from serializable specs; [`ProtocolSpec`] names a protocol
+//! and its parameters, and [`ProtocolSpec::build`] turns it into an [`AnyProtocol`] —
+//! an enum that implements [`Protocol`] by dispatching to the concrete implementation.
+//! The enum indirection costs a branch per server decision, which is negligible next to
+//! the engine's sorting and RNG work, and lets the whole experiment harness stay
+//! monomorphic.
+
+use crate::{KChoice, OneShot, Raes, RaesServerState, Saer, SaerServerState, Threshold};
+use crate::threshold::ThresholdServerState;
+use clb_engine::{Protocol, ServerCtx};
+use serde::{Deserialize, Serialize};
+
+/// A serializable description of a protocol and its parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProtocolSpec {
+    /// SAER(c, d).
+    Saer {
+        /// Threshold constant `c`.
+        c: u32,
+        /// Request number `d`.
+        d: u32,
+    },
+    /// RAES(c, d).
+    Raes {
+        /// Threshold constant `c`.
+        c: u32,
+        /// Request number `d`.
+        d: u32,
+    },
+    /// Per-round threshold protocol.
+    Threshold {
+        /// Per-round acceptance cap.
+        per_round: u32,
+    },
+    /// Parallel k-choice with per-server capacity.
+    KChoice {
+        /// Choices per ball per round.
+        k: u32,
+        /// Per-server capacity.
+        capacity: u32,
+    },
+    /// Accept-everything single-round baseline.
+    OneShot,
+}
+
+impl ProtocolSpec {
+    /// Materialises the spec.
+    pub fn build(&self) -> AnyProtocol {
+        match *self {
+            ProtocolSpec::Saer { c, d } => AnyProtocol::Saer(Saer::new(c, d)),
+            ProtocolSpec::Raes { c, d } => AnyProtocol::Raes(Raes::new(c, d)),
+            ProtocolSpec::Threshold { per_round } => AnyProtocol::Threshold(Threshold::new(per_round)),
+            ProtocolSpec::KChoice { k, capacity } => AnyProtocol::KChoice(KChoice::new(k, capacity)),
+            ProtocolSpec::OneShot => AnyProtocol::OneShot(OneShot::new()),
+        }
+    }
+
+    /// A short label for experiment tables.
+    pub fn label(&self) -> String {
+        self.build().name()
+    }
+}
+
+/// Enum dispatch over every protocol in this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AnyProtocol {
+    /// SAER.
+    Saer(Saer),
+    /// RAES.
+    Raes(Raes),
+    /// Per-round threshold.
+    Threshold(Threshold),
+    /// Parallel k-choice.
+    KChoice(KChoice),
+    /// Accept everything.
+    OneShot(OneShot),
+}
+
+/// Per-server state for [`AnyProtocol`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AnyServerState {
+    /// SAER state.
+    Saer(SaerServerState),
+    /// RAES state.
+    Raes(RaesServerState),
+    /// Threshold state.
+    Threshold(ThresholdServerState),
+    /// Stateless protocols.
+    Unit,
+}
+
+impl Protocol for AnyProtocol {
+    type ServerState = AnyServerState;
+
+    fn init_server(&self) -> AnyServerState {
+        match self {
+            AnyProtocol::Saer(p) => AnyServerState::Saer(p.init_server()),
+            AnyProtocol::Raes(p) => AnyServerState::Raes(p.init_server()),
+            AnyProtocol::Threshold(p) => AnyServerState::Threshold(p.init_server()),
+            AnyProtocol::KChoice(_) | AnyProtocol::OneShot(_) => AnyServerState::Unit,
+        }
+    }
+
+    fn choices_per_round(&self) -> u32 {
+        match self {
+            AnyProtocol::KChoice(p) => p.choices_per_round(),
+            _ => 1,
+        }
+    }
+
+    fn server_decide(&self, state: &mut AnyServerState, ctx: &ServerCtx) -> u32 {
+        match (self, state) {
+            (AnyProtocol::Saer(p), AnyServerState::Saer(s)) => p.server_decide(s, ctx),
+            (AnyProtocol::Raes(p), AnyServerState::Raes(s)) => p.server_decide(s, ctx),
+            (AnyProtocol::Threshold(p), AnyServerState::Threshold(s)) => p.server_decide(s, ctx),
+            (AnyProtocol::KChoice(p), AnyServerState::Unit) => p.server_decide(&mut (), ctx),
+            (AnyProtocol::OneShot(p), AnyServerState::Unit) => p.server_decide(&mut (), ctx),
+            _ => unreachable!("protocol/state variant mismatch"),
+        }
+    }
+
+    fn server_is_closed(&self, state: &AnyServerState, current_load: u32) -> bool {
+        match (self, state) {
+            (AnyProtocol::Saer(p), AnyServerState::Saer(s)) => p.server_is_closed(s, current_load),
+            (AnyProtocol::Raes(p), AnyServerState::Raes(s)) => p.server_is_closed(s, current_load),
+            (AnyProtocol::Threshold(p), AnyServerState::Threshold(s)) => {
+                p.server_is_closed(s, current_load)
+            }
+            (AnyProtocol::KChoice(p), AnyServerState::Unit) => p.server_is_closed(&(), current_load),
+            (AnyProtocol::OneShot(p), AnyServerState::Unit) => p.server_is_closed(&(), current_load),
+            _ => unreachable!("protocol/state variant mismatch"),
+        }
+    }
+
+    fn server_on_release(&self, state: &mut AnyServerState, count: u32) {
+        match (self, state) {
+            (AnyProtocol::Saer(p), AnyServerState::Saer(s)) => p.server_on_release(s, count),
+            (AnyProtocol::Raes(p), AnyServerState::Raes(s)) => p.server_on_release(s, count),
+            (AnyProtocol::Threshold(p), AnyServerState::Threshold(s)) => {
+                p.server_on_release(s, count)
+            }
+            (AnyProtocol::KChoice(p), AnyServerState::Unit) => p.server_on_release(&mut (), count),
+            (AnyProtocol::OneShot(p), AnyServerState::Unit) => p.server_on_release(&mut (), count),
+            _ => unreachable!("protocol/state variant mismatch"),
+        }
+    }
+
+    fn name(&self) -> String {
+        match self {
+            AnyProtocol::Saer(p) => p.name(),
+            AnyProtocol::Raes(p) => p.name(),
+            AnyProtocol::Threshold(p) => p.name(),
+            AnyProtocol::KChoice(p) => p.name(),
+            AnyProtocol::OneShot(p) => p.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clb_engine::{Demand, SimConfig, Simulation};
+    use clb_graph::{generators, log2_squared};
+
+    #[test]
+    fn every_spec_builds_and_has_a_label() {
+        let specs = [
+            ProtocolSpec::Saer { c: 8, d: 2 },
+            ProtocolSpec::Raes { c: 8, d: 2 },
+            ProtocolSpec::Threshold { per_round: 3 },
+            ProtocolSpec::KChoice { k: 2, capacity: 8 },
+            ProtocolSpec::OneShot,
+        ];
+        for spec in specs {
+            let protocol = spec.build();
+            assert!(!spec.label().is_empty());
+            assert_eq!(spec.label(), protocol.name());
+        }
+    }
+
+    #[test]
+    fn any_protocol_runs_match_concrete_protocol_runs() {
+        let n = 128;
+        let d = 2;
+        let graph = generators::regular_random(n, log2_squared(n), 3).unwrap();
+        let cfg = SimConfig::new(99);
+
+        let mut concrete = Simulation::new(&graph, Saer::new(4, d), Demand::Constant(d), cfg);
+        let concrete_result = concrete.run();
+
+        let any = ProtocolSpec::Saer { c: 4, d }.build();
+        let mut wrapped = Simulation::new(&graph, any, Demand::Constant(d), cfg);
+        let wrapped_result = wrapped.run();
+
+        assert_eq!(concrete_result, wrapped_result);
+        assert_eq!(concrete.server_loads(), wrapped.server_loads());
+    }
+
+    #[test]
+    fn choices_per_round_is_forwarded() {
+        assert_eq!(ProtocolSpec::KChoice { k: 3, capacity: 4 }.build().choices_per_round(), 3);
+        assert_eq!(ProtocolSpec::Saer { c: 2, d: 2 }.build().choices_per_round(), 1);
+    }
+
+    #[test]
+    fn all_specs_complete_on_an_easy_instance() {
+        let n = 128;
+        let graph = generators::regular_random(n, log2_squared(n), 5).unwrap();
+        let specs = [
+            ProtocolSpec::Saer { c: 8, d: 2 },
+            ProtocolSpec::Raes { c: 8, d: 2 },
+            ProtocolSpec::Threshold { per_round: 4 },
+            ProtocolSpec::KChoice { k: 2, capacity: 16 },
+            ProtocolSpec::OneShot,
+        ];
+        for spec in specs {
+            let mut sim = Simulation::new(
+                &graph,
+                spec.build(),
+                Demand::Constant(2),
+                SimConfig::new(1).with_max_rounds(2_000),
+            );
+            let result = sim.run();
+            assert!(result.completed, "{} did not complete", spec.label());
+        }
+    }
+
+    #[test]
+    fn closed_semantics_dispatch_correctly() {
+        let saer = ProtocolSpec::Saer { c: 1, d: 1 }.build();
+        let mut state = saer.init_server();
+        let ctx = ServerCtx { server: 0, round: 1, current_load: 0, incoming: 5 };
+        assert_eq!(saer.server_decide(&mut state, &ctx), 0);
+        assert!(saer.server_is_closed(&state, 0));
+
+        let oneshot = ProtocolSpec::OneShot.build();
+        let mut state = oneshot.init_server();
+        assert_eq!(oneshot.server_decide(&mut state, &ctx), 5);
+        assert!(!oneshot.server_is_closed(&state, 1_000_000));
+    }
+}

@@ -1,0 +1,54 @@
+//! Parallel load-balancing protocols on constrained client-server topologies.
+//!
+//! This crate contains the paper's contribution and the baselines it is measured
+//! against, all implemented against the [`clb_engine::Protocol`] trait:
+//!
+//! * [`Saer`] — **S**top **A**ccepting if **E**xceeding **R**equests (Algorithm 1 of the
+//!   paper): a server that has *received* more than `c·d` balls since the start of the
+//!   process becomes **burned** and rejects everything from then on.
+//! * [`Raes`] — **R**equest **a** link, then **A**ccept if **E**nough **S**pace
+//!   (Becchetti et al., SODA 2020): a server rejects a round's batch only if accepting
+//!   it would push its *accepted* load above `c·d`; it may accept again in later rounds.
+//! * [`Threshold`] — the classic parallel threshold rule (Adler et al. family): accept
+//!   at most `T` requests per round, never close permanently.
+//! * [`KChoice`] — a parallel k-choice retry protocol with per-server capacity, the
+//!   collision-style baseline for the dense regime.
+//! * [`OneShot`] — servers accept everything; the one-round uniform baseline whose
+//!   maximum load is the classic `Θ(log n / log log n)`.
+//! * [`AnyProtocol`] — a serde-configurable enum over all of the above so experiments
+//!   can be described purely by data ([`ProtocolSpec`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use clb_engine::{Demand, SimConfig, Simulation};
+//! use clb_graph::generators;
+//! use clb_protocols::Saer;
+//!
+//! let n = 256;
+//! let delta = clb_graph::log2_squared(n); // Θ(log² n), the sparsest admissible degree
+//! let graph = generators::regular_random(n, delta, 1).unwrap();
+//! let d = 2;
+//! let c = 8;
+//! let mut sim = Simulation::new(&graph, Saer::new(c, d), Demand::Constant(d), SimConfig::new(42));
+//! let result = sim.run();
+//! assert!(result.completed);
+//! assert!(result.max_load <= c * d); // the protocol's hard load guarantee
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod any;
+pub mod kchoice;
+pub mod one_shot;
+pub mod raes;
+pub mod saer;
+pub mod threshold;
+
+pub use any::{AnyProtocol, AnyServerState, ProtocolSpec};
+pub use kchoice::KChoice;
+pub use one_shot::OneShot;
+pub use raes::{Raes, RaesServerState};
+pub use saer::{Saer, SaerServerState};
+pub use threshold::Threshold;

@@ -1,0 +1,108 @@
+//! SplitMix64: a tiny, fast, well-distributed 64-bit generator.
+//!
+//! SplitMix64 (Steele, Lea & Flood, 2014) walks a 64-bit counter by the golden-gamma
+//! constant and scrambles it with two xor-shift-multiply rounds. Its main role here is
+//! (1) seeding [`crate::Xoshiro256PlusPlus`] state from a single 64-bit seed and
+//! (2) serving as the key-mixing primitive in [`crate::mix::mix3`].
+
+use crate::RandomSource;
+use serde::{Deserialize, Serialize};
+
+/// The SplitMix64 generator. The entire state is one 64-bit counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+/// Golden-gamma increment: 2^64 / φ rounded to odd.
+pub const GOLDEN_GAMMA: u64 = 0x9E3779B97F4A7C15;
+
+impl SplitMix64 {
+    /// Creates a generator whose first outputs are determined by `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the raw internal counter (useful for serialization and debugging).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Finalization function of SplitMix64; also usable as a standalone 64-bit hash.
+    #[inline]
+    pub fn scramble(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl RandomSource for SplitMix64 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        SplitMix64::scramble(self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference outputs for seed 1234567, from the public-domain reference C
+    /// implementation by Sebastiano Vigna.
+    #[test]
+    fn matches_reference_vector() {
+        let mut g = SplitMix64::new(1234567);
+        let expected: [u64; 5] = [
+            6457827717110365317,
+            3203168211198807973,
+            9817491932198370423,
+            4593380528125082431,
+            16408922859458223821,
+        ];
+        for &e in &expected {
+            assert_eq!(g.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_diverge_immediately() {
+        let mut a = SplitMix64::new(0);
+        let mut b = SplitMix64::new(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let mut a = SplitMix64::new(99);
+        let first: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let mut b = SplitMix64::new(99);
+        let second: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn scramble_is_not_identity_and_spreads_bits() {
+        // A single-bit input difference should flip roughly half of the output bits.
+        let a = SplitMix64::scramble(0x1);
+        let b = SplitMix64::scramble(0x3);
+        let flipped = (a ^ b).count_ones();
+        assert!(flipped > 16, "avalanche too weak: {flipped} bits flipped");
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_state() {
+        let mut g = SplitMix64::new(7);
+        let _ = g.next_u64();
+        let json = serde_json_like(&g);
+        // Minimal check without serde_json: state accessor survives a copy.
+        let copy = g;
+        assert_eq!(copy.state(), g.state());
+        assert!(!json.is_empty());
+    }
+
+    fn serde_json_like(g: &SplitMix64) -> String {
+        format!("{{\"state\":{}}}", g.state())
+    }
+}

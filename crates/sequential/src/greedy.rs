@@ -1,0 +1,185 @@
+//! The sequential allocators.
+
+use crate::outcome::SequentialOutcome;
+use clb_graph::BipartiteGraph;
+use clb_rng::{RandomSource, StreamFactory};
+
+/// Domain tag for sequential-algorithm randomness.
+const SEQ_DOMAIN: u64 = 0x736571; // "seq"
+
+/// Places `d` balls per client, one ball at a time in client order, each on a uniformly
+/// random server of the owner's neighbourhood.
+///
+/// # Panics
+/// Panics if `d == 0` or some client has an empty neighbourhood.
+pub fn one_choice(graph: &BipartiteGraph, d: u32, seed: u64) -> SequentialOutcome {
+    run(graph, d, seed, |neigh, _loads, rng, probes| {
+        *probes += 1;
+        neigh[rng.gen_index(neigh.len())].index()
+    })
+}
+
+/// The graph-restricted Greedy of Kenthapadi–Panigrahy: for each ball, sample `k`
+/// servers independently and uniformly (with replacement) from the neighbourhood and
+/// place the ball on the least loaded of them (ties broken towards the first sampled).
+///
+/// # Panics
+/// Panics if `d == 0`, `k == 0`, or some client has an empty neighbourhood.
+pub fn best_of_k(graph: &BipartiteGraph, d: u32, k: u32, seed: u64) -> SequentialOutcome {
+    assert!(k > 0, "best-of-k needs at least one choice");
+    run(graph, d, seed, move |neigh, loads, rng, probes| {
+        let mut best = neigh[rng.gen_index(neigh.len())].index();
+        *probes += 1;
+        for _ in 1..k {
+            let candidate = neigh[rng.gen_index(neigh.len())].index();
+            *probes += 1;
+            if loads[candidate] < loads[best] {
+                best = candidate;
+            }
+        }
+        best
+    })
+}
+
+/// Godfrey's Greedy: the ball is placed on a uniformly random server among those of
+/// minimum current load in the *entire* neighbourhood. Work is `Θ(Δ_v)` probes per ball.
+///
+/// # Panics
+/// Panics if `d == 0` or some client has an empty neighbourhood.
+pub fn godfrey_greedy(graph: &BipartiteGraph, d: u32, seed: u64) -> SequentialOutcome {
+    run(graph, d, seed, |neigh, loads, rng, probes| {
+        *probes += neigh.len() as u64;
+        let min_load = neigh.iter().map(|s| loads[s.index()]).min().expect("non-empty");
+        let ties: Vec<usize> =
+            neigh.iter().map(|s| s.index()).filter(|&s| loads[s] == min_load).collect();
+        ties[rng.gen_index(ties.len())]
+    })
+}
+
+/// Shared driver: iterates clients in index order and their balls in sequence, calling
+/// `pick` to choose a destination given the neighbourhood and the current loads.
+fn run<F>(graph: &BipartiteGraph, d: u32, seed: u64, mut pick: F) -> SequentialOutcome
+where
+    F: FnMut(&[clb_graph::ServerId], &[u32], &mut clb_rng::Stream, &mut u64) -> usize,
+{
+    assert!(d > 0, "request number d must be positive");
+    let factory = StreamFactory::new(seed).domain(SEQ_DOMAIN);
+    let mut loads = vec![0u32; graph.num_servers()];
+    let mut assignment = Vec::with_capacity(graph.num_clients() * d as usize);
+    let mut probes = 0u64;
+    for v in graph.clients() {
+        let neigh = graph.client_neighbors(v);
+        assert!(!neigh.is_empty(), "client {v} has no admissible server");
+        for ball in 0..d {
+            let mut rng = factory.stream3(v.index() as u64, ball as u64, 0);
+            let server = pick(neigh, &loads, &mut rng, &mut probes);
+            debug_assert!(graph.has_edge(v, clb_graph::ServerId::new(server)));
+            loads[server] += 1;
+            assignment.push(server as u32);
+        }
+    }
+    SequentialOutcome { loads, assignment, probes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clb_graph::{generators, ClientId};
+
+    fn graph(n: usize, delta: usize, seed: u64) -> BipartiteGraph {
+        generators::regular_random(n, delta, seed).unwrap()
+    }
+
+    #[test]
+    fn one_choice_places_every_ball_on_a_neighbour() {
+        let g = graph(64, 8, 1);
+        let out = one_choice(&g, 3, 7);
+        assert_eq!(out.balls(), 64 * 3);
+        assert!(out.is_consistent());
+        assert_eq!(out.probes, 64 * 3);
+        for (i, &server) in out.assignment.iter().enumerate() {
+            let client = ClientId::new(i / 3);
+            assert!(g.client_neighbors(client).iter().any(|s| s.0 == server));
+        }
+    }
+
+    #[test]
+    fn best_of_two_beats_one_choice_on_max_load() {
+        // The classic power-of-two-choices gap; with 4096 balls it is essentially
+        // deterministic that best-of-2 has a strictly smaller maximum.
+        let n = 4096;
+        let g = generators::complete(n, n).unwrap();
+        let one = one_choice(&g, 1, 5);
+        let two = best_of_k(&g, 1, 2, 5);
+        assert!(one.is_consistent() && two.is_consistent());
+        assert!(
+            two.max_load() < one.max_load(),
+            "best-of-2 max {} not better than one-choice max {}",
+            two.max_load(),
+            one.max_load()
+        );
+        assert!(two.max_load() <= 4, "best-of-2 should be ~log log n, got {}", two.max_load());
+        assert_eq!(two.probes, 2 * one.probes);
+    }
+
+    #[test]
+    fn godfrey_achieves_near_optimal_load_on_log_degree_graphs() {
+        // Godfrey's theorem: with |N(v)| = Ω(log n) and near-uniform clusters the max
+        // load is O(1); with d = 1 and n balls on n servers it should be 1 or 2.
+        let n = 1024;
+        let delta = 2 * (n as f64).log2().ceil() as usize;
+        let g = graph(n, delta, 3);
+        let out = godfrey_greedy(&g, 1, 9);
+        assert!(out.is_consistent());
+        assert!(out.max_load() <= 2, "godfrey max load {} too large", out.max_load());
+        // Work is Θ(n·Δ).
+        assert_eq!(out.probes, (n * delta) as u64);
+    }
+
+    #[test]
+    fn godfrey_is_at_least_as_balanced_as_best_of_two() {
+        let g = graph(512, 64, 11);
+        let d = 4;
+        let two = best_of_k(&g, d, 2, 13);
+        let godfrey = godfrey_greedy(&g, d, 13);
+        assert!(godfrey.max_load() <= two.max_load());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = graph(128, 16, 2);
+        assert_eq!(one_choice(&g, 2, 4), one_choice(&g, 2, 4));
+        assert_eq!(best_of_k(&g, 2, 3, 4), best_of_k(&g, 2, 3, 4));
+        assert_eq!(godfrey_greedy(&g, 2, 4), godfrey_greedy(&g, 2, 4));
+        assert_ne!(one_choice(&g, 2, 4), one_choice(&g, 2, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_demand_rejected() {
+        let g = graph(8, 2, 1);
+        let _ = one_choice(&g, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one choice")]
+    fn zero_choices_rejected() {
+        let g = graph(8, 2, 1);
+        let _ = best_of_k(&g, 1, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no admissible server")]
+    fn isolated_client_rejected() {
+        let g = BipartiteGraph::from_edges(2, 2, &[(0, 0)]).unwrap();
+        let _ = one_choice(&g, 1, 1);
+    }
+
+    #[test]
+    fn best_of_one_equals_one_choice() {
+        let g = graph(64, 8, 6);
+        let a = one_choice(&g, 2, 3);
+        let b = best_of_k(&g, 2, 1, 3);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,27 @@
+//! Sequential balls-into-bins baselines on constrained topologies.
+//!
+//! The paper's related-work section (1.3) contrasts its parallel protocol with the
+//! classic *sequential* algorithms, where balls are placed one at a time and each
+//! placement may inspect the current server loads:
+//!
+//! * [`one_choice`] — each ball goes to a uniformly random admissible server
+//!   (max load `Θ(log n / log log n)` on the complete graph);
+//! * [`best_of_k`] — the Greedy algorithm of Azar et al. restricted to the graph as in
+//!   Kenthapadi–Panigrahy: sample `k` servers from `N(v)` and pick the least loaded
+//!   (max load `Θ(log log n)` under their degree condition);
+//! * [`godfrey_greedy`] — Godfrey's variant: place the ball on a uniformly random server
+//!   among the *least loaded of the whole neighbourhood* `N(v)` (optimal `O(1)` max load
+//!   for `Ω(log n)`-size near-uniform neighbourhoods, at `Θ(n·Δ)` work).
+//!
+//! These algorithms need global load information (a client reads server loads before
+//! deciding), which is exactly what the decentralised SAER/RAES protocols avoid; the
+//! experiment harness uses them as quality/work reference points.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod greedy;
+pub mod outcome;
+
+pub use greedy::{best_of_k, godfrey_greedy, one_choice};
+pub use outcome::SequentialOutcome;

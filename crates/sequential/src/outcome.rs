@@ -1,0 +1,68 @@
+//! Result type shared by all sequential allocators.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a sequential allocation run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SequentialOutcome {
+    /// Final load of every server.
+    pub loads: Vec<u32>,
+    /// For every ball, in placement order, the server it was assigned to.
+    pub assignment: Vec<u32>,
+    /// Number of load probes performed (each inspected server counts one probe); this is
+    /// the sequential analogue of the parallel protocols' message work.
+    pub probes: u64,
+}
+
+impl SequentialOutcome {
+    /// Maximum server load.
+    pub fn max_load(&self) -> u32 {
+        self.loads.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of balls placed.
+    pub fn balls(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Probes per ball.
+    pub fn probes_per_ball(&self) -> f64 {
+        if self.assignment.is_empty() {
+            return 0.0;
+        }
+        self.probes as f64 / self.assignment.len() as f64
+    }
+
+    /// Sanity check: the loads must sum to the number of balls.
+    pub fn is_consistent(&self) -> bool {
+        self.loads.iter().map(|&l| l as u64).sum::<u64>() == self.assignment.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_helpers() {
+        let o = SequentialOutcome { loads: vec![2, 0, 1], assignment: vec![0, 0, 2], probes: 9 };
+        assert_eq!(o.max_load(), 2);
+        assert_eq!(o.balls(), 3);
+        assert!((o.probes_per_ball() - 3.0).abs() < 1e-12);
+        assert!(o.is_consistent());
+    }
+
+    #[test]
+    fn empty_outcome() {
+        let o = SequentialOutcome { loads: vec![], assignment: vec![], probes: 0 };
+        assert_eq!(o.max_load(), 0);
+        assert_eq!(o.probes_per_ball(), 0.0);
+        assert!(o.is_consistent());
+    }
+
+    #[test]
+    fn inconsistency_detected() {
+        let o = SequentialOutcome { loads: vec![1, 1], assignment: vec![0], probes: 1 };
+        assert!(!o.is_consistent());
+    }
+}

@@ -1,0 +1,151 @@
+//! End-to-end checks of Theorem 1's three claims — O(log n) completion, Θ(n) work and
+//! the c·d load bound — on the topology families the theorem covers, at test-friendly
+//! sizes.
+
+use clb::prelude::*;
+
+/// Runs SAER on the given spec and asserts the Theorem 1 behaviour.
+fn assert_theorem1_behaviour(spec: GraphSpec, c: u32, d: u32, seed: u64) {
+    let n = spec.n();
+    let report = ExperimentConfig::new(spec.clone(), ProtocolSpec::Saer { c, d })
+        .trials(5)
+        .seed(seed)
+        .measurements(Measurements { burned_fraction: true, ..Default::default() })
+        .run()
+        .unwrap();
+
+    assert_eq!(report.completion_rate(), 1.0, "{}: some trial did not complete", spec.label());
+    assert!(
+        report.max_load.max <= (c * d) as f64,
+        "{}: max load {} exceeds c·d = {}",
+        spec.label(),
+        report.max_load.max,
+        c * d
+    );
+    let horizon = completion_horizon_rounds(n);
+    assert!(
+        report.rounds.max <= horizon,
+        "{}: {} rounds exceed the 3·log2(n) = {horizon:.1} horizon",
+        spec.label(),
+        report.rounds.max
+    );
+    // Work per ball is a small constant (2 messages per submission, a handful of
+    // submissions per ball on average).
+    assert!(
+        report.work_per_ball.mean <= 16.0,
+        "{}: work per ball {} is not O(1)-like",
+        spec.label(),
+        report.work_per_ball.mean
+    );
+    // Lemma 4: the burned fraction stays at most 1/2 throughout (we allow the bound
+    // itself, which the theory guarantees for sufficiently large c).
+    let peak = report.peak_burned_fraction().unwrap();
+    assert!(
+        peak.max <= 0.5,
+        "{}: burned fraction peaked at {} > 1/2",
+        spec.label(),
+        peak.max
+    );
+}
+
+#[test]
+fn regular_log_squared_graphs() {
+    assert_theorem1_behaviour(GraphSpec::RegularLogSquared { n: 1024, eta: 1.0 }, 8, 2, 11);
+}
+
+#[test]
+fn regular_graphs_with_larger_eta() {
+    assert_theorem1_behaviour(GraphSpec::RegularLogSquared { n: 512, eta: 2.0 }, 8, 3, 13);
+}
+
+#[test]
+fn almost_regular_graphs() {
+    let n = 1024;
+    let base = log2_squared(n);
+    assert_theorem1_behaviour(
+        GraphSpec::AlmostRegular { n, min_degree: base, max_degree: 2 * base },
+        8,
+        2,
+        17,
+    );
+}
+
+#[test]
+fn skewed_paper_example_graphs() {
+    assert_theorem1_behaviour(GraphSpec::SkewedExample { n: 1024 }, 8, 2, 19);
+}
+
+#[test]
+fn dense_erdos_renyi_graphs() {
+    // The dense regime (Δ = Θ(n)) of the original RAES analysis, handled by SAER too.
+    assert_theorem1_behaviour(GraphSpec::ErdosRenyi { n: 512, p: 0.5 }, 8, 2, 23);
+}
+
+#[test]
+fn work_grows_linearly_in_n() {
+    // Doubling n should roughly double the total work: fit work against n and require
+    // the per-ball work (slope in the normalised view) to stay within a narrow band.
+    let d = 2;
+    let c = 8;
+    let mut per_ball = Vec::new();
+    for (i, n) in [256usize, 512, 1024, 2048].into_iter().enumerate() {
+        let report = ExperimentConfig::new(
+            GraphSpec::RegularLogSquared { n, eta: 1.0 },
+            ProtocolSpec::Saer { c, d },
+        )
+        .trials(5)
+        .seed(31 + i as u64)
+        .run()
+        .unwrap();
+        per_ball.push(report.work_per_ball.mean);
+    }
+    let min = per_ball.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = per_ball.iter().copied().fold(0.0, f64::max);
+    assert!(
+        max / min < 1.5,
+        "work per ball should stay flat across n, got {per_ball:?}"
+    );
+}
+
+#[test]
+fn completion_time_grows_at_most_logarithmically() {
+    // Measured rounds across a factor-16 range of n must grow by far less than the
+    // size ratio — consistent with O(log n), inconsistent with any polynomial growth.
+    let d = 2;
+    let c = 8;
+    let mut rounds = Vec::new();
+    for (i, n) in [256usize, 1024, 4096].into_iter().enumerate() {
+        let report = ExperimentConfig::new(
+            GraphSpec::RegularLogSquared { n, eta: 1.0 },
+            ProtocolSpec::Saer { c, d },
+        )
+        .trials(3)
+        .seed(41 + i as u64)
+        .run()
+        .unwrap();
+        rounds.push(report.rounds.mean);
+    }
+    let growth = rounds.last().unwrap() / rounds.first().unwrap();
+    assert!(
+        growth <= 3.0,
+        "rounds grew by {growth:.2}x over a 16x size increase: {rounds:?}"
+    );
+    assert!(rounds.iter().all(|&r| r <= completion_horizon_rounds(4096)));
+}
+
+#[test]
+fn general_demand_at_most_d_is_also_handled() {
+    let n = 512;
+    let d = 4;
+    let report = ExperimentConfig::new(
+        GraphSpec::RegularLogSquared { n, eta: 1.0 },
+        ProtocolSpec::Saer { c: 8, d },
+    )
+    .demand(Demand::UniformAtMost(d))
+    .trials(5)
+    .seed(47)
+    .run()
+    .unwrap();
+    assert_eq!(report.completion_rate(), 1.0);
+    assert!(report.max_load.max <= (8 * d) as f64);
+}

@@ -1,0 +1,135 @@
+//! Cross-crate checks of the motivation topologies (proximity and trust graphs) and of
+//! the failure modes outside Theorem 1's hypotheses.
+
+use clb::prelude::*;
+
+#[test]
+fn proximity_topology_supports_saer() {
+    let n = 1024;
+    let d = 2;
+    let c = 8;
+    let expected_degree = 4 * log2_squared(n);
+    let report = ExperimentConfig::new(
+        GraphSpec::Geometric { n, expected_degree },
+        ProtocolSpec::Saer { c, d },
+    )
+    .trials(3)
+    .seed(5)
+    .run()
+    .unwrap();
+    assert_eq!(report.completion_rate(), 1.0);
+    assert!(report.max_load.max <= (c * d) as f64);
+    assert!(report.rounds.max <= completion_horizon_rounds(n));
+}
+
+#[test]
+fn trust_cluster_topology_supports_saer() {
+    let n = 1024;
+    let d = 2;
+    let c = 8;
+    let report = ExperimentConfig::new(
+        GraphSpec::Clusters {
+            n,
+            clusters: 8,
+            intra_degree: log2_squared(n),
+            inter_degree: 8,
+        },
+        ProtocolSpec::Saer { c, d },
+    )
+    .trials(3)
+    .seed(7)
+    .run()
+    .unwrap();
+    assert_eq!(report.completion_rate(), 1.0);
+    assert!(report.max_load.max <= (c * d) as f64);
+}
+
+#[test]
+fn very_sparse_graphs_outside_the_theorem_can_fail_with_tight_thresholds() {
+    // Δ = 2 (far below log²n) with c·d equal to the average demand per server: the
+    // system has zero slack, so any server that burns below capacity makes completion
+    // impossible — and with Δ = 2 such bursts are frequent. This is the regime outside
+    // the theorem that the conclusions' open problem asks about.
+    let n = 256;
+    let report = ExperimentConfig::new(
+        GraphSpec::Regular { n, delta: 2 },
+        ProtocolSpec::Saer { c: 1, d: 2 },
+    )
+    .trials(10)
+    .seed(23)
+    .max_rounds(300)
+    .run()
+    .unwrap();
+    assert!(
+        report.completion_rate() < 1.0,
+        "expected some failures at delta = 2, c·d = 2; got completion rate {}",
+        report.completion_rate()
+    );
+    // The load bound still holds in every trial, completed or not.
+    assert!(report.max_load.max <= 2.0);
+}
+
+#[test]
+fn degree_threshold_recovery_with_admissible_degree() {
+    // Same n and c·d as above but with the admissible log²n degree: everything
+    // completes again — the contrast behind experiment E7.
+    let n = 256;
+    let report = ExperimentConfig::new(
+        GraphSpec::RegularLogSquared { n, eta: 1.0 },
+        ProtocolSpec::Saer { c: 4, d: 1 },
+    )
+    .trials(10)
+    .seed(29)
+    .max_rounds(300)
+    .run()
+    .unwrap();
+    assert_eq!(report.completion_rate(), 1.0);
+}
+
+#[test]
+fn parallel_baselines_complete_but_with_different_signatures() {
+    let n = 512;
+    let graph_spec = GraphSpec::RegularLogSquared { n, eta: 1.0 };
+
+    let threshold = ExperimentConfig::new(graph_spec.clone(), ProtocolSpec::Threshold { per_round: 2 })
+        .demand(Demand::Constant(2))
+        .trials(3)
+        .seed(3)
+        .run()
+        .unwrap();
+    assert_eq!(threshold.completion_rate(), 1.0);
+
+    let kchoice = ExperimentConfig::new(graph_spec.clone(), ProtocolSpec::KChoice { k: 2, capacity: 8 })
+        .demand(Demand::Constant(2))
+        .trials(3)
+        .seed(3)
+        .run()
+        .unwrap();
+    assert_eq!(kchoice.completion_rate(), 1.0);
+    assert!(kchoice.max_load.max <= 8.0);
+
+    let oneshot = ExperimentConfig::new(graph_spec, ProtocolSpec::OneShot)
+        .demand(Demand::Constant(2))
+        .trials(3)
+        .seed(3)
+        .run()
+        .unwrap();
+    assert_eq!(oneshot.completion_rate(), 1.0);
+    assert_eq!(oneshot.rounds.max, 1.0);
+    // The k-choice protocol pays more messages per round than one-shot's single round.
+    assert!(kchoice.work_per_ball.mean >= oneshot.work_per_ball.mean);
+}
+
+#[test]
+fn sequential_baselines_beat_one_shot_on_balance() {
+    let n = 1024;
+    let graph = GraphSpec::RegularLogSquared { n, eta: 1.0 }.build(77).unwrap();
+    let d = 1;
+    let one = one_choice(&graph, d, 7);
+    let two = best_of_k(&graph, d, 2, 7);
+    let godfrey = godfrey_greedy(&graph, d, 7);
+    assert!(two.max_load() <= one.max_load());
+    assert!(godfrey.max_load() <= two.max_load());
+    // And the centralised Godfrey allocation is essentially perfectly balanced.
+    assert!(godfrey.max_load() <= 2);
+}
