@@ -10,7 +10,10 @@ pub fn required_c_regular(eta: f64, d: u32) -> f64 {
 /// The smallest threshold constant `c` for the almost-regular case (Lemma 19):
 /// `c ≥ max(32·ρ, 288/(η·d))`.
 pub fn required_c_general(eta: f64, rho: f64, d: u32) -> f64 {
-    assert!(rho >= 1.0, "the regularity ratio is at least 1 on any bipartite graph");
+    assert!(
+        rho >= 1.0,
+        "the regularity ratio is at least 1 on any bipartite graph"
+    );
     (32.0 * rho).max(288.0 / (eta * d as f64))
 }
 

@@ -22,7 +22,10 @@ pub fn chernoff_upper_tail(mu: f64, epsilon: f64) -> f64 {
 ///
 /// `beta_sq_sum` is `Σ_j β_j²`. Returns the bound value (clamped to 1).
 pub fn bounded_differences_tail(beta_sq_sum: f64, m: f64) -> f64 {
-    assert!(beta_sq_sum > 0.0, "the Lipschitz coefficients must not all be zero");
+    assert!(
+        beta_sq_sum > 0.0,
+        "the Lipschitz coefficients must not all be zero"
+    );
     assert!(m >= 0.0, "the deviation must be non-negative");
     (-2.0 * m * m / beta_sq_sum).exp().min(1.0)
 }

@@ -85,7 +85,12 @@ impl GammaProperties {
                 break;
             }
         }
-        Some(Self { alpha, increasing, bounded_by_inv_alpha: bounded, products_geometric: geometric })
+        Some(Self {
+            alpha,
+            increasing,
+            bounded_by_inv_alpha: bounded,
+            products_geometric: geometric,
+        })
     }
 }
 
@@ -116,7 +121,10 @@ pub fn delta_sequence(
     t_start: usize,
     t_end: usize,
 ) -> Vec<f64> {
-    assert!(c > 0.0 && d > 0 && delta_min > 0, "parameters must be positive");
+    assert!(
+        c > 0.0 && d > 0 && delta_min > 0,
+        "parameters must be positive"
+    );
     assert!(t_end >= t_start, "t_end must be at least t_start");
     let log_n = (n.max(2) as f64).log2();
     (t_start..=t_end)
@@ -150,7 +158,13 @@ mod tests {
 
     #[test]
     fn lemma12_holds_for_admissible_c() {
-        for &(c, rho) in &[(32.0, 1.0), (32.0, 1.0_f64), (64.0, 2.0), (128.0, 4.0), (8.0, 1.0)] {
+        for &(c, rho) in &[
+            (32.0, 1.0),
+            (32.0, 1.0_f64),
+            (64.0, 2.0),
+            (128.0, 4.0),
+            (8.0, 1.0),
+        ] {
             let props = GammaProperties::check(c, rho, 60).expect("alpha >= 2 must exist");
             assert!(props.alpha >= 2.0, "c={c} rho={rho}");
             assert!(props.increasing, "c={c} rho={rho}");

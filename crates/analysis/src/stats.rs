@@ -91,7 +91,11 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> LinearFit {
     let mean_y = y.iter().sum::<f64>() / n;
     let sxx: f64 = x.iter().map(|xi| (xi - mean_x) * (xi - mean_x)).sum();
     assert!(sxx > 0.0, "x must not be constant");
-    let sxy: f64 = x.iter().zip(y).map(|(xi, yi)| (xi - mean_x) * (yi - mean_y)).sum();
+    let sxy: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(xi, yi)| (xi - mean_x) * (yi - mean_y))
+        .sum();
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
     let ss_tot: f64 = y.iter().map(|yi| (yi - mean_y) * (yi - mean_y)).sum();
@@ -103,8 +107,16 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> LinearFit {
             e * e
         })
         .sum();
-    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
-    LinearFit { slope, intercept, r_squared }
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    }
 }
 
 /// A fixed-width histogram over integer values (used for server-load distributions).
@@ -215,7 +227,18 @@ mod tests {
     #[test]
     fn linear_fit_on_noisy_data_has_reasonable_r2() {
         let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
-        let y: Vec<f64> = x.iter().map(|&xi| 3.0 * xi + 1.0 + if xi as u32 % 2 == 0 { 0.5 } else { -0.5 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&xi| {
+                3.0 * xi
+                    + 1.0
+                    + if (xi as u32).is_multiple_of(2) {
+                        0.5
+                    } else {
+                        -0.5
+                    }
+            })
+            .collect();
         let fit = linear_fit(&x, &y);
         assert!((fit.slope - 3.0).abs() < 0.01);
         assert!(fit.r_squared > 0.999);

@@ -21,12 +21,12 @@ fn bench_protocols(criterion: &mut Criterion) {
     for (name, spec) in cases {
         group.bench_function(name, |b| {
             b.iter(|| {
-                let mut sim = Simulation::new(
-                    &graph,
-                    spec.build(),
-                    Demand::Constant(d),
-                    SimConfig::new(5).with_max_rounds(2_000),
-                );
+                let mut sim = Simulation::builder(&graph)
+                    .protocol(spec.build())
+                    .demand(Demand::Constant(d))
+                    .seed(5)
+                    .max_rounds(2_000)
+                    .build();
                 sim.run()
             })
         });
@@ -37,7 +37,9 @@ fn bench_protocols(criterion: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("one_choice", |b| b.iter(|| one_choice(&graph, d, 5)));
     group.bench_function("best_of_2", |b| b.iter(|| best_of_k(&graph, d, 2, 5)));
-    group.bench_function("godfrey_greedy", |b| b.iter(|| godfrey_greedy(&graph, d, 5)));
+    group.bench_function("godfrey_greedy", |b| {
+        b.iter(|| godfrey_greedy(&graph, d, 5))
+    });
     group.finish();
 }
 

@@ -13,12 +13,11 @@ fn bench_first_round(criterion: &mut Criterion) {
         group.throughput(Throughput::Elements((n * d as usize) as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, graph| {
             b.iter(|| {
-                let mut sim = Simulation::new(
-                    graph,
-                    Saer::new(4, d),
-                    Demand::Constant(d),
-                    SimConfig::new(11),
-                );
+                let mut sim = Simulation::builder(graph)
+                    .protocol(Saer::new(4, d))
+                    .demand(Demand::Constant(d))
+                    .seed(11)
+                    .build();
                 sim.step()
             })
         });
@@ -35,15 +34,21 @@ fn bench_observer_overhead(criterion: &mut Criterion) {
     let graph = generators::regular_random(n, log2_squared(n), 5).unwrap();
     group.bench_function("bare_run", |b| {
         b.iter(|| {
-            let mut sim =
-                Simulation::new(&graph, Saer::new(3, d), Demand::Constant(d), SimConfig::new(13));
+            let mut sim = Simulation::builder(&graph)
+                .protocol(Saer::new(3, d))
+                .demand(Demand::Constant(d))
+                .seed(13)
+                .build();
             sim.run()
         })
     });
     group.bench_function("with_burned_fraction_and_mass", |b| {
         b.iter(|| {
-            let mut sim =
-                Simulation::new(&graph, Saer::new(3, d), Demand::Constant(d), SimConfig::new(13));
+            let mut sim = Simulation::builder(&graph)
+                .protocol(Saer::new(3, d))
+                .demand(Demand::Constant(d))
+                .seed(13)
+                .build();
             let mut burned = clb::engine::BurnedFractionObserver::new();
             let mut mass = clb::engine::NeighborhoodMassObserver::new();
             sim.run_observed(&mut [&mut burned, &mut mass])

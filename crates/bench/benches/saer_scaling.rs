@@ -14,12 +14,11 @@ fn bench_saer_end_to_end(criterion: &mut Criterion) {
         group.throughput(Throughput::Elements((n * d as usize) as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, graph| {
             b.iter(|| {
-                let mut sim = Simulation::new(
-                    graph,
-                    Saer::new(c, d),
-                    Demand::Constant(d),
-                    SimConfig::new(7),
-                );
+                let mut sim = Simulation::builder(graph)
+                    .protocol(Saer::new(c, d))
+                    .demand(Demand::Constant(d))
+                    .seed(7)
+                    .build();
                 let result = sim.run();
                 assert!(result.completed);
                 result.rounds

@@ -7,25 +7,29 @@
 
 use clb::prelude::*;
 use clb::report::{fmt2, fmt3};
-use clb_bench::{header, quick_mode, run};
 
 fn main() {
-    header(
+    let scenario = Scenario::new(
         "E11",
         "alive balls contract by a constant factor per round",
         "alive_t / alive_{t-1} <= 4/5 while alive_{t-1} >= n·d/log n; total work is a geometric series",
-    );
-
-    let n = if quick_mode() { 1 << 12 } else { 1 << 15 };
-    let d = 2;
-    let c = 3;
-    let report = run(ExperimentConfig::new(
-        GraphSpec::RegularLogSquared { n, eta: 1.0 },
-        ProtocolSpec::Saer { c, d },
     )
     .trials(1)
-    .seed(1100)
-    .measurements(Measurements { trajectory: true, ..Default::default() }));
+    .measurements(Measurements { trajectory: true, ..Default::default() });
+    scenario.announce();
+
+    let n = if scenario.quick() { 1 << 12 } else { 1 << 15 };
+    let d = 2;
+    let c = 3;
+    let report = scenario
+        .run_single(
+            ExperimentConfig::new(
+                GraphSpec::RegularLogSquared { n, eta: 1.0 },
+                ProtocolSpec::Saer { c, d },
+            )
+            .seed(1100),
+        )
+        .expect("valid configuration");
 
     let trial = &report.trials[0];
     let alive = trial.alive_series.as_ref().unwrap();
@@ -44,7 +48,11 @@ fn main() {
     let mut violations = 0usize;
     let mut relevant = 0usize;
     for (i, &a) in alive.iter().enumerate() {
-        let ratio = if previous > 0.0 { a as f64 / previous } else { 0.0 };
+        let ratio = if previous > 0.0 {
+            a as f64 / previous
+        } else {
+            0.0
+        };
         let in_regime = previous >= threshold;
         if in_regime {
             relevant += 1;

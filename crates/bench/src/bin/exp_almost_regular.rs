@@ -6,19 +6,49 @@
 
 use clb::prelude::*;
 use clb::report::fmt2;
-use clb_bench::{header, quick_mode, run, trials};
 
 fn main() {
-    header(
+    let scenario = Scenario::new(
         "E8",
         "almost-regular graphs: sweeping the imbalance ratio ρ",
         "for ρ = O(1) the completion time, work and load bounds are unchanged (general Theorem 1)",
     );
+    scenario.announce();
 
-    let n = if quick_mode() { 1 << 11 } else { 1 << 13 };
+    let n = if scenario.quick() { 1 << 11 } else { 1 << 13 };
     let d = 2;
     let c = 4;
     let base = log2_squared(n);
+
+    let mut cases: Vec<(String, GraphSpec)> = vec![(
+        "regular (rho = 1)".into(),
+        GraphSpec::Regular { n, delta: base },
+    )];
+    for rho in [2usize, 4, 8] {
+        cases.push((
+            format!("almost-regular deg in [{base}, {}]", base * rho),
+            GraphSpec::AlmostRegular {
+                n,
+                min_degree: base,
+                max_degree: (base * rho).min(n),
+            },
+        ));
+    }
+    cases.push((
+        "skewed paper example".into(),
+        GraphSpec::SkewedExample { n },
+    ));
+
+    let report = scenario
+        .run(
+            Sweep::over("topology", cases.into_iter().enumerate()),
+            |point| {
+                let (i, (_, spec)) = point;
+                ExperimentConfig::new(spec.clone(), ProtocolSpec::Saer { c, d })
+                    .seed(800 + *i as u64)
+            },
+        )
+        .expect("valid configuration");
 
     let mut table = Table::new([
         "topology",
@@ -28,35 +58,19 @@ fn main() {
         "work/ball (mean)",
         "max load",
     ]);
-
-    let mut cases: Vec<(String, GraphSpec)> = vec![(
-        "regular (rho = 1)".into(),
-        GraphSpec::Regular { n, delta: base },
-    )];
-    for rho in [2usize, 4, 8] {
-        cases.push((
-            format!("almost-regular deg in [{base}, {}]", base * rho),
-            GraphSpec::AlmostRegular { n, min_degree: base, max_degree: (base * rho).min(n) },
-        ));
-    }
-    cases.push(("skewed paper example".into(), GraphSpec::SkewedExample { n }));
-
-    for (i, (label, spec)) in cases.into_iter().enumerate() {
-        let report = run(ExperimentConfig::new(spec, ProtocolSpec::Saer { c, d })
-            .trials(trials())
-            .seed(800 + i as u64));
-        let rho = report
+    for ((_, (label, _)), point) in report.iter() {
+        let rho = point
             .trials
             .iter()
             .map(|t| t.degree_stats.regularity_ratio())
             .fold(0.0f64, f64::max);
         table.row([
-            label,
+            label.clone(),
             fmt2(rho),
-            format!("{:.0}%", 100.0 * report.completion_rate()),
-            fmt2(report.rounds.mean),
-            fmt2(report.work_per_ball.mean),
-            format!("{:.0} (cd = {})", report.max_load.max, c * d),
+            format!("{:.0}%", 100.0 * point.completion_rate()),
+            fmt2(point.rounds.mean),
+            fmt2(point.work_per_ball.mean),
+            format!("{:.0} (cd = {})", point.max_load.max, c * d),
         ]);
     }
     println!("{}", table.to_markdown());

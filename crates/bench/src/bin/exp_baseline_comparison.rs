@@ -1,32 +1,40 @@
-//! E10 — SAER against the related-work baselines, sparse vs dense.
+//! E10 — SAER against the related-work baselines, sparse and dense.
 //!
 //! One table per topology regime (sparse Δ = log²n vs dense Δ = n/8 vs complete),
 //! comparing SAER, RAES, the parallel threshold and k-choice protocols, and the
 //! sequential one-choice / best-of-2 / Godfrey algorithms on max load and work.
+//!
+//! Unlike the sweep experiments, every row here is a single run on the *same* graph
+//! instance (the comparison is per-instance, and the complete graph at full size has
+//! millions of edges), so the rows run on one shared graph through the builder instead
+//! of the runner's per-trial graph materialisation.
 
 use clb::prelude::*;
 use clb::report::fmt2;
-use clb_bench::{header, quick_mode};
 
 fn parallel_row(
     table: &mut Table,
     name: &str,
     graph: &BipartiteGraph,
-    protocol: ProtocolSpec,
+    spec: &ProtocolSpec,
     d: u32,
     seed: u64,
 ) {
-    let mut sim = Simulation::new(
-        graph,
-        protocol.build(),
-        Demand::Constant(d),
-        SimConfig::new(seed).with_max_rounds(2_000),
-    );
-    let r = sim.run();
+    let r = Simulation::builder(graph)
+        .protocol(spec.build())
+        .demand(Demand::Constant(d))
+        .seed(seed)
+        .max_rounds(2_000)
+        .build()
+        .run();
     table.row([
         name.to_string(),
         "parallel".into(),
-        if r.completed { r.rounds.to_string() } else { format!("DNF({})", r.rounds) },
+        if r.completed {
+            r.rounds.to_string()
+        } else {
+            format!("DNF({})", r.rounds)
+        },
         fmt2(r.work_per_ball()),
         r.max_load.to_string(),
     ]);
@@ -43,43 +51,72 @@ fn sequential_row(table: &mut Table, name: &str, outcome: &SequentialOutcome) {
 }
 
 fn main() {
-    header(
+    let scenario = Scenario::new(
         "E10",
         "SAER vs parallel and sequential baselines, sparse and dense regimes",
         "SAER keeps max load <= c·d with O(1) work/ball on sparse graphs, where only sequential algorithms (with global load information) did before",
     );
+    scenario.announce();
 
-    let n = if quick_mode() { 1 << 11 } else { 1 << 12 };
+    let n = if scenario.quick() { 1 << 11 } else { 1 << 12 };
     let d = 2;
     let c = 4;
     let seed = 1010;
 
     let regimes: Vec<(&str, GraphSpec)> = vec![
-        ("sparse: Δ = log²n", GraphSpec::RegularLogSquared { n, eta: 1.0 }),
+        (
+            "sparse: Δ = log²n",
+            GraphSpec::RegularLogSquared { n, eta: 1.0 },
+        ),
         ("dense: Δ = n/8", GraphSpec::Regular { n, delta: n / 8 }),
         ("complete: Δ = n", GraphSpec::Complete { n }),
+    ];
+
+    let protocols: Vec<(String, ProtocolSpec)> = vec![
+        (format!("SAER(c={c})"), ProtocolSpec::Saer { c, d }),
+        (format!("RAES(c={c})"), ProtocolSpec::Raes { c, d }),
+        (
+            "Threshold(T=2)".into(),
+            ProtocolSpec::Threshold { per_round: 2 },
+        ),
+        (
+            format!("KChoice(k=2, cap={})", c * d),
+            ProtocolSpec::KChoice {
+                k: 2,
+                capacity: c * d,
+            },
+        ),
+        ("one-shot uniform".into(), ProtocolSpec::OneShot),
     ];
 
     for (label, spec) in regimes {
         let graph = spec.build(seed).unwrap();
         println!("### {label}  ({})", DegreeStats::of(&graph));
-        let mut table =
-            Table::new(["algorithm", "model", "rounds", "messages or probes / ball", "max load"]);
-        parallel_row(&mut table, &format!("SAER(c={c})"), &graph, ProtocolSpec::Saer { c, d }, d, seed);
-        parallel_row(&mut table, &format!("RAES(c={c})"), &graph, ProtocolSpec::Raes { c, d }, d, seed);
-        parallel_row(&mut table, "Threshold(T=2)", &graph, ProtocolSpec::Threshold { per_round: 2 }, d, seed);
-        parallel_row(
+        let mut table = Table::new([
+            "algorithm",
+            "model",
+            "rounds",
+            "messages or probes / ball",
+            "max load",
+        ]);
+        for (name, protocol) in &protocols {
+            parallel_row(&mut table, name, &graph, protocol, d, seed);
+        }
+        sequential_row(
             &mut table,
-            &format!("KChoice(k=2, cap={})", c * d),
-            &graph,
-            ProtocolSpec::KChoice { k: 2, capacity: c * d },
-            d,
-            seed,
+            "sequential one-choice",
+            &one_choice(&graph, d, seed),
         );
-        parallel_row(&mut table, "one-shot uniform", &graph, ProtocolSpec::OneShot, d, seed);
-        sequential_row(&mut table, "sequential one-choice", &one_choice(&graph, d, seed));
-        sequential_row(&mut table, "sequential best-of-2", &best_of_k(&graph, d, 2, seed));
-        sequential_row(&mut table, "sequential Godfrey greedy", &godfrey_greedy(&graph, d, seed));
+        sequential_row(
+            &mut table,
+            "sequential best-of-2",
+            &best_of_k(&graph, d, 2, seed),
+        );
+        sequential_row(
+            &mut table,
+            "sequential Godfrey greedy",
+            &godfrey_greedy(&graph, d, seed),
+        );
         println!("{}", table.to_markdown());
     }
 }

@@ -5,25 +5,48 @@
 
 use clb::prelude::*;
 use clb::report::fmt3;
-use clb_bench::{header, quick_mode, run};
 
 fn main() {
-    header(
+    let scenario = Scenario::new(
         "E4",
         "the burned fraction S_t stays below 1/2",
         "for admissible c, max_t S_t <= 1/2 w.h.p. (Lemma 4 regular case, Lemma 19 almost-regular)",
-    );
+    )
+    .trials(5)
+    .measurements(Measurements {
+        burned_fraction: true,
+        ..Default::default()
+    });
+    scenario.announce();
 
-    let n = if quick_mode() { 1 << 12 } else { 1 << 13 };
+    let n = if scenario.quick() { 1 << 12 } else { 1 << 13 };
     let d = 2;
-    let specs: Vec<(&str, GraphSpec)> = vec![
-        ("regular log^2 n", GraphSpec::RegularLogSquared { n, eta: 1.0 }),
+    let topologies: Vec<(&str, GraphSpec)> = vec![
+        (
+            "regular log^2 n",
+            GraphSpec::RegularLogSquared { n, eta: 1.0 },
+        ),
         (
             "almost-regular [1x, 2x]",
-            GraphSpec::AlmostRegular { n, min_degree: log2_squared(n), max_degree: 2 * log2_squared(n) },
+            GraphSpec::AlmostRegular {
+                n,
+                min_degree: log2_squared(n),
+                max_degree: 2 * log2_squared(n),
+            },
         ),
         ("skewed paper example", GraphSpec::SkewedExample { n }),
     ];
+
+    let report = scenario
+        .run(
+            Sweep::over("topology", topologies).cross("c", [2u32, 4, 8, 16, 32]),
+            |point| {
+                let ((_, spec), c) = point;
+                ExperimentConfig::new(spec.clone(), ProtocolSpec::Saer { c: *c, d })
+                    .seed(400 + *c as u64)
+            },
+        )
+        .expect("valid configuration");
 
     let mut table = Table::new([
         "topology",
@@ -33,22 +56,16 @@ fn main() {
         "peak S_t (max)",
         "rounds (mean)",
     ]);
-    for (label, spec) in &specs {
-        for c in [2u32, 4, 8, 16, 32] {
-            let report = run(ExperimentConfig::new(spec.clone(), ProtocolSpec::Saer { c, d })
-                .trials(5)
-                .seed(400 + c as u64)
-                .measurements(Measurements { burned_fraction: true, ..Default::default() }));
-            let peak = report.peak_burned_fraction().unwrap();
-            table.row([
-                label.to_string(),
-                c.to_string(),
-                format!("{:.0}%", 100.0 * report.completion_rate()),
-                fmt3(peak.mean),
-                fmt3(peak.max),
-                format!("{:.1}", report.rounds.mean),
-            ]);
-        }
+    for (((label, _), c), point) in report.iter() {
+        let peak = point.peak_burned_fraction().unwrap();
+        table.row([
+            label.to_string(),
+            c.to_string(),
+            format!("{:.0}%", 100.0 * point.completion_rate()),
+            fmt3(peak.mean),
+            fmt3(peak.max),
+            format!("{:.1}", point.rounds.mean),
+        ]);
     }
     println!("{}", table.to_markdown());
     println!("reading: the peak burned fraction falls with c and is far below the 1/2 of Lemma 4");

@@ -6,21 +6,36 @@
 
 use clb::prelude::*;
 use clb::report::{fmt2, fmt3};
-use clb_bench::{header, quick_mode, run, trials};
 
 fn main() {
-    header(
+    let scenario = Scenario::new(
         "E6",
         "sensitivity to the threshold constant c",
         "completion degrades only for very small c; the paper's sufficient c = max(32, 288/(η·d)) is far from necessary",
-    );
+    )
+    .max_rounds(600)
+    .measurements(Measurements { burned_fraction: true, ..Default::default() });
+    scenario.announce();
 
-    let n = if quick_mode() { 1 << 11 } else { 1 << 12 };
+    let n = if scenario.quick() { 1 << 11 } else { 1 << 12 };
     let d = 2;
     println!(
         "sufficient constant from Lemma 4 with eta = 1, d = {d}: c >= {:.0}\n",
         required_c_regular(1.0, d)
     );
+
+    let report = scenario
+        .run(
+            Sweep::over("c", [1u32, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64]),
+            |&c| {
+                ExperimentConfig::new(
+                    GraphSpec::RegularLogSquared { n, eta: 1.0 },
+                    ProtocolSpec::Saer { c, d },
+                )
+                .seed(600 + c as u64)
+            },
+        )
+        .expect("valid configuration");
 
     let mut table = Table::new([
         "c",
@@ -30,22 +45,14 @@ fn main() {
         "work/ball (mean)",
         "peak S_t (max)",
     ]);
-    for c in [1u32, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64] {
-        let report = run(ExperimentConfig::new(
-            GraphSpec::RegularLogSquared { n, eta: 1.0 },
-            ProtocolSpec::Saer { c, d },
-        )
-        .trials(trials())
-        .seed(600 + c as u64)
-        .max_rounds(600)
-        .measurements(Measurements { burned_fraction: true, ..Default::default() }));
-        let peak = report.peak_burned_fraction().map(|s| s.max).unwrap_or(0.0);
+    for (&c, point) in report.iter() {
+        let peak = point.peak_burned_fraction().map(|s| s.max).unwrap_or(0.0);
         table.row([
             c.to_string(),
             (c * d).to_string(),
-            format!("{:.0}%", 100.0 * report.completion_rate()),
-            fmt2(report.rounds.mean),
-            fmt2(report.work_per_ball.mean),
+            format!("{:.0}%", 100.0 * point.completion_rate()),
+            fmt2(point.rounds.mean),
+            fmt2(point.work_per_ball.mean),
             fmt3(peak),
         ]);
     }

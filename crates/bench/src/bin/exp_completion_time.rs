@@ -6,17 +6,30 @@
 
 use clb::prelude::*;
 use clb::report::fmt2;
-use clb_bench::{header, n_sweep, run, trials};
 
 fn main() {
-    header(
+    let scenario = Scenario::new(
         "E1",
         "completion time of SAER is O(log n)",
         "rounds grow linearly in log2(n) and stay below the 3*log2(n) horizon",
     );
+    scenario.announce();
 
     let d = 2;
     let c = 3;
+    let report = scenario
+        .run(
+            Sweep::over("n", n_sweep().into_iter().enumerate()),
+            |&(i, n)| {
+                ExperimentConfig::new(
+                    GraphSpec::RegularLogSquared { n, eta: 1.0 },
+                    ProtocolSpec::Saer { c, d },
+                )
+                .seed(100 + i as u64)
+            },
+        )
+        .expect("valid configuration");
+
     let mut table = Table::new([
         "n",
         "delta=log2(n)^2",
@@ -28,22 +41,16 @@ fn main() {
     ]);
     let mut xs = Vec::new();
     let mut ys = Vec::new();
-    for (i, n) in n_sweep().into_iter().enumerate() {
-        let report = run(ExperimentConfig::new(
-            GraphSpec::RegularLogSquared { n, eta: 1.0 },
-            ProtocolSpec::Saer { c, d },
-        )
-        .trials(trials())
-        .seed(100 + i as u64));
+    for (&(_, n), point) in report.iter() {
         xs.push((n as f64).log2());
-        ys.push(report.rounds.mean);
+        ys.push(point.rounds.mean);
         table.row([
             n.to_string(),
             log2_squared(n).to_string(),
-            report.trials.len().to_string(),
-            format!("{:.0}%", 100.0 * report.completion_rate()),
-            fmt2(report.rounds.mean),
-            format!("{:.0}", report.rounds.max),
+            point.trials.len().to_string(),
+            format!("{:.0}%", 100.0 * point.completion_rate()),
+            fmt2(point.rounds.mean),
+            format!("{:.0}", point.rounds.max),
             fmt2(completion_horizon_rounds(n)),
         ]);
     }
@@ -54,5 +61,7 @@ fn main() {
         "least-squares fit of mean rounds against log2(n): slope {:.3}, intercept {:.3}, R^2 {:.3}",
         fit.slope, fit.intercept, fit.r_squared
     );
-    println!("(any slope well below 3 and a roughly flat-to-linear trend is consistent with O(log n))");
+    println!(
+        "(any slope well below 3 and a roughly flat-to-linear trend is consistent with O(log n))"
+    );
 }

@@ -6,30 +6,52 @@
 
 use clb::prelude::*;
 use clb::report::fmt2;
-use clb_bench::{header, quick_mode, run, trials};
 
 fn main() {
-    header(
+    let scenario = Scenario::new(
         "E7",
         "behaviour across the degree spectrum (below and above log²n)",
         "admissible degrees (≥ log²n) complete in O(log n) rounds; below the threshold the theorem is silent (the conclusions' open question) — measured rounds peak around Δ ≈ log n and failures appear only once c·d leaves no slack (cf. the topologies integration test)",
-    );
+    )
+    .max_rounds(400);
+    scenario.announce();
 
-    let n = if quick_mode() { 1 << 11 } else { 1 << 12 };
+    let n = if scenario.quick() { 1 << 11 } else { 1 << 12 };
     let d = 2;
     let c = 3; // tight enough that the degree actually matters
     let log_n = (n as f64).log2();
     let log2n = log2_squared(n);
     let degrees: Vec<(String, usize)> = vec![
         ("4 (constant)".into(), 4),
-        (format!("log n = {}", log_n.ceil() as usize), log_n.ceil() as usize),
-        (format!("log^1.5 n = {}", (log_n.powf(1.5)).ceil() as usize), log_n.powf(1.5).ceil() as usize),
+        (
+            format!("log n = {}", log_n.ceil() as usize),
+            log_n.ceil() as usize,
+        ),
+        (
+            format!("log^1.5 n = {}", (log_n.powf(1.5)).ceil() as usize),
+            log_n.powf(1.5).ceil() as usize,
+        ),
         (format!("log^2 n = {log2n} (threshold)"), log2n),
         (format!("2 log^2 n = {}", 2 * log2n), 2 * log2n),
-        (format!("sqrt(n·log^2 n) = {}", ((n as f64 * log2n as f64).sqrt()).ceil() as usize),
-            (n as f64 * log2n as f64).sqrt().ceil() as usize),
+        (
+            format!(
+                "sqrt(n·log^2 n) = {}",
+                ((n as f64 * log2n as f64).sqrt()).ceil() as usize
+            ),
+            (n as f64 * log2n as f64).sqrt().ceil() as usize,
+        ),
         (format!("n/4 = {}", n / 4), n / 4),
     ];
+
+    let report = scenario
+        .run(
+            Sweep::over("degree", degrees.into_iter().enumerate()),
+            |&(i, (_, delta))| {
+                ExperimentConfig::new(GraphSpec::Regular { n, delta }, ProtocolSpec::Saer { c, d })
+                    .seed(700 + i as u64)
+            },
+        )
+        .expect("valid configuration");
 
     let mut table = Table::new([
         "degree Δ",
@@ -38,22 +60,18 @@ fn main() {
         "rounds (max)",
         "work/ball (mean)",
     ]);
-    for (i, (label, delta)) in degrees.into_iter().enumerate() {
-        let report = run(ExperimentConfig::new(
-            GraphSpec::Regular { n, delta },
-            ProtocolSpec::Saer { c, d },
-        )
-        .trials(trials())
-        .seed(700 + i as u64)
-        .max_rounds(400));
+    for ((_, (label, _)), point) in report.iter() {
         table.row([
-            label,
-            format!("{:.0}%", 100.0 * report.completion_rate()),
-            fmt2(report.rounds.mean),
-            format!("{:.0}", report.rounds.max),
-            fmt2(report.work_per_ball.mean),
+            label.clone(),
+            format!("{:.0}%", 100.0 * point.completion_rate()),
+            fmt2(point.rounds.mean),
+            format!("{:.0}", point.rounds.max),
+            fmt2(point.work_per_ball.mean),
         ]);
     }
     println!("{}", table.to_markdown());
-    println!("3*log2(n) horizon for reference: {:.0} rounds", completion_horizon_rounds(n));
+    println!(
+        "3*log2(n) horizon for reference: {:.0} rounds",
+        completion_horizon_rounds(n)
+    );
 }

@@ -5,17 +5,26 @@
 //! while the one-shot baseline's maximum exceeds it for small c.
 
 use clb::prelude::*;
-use clb_bench::{header, quick_mode, run};
 
 fn main() {
-    header(
+    let scenario = Scenario::new(
         "E3",
         "maximum load is at most c·d; load distribution vs the one-shot baseline",
         "max load <= c*d always; one-shot reaches ~log n / log log n ≈ 4-5 at these sizes",
-    );
+    )
+    .trials(3);
+    scenario.announce();
 
-    let n = if quick_mode() { 1 << 12 } else { 1 << 14 };
+    let n = if scenario.quick() { 1 << 12 } else { 1 << 14 };
     let d = 2;
+    let graph = GraphSpec::RegularLogSquared { n, eta: 1.0 };
+
+    let report = scenario
+        .run(Sweep::over("c", [2u32, 4, 8, 16, 32]), |&c| {
+            ExperimentConfig::new(graph.clone(), ProtocolSpec::Saer { c, d }).seed(300 + c as u64)
+        })
+        .expect("valid configuration");
+
     let mut table = Table::new([
         "protocol",
         "c*d",
@@ -24,15 +33,8 @@ fn main() {
         "servers at max",
         "completed",
     ]);
-
-    for c in [2u32, 4, 8, 16, 32] {
-        let report = run(ExperimentConfig::new(
-            GraphSpec::RegularLogSquared { n, eta: 1.0 },
-            ProtocolSpec::Saer { c, d },
-        )
-        .trials(3)
-        .seed(300 + c as u64));
-        let hist = &report.trials[0].load_histogram;
+    for (&c, point) in report.iter() {
+        let hist = &point.trials[0].load_histogram;
         let max = hist.max_value().unwrap_or(0);
         table.row([
             format!("SAER(c={c}, d={d})"),
@@ -40,17 +42,15 @@ fn main() {
             max.to_string(),
             hist.count(0).to_string(),
             hist.count(max).to_string(),
-            format!("{:.0}%", 100.0 * report.completion_rate()),
+            format!("{:.0}%", 100.0 * point.completion_rate()),
         ]);
     }
 
-    let oneshot = run(ExperimentConfig::new(
-        GraphSpec::RegularLogSquared { n, eta: 1.0 },
-        ProtocolSpec::OneShot,
-    )
-    .demand(Demand::Constant(d))
-    .trials(3)
-    .seed(399));
+    let oneshot = scenario
+        .clone()
+        .demand(Demand::Constant(d))
+        .run_single(ExperimentConfig::new(graph.clone(), ProtocolSpec::OneShot).seed(399))
+        .expect("valid configuration");
     let hist = &oneshot.trials[0].load_histogram;
     let max = hist.max_value().unwrap_or(0);
     table.row([
@@ -68,15 +68,17 @@ fn main() {
         d as f64 * clb::analysis::one_choice_expected_max_load(n)
     );
     println!("full load histogram (SAER c=4 vs one-shot), load -> number of servers:");
-    let saer4 = run(ExperimentConfig::new(
-        GraphSpec::RegularLogSquared { n, eta: 1.0 },
-        ProtocolSpec::Saer { c: 4, d },
-    )
-    .trials(1)
-    .seed(304));
+    let saer4 = scenario
+        .clone()
+        .trials(1)
+        .run_single(ExperimentConfig::new(graph, ProtocolSpec::Saer { c: 4, d }).seed(304))
+        .expect("valid configuration");
     let mut hist_table = Table::new(["load", "SAER(c=4)", "one-shot"]);
     let saer_hist = &saer4.trials[0].load_histogram;
-    let upper = saer_hist.max_value().unwrap_or(0).max(hist.max_value().unwrap_or(0));
+    let upper = saer_hist
+        .max_value()
+        .unwrap_or(0)
+        .max(hist.max_value().unwrap_or(0));
     for load in 0..=upper {
         hist_table.row([
             load.to_string(),

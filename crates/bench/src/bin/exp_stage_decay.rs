@@ -5,30 +5,34 @@
 //! (round T, eq. 14) the process enters Stage II where the remaining balls drain while
 //! the burned fraction stays nearly flat.
 
+use clb::analysis::stage_one_length;
 use clb::prelude::*;
 use clb::report::{fmt2, fmt3};
-use clb_analysis::stage_one_length;
-use clb_bench::{header, quick_mode, run};
 
 fn main() {
-    header(
+    let scenario = Scenario::new(
         "E5",
         "r_t(N(v)) decays geometrically in Stage I and the process drains in Stage II",
         "per-round decay factor < 1 while the mass is Ω(log n); crossover near T ≈ ½·log(dΔ/12·log n)",
-    );
+    )
+    .trials(1)
+    .measurements(Measurements::all());
+    scenario.announce();
 
-    let n = if quick_mode() { 1 << 12 } else { 1 << 14 };
+    let n = if scenario.quick() { 1 << 12 } else { 1 << 14 };
     let d = 2;
     let c = 2; // small enough that burning actually happens and the stages are visible
     let delta = log2_squared(n);
 
-    let report = run(ExperimentConfig::new(
-        GraphSpec::RegularLogSquared { n, eta: 1.0 },
-        ProtocolSpec::Saer { c, d },
-    )
-    .trials(1)
-    .seed(500)
-    .measurements(Measurements::all()));
+    let report = scenario
+        .run_single(
+            ExperimentConfig::new(
+                GraphSpec::RegularLogSquared { n, eta: 1.0 },
+                ProtocolSpec::Saer { c, d },
+            )
+            .seed(500),
+        )
+        .expect("valid configuration");
 
     let trial = &report.trials[0];
     let mass = trial.neighborhood_mass_series.as_ref().unwrap();
@@ -46,7 +50,11 @@ fn main() {
     ]);
     let mut previous = (d as usize * delta) as f64; // expected initial mass d·Δ
     for (i, &m) in mass.iter().enumerate() {
-        let decay = if previous > 0.0 { m as f64 / previous } else { 0.0 };
+        let decay = if previous > 0.0 {
+            m as f64 / previous
+        } else {
+            0.0
+        };
         table.row([
             (i + 1).to_string(),
             m.to_string(),

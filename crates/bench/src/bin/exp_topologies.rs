@@ -7,19 +7,51 @@
 
 use clb::prelude::*;
 use clb::report::fmt2;
-use clb_bench::{header, quick_mode, run, trials};
 
 fn main() {
-    header(
+    let scenario = Scenario::new(
         "E12",
         "proximity and trust-cluster topologies",
         "structured admissible topologies behave like random regular ones: O(log n) rounds, O(1) work/ball, load <= c·d",
     );
+    scenario.announce();
 
     let d = 2;
     let c = 4;
-    let sizes: Vec<usize> =
-        if quick_mode() { vec![1 << 10, 1 << 11] } else { vec![1 << 10, 1 << 11, 1 << 12, 1 << 13] };
+    let sizes: Vec<usize> = if scenario.quick() {
+        vec![1 << 10, 1 << 11]
+    } else {
+        vec![1 << 10, 1 << 11, 1 << 12, 1 << 13]
+    };
+
+    let mut cases: Vec<(usize, String, GraphSpec)> = Vec::new();
+    for (i, n) in sizes.into_iter().enumerate() {
+        cases.push((
+            i,
+            format!("geometric proximity (deg ~ 4·log²n), n = {n}"),
+            GraphSpec::Geometric {
+                n,
+                expected_degree: 4 * log2_squared(n),
+            },
+        ));
+        cases.push((
+            i,
+            format!("trust clusters (8 orgs, log²n intra), n = {n}"),
+            GraphSpec::Clusters {
+                n,
+                clusters: 8,
+                intra_degree: log2_squared(n),
+                inter_degree: 8,
+            },
+        ));
+    }
+
+    let report = scenario
+        .run(Sweep::over("topology", cases), |point| {
+            let (i, _, spec) = point;
+            ExperimentConfig::new(spec.clone(), ProtocolSpec::Saer { c, d }).seed(1200 + *i as u64)
+        })
+        .expect("valid configuration");
 
     let mut table = Table::new([
         "topology",
@@ -30,41 +62,21 @@ fn main() {
         "work/ball",
         "max load",
     ]);
-    for (i, n) in sizes.into_iter().enumerate() {
-        let specs: Vec<(&str, GraphSpec)> = vec![
-            (
-                "geometric proximity (deg ~ 4·log²n)",
-                GraphSpec::Geometric { n, expected_degree: 4 * log2_squared(n) },
-            ),
-            (
-                "trust clusters (8 orgs, log²n intra)",
-                GraphSpec::Clusters {
-                    n,
-                    clusters: 8,
-                    intra_degree: log2_squared(n),
-                    inter_degree: 8,
-                },
-            ),
-        ];
-        for (label, spec) in specs {
-            let report = run(ExperimentConfig::new(spec, ProtocolSpec::Saer { c, d })
-                .trials(trials())
-                .seed(1200 + i as u64));
-            let rho = report
-                .trials
-                .iter()
-                .map(|t| t.degree_stats.regularity_ratio())
-                .fold(0.0f64, f64::max);
-            table.row([
-                label.to_string(),
-                n.to_string(),
-                fmt2(rho),
-                format!("{:.0}%", 100.0 * report.completion_rate()),
-                fmt2(report.rounds.mean),
-                fmt2(report.work_per_ball.mean),
-                format!("{:.0} (cd = {})", report.max_load.max, c * d),
-            ]);
-        }
+    for ((_, label, spec), point) in report.iter() {
+        let rho = point
+            .trials
+            .iter()
+            .map(|t| t.degree_stats.regularity_ratio())
+            .fold(0.0f64, f64::max);
+        table.row([
+            label.clone(),
+            spec.n().to_string(),
+            fmt2(rho),
+            format!("{:.0}%", 100.0 * point.completion_rate()),
+            fmt2(point.rounds.mean),
+            fmt2(point.work_per_ball.mean),
+            format!("{:.0} (cd = {})", point.max_load.max, c * d),
+        ]);
     }
     println!("{}", table.to_markdown());
 }

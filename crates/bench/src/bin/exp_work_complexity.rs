@@ -5,17 +5,30 @@
 
 use clb::prelude::*;
 use clb::report::fmt2;
-use clb_bench::{header, n_sweep, run, trials};
 
 fn main() {
-    header(
+    let scenario = Scenario::new(
         "E2",
         "total work of SAER is Θ(n)",
         "messages per ball stay O(1) (flat) as n grows",
     );
+    scenario.announce();
 
     let d = 2;
     let c = 4;
+    let report = scenario
+        .run(
+            Sweep::over("n", n_sweep().into_iter().enumerate()),
+            |&(i, n)| {
+                ExperimentConfig::new(
+                    GraphSpec::RegularLogSquared { n, eta: 1.0 },
+                    ProtocolSpec::Saer { c, d },
+                )
+                .seed(200 + i as u64)
+            },
+        )
+        .expect("valid configuration");
+
     let mut table = Table::new([
         "n",
         "balls (n*d)",
@@ -24,26 +37,20 @@ fn main() {
         "messages / ball (max)",
     ]);
     let mut per_ball = Vec::new();
-    for (i, n) in n_sweep().into_iter().enumerate() {
-        let report = run(ExperimentConfig::new(
-            GraphSpec::RegularLogSquared { n, eta: 1.0 },
-            ProtocolSpec::Saer { c, d },
-        )
-        .trials(trials())
-        .seed(200 + i as u64));
-        let messages_mean: f64 = report
+    for (&(_, n), point) in report.iter() {
+        let messages_mean: f64 = point
             .trials
             .iter()
             .map(|t| t.result.total_messages as f64)
             .sum::<f64>()
-            / report.trials.len() as f64;
-        per_ball.push(report.work_per_ball.mean);
+            / point.trials.len() as f64;
+        per_ball.push(point.work_per_ball.mean);
         table.row([
             n.to_string(),
             (n as u64 * d as u64).to_string(),
             format!("{messages_mean:.0}"),
-            fmt2(report.work_per_ball.mean),
-            fmt2(report.work_per_ball.max),
+            fmt2(point.work_per_ball.mean),
+            fmt2(point.work_per_ball.max),
         ]);
     }
     println!("{}", table.to_markdown());

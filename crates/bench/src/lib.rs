@@ -2,9 +2,13 @@
 //! benches.
 //!
 //! Every experiment in DESIGN.md §5 has a binary in `src/bin/` that regenerates it and
-//! prints a markdown table; `EXPERIMENTS.md` in the repository root records the output
-//! of one run next to the paper's prediction. The binaries honour one environment
-//! variable:
+//! prints a markdown table. The binaries are written against the scenario runner in
+//! `clb::scenario` ([`clb::scenario::Scenario`] / [`clb::scenario::Sweep`]), which owns
+//! the header printing, trial counts and quick-mode handling that used to be
+//! copy-pasted here; this crate only re-exports the handful of helpers so older
+//! call sites keep compiling.
+//!
+//! The binaries honour one environment variable:
 //!
 //! * `CLB_QUICK=1` — shrink sweeps and trial counts by roughly 4× so every binary
 //!   finishes in a couple of seconds (useful in CI).
@@ -12,46 +16,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use clb::prelude::*;
-
-/// True if `CLB_QUICK=1` is set: binaries shrink their sweeps accordingly.
-pub fn quick_mode() -> bool {
-    std::env::var("CLB_QUICK").map(|v| v == "1").unwrap_or(false)
-}
-
-/// The default `n` sweep for scaling experiments (E1/E2): powers of two from 2^10 to
-/// 2^14 (2^10..2^12 in quick mode).
-pub fn n_sweep() -> Vec<usize> {
-    if quick_mode() {
-        vec![1 << 10, 1 << 11, 1 << 12]
-    } else {
-        vec![1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14]
-    }
-}
-
-/// Default number of trials per configuration.
-pub fn trials() -> usize {
-    if quick_mode() {
-        5
-    } else {
-        15
-    }
-}
-
-/// Prints the standard experiment header: id, claim, and the machine-independent
-/// prediction being tested.
-pub fn header(id: &str, claim: &str, prediction: &str) {
-    println!("## {id} — {claim}");
-    println!();
-    println!("paper prediction: {prediction}");
-    println!();
-}
-
-/// Runs an [`ExperimentConfig`] and panics with a readable message on configuration
-/// errors (the binaries are not meant to handle invalid specs gracefully).
-pub fn run(config: ExperimentConfig) -> ExperimentReport {
-    config.run().unwrap_or_else(|e| panic!("experiment configuration invalid: {e}"))
-}
+pub use clb::scenario::{default_trials as trials, n_sweep, quick_mode};
 
 #[cfg(test)]
 mod tests {
@@ -69,15 +34,5 @@ mod tests {
     #[test]
     fn trials_is_positive() {
         assert!(trials() > 0);
-    }
-
-    #[test]
-    fn run_executes_a_small_experiment() {
-        let report = run(ExperimentConfig::new(
-            GraphSpec::Regular { n: 64, delta: 16 },
-            ProtocolSpec::Saer { c: 8, d: 2 },
-        )
-        .trials(2));
-        assert_eq!(report.completion_rate(), 1.0);
     }
 }

@@ -31,7 +31,11 @@ pub struct Measurements {
 impl Measurements {
     /// Everything on.
     pub fn all() -> Self {
-        Self { burned_fraction: true, neighborhood_mass: true, trajectory: true }
+        Self {
+            burned_fraction: true,
+            neighborhood_mass: true,
+            trajectory: true,
+        }
     }
 }
 
@@ -108,8 +112,15 @@ impl ExperimentConfig {
     pub fn run_trial(&self, seed: u64) -> Result<TrialOutcome, clb_graph::GraphError> {
         let graph = self.graph.build(seed)?;
         let protocol = self.protocol.build();
-        let config = SimConfig { seed, max_rounds: self.max_rounds };
-        let mut sim = Simulation::new(&graph, protocol, self.demand.clone(), config);
+        let config = SimConfig {
+            seed,
+            max_rounds: self.max_rounds,
+        };
+        let mut sim = Simulation::builder(&graph)
+            .protocol(protocol)
+            .demand(self.demand.clone())
+            .config(config)
+            .build();
 
         let mut burned = BurnedFractionObserver::new();
         let mut mass = NeighborhoodMassObserver::new();
@@ -141,7 +152,10 @@ impl ExperimentConfig {
                 .measurements
                 .neighborhood_mass
                 .then(|| mass.max_mass_per_round.clone()),
-            alive_series: self.measurements.trajectory.then(|| trajectory.alive_series()),
+            alive_series: self
+                .measurements
+                .trajectory
+                .then(|| trajectory.alive_series()),
         })
     }
 
@@ -198,21 +212,29 @@ pub struct ExperimentReport {
     pub work_per_ball: Summary,
     /// Summary of the maximum server load.
     pub max_load: Summary,
+    /// Summary of the closed-server count at the end of each trial (burned for SAER,
+    /// saturated for RAES).
+    pub closed_servers: Summary,
     /// Number of trials that terminated within the round cap.
     pub completed_trials: usize,
 }
 
 impl ExperimentReport {
-    fn aggregate(config: ExperimentConfig, trials: Vec<TrialOutcome>) -> Self {
+    pub(crate) fn aggregate(config: ExperimentConfig, trials: Vec<TrialOutcome>) -> Self {
         let rounds: Vec<f64> = trials.iter().map(|t| t.result.rounds as f64).collect();
         let work: Vec<f64> = trials.iter().map(|t| t.result.work_per_ball()).collect();
         let max_load: Vec<f64> = trials.iter().map(|t| t.result.max_load as f64).collect();
+        let closed: Vec<f64> = trials
+            .iter()
+            .map(|t| t.result.closed_servers as f64)
+            .collect();
         let completed_trials = trials.iter().filter(|t| t.result.completed).count();
         Self {
             config,
             rounds: Summary::of(&rounds),
             work_per_ball: Summary::of(&work),
             max_load: Summary::of(&max_load),
+            closed_servers: Summary::of(&closed),
             completed_trials,
             trials,
         }
@@ -225,7 +247,11 @@ impl ExperimentReport {
 
     /// Summary of the peak burned fraction across trials, if it was measured.
     pub fn peak_burned_fraction(&self) -> Option<Summary> {
-        let peaks: Vec<f64> = self.trials.iter().filter_map(|t| t.peak_burned_fraction()).collect();
+        let peaks: Vec<f64> = self
+            .trials
+            .iter()
+            .filter_map(|t| t.peak_burned_fraction())
+            .collect();
         if peaks.is_empty() {
             None
         } else {
@@ -277,8 +303,10 @@ mod tests {
             ProtocolSpec::Saer { c: 4, d: 3 },
         );
         assert_eq!(saer.demand, Demand::Constant(3));
-        let oneshot =
-            ExperimentConfig::new(GraphSpec::Regular { n: 16, delta: 4 }, ProtocolSpec::OneShot);
+        let oneshot = ExperimentConfig::new(
+            GraphSpec::Regular { n: 16, delta: 4 },
+            ProtocolSpec::OneShot,
+        );
         assert_eq!(oneshot.demand, Demand::Constant(1));
     }
 
@@ -316,9 +344,16 @@ mod tests {
 
     #[test]
     fn optional_measurements_are_recorded_when_requested() {
-        let report = quick_config().trials(2).measurements(Measurements::all()).run().unwrap();
+        let report = quick_config()
+            .trials(2)
+            .measurements(Measurements::all())
+            .run()
+            .unwrap();
         for t in &report.trials {
-            let burned = t.burned_fraction_series.as_ref().expect("burned fraction recorded");
+            let burned = t
+                .burned_fraction_series
+                .as_ref()
+                .expect("burned fraction recorded");
             let mass = t.neighborhood_mass_series.as_ref().expect("mass recorded");
             let alive = t.alive_series.as_ref().expect("trajectory recorded");
             assert_eq!(burned.len(), t.result.rounds as usize);

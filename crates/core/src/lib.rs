@@ -1,85 +1,28 @@
-//! # constrained-lb
+//! Experiment and scenario layer of the `constrained-lb` stack.
 //!
-//! A faithful, executable reproduction of *"Parallel Load Balancing on Constrained
-//! Client-Server Topologies"* (Clementi, Natale, Ziccardi — SPAA 2020): the **SAER**
-//! protocol, the **RAES** protocol it derives from, the synchronous distributed model
-//! they run in, the topology families the theorems cover, the sequential and parallel
-//! baselines of the related work, and an experiment harness that regenerates every
-//! quantitative claim of the paper (see `DESIGN.md` and `EXPERIMENTS.md` in the
-//! repository root).
+//! This crate sits on top of the graph/engine/protocol crates and turns single
+//! simulations into reproducible, aggregated experiments:
 //!
-//! This crate is the facade: it re-exports the whole stack and adds the
-//! [`experiment`] module — a declarative, parallel, seed-reproducible experiment runner
-//! used by the examples and the benchmark harness.
+//! * [`experiment`] — [`ExperimentConfig`] pairs a `GraphSpec` with a `ProtocolSpec`, a
+//!   demand, a trial count and a base seed; running it materialises a fresh graph and
+//!   protocol execution per trial (trial `i` uses seed `base_seed + i`), in parallel,
+//!   and aggregates the outcomes into an [`ExperimentReport`].
+//! * [`scenario`] — the sweep runner: a [`Scenario`] names an experiment and its
+//!   execution policy, a [`Sweep`] lists the parameter grid, and [`Scenario::run`]
+//!   executes the whole *(sweep point × trial)* grid in one flat rayon-parallel pass.
+//!   This is the API the `exp_*` experiment binaries are written against.
+//! * [`report`] — markdown table rendering for experiment output.
 //!
-//! ## The stack
-//!
-//! | Crate | Contents |
-//! |-------|----------|
-//! | [`rng`] (`clb-rng`) | splittable deterministic random streams and sampling utilities |
-//! | [`graph`] (`clb-graph`) | bipartite client-server graphs, degree statistics, topology generators |
-//! | [`engine`] (`clb-engine`) | the synchronous round engine (model M), work accounting, observers |
-//! | [`protocols`] (`clb-protocols`) | SAER, RAES, threshold and k-choice baselines |
-//! | [`sequential`] (`clb-sequential`) | sequential one-choice / best-of-k / Godfrey greedy baselines |
-//! | [`analysis`] (`clb-analysis`) | the paper's recurrences, bounds and concentration inequalities; statistics |
-//!
-//! ## Quick start
-//!
-//! ```
-//! use clb::prelude::*;
-//!
-//! // SAER with c = 8, d = 2 on a Δ = ⌈log²n⌉ regular random graph with n = 512.
-//! let config = ExperimentConfig::new(
-//!     GraphSpec::RegularLogSquared { n: 512, eta: 1.0 },
-//!     ProtocolSpec::Saer { c: 8, d: 2 },
-//! )
-//! .trials(10)
-//! .seed(7);
-//!
-//! let report = config.run().unwrap();
-//! assert_eq!(report.completion_rate(), 1.0);             // every trial terminated
-//! assert!(report.max_load.max <= 16.0);                  // hard c·d guarantee
-//! assert!(report.rounds.mean <= 3.0 * 512f64.log2());    // Theorem 1 horizon
-//! println!("{}", report.to_markdown());
-//! ```
+//! Most users depend on the `clb` facade crate instead, which re-exports this crate
+//! together with the rest of the stack and a convenience prelude.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiment;
 pub mod report;
-
-/// Re-export of `clb-rng`.
-pub use clb_rng as rng;
-
-/// Re-export of `clb-graph`.
-pub use clb_graph as graph;
-
-/// Re-export of `clb-engine`.
-pub use clb_engine as engine;
-
-/// Re-export of `clb-protocols`.
-pub use clb_protocols as protocols;
-
-/// Re-export of `clb-sequential`.
-pub use clb_sequential as sequential;
-
-/// Re-export of `clb-analysis`.
-pub use clb_analysis as analysis;
+pub mod scenario;
 
 pub use experiment::{ExperimentConfig, ExperimentReport, Measurements, TrialOutcome};
 pub use report::Table;
-
-/// The most commonly used items, importable with `use clb::prelude::*`.
-pub mod prelude {
-    pub use crate::experiment::{ExperimentConfig, ExperimentReport, Measurements, TrialOutcome};
-    pub use crate::report::Table;
-    pub use clb_analysis::{
-        completion_horizon_rounds, linear_fit, min_admissible_degree, required_c_general,
-        required_c_regular, Histogram, Summary,
-    };
-    pub use clb_engine::{Demand, Protocol, RunResult, SimConfig, Simulation};
-    pub use clb_graph::{generators, log2_squared, BipartiteGraph, DegreeStats, GraphSpec};
-    pub use clb_protocols::{AnyProtocol, KChoice, OneShot, ProtocolSpec, Raes, Saer, Threshold};
-    pub use clb_sequential::{best_of_k, godfrey_greedy, one_choice, SequentialOutcome};
-}
+pub use scenario::{default_trials, n_sweep, quick_mode, Scenario, Sweep, SweepReport, SweepRow};

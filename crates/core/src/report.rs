@@ -13,7 +13,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
-        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row; the number of cells must match the number of headers.
@@ -125,7 +128,7 @@ mod tests {
 
     #[test]
     fn float_formatting() {
-        assert_eq!(fmt2(3.14159), "3.14");
+        assert_eq!(fmt2(1.23456), "1.23");
         assert_eq!(fmt3(2.0), "2.000");
     }
 }

@@ -1,0 +1,454 @@
+//! The scenario runner: declarative parameter sweeps over the experiment layer.
+//!
+//! Every experiment binary used to hand-roll the same loop — iterate a parameter list,
+//! build an [`ExperimentConfig`] per value, run its trials, format a table row — with
+//! the trial count, quick-mode handling and header printing copy-pasted thirteen times.
+//! This module is that loop, once:
+//!
+//! * [`Scenario`] — names an experiment (id, claim, paper prediction) and carries the
+//!   execution policy: trial count (quick-mode aware), round cap, optional
+//!   measurements.
+//! * [`Sweep`] — an ordered list of sweep points with a label; [`Sweep::cross`] builds
+//!   cartesian grids for multi-parameter sweeps (e.g. `c × protocol`).
+//! * [`Scenario::run`] — expands the *(sweep point × trial)* grid, runs **all** cells in
+//!   one flat rayon-parallel pass (so a sweep with a few slow points doesn't serialise
+//!   behind them), and aggregates each point's trials into an [`ExperimentReport`].
+//!
+//! A complete experiment binary is now a scenario declaration plus a table render:
+//!
+//! ```no_run
+//! use clb_core::{Scenario, Sweep, ExperimentConfig};
+//! use clb_graph::GraphSpec;
+//! use clb_protocols::ProtocolSpec;
+//!
+//! let scenario = Scenario::new("E6", "sensitivity to c", "completion degrades only for tiny c")
+//!     .max_rounds(600);
+//! let report = scenario
+//!     .announce()
+//!     .run(Sweep::over("c", [1u32, 2, 4, 8]), |&c| {
+//!         ExperimentConfig::new(
+//!             GraphSpec::RegularLogSquared { n: 1 << 12, eta: 1.0 },
+//!             ProtocolSpec::Saer { c, d: 2 },
+//!         )
+//!         .seed(600 + c as u64)
+//!     })
+//!     .unwrap();
+//! for (c, point) in report.iter() {
+//!     println!("c = {c}: {:.1} rounds", point.rounds.mean);
+//! }
+//! ```
+
+use crate::experiment::{ExperimentConfig, ExperimentReport, Measurements, TrialOutcome};
+use clb_engine::Demand;
+use clb_graph::GraphError;
+use rayon::prelude::*;
+
+/// True if `CLB_QUICK=1` is set: scenarios shrink their trial counts (and binaries
+/// their sweeps) so every experiment finishes in a couple of seconds, e.g. in CI.
+pub fn quick_mode() -> bool {
+    std::env::var("CLB_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Default number of trials per sweep point (quick-mode aware).
+pub fn default_trials() -> usize {
+    if quick_mode() {
+        5
+    } else {
+        15
+    }
+}
+
+/// The default `n` sweep for scaling experiments (E1/E2): powers of two from 2^10 to
+/// 2^14 (2^10..2^12 in quick mode).
+pub fn n_sweep() -> Vec<usize> {
+    if quick_mode() {
+        vec![1 << 10, 1 << 11, 1 << 12]
+    } else {
+        vec![1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14]
+    }
+}
+
+/// A named experiment plus its execution policy.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Short identifier, e.g. `"E6"`.
+    pub id: String,
+    /// One-line statement of what the experiment shows.
+    pub claim: String,
+    /// The machine-independent prediction of the paper being tested.
+    pub prediction: String,
+    trials: usize,
+    max_rounds: Option<u32>,
+    measurements: Option<Measurements>,
+    demand: Option<Demand>,
+}
+
+impl Scenario {
+    /// Creates a scenario with the default (quick-mode aware) trial count.
+    pub fn new(
+        id: impl Into<String>,
+        claim: impl Into<String>,
+        prediction: impl Into<String>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            claim: claim.into(),
+            prediction: prediction.into(),
+            trials: default_trials(),
+            max_rounds: None,
+            measurements: None,
+            demand: None,
+        }
+    }
+
+    /// True when running in quick mode (`CLB_QUICK=1`).
+    pub fn quick(&self) -> bool {
+        quick_mode()
+    }
+
+    /// Overrides the number of trials per sweep point.
+    pub fn trials(mut self, trials: usize) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// The number of trials each sweep point will run.
+    pub fn trials_per_point(&self) -> usize {
+        self.trials
+    }
+
+    /// Applies a round cap to every sweep point.
+    pub fn max_rounds(mut self, max_rounds: u32) -> Self {
+        self.max_rounds = Some(max_rounds);
+        self
+    }
+
+    /// Enables optional per-round measurements for every sweep point.
+    pub fn measurements(mut self, measurements: Measurements) -> Self {
+        self.measurements = Some(measurements);
+        self
+    }
+
+    /// Overrides the demand for every sweep point.
+    pub fn demand(mut self, demand: Demand) -> Self {
+        self.demand = Some(demand);
+        self
+    }
+
+    /// Prints the standard experiment header (id, claim, prediction) and returns
+    /// `self` so a binary can chain straight into [`Scenario::run`].
+    pub fn announce(&self) -> &Self {
+        println!("## {} — {}", self.id, self.claim);
+        println!();
+        println!("paper prediction: {}", self.prediction);
+        println!();
+        self
+    }
+
+    /// Applies the scenario's execution policy to a per-point config.
+    fn apply(&self, mut config: ExperimentConfig) -> ExperimentConfig {
+        config.trials = self.trials;
+        if let Some(max_rounds) = self.max_rounds {
+            config.max_rounds = max_rounds;
+        }
+        if let Some(measurements) = self.measurements {
+            config.measurements = measurements;
+        }
+        if let Some(demand) = &self.demand {
+            config.demand = demand.clone();
+        }
+        config
+    }
+
+    /// Runs the whole *(sweep point × trial)* grid in one flat rayon-parallel pass and
+    /// aggregates each point's trials into an [`ExperimentReport`].
+    ///
+    /// `config` maps a sweep point to its experiment; the scenario's trial count, round
+    /// cap, measurements and demand overrides are applied on top. Trial `i` of a point
+    /// uses seed `base_seed + i`, exactly like [`ExperimentConfig::run`].
+    pub fn run<T, F>(&self, sweep: Sweep<T>, config: F) -> Result<SweepReport<T>, GraphError>
+    where
+        T: Send + Sync,
+        F: Fn(&T) -> ExperimentConfig + Sync,
+    {
+        assert!(
+            self.trials > 0,
+            "a scenario needs at least one trial per point"
+        );
+        let Sweep { label, points } = sweep;
+        let configs: Vec<ExperimentConfig> = points
+            .iter()
+            .map(|point| self.apply(config(point)))
+            .collect();
+
+        // One flat grid: a slow sweep point never serialises the rest of the sweep.
+        let grid: Vec<(usize, u64)> = configs
+            .iter()
+            .enumerate()
+            .flat_map(|(index, config)| (0..config.trials as u64).map(move |t| (index, t)))
+            .collect();
+        let outcomes: Result<Vec<(usize, TrialOutcome)>, GraphError> = grid
+            .into_par_iter()
+            .map(|(index, trial)| {
+                let config = &configs[index];
+                config
+                    .run_trial(config.base_seed + trial)
+                    .map(|outcome| (index, outcome))
+            })
+            .collect();
+
+        // The grid is point-major, so pushing in order restores per-point seed order.
+        let mut buckets: Vec<Vec<TrialOutcome>> = configs.iter().map(|_| Vec::new()).collect();
+        for (index, outcome) in outcomes? {
+            buckets[index].push(outcome);
+        }
+        let rows = points
+            .into_iter()
+            .zip(configs)
+            .zip(buckets)
+            .map(|((point, config), trials)| SweepRow {
+                point,
+                report: ExperimentReport::aggregate(config, trials),
+            })
+            .collect();
+        Ok(SweepReport { label, rows })
+    }
+
+    /// Runs a single configuration under the scenario's policy — the degenerate
+    /// one-point sweep, for experiments that dissect one run in depth.
+    pub fn run_single(&self, config: ExperimentConfig) -> Result<ExperimentReport, GraphError> {
+        let report = self.run(Sweep::over("-", [()]), |_| config.clone())?;
+        Ok(report
+            .rows
+            .into_iter()
+            .next()
+            .expect("one-point sweep")
+            .report)
+    }
+}
+
+/// An ordered, labelled list of sweep points.
+#[derive(Debug, Clone)]
+pub struct Sweep<T> {
+    label: String,
+    points: Vec<T>,
+}
+
+impl<T> Sweep<T> {
+    /// A sweep over the given points.
+    pub fn over(label: impl Into<String>, points: impl IntoIterator<Item = T>) -> Self {
+        Self {
+            label: label.into(),
+            points: points.into_iter().collect(),
+        }
+    }
+
+    /// Cartesian product with a second parameter: every existing point is paired with
+    /// every new value, in point-major order.
+    pub fn cross<U>(
+        self,
+        label: impl AsRef<str>,
+        values: impl IntoIterator<Item = U>,
+    ) -> Sweep<(T, U)>
+    where
+        T: Clone,
+        U: Clone,
+    {
+        let values: Vec<U> = values.into_iter().collect();
+        let points = self
+            .points
+            .into_iter()
+            .flat_map(|point| {
+                values
+                    .clone()
+                    .into_iter()
+                    .map(move |value| (point.clone(), value))
+            })
+            .collect();
+        Sweep {
+            label: format!("{} × {}", self.label, label.as_ref()),
+            points,
+        }
+    }
+
+    /// The sweep's label (used in report headers).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Number of sweep points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the sweep has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The sweep points, in order.
+    pub fn points(&self) -> &[T] {
+        &self.points
+    }
+}
+
+/// One aggregated sweep point.
+#[derive(Debug, Clone)]
+pub struct SweepRow<T> {
+    /// The sweep point.
+    pub point: T,
+    /// The aggregated trials of this point.
+    pub report: ExperimentReport,
+}
+
+/// Results of a full sweep, in sweep-point order.
+#[derive(Debug, Clone)]
+pub struct SweepReport<T> {
+    /// The sweep's label.
+    pub label: String,
+    /// One row per sweep point.
+    pub rows: Vec<SweepRow<T>>,
+}
+
+impl<T> SweepReport<T> {
+    /// Iterates `(point, report)` pairs in sweep order.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, &ExperimentReport)> {
+        self.rows.iter().map(|row| (&row.point, &row.report))
+    }
+
+    /// The report of the `index`-th sweep point.
+    pub fn report(&self, index: usize) -> &ExperimentReport {
+        &self.rows[index].report
+    }
+}
+
+impl<T: std::fmt::Display> SweepReport<T> {
+    /// The standard sweep table: one row per point with completion, rounds, work and
+    /// max load. Binaries with bespoke columns build their own [`crate::report::Table`].
+    pub fn to_markdown(&self) -> String {
+        let mut table = crate::report::Table::new([
+            self.label.as_str(),
+            "completed",
+            "rounds (mean)",
+            "work/ball (mean)",
+            "max load (max)",
+        ]);
+        for row in &self.rows {
+            table.row([
+                row.point.to_string(),
+                format!("{:.0}%", 100.0 * row.report.completion_rate()),
+                format!("{:.2}", row.report.rounds.mean),
+                format!("{:.2}", row.report.work_per_ball.mean),
+                format!("{:.0}", row.report.max_load.max),
+            ]);
+        }
+        table.to_markdown()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clb_graph::GraphSpec;
+    use clb_protocols::ProtocolSpec;
+
+    fn scenario() -> Scenario {
+        Scenario::new("T1", "test scenario", "no prediction").trials(3)
+    }
+
+    fn config_for(c: u32) -> ExperimentConfig {
+        ExperimentConfig::new(
+            GraphSpec::Regular { n: 64, delta: 16 },
+            ProtocolSpec::Saer { c, d: 2 },
+        )
+        .seed(100 + c as u64)
+    }
+
+    #[test]
+    fn sweep_runs_every_point_with_the_scenario_policy() {
+        let report = scenario()
+            .max_rounds(300)
+            .run(Sweep::over("c", [2u32, 4, 8]), |&c| config_for(c))
+            .unwrap();
+        assert_eq!(report.rows.len(), 3);
+        for (c, point) in report.iter() {
+            assert_eq!(point.trials.len(), 3, "c = {c}");
+            assert_eq!(point.config.trials, 3);
+            assert_eq!(point.config.max_rounds, 300);
+            // Per-point seeds are base_seed + trial index, in order.
+            let seeds: Vec<u64> = point.trials.iter().map(|t| t.seed).collect();
+            let base = 100 + *c as u64;
+            assert_eq!(seeds, vec![base, base + 1, base + 2]);
+        }
+    }
+
+    #[test]
+    fn sweep_matches_experiment_config_run() {
+        // The grid path must produce exactly what ExperimentConfig::run produces.
+        let direct = config_for(4).trials(3).run().unwrap();
+        let swept = scenario()
+            .run(Sweep::over("c", [4u32]), |&c| config_for(c))
+            .unwrap();
+        assert_eq!(swept.report(0).trials, direct.trials);
+        assert_eq!(swept.report(0).rounds, direct.rounds);
+    }
+
+    #[test]
+    fn cross_builds_the_cartesian_grid_in_point_major_order() {
+        let sweep = Sweep::over("c", [1, 2]).cross("p", ["a", "b"]);
+        assert_eq!(sweep.label(), "c × p");
+        assert_eq!(sweep.points(), &[(1, "a"), (1, "b"), (2, "a"), (2, "b")]);
+        assert_eq!(sweep.len(), 4);
+        assert!(!sweep.is_empty());
+    }
+
+    #[test]
+    fn run_single_is_the_one_point_sweep() {
+        let report = scenario().run_single(config_for(8)).unwrap();
+        assert_eq!(report.trials.len(), 3);
+        assert_eq!(report.completion_rate(), 1.0);
+    }
+
+    #[test]
+    fn default_markdown_has_one_row_per_point() {
+        let report = scenario()
+            .run(Sweep::over("c", [2u32, 8]), |&c| config_for(c))
+            .unwrap();
+        let md = report.to_markdown();
+        assert!(md.lines().count() >= 4);
+        assert!(md.contains("| c"));
+        assert!(md.contains("100%"));
+    }
+
+    #[test]
+    fn demand_override_applies_to_every_point() {
+        let report = scenario()
+            .demand(clb_engine::Demand::Constant(1))
+            .run(Sweep::over("c", [4u32]), |&c| config_for(c))
+            .unwrap();
+        // d = 2 would give 128 balls; the override gives one ball per client.
+        assert_eq!(report.report(0).trials[0].result.total_balls, 64);
+    }
+
+    #[test]
+    fn invalid_configs_surface_the_error() {
+        let result = scenario().run(Sweep::over("delta", [200usize]), |&delta| {
+            ExperimentConfig::new(GraphSpec::Regular { n: 8, delta }, ProtocolSpec::OneShot)
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn quick_mode_helpers_are_consistent() {
+        // The env var is not set in tests, so the full-size defaults apply.
+        if !quick_mode() {
+            assert_eq!(default_trials(), 15);
+            assert_eq!(n_sweep().len(), 5);
+        }
+        for w in n_sweep().windows(2) {
+            assert_eq!(w[1], w[0] * 2);
+        }
+    }
+}

@@ -21,7 +21,10 @@ impl SimConfig {
 
     /// Creates a config with the given seed and the default round cap.
     pub fn new(seed: u64) -> Self {
-        Self { seed, max_rounds: Self::DEFAULT_MAX_ROUNDS }
+        Self {
+            seed,
+            max_rounds: Self::DEFAULT_MAX_ROUNDS,
+        }
     }
 
     /// Sets the round cap.

@@ -1,0 +1,315 @@
+//! The object-safe protocol layer.
+//!
+//! [`Protocol`] is deliberately *not* object-safe: its associated `ServerState` type
+//! lets the engine store per-server state inline in a dense `Vec` with zero dispatch
+//! overhead on the monomorphic hot path. That is the right trade for a single
+//! simulation, but experiment harnesses want to pick a protocol *at runtime* — from a
+//! config file, a CLI flag or a sweep grid — without enumerating every implementation
+//! in a hand-maintained enum.
+//!
+//! [`ErasedProtocol`] is the object-safe mirror: per-server state hides behind the
+//! opaque [`ErasedServerState`] handle (one boxed cell per server, allocated once at
+//! init — never per ball or per round), and a blanket adapter lifts **any** [`Protocol`]
+//! implementation into it. `Box<dyn ErasedProtocol>` then implements [`Protocol`]
+//! itself, so a dyn-dispatched protocol runs through the *same* [`Simulation`] hot loop
+//! as a concrete one and produces bit-identical results — only the dispatch differs.
+//!
+//! ```
+//! use clb_engine::{erase, Demand, ErasedProtocol, Simulation};
+//! use clb_engine::protocol::{Protocol, ServerCtx};
+//!
+//! struct AcceptAll;
+//! impl Protocol for AcceptAll {
+//!     type ServerState = ();
+//!     fn init_server(&self) {}
+//!     fn server_decide(&self, _: &mut (), ctx: &ServerCtx) -> u32 { ctx.incoming }
+//!     fn server_is_closed(&self, _: &(), _: u32) -> bool { false }
+//! }
+//!
+//! let graph = clb_graph::generators::regular_random(32, 8, 1).unwrap();
+//! // Chosen "at runtime": the concrete type is gone, the behaviour is not.
+//! let protocol: Box<dyn ErasedProtocol> = erase(AcceptAll);
+//! let result = Simulation::builder(&graph)
+//!     .protocol(protocol)
+//!     .demand(Demand::Constant(2))
+//!     .seed(7)
+//!     .build()
+//!     .run();
+//! assert!(result.completed);
+//! ```
+//!
+//! [`Simulation`]: crate::Simulation
+
+use crate::protocol::{Protocol, ServerCtx};
+use std::any::Any;
+
+/// Object-safe mirror of [`Protocol`].
+///
+/// Obtain one with [`erase`] (or `Box::new(p) as Box<dyn ErasedProtocol>`); every
+/// [`Protocol`] implementation gets this trait for free through the blanket adapter.
+/// The `erased_` prefix keeps the two vocabularies from shadowing each other when a
+/// type implements both.
+pub trait ErasedProtocol: Send + Sync {
+    /// Creates the opaque initial state of one server.
+    fn erased_init_server(&self) -> ErasedServerState;
+
+    /// Mirror of [`Protocol::choices_per_round`].
+    fn erased_choices_per_round(&self) -> u32;
+
+    /// Mirror of [`Protocol::server_decide`].
+    ///
+    /// # Panics
+    /// Panics if `state` was produced by a different protocol type (states are not
+    /// interchangeable across implementations).
+    fn erased_server_decide(&self, state: &mut ErasedServerState, ctx: &ServerCtx) -> u32;
+
+    /// Mirror of [`Protocol::server_is_closed`].
+    fn erased_server_is_closed(&self, state: &ErasedServerState, current_load: u32) -> bool;
+
+    /// Mirror of [`Protocol::server_on_release`].
+    fn erased_server_on_release(&self, state: &mut ErasedServerState, count: u32);
+
+    /// Mirror of [`Protocol::name`].
+    fn erased_name(&self) -> String;
+}
+
+/// Boxes a protocol behind the object-safe [`ErasedProtocol`] interface.
+///
+/// The result implements [`Protocol`], so it plugs into [`crate::Simulation`]
+/// anywhere a concrete protocol does.
+pub fn erase<P>(protocol: P) -> Box<dyn ErasedProtocol>
+where
+    P: Protocol + Send + 'static,
+    P::ServerState: 'static,
+{
+    Box::new(protocol)
+}
+
+/// Opaque per-server state of an erased protocol.
+///
+/// Internally a boxed clone of the concrete `P::ServerState`; the engine allocates one
+/// per server at simulation start and mutates it in place from then on.
+pub struct ErasedServerState(Box<dyn StateCell>);
+
+impl ErasedServerState {
+    /// Wraps a concrete server state.
+    pub fn new<S: Any + Send + Sync + Clone>(state: S) -> Self {
+        Self(Box::new(state))
+    }
+
+    /// Borrows the concrete state, if it is of type `S` (e.g. to inspect a burned flag
+    /// after a dyn-dispatched run).
+    pub fn downcast_ref<S: Any>(&self) -> Option<&S> {
+        self.0.as_any().downcast_ref()
+    }
+
+    fn downcast_mut<S: Any>(&mut self) -> Option<&mut S> {
+        self.0.as_any_mut().downcast_mut()
+    }
+}
+
+impl Clone for ErasedServerState {
+    fn clone(&self) -> Self {
+        Self(self.0.clone_cell())
+    }
+}
+
+impl std::fmt::Debug for ErasedServerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ErasedServerState(..)")
+    }
+}
+
+/// Object-safe clone + downcast support for the boxed state cell.
+trait StateCell: Any + Send + Sync {
+    fn clone_cell(&self) -> Box<dyn StateCell>;
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<S: Any + Send + Sync + Clone> StateCell for S {
+    fn clone_cell(&self) -> Box<dyn StateCell> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Blanket adapter: every protocol is usable through the object-safe interface.
+impl<P> ErasedProtocol for P
+where
+    P: Protocol + Send + 'static,
+    P::ServerState: 'static,
+{
+    fn erased_init_server(&self) -> ErasedServerState {
+        ErasedServerState::new(self.init_server())
+    }
+
+    fn erased_choices_per_round(&self) -> u32 {
+        self.choices_per_round()
+    }
+
+    fn erased_server_decide(&self, state: &mut ErasedServerState, ctx: &ServerCtx) -> u32 {
+        let state = state
+            .downcast_mut::<P::ServerState>()
+            .expect("erased server state does not belong to this protocol");
+        self.server_decide(state, ctx)
+    }
+
+    fn erased_server_is_closed(&self, state: &ErasedServerState, current_load: u32) -> bool {
+        let state = state
+            .downcast_ref::<P::ServerState>()
+            .expect("erased server state does not belong to this protocol");
+        self.server_is_closed(state, current_load)
+    }
+
+    fn erased_server_on_release(&self, state: &mut ErasedServerState, count: u32) {
+        let state = state
+            .downcast_mut::<P::ServerState>()
+            .expect("erased server state does not belong to this protocol");
+        self.server_on_release(state, count)
+    }
+
+    fn erased_name(&self) -> String {
+        self.name()
+    }
+}
+
+/// A boxed erased protocol is itself a [`Protocol`], so `Box<dyn ErasedProtocol>` runs
+/// through the same [`crate::Simulation`] hot loop as any concrete implementation.
+impl Protocol for Box<dyn ErasedProtocol> {
+    type ServerState = ErasedServerState;
+
+    fn init_server(&self) -> ErasedServerState {
+        (**self).erased_init_server()
+    }
+
+    fn choices_per_round(&self) -> u32 {
+        (**self).erased_choices_per_round()
+    }
+
+    fn server_decide(&self, state: &mut ErasedServerState, ctx: &ServerCtx) -> u32 {
+        (**self).erased_server_decide(state, ctx)
+    }
+
+    fn server_is_closed(&self, state: &ErasedServerState, current_load: u32) -> bool {
+        (**self).erased_server_is_closed(state, current_load)
+    }
+
+    fn server_on_release(&self, state: &mut ErasedServerState, count: u32) {
+        (**self).erased_server_on_release(state, count)
+    }
+
+    fn name(&self) -> String {
+        (**self).erased_name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Accept up to a fixed total, then close (same shape as the protocol.rs test type).
+    #[derive(Clone)]
+    struct UpTo(u32);
+
+    impl Protocol for UpTo {
+        type ServerState = u32;
+        fn init_server(&self) -> u32 {
+            0
+        }
+        fn server_decide(&self, state: &mut u32, ctx: &ServerCtx) -> u32 {
+            let take = self.0.saturating_sub(*state).min(ctx.incoming);
+            *state += take;
+            take
+        }
+        fn server_is_closed(&self, state: &u32, _load: u32) -> bool {
+            *state >= self.0
+        }
+        fn server_on_release(&self, state: &mut u32, count: u32) {
+            *state -= count;
+        }
+        fn name(&self) -> String {
+            format!("up-to({})", self.0)
+        }
+    }
+
+    #[test]
+    fn erased_calls_match_concrete_calls() {
+        let concrete = UpTo(3);
+        let erased = erase(UpTo(3));
+
+        let mut concrete_state = concrete.init_server();
+        let mut erased_state = erased.init_server();
+        for round in 1..=4u32 {
+            let ctx = ServerCtx {
+                server: 0,
+                round,
+                current_load: 0,
+                incoming: 2,
+            };
+            let a = concrete.server_decide(&mut concrete_state, &ctx);
+            let b = erased.server_decide(&mut erased_state, &ctx);
+            assert_eq!(a, b, "round {round}");
+            assert_eq!(
+                concrete.server_is_closed(&concrete_state, 0),
+                erased.server_is_closed(&erased_state, 0)
+            );
+            assert_eq!(erased_state.downcast_ref::<u32>(), Some(&concrete_state));
+        }
+    }
+
+    #[test]
+    fn release_and_metadata_forward() {
+        let erased = erase(UpTo(5));
+        assert_eq!(erased.name(), "up-to(5)");
+        assert_eq!(erased.choices_per_round(), 1);
+        let mut state = erased.init_server();
+        let ctx = ServerCtx {
+            server: 0,
+            round: 1,
+            current_load: 0,
+            incoming: 4,
+        };
+        assert_eq!(erased.server_decide(&mut state, &ctx), 4);
+        erased.server_on_release(&mut state, 3);
+        assert_eq!(state.downcast_ref::<u32>(), Some(&1));
+    }
+
+    #[test]
+    fn states_clone_independently() {
+        let erased = erase(UpTo(2));
+        let mut a = erased.init_server();
+        let ctx = ServerCtx {
+            server: 0,
+            round: 1,
+            current_load: 0,
+            incoming: 1,
+        };
+        erased.server_decide(&mut a, &ctx);
+        let b = a.clone();
+        erased.server_decide(&mut a, &ctx);
+        assert_eq!(a.downcast_ref::<u32>(), Some(&2));
+        assert_eq!(b.downcast_ref::<u32>(), Some(&1));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not belong")]
+    fn foreign_state_is_rejected() {
+        let erased = erase(UpTo(2));
+        let mut foreign = ErasedServerState::new("not a counter");
+        let ctx = ServerCtx {
+            server: 0,
+            round: 1,
+            current_load: 0,
+            incoming: 1,
+        };
+        let _ = erased.server_decide(&mut foreign, &ctx);
+    }
+}

@@ -9,23 +9,30 @@
 //! * [`protocol::Protocol`] — the small trait a protocol implements: per-server state
 //!   plus the threshold rule deciding how many of a round's incoming requests to accept.
 //!   SAER, RAES and the baselines live in the `clb-protocols` crate.
+//! * [`erased::ErasedProtocol`] — the object-safe mirror of [`Protocol`]: any protocol
+//!   can be boxed behind `Box<dyn ErasedProtocol>` (which itself implements
+//!   [`Protocol`]) and picked at runtime, while running through the very same
+//!   [`Simulation`] hot loop with bit-identical results.
 //! * [`Simulation`] — executes rounds: every alive ball picks destination servers
 //!   uniformly at random from its owner's neighbourhood (symmetric, non-adaptive),
 //!   servers apply the protocol's threshold rule, and accepted balls settle. Request
 //!   generation and ball bookkeeping are parallelised with rayon; all randomness is
 //!   derived from per-(ball, round) streams so results are bit-identical regardless of
-//!   the number of worker threads.
+//!   the number of worker threads. Construction goes through the fluent
+//!   [`Simulation::builder`].
 //! * [`observe`] — round observers that record the quantities the paper's analysis
 //!   tracks: the burned/saturated fraction `S_t`, the per-neighbourhood request mass
-//!   `r_t(N(v))`, alive balls, loads and work.
+//!   `r_t(N(v))`, alive balls, loads and work. Observers can be borrowed per run
+//!   ([`Simulation::run_observed`]) or owned by the simulation via the builder's
+//!   `observer(..)` and read back with [`Simulation::observer`].
 //! * Work accounting follows the paper exactly: each submitted request is one message
 //!   and each accept/reject answer is another, so the reported work is
 //!   `2 · Σ_t (requests sent in round t)`.
 //!
-//! # Example: one full run
+//! # Example: one full run through the builder
 //!
 //! ```
-//! use clb_engine::{Demand, SimConfig, Simulation};
+//! use clb_engine::{Demand, Simulation};
 //! use clb_engine::protocol::{Protocol, ServerCtx};
 //! use clb_graph::generators;
 //!
@@ -39,11 +46,50 @@
 //! }
 //!
 //! let graph = generators::regular_random(64, 16, 7).unwrap();
-//! let mut sim = Simulation::new(&graph, AcceptAll, Demand::Constant(2), SimConfig::new(42));
+//! let mut sim = Simulation::builder(&graph)
+//!     .protocol(AcceptAll)
+//!     .demand(Demand::Constant(2))
+//!     .seed(42)
+//!     .build();
 //! let result = sim.run();
 //! assert!(result.completed);
 //! assert_eq!(result.rounds, 1); // everything is accepted in the first round
 //! assert_eq!(result.total_messages, 2 * 64 * 2); // request + answer per ball
+//! ```
+//!
+//! # Example: choosing the protocol at runtime
+//!
+//! ```
+//! use clb_engine::{erase, Demand, ErasedProtocol, Simulation};
+//! # use clb_engine::protocol::{Protocol, ServerCtx};
+//! # struct AcceptAll;
+//! # impl Protocol for AcceptAll {
+//! #     type ServerState = ();
+//! #     fn init_server(&self) -> () {}
+//! #     fn server_decide(&self, _state: &mut (), ctx: &ServerCtx) -> u32 { ctx.incoming }
+//! #     fn server_is_closed(&self, _state: &(), _load: u32) -> bool { false }
+//! # }
+//! # struct RejectFirstRound;
+//! # impl Protocol for RejectFirstRound {
+//! #     type ServerState = ();
+//! #     fn init_server(&self) -> () {}
+//! #     fn server_decide(&self, _state: &mut (), ctx: &ServerCtx) -> u32 {
+//! #         if ctx.round > 1 { ctx.incoming } else { 0 }
+//! #     }
+//! #     fn server_is_closed(&self, _state: &(), _load: u32) -> bool { false }
+//! # }
+//! let graph = clb_graph::generators::regular_random(64, 16, 7).unwrap();
+//! // e.g. from a CLI flag:
+//! let patient = true;
+//! let protocol: Box<dyn ErasedProtocol> =
+//!     if patient { erase(RejectFirstRound) } else { erase(AcceptAll) };
+//! let result = Simulation::builder(&graph)
+//!     .protocol(protocol)
+//!     .demand(Demand::Constant(2))
+//!     .seed(42)
+//!     .build()
+//!     .run();
+//! assert!(result.completed);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -51,15 +97,17 @@
 
 pub mod config;
 pub mod demand;
+pub mod erased;
 pub mod observe;
 pub mod protocol;
 pub mod simulation;
 
 pub use config::SimConfig;
 pub use demand::Demand;
+pub use erased::{erase, ErasedProtocol, ErasedServerState};
 pub use observe::{
     AliveBallsObserver, BurnedFractionObserver, MaxLoadObserver, NeighborhoodMassObserver,
     Observer, RoundView, TrajectoryObserver,
 };
 pub use protocol::{Protocol, ServerCtx};
-pub use simulation::{RoundRecord, RunResult, Simulation};
+pub use simulation::{RoundRecord, RunResult, Simulation, SimulationBuilder};

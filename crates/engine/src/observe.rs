@@ -33,6 +33,26 @@ pub trait Observer {
     fn on_round(&mut self, view: &RoundView<'_>);
 }
 
+/// Object-safe pairing of [`Observer`] and [`Any`](std::any::Any), used by the
+/// simulation builder to own observers while still letting callers downcast them back
+/// to their concrete type after a run.
+pub(crate) trait AnyObserver: Observer {
+    /// The `Any` view, for downcasting.
+    fn as_any(&self) -> &dyn std::any::Any;
+    /// The `Observer` view, for dispatch.
+    fn as_observer_mut(&mut self) -> &mut dyn Observer;
+}
+
+impl<T: Observer + std::any::Any> AnyObserver for T {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_observer_mut(&mut self) -> &mut dyn Observer {
+        self
+    }
+}
+
 /// Records every [`RoundRecord`] of the run.
 #[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct TrajectoryObserver {
@@ -133,7 +153,10 @@ impl BurnedFractionObserver {
     /// The largest `S_t` observed over the whole run (Lemma 4 predicts ≤ 1/2 for
     /// admissible graphs and a large enough threshold constant `c`).
     pub fn peak(&self) -> f64 {
-        self.max_fraction_per_round.iter().copied().fold(0.0, f64::max)
+        self.max_fraction_per_round
+            .iter()
+            .copied()
+            .fold(0.0, f64::max)
     }
 }
 
@@ -222,8 +245,8 @@ impl Observer for NeighborhoodMassObserver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Demand, SimConfig, Simulation};
     use crate::protocol::{Protocol, ServerCtx};
+    use crate::{Demand, Simulation};
     use clb_graph::generators;
 
     /// Capacity-limited servers: accept while cumulative received ≤ cap, then close.
@@ -248,21 +271,32 @@ mod tests {
 
     fn run_all_observers(
         cap: u32,
-    ) -> (TrajectoryObserver, MaxLoadObserver, BurnedFractionObserver, NeighborhoodMassObserver, AliveBallsObserver)
-    {
+    ) -> (
+        TrajectoryObserver,
+        MaxLoadObserver,
+        BurnedFractionObserver,
+        NeighborhoodMassObserver,
+        AliveBallsObserver,
+    ) {
         let g = generators::regular_random(64, 16, 3).unwrap();
-        let mut sim = Simulation::new(
-            &g,
-            Capped(cap),
-            Demand::Constant(2),
-            SimConfig::new(9).with_max_rounds(200),
-        );
+        let mut sim = Simulation::builder(&g)
+            .protocol(Capped(cap))
+            .demand(Demand::Constant(2))
+            .seed(9)
+            .max_rounds(200)
+            .build();
         let mut trajectory = TrajectoryObserver::new();
         let mut max_load = MaxLoadObserver::new();
         let mut burned = BurnedFractionObserver::new();
         let mut mass = NeighborhoodMassObserver::new();
         let mut alive = AliveBallsObserver::new();
-        sim.run_observed(&mut [&mut trajectory, &mut max_load, &mut burned, &mut mass, &mut alive]);
+        sim.run_observed(&mut [
+            &mut trajectory,
+            &mut max_load,
+            &mut burned,
+            &mut mass,
+            &mut alive,
+        ]);
         (trajectory, max_load, burned, mass, alive)
     }
 
@@ -288,8 +322,11 @@ mod tests {
     #[test]
     fn max_load_observer_matches_final_loads() {
         let g = generators::regular_random(32, 8, 4).unwrap();
-        let mut sim =
-            Simulation::new(&g, Capped(16), Demand::Constant(2), SimConfig::new(4));
+        let mut sim = Simulation::builder(&g)
+            .protocol(Capped(16))
+            .demand(Demand::Constant(2))
+            .seed(4)
+            .build();
         let mut obs = MaxLoadObserver::new();
         let result = sim.run_observed(&mut [&mut obs]);
         assert_eq!(obs.max_load, result.max_load);
@@ -318,7 +355,10 @@ mod tests {
         let first_max = mass.max_mass_per_round[0];
         let first_mean = mass.mean_mass_per_round[0];
         assert!(first_max as f64 >= first_mean);
-        assert!((first_mean - 32.0).abs() < 16.0, "mean {first_mean} far from d*delta");
+        assert!(
+            (first_mean - 32.0).abs() < 16.0,
+            "mean {first_mean} far from d*delta"
+        );
         assert!(first_max <= 128);
         let factors = mass.decay_factors();
         assert_eq!(factors.len(), mass.max_mass_per_round.len() - 1);

@@ -59,7 +59,11 @@ pub trait Protocol: Sync {
 
     /// A short human-readable name used in reports and experiment tables.
     fn name(&self) -> String {
-        std::any::type_name::<Self>().rsplit("::").next().unwrap_or("protocol").to_string()
+        std::any::type_name::<Self>()
+            .rsplit("::")
+            .next()
+            .unwrap_or("protocol")
+            .to_string()
     }
 }
 
@@ -98,10 +102,20 @@ mod tests {
     fn decide_and_closed_interact() {
         let p = UpTo(3);
         let mut s = p.init_server();
-        let ctx = ServerCtx { server: 0, round: 1, current_load: 0, incoming: 2 };
+        let ctx = ServerCtx {
+            server: 0,
+            round: 1,
+            current_load: 0,
+            incoming: 2,
+        };
         assert_eq!(p.server_decide(&mut s, &ctx), 2);
         assert!(!p.server_is_closed(&s, 2));
-        let ctx = ServerCtx { server: 0, round: 2, current_load: 2, incoming: 5 };
+        let ctx = ServerCtx {
+            server: 0,
+            round: 2,
+            current_load: 2,
+            incoming: 5,
+        };
         assert_eq!(p.server_decide(&mut s, &ctx), 1);
         assert!(p.server_is_closed(&s, 3));
     }

@@ -1,10 +1,16 @@
-//! The synchronous round executor.
+//! The synchronous round executor and its fluent builder.
 
-use crate::{config::SimConfig, demand::Demand, observe::{Observer, RoundView}, protocol::{Protocol, ServerCtx}};
+use crate::{
+    config::SimConfig,
+    demand::Demand,
+    observe::{AnyObserver, Observer, RoundView},
+    protocol::{Protocol, ServerCtx},
+};
 use clb_graph::{BipartiteGraph, ClientId};
 use clb_rng::{RandomSource, StreamFactory};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::any::Any;
 
 /// Sentinel for "ball not yet assigned to any server".
 const UNASSIGNED: u32 = u32::MAX;
@@ -47,6 +53,9 @@ pub struct RunResult {
     pub unassigned_balls: u64,
     /// Total number of balls in the system.
     pub total_balls: u64,
+    /// Servers that are closed (burned / saturated) at the end of the run — the
+    /// absolute counterpart of the paper's `S_t` fraction.
+    pub closed_servers: u64,
 }
 
 impl RunResult {
@@ -60,36 +69,105 @@ impl RunResult {
     }
 }
 
-/// A protocol run on a fixed graph: owns all mutable state of the process.
-pub struct Simulation<'g, P: Protocol> {
+/// Fluent constructor for [`Simulation`], obtained from [`Simulation::builder`].
+///
+/// The graph and the protocol are required; demand defaults to `Constant(1)`, the seed
+/// to 0 and the round cap to [`SimConfig::DEFAULT_MAX_ROUNDS`]. Observers attached here
+/// are owned by the simulation, invoked after every round, and can be read back with
+/// [`Simulation::observer`] once the run is over.
+///
+/// ```
+/// use clb_engine::{Demand, MaxLoadObserver, Simulation};
+/// # use clb_engine::protocol::{Protocol, ServerCtx};
+/// # struct AcceptAll;
+/// # impl Protocol for AcceptAll {
+/// #     type ServerState = ();
+/// #     fn init_server(&self) {}
+/// #     fn server_decide(&self, _: &mut (), ctx: &ServerCtx) -> u32 { ctx.incoming }
+/// #     fn server_is_closed(&self, _: &(), _: u32) -> bool { false }
+/// # }
+/// let graph = clb_graph::generators::regular_random(32, 8, 1).unwrap();
+/// let mut sim = Simulation::builder(&graph)
+///     .protocol(AcceptAll)
+///     .demand(Demand::Constant(2))
+///     .seed(42)
+///     .max_rounds(600)
+///     .observer(MaxLoadObserver::new())
+///     .build();
+/// let result = sim.run();
+/// assert_eq!(sim.observer::<MaxLoadObserver>().unwrap().max_load, result.max_load);
+/// ```
+pub struct SimulationBuilder<'g, P: Protocol> {
     graph: &'g BipartiteGraph,
-    protocol: P,
+    protocol: Option<P>,
+    demand: Demand,
     config: SimConfig,
-    factory: StreamFactory,
-
-    // Ball layout: balls of client `c` occupy indices `ball_offsets[c]..ball_offsets[c+1]`.
-    ball_offsets: Vec<u32>,
-    ball_owner: Vec<u32>,
-    ball_assigned: Vec<u32>,
-
-    server_load: Vec<u32>,
-    server_states: Vec<P::ServerState>,
-
-    round: u32,
-    alive_balls: Vec<u32>,
-    total_messages: u64,
+    observers: Vec<Box<dyn AnyObserver>>,
 }
 
-impl<'g, P: Protocol> Simulation<'g, P> {
-    /// Creates a simulation of `protocol` on `graph` with the given demand.
+impl<'g, P: Protocol> SimulationBuilder<'g, P> {
+    fn new(graph: &'g BipartiteGraph) -> Self {
+        Self {
+            graph,
+            protocol: None,
+            demand: Demand::Constant(1),
+            config: SimConfig::default(),
+            observers: Vec::new(),
+        }
+    }
+
+    /// Sets the protocol (required).
+    pub fn protocol(mut self, protocol: P) -> Self {
+        self.protocol = Some(protocol);
+        self
+    }
+
+    /// Sets the per-client demand (default: one ball per client).
+    pub fn demand(mut self, demand: Demand) -> Self {
+        self.demand = demand;
+        self
+    }
+
+    /// Sets the experiment seed (default: 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the round cap (default: [`SimConfig::DEFAULT_MAX_ROUNDS`]).
+    pub fn max_rounds(mut self, max_rounds: u32) -> Self {
+        self.config.max_rounds = max_rounds;
+        self
+    }
+
+    /// Replaces the whole simulation config (seed + round cap) at once.
+    pub fn config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attaches an owned observer, invoked after every round; read it back after the
+    /// run with [`Simulation::observer`].
+    pub fn observer(mut self, observer: impl Observer + Any) -> Self {
+        self.observers.push(Box::new(observer));
+        self
+    }
+
+    /// Builds the simulation.
     ///
     /// # Panics
-    /// Panics if a client with a non-empty demand has an empty neighbourhood (its balls
-    /// could never be placed, so the run would trivially never complete), or if the
-    /// demand is inconsistent with the graph (see [`Demand::materialize`]).
-    pub fn new(graph: &'g BipartiteGraph, protocol: P, demand: Demand, config: SimConfig) -> Self {
+    /// Panics if no protocol was set, if a client with a non-empty demand has an empty
+    /// neighbourhood (its balls could never be placed, so the run would trivially never
+    /// complete), or if the demand is inconsistent with the graph (see
+    /// [`Demand::materialize`]).
+    pub fn build(self) -> Simulation<'g, P> {
+        let protocol = self
+            .protocol
+            .expect("SimulationBuilder: a protocol is required");
+        let graph = self.graph;
+        let config = self.config;
         let n = graph.num_clients();
-        let per_client = demand.materialize(n, config.seed);
+        let per_client = self.demand.materialize(n, config.seed);
         let mut ball_offsets = Vec::with_capacity(n + 1);
         let mut acc = 0u32;
         ball_offsets.push(0);
@@ -110,8 +188,10 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                 ball_owner[b as usize] = c as u32;
             }
         }
-        let server_states = (0..graph.num_servers()).map(|_| protocol.init_server()).collect();
-        Self {
+        let server_states = (0..graph.num_servers())
+            .map(|_| protocol.init_server())
+            .collect();
+        Simulation {
             graph,
             protocol,
             config,
@@ -124,7 +204,40 @@ impl<'g, P: Protocol> Simulation<'g, P> {
             round: 0,
             alive_balls: (0..total_balls as u32).collect(),
             total_messages: 0,
+            observers: self.observers,
         }
+    }
+}
+
+/// A protocol run on a fixed graph: owns all mutable state of the process.
+///
+/// Constructed with [`Simulation::builder`]; works with any [`Protocol`], including the
+/// dyn-dispatched `Box<dyn ErasedProtocol>` from [`crate::erased`].
+pub struct Simulation<'g, P: Protocol> {
+    graph: &'g BipartiteGraph,
+    protocol: P,
+    config: SimConfig,
+    factory: StreamFactory,
+
+    // Ball layout: balls of client `c` occupy indices `ball_offsets[c]..ball_offsets[c+1]`.
+    ball_offsets: Vec<u32>,
+    ball_owner: Vec<u32>,
+    ball_assigned: Vec<u32>,
+
+    server_load: Vec<u32>,
+    server_states: Vec<P::ServerState>,
+
+    round: u32,
+    alive_balls: Vec<u32>,
+    total_messages: u64,
+
+    observers: Vec<Box<dyn AnyObserver>>,
+}
+
+impl<'g, P: Protocol> Simulation<'g, P> {
+    /// Starts building a simulation on `graph`.
+    pub fn builder(graph: &'g BipartiteGraph) -> SimulationBuilder<'g, P> {
+        SimulationBuilder::new(graph)
     }
 
     /// The graph the simulation runs on.
@@ -167,6 +280,13 @@ impl<'g, P: Protocol> Simulation<'g, P> {
         &self.server_states
     }
 
+    /// Borrows the first builder-attached observer of concrete type `T`, if any.
+    pub fn observer<T: Observer + Any>(&self) -> Option<&T> {
+        self.observers
+            .iter()
+            .find_map(|o| (**o).as_any().downcast_ref::<T>())
+    }
+
     /// The servers assigned to the balls of `client`, one entry per ball;
     /// `None` for balls still alive.
     pub fn client_assignment(&self, client: ClientId) -> Vec<Option<u32>> {
@@ -178,41 +298,68 @@ impl<'g, P: Protocol> Simulation<'g, P> {
             .collect()
     }
 
-    /// Executes one round and returns its summary record.
+    /// Executes one round and returns its summary record. Builder-attached observers
+    /// see the round exactly as they would under [`Simulation::run`].
     pub fn step(&mut self) -> RoundRecord {
-        let (record, _, _) = self.step_internal();
+        let (record, requests_per_server, closed) = self.step_internal();
+        self.notify_observers(&record, &requests_per_server, &closed, &mut []);
         record
     }
 
-    /// Executes rounds until completion or the round cap, with no observers.
+    /// Executes rounds until completion or the round cap, notifying builder-attached
+    /// observers after each round.
     pub fn run(&mut self) -> RunResult {
         self.run_observed(&mut [])
     }
 
-    /// Executes rounds until completion or the round cap, invoking every observer after
-    /// each round.
+    /// Executes rounds until completion or the round cap, invoking builder-attached
+    /// observers and then every borrowed observer after each round.
     pub fn run_observed(&mut self, observers: &mut [&mut dyn Observer]) -> RunResult {
         while !self.is_complete() && self.round < self.config.max_rounds {
             let (record, requests_per_server, closed) = self.step_internal();
-            if !observers.is_empty() {
-                let view = RoundView {
-                    record: &record,
-                    graph: self.graph,
-                    server_loads: &self.server_load,
-                    requests_per_server: &requests_per_server,
-                    closed: &closed,
-                };
-                for obs in observers.iter_mut() {
-                    obs.on_round(&view);
-                }
-            }
+            self.notify_observers(&record, &requests_per_server, &closed, observers);
         }
         self.result()
+    }
+
+    fn notify_observers(
+        &mut self,
+        record: &RoundRecord,
+        requests_per_server: &[u32],
+        closed: &[bool],
+        external: &mut [&mut dyn Observer],
+    ) {
+        if self.observers.is_empty() && external.is_empty() {
+            return;
+        }
+        // The view borrows the simulation's state while the owned observers need a
+        // mutable borrow; detach them for the duration of the dispatch.
+        let mut owned = std::mem::take(&mut self.observers);
+        let view = RoundView {
+            record,
+            graph: self.graph,
+            server_loads: &self.server_load,
+            requests_per_server,
+            closed,
+        };
+        for obs in owned.iter_mut() {
+            obs.as_observer_mut().on_round(&view);
+        }
+        for obs in external.iter_mut() {
+            obs.on_round(&view);
+        }
+        self.observers = owned;
     }
 
     /// The outcome so far (callable at any point; `completed` reflects the current
     /// alive-ball count).
     pub fn result(&self) -> RunResult {
+        let closed_servers = self
+            .server_states
+            .iter()
+            .zip(&self.server_load)
+            .filter(|(state, &load)| self.protocol.server_is_closed(state, load))
+            .count() as u64;
         RunResult {
             completed: self.is_complete(),
             rounds: self.round,
@@ -220,6 +367,7 @@ impl<'g, P: Protocol> Simulation<'g, P> {
             max_load: self.server_load.iter().copied().max().unwrap_or(0),
             unassigned_balls: self.alive_balls.len() as u64,
             total_balls: self.ball_owner.len() as u64,
+            closed_servers,
         }
     }
 
@@ -353,6 +501,7 @@ impl<'g, P: Protocol> Simulation<'g, P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::observe::MaxLoadObserver;
     use clb_graph::generators;
 
     /// Servers accept everything: classic one-choice.
@@ -411,13 +560,18 @@ mod tests {
     #[test]
     fn accept_all_finishes_in_one_round() {
         let g = generators::regular_random(32, 8, 1).unwrap();
-        let mut sim = Simulation::new(&g, AcceptAll, Demand::Constant(3), SimConfig::new(5));
+        let mut sim = Simulation::builder(&g)
+            .protocol(AcceptAll)
+            .demand(Demand::Constant(3))
+            .seed(5)
+            .build();
         assert_eq!(sim.total_balls(), 96);
         let result = sim.run();
         assert!(result.completed);
         assert_eq!(result.rounds, 1);
         assert_eq!(result.unassigned_balls, 0);
         assert_eq!(result.total_messages, 2 * 96);
+        assert_eq!(result.closed_servers, 0);
         // Every ball landed on a neighbour of its owner.
         for c in g.clients() {
             for server in sim.client_assignment(c) {
@@ -433,7 +587,11 @@ mod tests {
     #[test]
     fn rejections_delay_completion_and_cost_work() {
         let g = generators::regular_random(16, 4, 2).unwrap();
-        let mut sim = Simulation::new(&g, OpensAt(4), Demand::Constant(1), SimConfig::new(1));
+        let mut sim = Simulation::builder(&g)
+            .protocol(OpensAt(4))
+            .demand(Demand::Constant(1))
+            .seed(1)
+            .build();
         let result = sim.run();
         assert!(result.completed);
         assert_eq!(result.rounds, 4);
@@ -444,12 +602,12 @@ mod tests {
     #[test]
     fn round_cap_stops_non_terminating_runs() {
         let g = generators::regular_random(8, 2, 3).unwrap();
-        let mut sim = Simulation::new(
-            &g,
-            OpensAt(u32::MAX),
-            Demand::Constant(1),
-            SimConfig::new(1).with_max_rounds(7),
-        );
+        let mut sim = Simulation::builder(&g)
+            .protocol(OpensAt(u32::MAX))
+            .demand(Demand::Constant(1))
+            .seed(1)
+            .max_rounds(7)
+            .build();
         let result = sim.run();
         assert!(!result.completed);
         assert_eq!(result.rounds, 7);
@@ -460,8 +618,15 @@ mod tests {
     #[test]
     fn step_by_step_matches_run() {
         let g = generators::regular_random(16, 4, 9).unwrap();
-        let mut a = Simulation::new(&g, OpensAt(3), Demand::Constant(2), SimConfig::new(11));
-        let mut b = Simulation::new(&g, OpensAt(3), Demand::Constant(2), SimConfig::new(11));
+        let build = || {
+            Simulation::builder(&g)
+                .protocol(OpensAt(3))
+                .demand(Demand::Constant(2))
+                .seed(11)
+                .build()
+        };
+        let mut a = build();
+        let mut b = build();
         let result_a = a.run();
         let mut rounds = 0;
         while !b.is_complete() && rounds < 100 {
@@ -477,15 +642,18 @@ mod tests {
         // 8 clients, 8 servers, capacity 1, one ball each: a perfect matching must
         // eventually emerge and no server may end with load > 1.
         let g = generators::complete(8, 8).unwrap();
-        let mut sim = Simulation::new(
-            &g,
-            TwoChoiceCapacityOne,
-            Demand::Constant(1),
-            SimConfig::new(3).with_max_rounds(500),
-        );
+        let mut sim = Simulation::builder(&g)
+            .protocol(TwoChoiceCapacityOne)
+            .demand(Demand::Constant(1))
+            .seed(3)
+            .max_rounds(500)
+            .build();
         let result = sim.run();
         assert!(result.completed, "matching should complete: {result:?}");
         assert!(result.max_load <= 1);
+        // Every server holds exactly one ball, and holding a ball is what closes a
+        // server under this protocol.
+        assert_eq!(result.closed_servers, 8);
         let total_load: u32 = sim.server_loads().iter().sum();
         assert_eq!(total_load, 8);
         // Protocol state (net accepted) must agree with the engine's load accounting.
@@ -494,14 +662,23 @@ mod tests {
         }
     }
 
+    // NOTE: under the vendored sequential rayon stub (stubs/rayon) this compares two
+    // sequential runs, so it cannot currently fail for scheduling reasons; it re-arms
+    // automatically once the real rayon is swapped back in (see stubs/README.md).
     #[test]
     fn deterministic_across_thread_counts() {
         let g = generators::regular_random(64, 16, 21).unwrap();
         let run_with = |threads: usize| {
-            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
             pool.install(|| {
-                let mut sim =
-                    Simulation::new(&g, OpensAt(2), Demand::Constant(2), SimConfig::new(77));
+                let mut sim = Simulation::builder(&g)
+                    .protocol(OpensAt(2))
+                    .demand(Demand::Constant(2))
+                    .seed(77)
+                    .build();
                 let result = sim.run();
                 (result, sim.server_loads().to_vec())
             })
@@ -516,7 +693,11 @@ mod tests {
     fn explicit_demand_with_zero_ball_clients() {
         let g = generators::regular_random(4, 2, 5).unwrap();
         let demand = Demand::Explicit(vec![0, 3, 0, 1]);
-        let mut sim = Simulation::new(&g, AcceptAll, demand, SimConfig::new(2));
+        let mut sim = Simulation::builder(&g)
+            .protocol(AcceptAll)
+            .demand(demand)
+            .seed(2)
+            .build();
         assert_eq!(sim.total_balls(), 4);
         let result = sim.run();
         assert!(result.completed);
@@ -528,7 +709,49 @@ mod tests {
     #[should_panic(expected = "no admissible server")]
     fn isolated_client_with_demand_panics() {
         let g = clb_graph::BipartiteGraph::from_edges(2, 2, &[(0, 0)]).unwrap();
-        let _ = Simulation::new(&g, AcceptAll, Demand::Constant(1), SimConfig::new(1));
+        let _ = Simulation::builder(&g)
+            .protocol(AcceptAll)
+            .demand(Demand::Constant(1))
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "protocol is required")]
+    fn builder_requires_a_protocol() {
+        let g = generators::regular_random(4, 2, 5).unwrap();
+        let _ = Simulation::<AcceptAll>::builder(&g)
+            .demand(Demand::Constant(1))
+            .build();
+    }
+
+    #[test]
+    fn builder_attached_observers_see_every_round() {
+        let g = generators::regular_random(16, 4, 9).unwrap();
+        let mut sim = Simulation::builder(&g)
+            .protocol(OpensAt(3))
+            .demand(Demand::Constant(2))
+            .seed(11)
+            .observer(MaxLoadObserver::new())
+            .build();
+        let result = sim.run();
+        let obs = sim
+            .observer::<MaxLoadObserver>()
+            .expect("observer attached");
+        assert_eq!(obs.max_load, result.max_load);
+        // Stepping drives the same observers, too.
+        let mut stepped = Simulation::builder(&g)
+            .protocol(OpensAt(3))
+            .demand(Demand::Constant(2))
+            .seed(11)
+            .observer(MaxLoadObserver::new())
+            .build();
+        while !stepped.is_complete() {
+            stepped.step();
+        }
+        assert_eq!(
+            stepped.observer::<MaxLoadObserver>().unwrap().max_load,
+            result.max_load
+        );
     }
 
     #[test]
@@ -540,9 +763,13 @@ mod tests {
             max_load: 4,
             unassigned_balls: 0,
             total_balls: 100,
+            closed_servers: 0,
         };
         assert!((r.work_per_ball() - 6.0).abs() < 1e-12);
-        let empty = RunResult { total_balls: 0, ..r };
+        let empty = RunResult {
+            total_balls: 0,
+            ..r
+        };
         assert_eq!(empty.work_per_ball(), 0.0);
     }
 }

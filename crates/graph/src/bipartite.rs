@@ -1,6 +1,9 @@
 //! The immutable CSR bipartite graph.
 
-use crate::{ids::{ClientId, ServerId}, GraphError, Result};
+use crate::{
+    ids::{ClientId, ServerId},
+    GraphError, Result,
+};
 use serde::{Deserialize, Serialize};
 
 /// An immutable bipartite client-server graph in compressed sparse row form.
@@ -40,10 +43,16 @@ impl BipartiteGraph {
         for &(c, s) in edges {
             let (ci, si) = (c as usize, s as usize);
             if ci >= num_clients {
-                return Err(GraphError::ClientOutOfRange { client: ci, num_clients });
+                return Err(GraphError::ClientOutOfRange {
+                    client: ci,
+                    num_clients,
+                });
             }
             if si >= num_servers {
-                return Err(GraphError::ServerOutOfRange { server: si, num_servers });
+                return Err(GraphError::ServerOutOfRange {
+                    server: si,
+                    num_servers,
+                });
             }
             client_deg[ci] += 1;
             server_deg[si] += 1;
@@ -97,7 +106,10 @@ impl BipartiteGraph {
             let neigh = self.client_neighbors(ClientId::new(c));
             for w in neigh.windows(2) {
                 if w[0] == w[1] {
-                    return Err(GraphError::DuplicateEdge { client: c, server: w[0].index() });
+                    return Err(GraphError::DuplicateEdge {
+                        client: c,
+                        server: w[0].index(),
+                    });
                 }
             }
         }
@@ -106,12 +118,18 @@ impl BipartiteGraph {
 
     #[inline]
     fn client_range(&self, c: usize) -> (usize, usize) {
-        (self.client_offsets[c] as usize, self.client_offsets[c + 1] as usize)
+        (
+            self.client_offsets[c] as usize,
+            self.client_offsets[c + 1] as usize,
+        )
     }
 
     #[inline]
     fn server_range(&self, s: usize) -> (usize, usize) {
-        (self.server_offsets[s] as usize, self.server_offsets[s + 1] as usize)
+        (
+            self.server_offsets[s] as usize,
+            self.server_offsets[s + 1] as usize,
+        )
     }
 
     /// Number of clients `|C|`.
@@ -177,9 +195,8 @@ impl BipartiteGraph {
 
     /// Iterates over all edges in canonical (client, server) order.
     pub fn edges(&self) -> impl Iterator<Item = (ClientId, ServerId)> + '_ {
-        self.clients().flat_map(move |c| {
-            self.client_neighbors(c).iter().map(move |&s| (c, s))
-        })
+        self.clients()
+            .flat_map(move |c| self.client_neighbors(c).iter().map(move |&s| (c, s)))
     }
 
     /// Returns `true` if some client has an empty neighbourhood (such a client can never
@@ -227,7 +244,10 @@ mod tests {
     #[test]
     fn adjacency_is_sorted_and_symmetric() {
         let g = small_graph();
-        assert_eq!(g.client_neighbors(ClientId(1)), &[ServerId(1), ServerId(2), ServerId(3)]);
+        assert_eq!(
+            g.client_neighbors(ClientId(1)),
+            &[ServerId(1), ServerId(2), ServerId(3)]
+        );
         assert_eq!(g.server_neighbors(ServerId(1)), &[ClientId(0), ClientId(1)]);
         // Every client edge appears in the corresponding server list and vice versa.
         for (c, s) in g.edges() {
@@ -253,15 +273,27 @@ mod tests {
     #[test]
     fn out_of_range_rejected() {
         let err = BipartiteGraph::from_edges(2, 2, &[(2, 0)]).unwrap_err();
-        assert!(matches!(err, GraphError::ClientOutOfRange { client: 2, .. }));
+        assert!(matches!(
+            err,
+            GraphError::ClientOutOfRange { client: 2, .. }
+        ));
         let err = BipartiteGraph::from_edges(2, 2, &[(0, 5)]).unwrap_err();
-        assert!(matches!(err, GraphError::ServerOutOfRange { server: 5, .. }));
+        assert!(matches!(
+            err,
+            GraphError::ServerOutOfRange { server: 5, .. }
+        ));
     }
 
     #[test]
     fn duplicate_edge_rejected() {
         let err = BipartiteGraph::from_edges(2, 2, &[(0, 1), (0, 1)]).unwrap_err();
-        assert!(matches!(err, GraphError::DuplicateEdge { client: 0, server: 1 }));
+        assert!(matches!(
+            err,
+            GraphError::DuplicateEdge {
+                client: 0,
+                server: 1
+            }
+        ));
     }
 
     #[test]

@@ -52,10 +52,16 @@ impl GraphBuilder {
     /// Adds an edge between `client` and `server`.
     pub fn add_edge(&mut self, client: usize, server: usize) -> Result<()> {
         if client >= self.num_clients {
-            return Err(GraphError::ClientOutOfRange { client, num_clients: self.num_clients });
+            return Err(GraphError::ClientOutOfRange {
+                client,
+                num_clients: self.num_clients,
+            });
         }
         if server >= self.num_servers {
-            return Err(GraphError::ServerOutOfRange { server, num_servers: self.num_servers });
+            return Err(GraphError::ServerOutOfRange {
+                server,
+                num_servers: self.num_servers,
+            });
         }
         let key = (client as u32, server as u32);
         if !self.seen.insert(key) {
@@ -92,7 +98,13 @@ mod tests {
         let mut b = GraphBuilder::strict(2, 2);
         b.add_edge(0, 1).unwrap();
         let err = b.add_edge(0, 1).unwrap_err();
-        assert!(matches!(err, GraphError::DuplicateEdge { client: 0, server: 1 }));
+        assert!(matches!(
+            err,
+            GraphError::DuplicateEdge {
+                client: 0,
+                server: 1
+            }
+        ));
     }
 
     #[test]

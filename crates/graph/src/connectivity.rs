@@ -34,10 +34,10 @@ impl Components {
         }
 
         let visit_from_client = |start: usize,
-                                     client_component: &mut Vec<u32>,
-                                     server_component: &mut Vec<u32>,
-                                     queue: &mut std::collections::VecDeque<Node>,
-                                     label: u32| {
+                                 client_component: &mut Vec<u32>,
+                                 server_component: &mut Vec<u32>,
+                                 queue: &mut std::collections::VecDeque<Node>,
+                                 label: u32| {
             client_component[start] = label;
             queue.push_back(Node::Client(start));
             while let Some(node) = queue.pop_front() {
@@ -64,19 +64,29 @@ impl Components {
 
         for c in 0..g.num_clients() {
             if client_component[c] == UNVISITED {
-                visit_from_client(c, &mut client_component, &mut server_component, &mut queue, next_label);
+                visit_from_client(
+                    c,
+                    &mut client_component,
+                    &mut server_component,
+                    &mut queue,
+                    next_label,
+                );
                 next_label += 1;
             }
         }
         // Isolated servers (no incident edges) each form their own component.
-        for s in 0..g.num_servers() {
-            if server_component[s] == UNVISITED {
-                server_component[s] = next_label;
+        for component in server_component.iter_mut() {
+            if *component == UNVISITED {
+                *component = next_label;
                 next_label += 1;
             }
         }
 
-        Self { client_component, server_component, count: next_label as usize }
+        Self {
+            client_component,
+            server_component,
+            count: next_label as usize,
+        }
     }
 
     /// True if all clients and servers belong to a single component.
@@ -92,7 +102,8 @@ mod tests {
 
     #[test]
     fn connected_graph_has_one_component() {
-        let g = BipartiteGraph::from_edges(3, 3, &[(0, 0), (1, 0), (1, 1), (2, 1), (2, 2)]).unwrap();
+        let g =
+            BipartiteGraph::from_edges(3, 3, &[(0, 0), (1, 0), (1, 1), (2, 1), (2, 2)]).unwrap();
         let c = Components::of(&g);
         assert!(c.is_connected());
         assert_eq!(c.count, 1);
@@ -102,7 +113,8 @@ mod tests {
 
     #[test]
     fn two_islands() {
-        let g = BipartiteGraph::from_edges(4, 4, &[(0, 0), (1, 0), (2, 2), (3, 3), (2, 3)]).unwrap();
+        let g =
+            BipartiteGraph::from_edges(4, 4, &[(0, 0), (1, 0), (2, 2), (3, 3), (2, 3)]).unwrap();
         let c = Components::of(&g);
         // {c0,c1,s0} and {c2,c3,s2,s3}, plus isolated s1.
         assert_eq!(c.count, 3);

@@ -35,7 +35,7 @@ pub fn trust_clusters(
     }
     // Round-robin assignment: cluster of node i is i % num_clusters. Cluster k contains
     // the servers {k, k + num_clusters, k + 2*num_clusters, ...}.
-    let cluster_size = |k: usize| -> usize { (n - k + num_clusters - 1) / num_clusters };
+    let cluster_size = |k: usize| -> usize { (n - k).div_ceil(num_clusters) };
     let smallest_cluster = (0..num_clusters).map(cluster_size).min().unwrap_or(0);
     if intra_degree > smallest_cluster {
         return Err(GraphError::InvalidParameters(format!(
@@ -110,7 +110,11 @@ mod tests {
         for c in g.clients() {
             let own = c.index() % num_clusters;
             for &s in g.client_neighbors(c) {
-                assert_eq!(s.index() % num_clusters, own, "client {c} has an out-of-cluster edge");
+                assert_eq!(
+                    s.index() % num_clusters,
+                    own,
+                    "client {c} has an out-of-cluster edge"
+                );
             }
         }
     }
@@ -122,7 +126,11 @@ mod tests {
         for c in g.clients() {
             let own = c.index() % num_clusters;
             for &s in g.client_neighbors(c) {
-                assert_ne!(s.index() % num_clusters, own, "client {c} has an in-cluster edge");
+                assert_ne!(
+                    s.index() % num_clusters,
+                    own,
+                    "client {c} has an in-cluster edge"
+                );
             }
         }
     }
@@ -157,10 +165,10 @@ mod tests {
 
     #[test]
     fn outside_position_mapping_is_a_bijection() {
-        let n = 20;
-        let num_clusters = 4;
+        let n = 20usize;
+        let num_clusters = 4usize;
         for own in 0..num_clusters {
-            let outside = n - (n - own + num_clusters - 1) / num_clusters;
+            let outside = n - (n - own).div_ceil(num_clusters);
             let mut seen = std::collections::HashSet::new();
             for pos in 0..outside {
                 let id = outside_position_to_server(pos, own, num_clusters, n);

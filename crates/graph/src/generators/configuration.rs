@@ -14,7 +14,7 @@ use std::collections::HashMap;
 
 /// Domain tag for the stream factory so graph generation never shares randomness with
 /// protocol execution even when the same experiment seed is reused.
-const GENERATOR_DOMAIN: u64 = 0x6772_6170_68; // "graph"
+const GENERATOR_DOMAIN: u64 = 0x67_7261_7068; // "graph"
 
 /// Generates a uniform-ish random *simple* bipartite graph with the given degree
 /// sequences.
@@ -41,35 +41,47 @@ pub fn configuration_model(
             "degree sequences disagree: client stubs {total_c} vs server stubs {total_s}"
         )));
     }
-    if let Some((i, &d)) = client_degrees.iter().enumerate().find(|&(_, &d)| d > num_servers) {
+    if let Some((i, &d)) = client_degrees
+        .iter()
+        .enumerate()
+        .find(|&(_, &d)| d > num_servers)
+    {
         return Err(GraphError::InvalidParameters(format!(
             "client {i} has degree {d} > number of servers {num_servers}"
         )));
     }
-    if let Some((i, &d)) = server_degrees.iter().enumerate().find(|&(_, &d)| d > num_clients) {
+    if let Some((i, &d)) = server_degrees
+        .iter()
+        .enumerate()
+        .find(|&(_, &d)| d > num_clients)
+    {
         return Err(GraphError::InvalidParameters(format!(
             "server {i} has degree {d} > number of clients {num_clients}"
         )));
     }
 
     let total = total_c;
-    let mut rng = StreamFactory::new(seed).domain(GENERATOR_DOMAIN).stream(0, 0);
+    let mut rng = StreamFactory::new(seed)
+        .domain(GENERATOR_DOMAIN)
+        .stream(0, 0);
 
     // Expand stubs. Position p of the matching connects client_of[p] to server_of[p].
     let mut client_of: Vec<u32> = Vec::with_capacity(total);
     for (c, &d) in client_degrees.iter().enumerate() {
-        client_of.extend(std::iter::repeat(c as u32).take(d));
+        client_of.extend(std::iter::repeat_n(c as u32, d));
     }
     let mut server_of: Vec<u32> = Vec::with_capacity(total);
     for (s, &d) in server_degrees.iter().enumerate() {
-        server_of.extend(std::iter::repeat(s as u32).take(d));
+        server_of.extend(std::iter::repeat_n(s as u32, d));
     }
     shuffle(&mut server_of, &mut rng);
 
     // Multiset of edges; a position is "bad" while its edge has multiplicity > 1.
     let mut multiplicity: HashMap<(u32, u32), u32> = HashMap::with_capacity(total * 2);
     for p in 0..total {
-        *multiplicity.entry((client_of[p], server_of[p])).or_insert(0) += 1;
+        *multiplicity
+            .entry((client_of[p], server_of[p]))
+            .or_insert(0) += 1;
     }
     let mut worklist: Vec<usize> = (0..total)
         .filter(|&p| multiplicity[&(client_of[p], server_of[p])] > 1)

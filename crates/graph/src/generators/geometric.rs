@@ -28,11 +28,7 @@ pub fn radius_for_expected_degree(n: usize, expected_degree: usize) -> f64 {
 /// The generated degrees concentrate around `π·radius²·num_servers`, so choosing
 /// `radius = radius_for_expected_degree(num_servers, ⌈log²n⌉·k)` for a modest constant
 /// `k ≥ 2` yields graphs that satisfy the Theorem 1 hypotheses with high probability.
-pub fn geometric_proximity(
-    num_clients: usize,
-    radius: f64,
-    seed: u64,
-) -> Result<BipartiteGraph> {
+pub fn geometric_proximity(num_clients: usize, radius: f64, seed: u64) -> Result<BipartiteGraph> {
     geometric_proximity_rect(num_clients, num_clients, radius, seed)
 }
 
@@ -48,7 +44,7 @@ pub fn geometric_proximity_rect(
             "geometric graph needs at least one client and one server".into(),
         ));
     }
-    if !(radius > 0.0) || radius.is_nan() {
+    if radius <= 0.0 || radius.is_nan() {
         return Err(GraphError::InvalidParameters(format!(
             "radius {radius} must be positive"
         )));
@@ -57,10 +53,12 @@ pub fn geometric_proximity_rect(
 
     let factory = StreamFactory::new(seed).domain(GEO_DOMAIN);
     let mut rng = factory.stream(0, 0);
-    let clients: Vec<(f64, f64)> =
-        (0..num_clients).map(|_| (rng.next_f64(), rng.next_f64())).collect();
-    let servers: Vec<(f64, f64)> =
-        (0..num_servers).map(|_| (rng.next_f64(), rng.next_f64())).collect();
+    let clients: Vec<(f64, f64)> = (0..num_clients)
+        .map(|_| (rng.next_f64(), rng.next_f64()))
+        .collect();
+    let servers: Vec<(f64, f64)> = (0..num_servers)
+        .map(|_| (rng.next_f64(), rng.next_f64()))
+        .collect();
 
     // Bucket servers on a grid with cell size >= radius so only the 3x3 neighbourhood
     // of a client's cell needs to be scanned.

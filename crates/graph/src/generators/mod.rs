@@ -31,7 +31,7 @@ pub use regular::{almost_regular, regular_random, skewed_paper_example};
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{stats::DegreeStats, log2_squared};
+    use crate::{log2_squared, stats::DegreeStats};
 
     /// Every generator must produce graphs whose CSR invariants hold; spot-check the
     /// whole family here in one place (detailed per-generator tests live in the
@@ -42,7 +42,10 @@ mod tests {
         let delta = log2_squared(n);
         let graphs = vec![
             ("regular", regular_random(n, delta, 1).unwrap()),
-            ("almost_regular", almost_regular(n, delta, 2 * delta, 2).unwrap()),
+            (
+                "almost_regular",
+                almost_regular(n, delta, 2 * delta, 2).unwrap(),
+            ),
             ("skewed", skewed_paper_example(n, 3).unwrap()),
             ("complete", complete(n, n).unwrap()),
             ("erdos_renyi", erdos_renyi(n, n, 0.3, 4).unwrap()),
@@ -50,7 +53,10 @@ mod tests {
                 "geometric",
                 geometric_proximity(n, radius_for_expected_degree(n, delta), 5).unwrap(),
             ),
-            ("clusters", trust_clusters(n, 4, delta.min(n / 8), 4, 6).unwrap()),
+            (
+                "clusters",
+                trust_clusters(n, 4, delta.min(n / 8), 4, 6).unwrap(),
+            ),
         ];
         for (name, g) in graphs {
             assert_eq!(g.num_clients(), n, "{name}");
@@ -59,7 +65,10 @@ mod tests {
             assert!(stats.num_edges > 0, "{name} generated no edges");
             // CSR symmetry: every client edge is mirrored on the server side.
             for (c, s) in g.edges() {
-                assert!(g.server_neighbors(s).contains(&c), "{name}: asymmetric edge");
+                assert!(
+                    g.server_neighbors(s).contains(&c),
+                    "{name}: asymmetric edge"
+                );
             }
         }
     }

@@ -48,8 +48,9 @@ pub fn almost_regular(
     }
     let mut rng = StreamFactory::new(seed).domain(DEGREE_DOMAIN).stream(0, 0);
     let span = client_max_degree - client_min_degree + 1;
-    let client_degrees: Vec<usize> =
-        (0..n).map(|_| client_min_degree + rng.gen_index(span)).collect();
+    let client_degrees: Vec<usize> = (0..n)
+        .map(|_| client_min_degree + rng.gen_index(span))
+        .collect();
     let total: usize = client_degrees.iter().sum();
     let server_degrees = balanced_degrees(total, n);
     configuration_model(&client_degrees, &server_degrees, seed)
@@ -92,7 +93,11 @@ pub fn skewed_paper_example(n: usize, seed: u64) -> Result<BipartiteGraph> {
         *deg = light_degree;
     }
     let heavy_server_degrees = balanced_degrees(total - light_total, n - light_servers);
-    for (slot, deg) in server_degrees.iter_mut().skip(light_servers).zip(heavy_server_degrees) {
+    for (slot, deg) in server_degrees
+        .iter_mut()
+        .skip(light_servers)
+        .zip(heavy_server_degrees)
+    {
         *slot = deg;
     }
     if let Some(&max_s) = server_degrees.iter().max() {
@@ -214,9 +219,21 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        assert_eq!(regular_random(32, 5, 2).unwrap(), regular_random(32, 5, 2).unwrap());
-        assert_eq!(almost_regular(32, 4, 8, 2).unwrap(), almost_regular(32, 4, 8, 2).unwrap());
-        assert_eq!(skewed_paper_example(64, 2).unwrap(), skewed_paper_example(64, 2).unwrap());
-        assert_ne!(regular_random(32, 5, 2).unwrap(), regular_random(32, 5, 3).unwrap());
+        assert_eq!(
+            regular_random(32, 5, 2).unwrap(),
+            regular_random(32, 5, 2).unwrap()
+        );
+        assert_eq!(
+            almost_regular(32, 4, 8, 2).unwrap(),
+            almost_regular(32, 4, 8, 2).unwrap()
+        );
+        assert_eq!(
+            skewed_paper_example(64, 2).unwrap(),
+            skewed_paper_example(64, 2).unwrap()
+        );
+        assert_ne!(
+            regular_random(32, 5, 2).unwrap(),
+            regular_random(32, 5, 3).unwrap()
+        );
     }
 }

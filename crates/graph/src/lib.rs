@@ -89,11 +89,23 @@ pub enum GraphError {
 impl std::fmt::Display for GraphError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            GraphError::ClientOutOfRange { client, num_clients } => {
-                write!(f, "client index {client} out of range (num_clients = {num_clients})")
+            GraphError::ClientOutOfRange {
+                client,
+                num_clients,
+            } => {
+                write!(
+                    f,
+                    "client index {client} out of range (num_clients = {num_clients})"
+                )
             }
-            GraphError::ServerOutOfRange { server, num_servers } => {
-                write!(f, "server index {server} out of range (num_servers = {num_servers})")
+            GraphError::ServerOutOfRange {
+                server,
+                num_servers,
+            } => {
+                write!(
+                    f,
+                    "server index {server} out of range (num_servers = {num_servers})"
+                )
             }
             GraphError::DuplicateEdge { client, server } => {
                 write!(f, "duplicate edge ({client}, {server})")
@@ -139,9 +151,15 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = GraphError::ClientOutOfRange { client: 7, num_clients: 5 };
+        let e = GraphError::ClientOutOfRange {
+            client: 7,
+            num_clients: 5,
+        };
         assert!(e.to_string().contains('7'));
-        let e = GraphError::DuplicateEdge { client: 1, server: 2 };
+        let e = GraphError::DuplicateEdge {
+            client: 1,
+            server: 2,
+        };
         assert!(e.to_string().contains("duplicate"));
         let e = GraphError::InvalidParameters("delta too large".into());
         assert!(e.to_string().contains("delta too large"));

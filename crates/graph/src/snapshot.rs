@@ -33,7 +33,9 @@ pub fn encode(graph: &BipartiteGraph) -> Bytes {
 pub fn decode(mut data: &[u8]) -> Result<BipartiteGraph> {
     let need = |data: &[u8], bytes: usize, what: &str| -> Result<()> {
         if data.remaining() < bytes {
-            return Err(GraphError::CorruptSnapshot(format!("truncated while reading {what}")));
+            return Err(GraphError::CorruptSnapshot(format!(
+                "truncated while reading {what}"
+            )));
         }
         Ok(())
     };
@@ -41,12 +43,16 @@ pub fn decode(mut data: &[u8]) -> Result<BipartiteGraph> {
     need(data, 4, "magic")?;
     let magic = data.get_u32_le();
     if magic != MAGIC {
-        return Err(GraphError::CorruptSnapshot(format!("bad magic 0x{magic:08x}")));
+        return Err(GraphError::CorruptSnapshot(format!(
+            "bad magic 0x{magic:08x}"
+        )));
     }
     need(data, 4, "version")?;
     let version = data.get_u32_le();
     if version != VERSION {
-        return Err(GraphError::CorruptSnapshot(format!("unsupported version {version}")));
+        return Err(GraphError::CorruptSnapshot(format!(
+            "unsupported version {version}"
+        )));
     }
     need(data, 24, "header")?;
     let num_clients = data.get_u64_le() as usize;
@@ -93,7 +99,10 @@ mod tests {
         let g = generators::regular_random(8, 2, 1).unwrap();
         let mut bytes = encode(&g).to_vec();
         bytes[0] ^= 0xFF;
-        assert!(matches!(decode(&bytes), Err(GraphError::CorruptSnapshot(_))));
+        assert!(matches!(
+            decode(&bytes),
+            Err(GraphError::CorruptSnapshot(_))
+        ));
     }
 
     #[test]
@@ -101,7 +110,10 @@ mod tests {
         let g = generators::regular_random(8, 2, 1).unwrap();
         let mut bytes = encode(&g).to_vec();
         bytes[4] = 99;
-        assert!(matches!(decode(&bytes), Err(GraphError::CorruptSnapshot(_))));
+        assert!(matches!(
+            decode(&bytes),
+            Err(GraphError::CorruptSnapshot(_))
+        ));
     }
 
     #[test]
@@ -121,7 +133,10 @@ mod tests {
         let g = generators::regular_random(8, 2, 1).unwrap();
         let mut bytes = encode(&g).to_vec();
         bytes.push(0);
-        assert!(matches!(decode(&bytes), Err(GraphError::CorruptSnapshot(_))));
+        assert!(matches!(
+            decode(&bytes),
+            Err(GraphError::CorruptSnapshot(_))
+        ));
     }
 
     #[test]

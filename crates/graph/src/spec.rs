@@ -83,9 +83,11 @@ impl GraphSpec {
                 let delta = ((log2_squared(n) as f64 * eta).ceil() as usize).clamp(1, n);
                 generators::regular_random(n, delta, seed)
             }
-            GraphSpec::AlmostRegular { n, min_degree, max_degree } => {
-                generators::almost_regular(n, min_degree, max_degree, seed)
-            }
+            GraphSpec::AlmostRegular {
+                n,
+                min_degree,
+                max_degree,
+            } => generators::almost_regular(n, min_degree, max_degree, seed),
             GraphSpec::SkewedExample { n } => generators::skewed_paper_example(n, seed),
             GraphSpec::Complete { n } => generators::complete(n, n),
             GraphSpec::ErdosRenyi { n, p } => generators::erdos_renyi(n, n, p, seed),
@@ -93,9 +95,12 @@ impl GraphSpec {
                 let radius = generators::radius_for_expected_degree(n, expected_degree);
                 generators::geometric_proximity(n, radius, seed)
             }
-            GraphSpec::Clusters { n, clusters, intra_degree, inter_degree } => {
-                generators::trust_clusters(n, clusters, intra_degree, inter_degree, seed)
-            }
+            GraphSpec::Clusters {
+                n,
+                clusters,
+                intra_degree,
+                inter_degree,
+            } => generators::trust_clusters(n, clusters, intra_degree, inter_degree, seed),
         }
     }
 
@@ -118,7 +123,11 @@ impl GraphSpec {
         match *self {
             GraphSpec::Regular { n, delta } => format!("regular(n={n}, d={delta})"),
             GraphSpec::RegularLogSquared { n, eta } => format!("regular-log2(n={n}, eta={eta})"),
-            GraphSpec::AlmostRegular { n, min_degree, max_degree } => {
+            GraphSpec::AlmostRegular {
+                n,
+                min_degree,
+                max_degree,
+            } => {
                 format!("almost-regular(n={n}, deg=[{min_degree},{max_degree}])")
             }
             GraphSpec::SkewedExample { n } => format!("skewed(n={n})"),
@@ -127,7 +136,12 @@ impl GraphSpec {
             GraphSpec::Geometric { n, expected_degree } => {
                 format!("geometric(n={n}, deg~{expected_degree})")
             }
-            GraphSpec::Clusters { n, clusters, intra_degree, inter_degree } => {
+            GraphSpec::Clusters {
+                n,
+                clusters,
+                intra_degree,
+                inter_degree,
+            } => {
                 format!("clusters(n={n}, k={clusters}, intra={intra_degree}, inter={inter_degree})")
             }
         }
@@ -144,12 +158,24 @@ mod tests {
         let specs = vec![
             GraphSpec::Regular { n: 64, delta: 8 },
             GraphSpec::RegularLogSquared { n: 64, eta: 1.0 },
-            GraphSpec::AlmostRegular { n: 64, min_degree: 8, max_degree: 16 },
+            GraphSpec::AlmostRegular {
+                n: 64,
+                min_degree: 8,
+                max_degree: 16,
+            },
             GraphSpec::SkewedExample { n: 64 },
             GraphSpec::Complete { n: 32 },
             GraphSpec::ErdosRenyi { n: 64, p: 0.25 },
-            GraphSpec::Geometric { n: 64, expected_degree: 12 },
-            GraphSpec::Clusters { n: 64, clusters: 4, intra_degree: 8, inter_degree: 2 },
+            GraphSpec::Geometric {
+                n: 64,
+                expected_degree: 12,
+            },
+            GraphSpec::Clusters {
+                n: 64,
+                clusters: 4,
+                intra_degree: 8,
+                inter_degree: 2,
+            },
         ];
         for spec in specs {
             let g = spec.build(1).unwrap();
@@ -160,8 +186,12 @@ mod tests {
 
     #[test]
     fn regular_log_squared_uses_eta() {
-        let g1 = GraphSpec::RegularLogSquared { n: 256, eta: 1.0 }.build(3).unwrap();
-        let g2 = GraphSpec::RegularLogSquared { n: 256, eta: 2.0 }.build(3).unwrap();
+        let g1 = GraphSpec::RegularLogSquared { n: 256, eta: 1.0 }
+            .build(3)
+            .unwrap();
+        let g2 = GraphSpec::RegularLogSquared { n: 256, eta: 2.0 }
+            .build(3)
+            .unwrap();
         let d1 = DegreeStats::of(&g1).min_client_degree;
         let d2 = DegreeStats::of(&g2).min_client_degree;
         assert_eq!(d1, 64); // log2(256)^2 = 64
@@ -170,13 +200,21 @@ mod tests {
 
     #[test]
     fn labels_mention_key_parameters() {
-        assert!(GraphSpec::Regular { n: 10, delta: 3 }.label().contains("d=3"));
-        assert!(GraphSpec::ErdosRenyi { n: 10, p: 0.5 }.label().contains("0.5"));
+        assert!(GraphSpec::Regular { n: 10, delta: 3 }
+            .label()
+            .contains("d=3"));
+        assert!(GraphSpec::ErdosRenyi { n: 10, p: 0.5 }
+            .label()
+            .contains("0.5"));
     }
 
     #[test]
     fn build_is_deterministic_per_seed() {
-        let spec = GraphSpec::AlmostRegular { n: 64, min_degree: 6, max_degree: 12 };
+        let spec = GraphSpec::AlmostRegular {
+            n: 64,
+            min_degree: 6,
+            max_degree: 12,
+        };
         assert_eq!(spec.build(9).unwrap(), spec.build(9).unwrap());
         assert_ne!(spec.build(9).unwrap(), spec.build(10).unwrap());
     }

@@ -49,7 +49,9 @@ impl Protocol for KChoice {
     }
 
     fn server_decide(&self, _state: &mut (), ctx: &ServerCtx) -> u32 {
-        self.capacity.saturating_sub(ctx.current_load).min(ctx.incoming)
+        self.capacity
+            .saturating_sub(ctx.current_load)
+            .min(ctx.incoming)
     }
 
     fn server_is_closed(&self, _state: &(), current_load: u32) -> bool {
@@ -64,11 +66,16 @@ impl Protocol for KChoice {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use clb_engine::{Demand, SimConfig, Simulation};
+    use clb_engine::{Demand, Simulation};
     use clb_graph::{generators, log2_squared};
 
     fn ctx(load: u32, incoming: u32) -> ServerCtx {
-        ServerCtx { server: 0, round: 1, current_load: load, incoming }
+        ServerCtx {
+            server: 0,
+            round: 1,
+            current_load: load,
+            incoming,
+        }
     }
 
     #[test]
@@ -101,12 +108,12 @@ mod tests {
         let d = 2;
         let cap = 4 * d;
         let graph = generators::regular_random(n, log2_squared(n), 9).unwrap();
-        let mut sim = Simulation::new(
-            &graph,
-            KChoice::new(2, cap),
-            Demand::Constant(d),
-            SimConfig::new(21).with_max_rounds(1_000),
-        );
+        let mut sim = Simulation::builder(&graph)
+            .protocol(KChoice::new(2, cap))
+            .demand(Demand::Constant(d))
+            .seed(21)
+            .max_rounds(1_000)
+            .build();
         let result = sim.run();
         assert!(result.completed);
         assert!(result.max_load <= cap);
@@ -119,12 +126,12 @@ mod tests {
         let n = 128;
         let graph = generators::regular_random(n, log2_squared(n), 5).unwrap();
         let run = |k| {
-            let mut sim = Simulation::new(
-                &graph,
-                KChoice::new(k, 8),
-                Demand::Constant(2),
-                SimConfig::new(2).with_max_rounds(1_000),
-            );
+            let mut sim = Simulation::builder(&graph)
+                .protocol(KChoice::new(k, 8))
+                .demand(Demand::Constant(2))
+                .seed(2)
+                .max_rounds(1_000)
+                .build();
             sim.run()
         };
         let one = run(1);

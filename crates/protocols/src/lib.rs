@@ -15,13 +15,15 @@
 //!   collision-style baseline for the dense regime.
 //! * [`OneShot`] — servers accept everything; the one-round uniform baseline whose
 //!   maximum load is the classic `Θ(log n / log log n)`.
-//! * [`AnyProtocol`] — a serde-configurable enum over all of the above so experiments
-//!   can be described purely by data ([`ProtocolSpec`]).
+//! * [`ProtocolSpec`] — a serde-configurable description of any of the above;
+//!   [`ProtocolSpec::build`] materialises it as a `Box<dyn ErasedProtocol>`
+//!   (the object-safe layer of `clb-engine`), which drops into the simulation builder
+//!   exactly like a concrete protocol.
 //!
 //! # Quick start
 //!
 //! ```
-//! use clb_engine::{Demand, SimConfig, Simulation};
+//! use clb_engine::{Demand, Simulation};
 //! use clb_graph::generators;
 //! use clb_protocols::Saer;
 //!
@@ -30,25 +32,49 @@
 //! let graph = generators::regular_random(n, delta, 1).unwrap();
 //! let d = 2;
 //! let c = 8;
-//! let mut sim = Simulation::new(&graph, Saer::new(c, d), Demand::Constant(d), SimConfig::new(42));
+//! let mut sim = Simulation::builder(&graph)
+//!     .protocol(Saer::new(c, d))
+//!     .demand(Demand::Constant(d))
+//!     .seed(42)
+//!     .build();
 //! let result = sim.run();
 //! assert!(result.completed);
 //! assert!(result.max_load <= c * d); // the protocol's hard load guarantee
+//! ```
+//!
+//! # Quick start, protocol chosen at runtime
+//!
+//! ```
+//! use clb_engine::{Demand, Simulation};
+//! use clb_graph::generators;
+//! use clb_protocols::ProtocolSpec;
+//!
+//! let graph = generators::regular_random(256, clb_graph::log2_squared(256), 1).unwrap();
+//! // e.g. deserialised from an experiment config file:
+//! let spec = ProtocolSpec::Raes { c: 8, d: 2 };
+//! let result = Simulation::builder(&graph)
+//!     .protocol(spec.build())
+//!     .demand(Demand::Constant(2))
+//!     .seed(42)
+//!     .build()
+//!     .run();
+//! assert!(result.completed);
+//! assert!(result.max_load <= 16);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod any;
 pub mod kchoice;
 pub mod one_shot;
 pub mod raes;
 pub mod saer;
+pub mod spec;
 pub mod threshold;
 
-pub use any::{AnyProtocol, AnyServerState, ProtocolSpec};
 pub use kchoice::KChoice;
 pub use one_shot::OneShot;
 pub use raes::{Raes, RaesServerState};
 pub use saer::{Saer, SaerServerState};
+pub use spec::ProtocolSpec;
 pub use threshold::Threshold;

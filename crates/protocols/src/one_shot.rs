@@ -40,14 +40,17 @@ impl Protocol for OneShot {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use clb_engine::{Demand, SimConfig, Simulation};
+    use clb_engine::{Demand, Simulation};
     use clb_graph::generators;
 
     #[test]
     fn completes_in_exactly_one_round() {
         let graph = generators::regular_random(128, 32, 3).unwrap();
-        let mut sim =
-            Simulation::new(&graph, OneShot::new(), Demand::Constant(3), SimConfig::new(1));
+        let mut sim = Simulation::builder(&graph)
+            .protocol(OneShot::new())
+            .demand(Demand::Constant(3))
+            .seed(1)
+            .build();
         let result = sim.run();
         assert!(result.completed);
         assert_eq!(result.rounds, 1);
@@ -62,10 +65,17 @@ mod tests {
         // comfortably below the Θ(log n / log log n) ≈ 4.5 expectation but robust.
         let n = 1024;
         let graph = generators::complete(n, n).unwrap();
-        let mut sim =
-            Simulation::new(&graph, OneShot::new(), Demand::Constant(1), SimConfig::new(7));
+        let mut sim = Simulation::builder(&graph)
+            .protocol(OneShot::new())
+            .demand(Demand::Constant(1))
+            .seed(7)
+            .build();
         let result = sim.run();
         assert!(result.completed);
-        assert!(result.max_load >= 3, "max load {} suspiciously balanced", result.max_load);
+        assert!(
+            result.max_load >= 3,
+            "max load {} suspiciously balanced",
+            result.max_load
+        );
     }
 }

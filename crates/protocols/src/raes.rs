@@ -90,7 +90,12 @@ mod tests {
     use clb_graph::{generators, log2_squared};
 
     fn ctx(round: u32, load: u32, incoming: u32) -> ServerCtx {
-        ServerCtx { server: 0, round, current_load: load, incoming }
+        ServerCtx {
+            server: 0,
+            round,
+            current_load: load,
+            incoming,
+        }
     }
 
     #[test]
@@ -122,8 +127,11 @@ mod tests {
         let d = 2;
         let c = 8;
         let graph = generators::regular_random(n, delta, 7).unwrap();
-        let mut sim =
-            Simulation::new(&graph, Raes::new(c, d), Demand::Constant(d), SimConfig::new(11));
+        let mut sim = Simulation::builder(&graph)
+            .protocol(Raes::new(c, d))
+            .demand(Demand::Constant(d))
+            .seed(11)
+            .build();
         let result = sim.run();
         assert!(result.completed);
         assert!(result.max_load <= c * d);
@@ -141,12 +149,23 @@ mod tests {
         let n = 16;
         let graph = generators::complete(n, n).unwrap();
         let cfg = SimConfig::new(3).with_max_rounds(5_000);
-        let mut raes_sim = Simulation::new(&graph, Raes::new(1, 1), Demand::Constant(1), cfg);
+        let mut raes_sim = Simulation::builder(&graph)
+            .protocol(Raes::new(1, 1))
+            .demand(Demand::Constant(1))
+            .config(cfg)
+            .build();
         let raes_result = raes_sim.run();
-        assert!(raes_result.completed, "RAES with c=1,d=1 should find the matching");
+        assert!(
+            raes_result.completed,
+            "RAES with c=1,d=1 should find the matching"
+        );
         assert!(raes_result.max_load <= 1);
 
-        let mut saer_sim = Simulation::new(&graph, Saer::new(1, 1), Demand::Constant(1), cfg);
+        let mut saer_sim = Simulation::builder(&graph)
+            .protocol(Saer::new(1, 1))
+            .demand(Demand::Constant(1))
+            .config(cfg)
+            .build();
         let saer_result = saer_sim.run();
         let burned_empty = saer_sim
             .server_states()
@@ -175,8 +194,16 @@ mod tests {
         let graph = generators::regular_random(n, log2_squared(n), 37).unwrap();
         for seed in 0..5 {
             let cfg = SimConfig::new(seed);
-            let mut saer = Simulation::new(&graph, Saer::new(c, d), Demand::Constant(d), cfg);
-            let mut raes = Simulation::new(&graph, Raes::new(c, d), Demand::Constant(d), cfg);
+            let mut saer = Simulation::builder(&graph)
+                .protocol(Saer::new(c, d))
+                .demand(Demand::Constant(d))
+                .config(cfg)
+                .build();
+            let mut raes = Simulation::builder(&graph)
+                .protocol(Raes::new(c, d))
+                .demand(Demand::Constant(d))
+                .config(cfg)
+                .build();
             let mut saer_tr = TrajectoryObserver::new();
             let mut raes_tr = TrajectoryObserver::new();
             let rs = saer.run_observed(&mut [&mut saer_tr]);
@@ -195,12 +222,11 @@ mod tests {
     fn deterministic_given_seed() {
         let graph = generators::regular_random(128, 49, 3).unwrap();
         let run = |seed| {
-            let mut sim = Simulation::new(
-                &graph,
-                Raes::new(4, 2),
-                Demand::Constant(2),
-                SimConfig::new(seed),
-            );
+            let mut sim = Simulation::builder(&graph)
+                .protocol(Raes::new(4, 2))
+                .demand(Demand::Constant(2))
+                .seed(seed)
+                .build();
             sim.run()
         };
         assert_eq!(run(5), run(5));

@@ -93,11 +93,16 @@ impl Protocol for Saer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use clb_engine::{Demand, SimConfig, Simulation};
+    use clb_engine::{Demand, Simulation};
     use clb_graph::{generators, log2_squared};
 
     fn ctx(round: u32, load: u32, incoming: u32) -> ServerCtx {
-        ServerCtx { server: 0, round, current_load: load, incoming }
+        ServerCtx {
+            server: 0,
+            round,
+            current_load: load,
+            incoming,
+        }
     }
 
     #[test]
@@ -167,11 +172,19 @@ mod tests {
         let d = 2;
         let c = 8;
         let graph = generators::regular_random(n, delta, 7).unwrap();
-        let mut sim =
-            Simulation::new(&graph, Saer::new(c, d), Demand::Constant(d), SimConfig::new(11));
+        let mut sim = Simulation::builder(&graph)
+            .protocol(Saer::new(c, d))
+            .demand(Demand::Constant(d))
+            .seed(11)
+            .build();
         let result = sim.run();
         assert!(result.completed, "SAER should complete: {result:?}");
-        assert!(result.max_load <= c * d, "load {} exceeds cd = {}", result.max_load, c * d);
+        assert!(
+            result.max_load <= c * d,
+            "load {} exceeds cd = {}",
+            result.max_load,
+            c * d
+        );
         // Theorem 1: O(log n) rounds. 3·log2(n) = 27 is the constant the proof uses.
         let bound = 3.0 * (n as f64).log2();
         assert!(
@@ -181,7 +194,11 @@ mod tests {
         );
         // Work is Θ(n·d): with the paper's accounting each ball costs ≥ 2 messages.
         assert!(result.total_messages >= 2 * (n as u64) * d as u64);
-        assert!(result.work_per_ball() < 20.0, "work per ball {} too large", result.work_per_ball());
+        assert!(
+            result.work_per_ball() < 20.0,
+            "work per ball {} too large",
+            result.work_per_ball()
+        );
     }
 
     #[test]
@@ -192,8 +209,11 @@ mod tests {
         let delta = log2_squared(n);
         let graph = generators::regular_random(n, delta, 13).unwrap();
         let protocol = Saer::new(c, d);
-        let mut sim =
-            Simulation::new(&graph, protocol, Demand::Constant(d), SimConfig::new(29));
+        let mut sim = Simulation::builder(&graph)
+            .protocol(protocol)
+            .demand(Demand::Constant(d))
+            .seed(29)
+            .build();
         let result = sim.run();
         // Whether or not the run completed, no load may exceed cd and every burned
         // server's load must be at most what it had accepted before burning (≤ cd).
@@ -211,19 +231,21 @@ mod tests {
         }
         // With c = 2 and d·n balls over n servers, some servers should have burned;
         // this keeps the test meaningful (if not, the workload is too easy).
-        assert!(burned_count > 0, "expected at least one burned server with c = 2");
+        assert!(
+            burned_count > 0,
+            "expected at least one burned server with c = 2"
+        );
     }
 
     #[test]
     fn deterministic_given_seed() {
         let graph = generators::regular_random(128, 49, 3).unwrap();
         let run = |seed| {
-            let mut sim = Simulation::new(
-                &graph,
-                Saer::new(4, 2),
-                Demand::Constant(2),
-                SimConfig::new(seed),
-            );
+            let mut sim = Simulation::builder(&graph)
+                .protocol(Saer::new(4, 2))
+                .demand(Demand::Constant(2))
+                .seed(seed)
+                .build();
             let r = sim.run();
             (r, sim.server_loads().to_vec())
         };
@@ -237,8 +259,11 @@ mod tests {
         let n = 128;
         let d = 3;
         let graph = generators::complete(n, n).unwrap();
-        let mut sim =
-            Simulation::new(&graph, Saer::new(4, d), Demand::Constant(d), SimConfig::new(17));
+        let mut sim = Simulation::builder(&graph)
+            .protocol(Saer::new(4, d))
+            .demand(Demand::Constant(d))
+            .seed(17)
+            .build();
         let result = sim.run();
         assert!(result.completed);
         assert!(result.max_load <= 4 * d);
@@ -248,12 +273,11 @@ mod tests {
     fn uniform_at_most_demand_is_supported() {
         let n = 128;
         let graph = generators::regular_random(n, log2_squared(n), 23).unwrap();
-        let mut sim = Simulation::new(
-            &graph,
-            Saer::new(8, 4),
-            Demand::UniformAtMost(4),
-            SimConfig::new(31),
-        );
+        let mut sim = Simulation::builder(&graph)
+            .protocol(Saer::new(8, 4))
+            .demand(Demand::UniformAtMost(4))
+            .seed(31)
+            .build();
         let result = sim.run();
         assert!(result.completed);
         assert!(result.max_load <= 32);

@@ -1,0 +1,194 @@
+//! Data-driven protocol selection.
+//!
+//! Experiments are configured from serializable specs: [`ProtocolSpec`] names a protocol
+//! and its parameters, and [`ProtocolSpec::build`] materialises it as a
+//! `Box<dyn ErasedProtocol>` — the object-safe protocol layer of `clb-engine`. The boxed
+//! protocol implements [`Protocol`](clb_engine::Protocol) itself, so it plugs into the
+//! simulation builder exactly like a concrete type and produces bit-identical results
+//! (the `erased_equivalence` integration test pins this down for every variant).
+//!
+//! This replaces the old hand-maintained `AnyProtocol`/`AnyServerState` enum pair:
+//! adding a protocol no longer means threading a new variant through five dispatch
+//! methods — implement `Protocol`, add a constructor arm here, done.
+
+use crate::{KChoice, OneShot, Raes, Saer, Threshold};
+use clb_engine::{erase, ErasedProtocol};
+use serde::{Deserialize, Serialize};
+
+/// A serializable description of a protocol and its parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProtocolSpec {
+    /// SAER(c, d).
+    Saer {
+        /// Threshold constant `c`.
+        c: u32,
+        /// Request number `d`.
+        d: u32,
+    },
+    /// RAES(c, d).
+    Raes {
+        /// Threshold constant `c`.
+        c: u32,
+        /// Request number `d`.
+        d: u32,
+    },
+    /// Per-round threshold protocol.
+    Threshold {
+        /// Per-round acceptance cap.
+        per_round: u32,
+    },
+    /// Parallel k-choice with per-server capacity.
+    KChoice {
+        /// Choices per ball per round.
+        k: u32,
+        /// Per-server capacity.
+        capacity: u32,
+    },
+    /// Accept-everything single-round baseline.
+    OneShot,
+}
+
+impl ProtocolSpec {
+    /// Materialises the spec as a runtime-dispatched protocol.
+    pub fn build(&self) -> Box<dyn ErasedProtocol> {
+        match *self {
+            ProtocolSpec::Saer { c, d } => erase(Saer::new(c, d)),
+            ProtocolSpec::Raes { c, d } => erase(Raes::new(c, d)),
+            ProtocolSpec::Threshold { per_round } => erase(Threshold::new(per_round)),
+            ProtocolSpec::KChoice { k, capacity } => erase(KChoice::new(k, capacity)),
+            ProtocolSpec::OneShot => erase(OneShot::new()),
+        }
+    }
+
+    /// Every spec variant with the given parameters, for exhaustive sweeps and tests.
+    pub fn all_variants(c: u32, d: u32) -> Vec<ProtocolSpec> {
+        vec![
+            ProtocolSpec::Saer { c, d },
+            ProtocolSpec::Raes { c, d },
+            ProtocolSpec::Threshold {
+                per_round: d.max(1),
+            },
+            ProtocolSpec::KChoice {
+                k: 2,
+                capacity: c * d,
+            },
+            ProtocolSpec::OneShot,
+        ]
+    }
+
+    /// A short label for experiment tables (matches the built protocol's `name()`,
+    /// without materialising one).
+    pub fn label(&self) -> String {
+        match *self {
+            ProtocolSpec::Saer { c, d } => format!("saer(c={c}, d={d})"),
+            ProtocolSpec::Raes { c, d } => format!("raes(c={c}, d={d})"),
+            ProtocolSpec::Threshold { per_round } => format!("threshold(T={per_round})"),
+            ProtocolSpec::KChoice { k, capacity } => format!("kchoice(k={k}, cap={capacity})"),
+            ProtocolSpec::OneShot => "one-shot".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clb_engine::{Demand, Protocol, ServerCtx, Simulation};
+    use clb_graph::{generators, log2_squared};
+
+    #[test]
+    fn every_spec_builds_and_has_a_label() {
+        for spec in ProtocolSpec::all_variants(8, 2) {
+            let protocol = spec.build();
+            assert!(!spec.label().is_empty());
+            assert_eq!(spec.label(), protocol.name());
+        }
+    }
+
+    #[test]
+    fn erased_runs_match_concrete_protocol_runs() {
+        let n = 128;
+        let d = 2;
+        let graph = generators::regular_random(n, log2_squared(n), 3).unwrap();
+
+        let mut concrete = Simulation::builder(&graph)
+            .protocol(Saer::new(4, d))
+            .demand(Demand::Constant(d))
+            .seed(99)
+            .build();
+        let concrete_result = concrete.run();
+
+        let mut erased = Simulation::builder(&graph)
+            .protocol(ProtocolSpec::Saer { c: 4, d }.build())
+            .demand(Demand::Constant(d))
+            .seed(99)
+            .build();
+        let erased_result = erased.run();
+
+        assert_eq!(concrete_result, erased_result);
+        assert_eq!(concrete.server_loads(), erased.server_loads());
+    }
+
+    #[test]
+    fn choices_per_round_is_forwarded() {
+        assert_eq!(
+            ProtocolSpec::KChoice { k: 3, capacity: 4 }
+                .build()
+                .choices_per_round(),
+            3
+        );
+        assert_eq!(
+            ProtocolSpec::Saer { c: 2, d: 2 }
+                .build()
+                .choices_per_round(),
+            1
+        );
+    }
+
+    #[test]
+    fn all_specs_complete_on_an_easy_instance() {
+        let n = 128;
+        let graph = generators::regular_random(n, log2_squared(n), 5).unwrap();
+        for spec in [
+            ProtocolSpec::Saer { c: 8, d: 2 },
+            ProtocolSpec::Raes { c: 8, d: 2 },
+            ProtocolSpec::Threshold { per_round: 4 },
+            ProtocolSpec::KChoice { k: 2, capacity: 16 },
+            ProtocolSpec::OneShot,
+        ] {
+            let mut sim = Simulation::builder(&graph)
+                .protocol(spec.build())
+                .demand(Demand::Constant(2))
+                .seed(1)
+                .max_rounds(2_000)
+                .build();
+            let result = sim.run();
+            assert!(result.completed, "{} did not complete", spec.label());
+        }
+    }
+
+    #[test]
+    fn closed_semantics_dispatch_correctly() {
+        let saer = ProtocolSpec::Saer { c: 1, d: 1 }.build();
+        let mut state = saer.init_server();
+        let ctx = ServerCtx {
+            server: 0,
+            round: 1,
+            current_load: 0,
+            incoming: 5,
+        };
+        assert_eq!(saer.server_decide(&mut state, &ctx), 0);
+        assert!(saer.server_is_closed(&state, 0));
+        // The concrete state is reachable through the opaque handle.
+        assert!(
+            state
+                .downcast_ref::<crate::SaerServerState>()
+                .unwrap()
+                .burned
+        );
+
+        let oneshot = ProtocolSpec::OneShot.build();
+        let mut state = oneshot.init_server();
+        assert_eq!(oneshot.server_decide(&mut state, &ctx), 5);
+        assert!(!oneshot.server_is_closed(&state, 1_000_000));
+    }
+}

@@ -63,11 +63,16 @@ impl Protocol for Threshold {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use clb_engine::{Demand, SimConfig, Simulation};
+    use clb_engine::{Demand, Simulation};
     use clb_graph::generators;
 
     fn ctx(incoming: u32) -> ServerCtx {
-        ServerCtx { server: 0, round: 1, current_load: 0, incoming }
+        ServerCtx {
+            server: 0,
+            round: 1,
+            current_load: 0,
+            incoming,
+        }
     }
 
     #[test]
@@ -92,12 +97,12 @@ mod tests {
     fn always_terminates_on_connected_graphs() {
         let n = 256;
         let graph = generators::regular_random(n, 16, 5).unwrap();
-        let mut sim = Simulation::new(
-            &graph,
-            Threshold::new(1),
-            Demand::Constant(2),
-            SimConfig::new(8).with_max_rounds(5_000),
-        );
+        let mut sim = Simulation::builder(&graph)
+            .protocol(Threshold::new(1))
+            .demand(Demand::Constant(2))
+            .seed(8)
+            .max_rounds(5_000)
+            .build();
         let result = sim.run();
         assert!(result.completed);
         // Load conservation.
@@ -110,12 +115,12 @@ mod tests {
         let n = 256;
         let graph = generators::complete(n, n).unwrap();
         let run = |per_round| {
-            let mut sim = Simulation::new(
-                &graph,
-                Threshold::new(per_round),
-                Demand::Constant(4),
-                SimConfig::new(12).with_max_rounds(5_000),
-            );
+            let mut sim = Simulation::builder(&graph)
+                .protocol(Threshold::new(per_round))
+                .demand(Demand::Constant(4))
+                .seed(12)
+                .max_rounds(5_000)
+                .build();
             sim.run()
         };
         let tight = run(1);

@@ -46,8 +46,8 @@ pub mod xoshiro;
 
 pub use mix::mix3;
 pub use sample::{
-    alias::AliasTable, floyd_sample, reservoir_sample, sample_distinct_pair, shuffle,
-    Bernoulli, Binomial, Geometric,
+    alias::AliasTable, floyd_sample, reservoir_sample, sample_distinct_pair, shuffle, Bernoulli,
+    Binomial, Geometric,
 };
 pub use splitmix::SplitMix64;
 pub use stream::{Stream, StreamFactory};
@@ -182,7 +182,10 @@ mod tests {
         let expected = draws as f64 / bound as f64;
         for &count in &counts {
             let rel = (count as f64 - expected).abs() / expected;
-            assert!(rel < 0.05, "bucket deviates more than 5%: {count} vs {expected}");
+            assert!(
+                rel < 0.05,
+                "bucket deviates more than 5%: {count} vs {expected}"
+            );
         }
     }
 }

@@ -51,7 +51,10 @@ mod tests {
         let mut seen = HashSet::new();
         for entity in 0..2000u64 {
             for round in 0..50u64 {
-                assert!(seen.insert(mix3(0xABCD, entity, round)), "collision at ({entity},{round})");
+                assert!(
+                    seen.insert(mix3(0xABCD, entity, round)),
+                    "collision at ({entity},{round})"
+                );
             }
         }
     }

@@ -18,7 +18,9 @@ pub struct Stream {
 impl Stream {
     /// Creates a stream directly from a 64-bit key.
     pub fn from_key(key: u64) -> Self {
-        Self { inner: Xoshiro256PlusPlus::new(key) }
+        Self {
+            inner: Xoshiro256PlusPlus::new(key),
+        }
     }
 }
 
@@ -53,7 +55,10 @@ impl StreamFactory {
     /// workload generator, ...) so that reusing the experiment seed across subsystems
     /// never correlates their choices.
     pub fn domain(&self, domain: u64) -> Self {
-        Self { seed: self.seed, domain }
+        Self {
+            seed: self.seed,
+            domain,
+        }
     }
 
     /// The experiment seed this factory was built from.
@@ -140,8 +145,13 @@ mod tests {
         let mut a = f.stream(100, 0);
         let mut b = f.stream(101, 0);
         let n = 4096;
-        let total: u32 = (0..n).map(|_| (a.next_u64() ^ b.next_u64()).count_ones()).sum();
+        let total: u32 = (0..n)
+            .map(|_| (a.next_u64() ^ b.next_u64()).count_ones())
+            .sum();
         let avg = total as f64 / n as f64;
-        assert!((avg - 32.0).abs() < 1.0, "popcount average {avg} too far from 32");
+        assert!(
+            (avg - 32.0).abs() < 1.0,
+            "popcount average {avg} too far from 32"
+        );
     }
 }

@@ -35,7 +35,10 @@ impl Xoshiro256PlusPlus {
 
     /// Creates a generator directly from four state words. Panics if all are zero.
     pub fn from_state(s: [u64; 4]) -> Self {
-        assert!(s.iter().any(|&w| w != 0), "xoshiro state must not be all-zero");
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "xoshiro state must not be all-zero"
+        );
         Self { s }
     }
 

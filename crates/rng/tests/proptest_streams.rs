@@ -1,7 +1,9 @@
 //! Property-based tests of the RNG crate: determinism, stream isolation and the
 //! statistical sanity of the sampling utilities, over arbitrary seeds and parameters.
 
-use clb_rng::{floyd_sample, sample_distinct_pair, shuffle, AliasTable, Binomial, RandomSource, StreamFactory};
+use clb_rng::{
+    floyd_sample, sample_distinct_pair, shuffle, AliasTable, Binomial, RandomSource, StreamFactory,
+};
 use proptest::prelude::*;
 
 proptest! {

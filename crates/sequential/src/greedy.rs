@@ -49,9 +49,16 @@ pub fn best_of_k(graph: &BipartiteGraph, d: u32, k: u32, seed: u64) -> Sequentia
 pub fn godfrey_greedy(graph: &BipartiteGraph, d: u32, seed: u64) -> SequentialOutcome {
     run(graph, d, seed, |neigh, loads, rng, probes| {
         *probes += neigh.len() as u64;
-        let min_load = neigh.iter().map(|s| loads[s.index()]).min().expect("non-empty");
-        let ties: Vec<usize> =
-            neigh.iter().map(|s| s.index()).filter(|&s| loads[s] == min_load).collect();
+        let min_load = neigh
+            .iter()
+            .map(|s| loads[s.index()])
+            .min()
+            .expect("non-empty");
+        let ties: Vec<usize> = neigh
+            .iter()
+            .map(|s| s.index())
+            .filter(|&s| loads[s] == min_load)
+            .collect();
         ties[rng.gen_index(ties.len())]
     })
 }
@@ -78,7 +85,11 @@ where
             assignment.push(server as u32);
         }
     }
-    SequentialOutcome { loads, assignment, probes }
+    SequentialOutcome {
+        loads,
+        assignment,
+        probes,
+    }
 }
 
 #[cfg(test)]
@@ -118,7 +129,11 @@ mod tests {
             two.max_load(),
             one.max_load()
         );
-        assert!(two.max_load() <= 4, "best-of-2 should be ~log log n, got {}", two.max_load());
+        assert!(
+            two.max_load() <= 4,
+            "best-of-2 should be ~log log n, got {}",
+            two.max_load()
+        );
         assert_eq!(two.probes, 2 * one.probes);
     }
 
@@ -131,7 +146,11 @@ mod tests {
         let g = graph(n, delta, 3);
         let out = godfrey_greedy(&g, 1, 9);
         assert!(out.is_consistent());
-        assert!(out.max_load() <= 2, "godfrey max load {} too large", out.max_load());
+        assert!(
+            out.max_load() <= 2,
+            "godfrey max load {} too large",
+            out.max_load()
+        );
         // Work is Θ(n·Δ).
         assert_eq!(out.probes, (n * delta) as u64);
     }

@@ -45,7 +45,11 @@ mod tests {
 
     #[test]
     fn summary_helpers() {
-        let o = SequentialOutcome { loads: vec![2, 0, 1], assignment: vec![0, 0, 2], probes: 9 };
+        let o = SequentialOutcome {
+            loads: vec![2, 0, 1],
+            assignment: vec![0, 0, 2],
+            probes: 9,
+        };
         assert_eq!(o.max_load(), 2);
         assert_eq!(o.balls(), 3);
         assert!((o.probes_per_ball() - 3.0).abs() < 1e-12);
@@ -54,7 +58,11 @@ mod tests {
 
     #[test]
     fn empty_outcome() {
-        let o = SequentialOutcome { loads: vec![], assignment: vec![], probes: 0 };
+        let o = SequentialOutcome {
+            loads: vec![],
+            assignment: vec![],
+            probes: 0,
+        };
         assert_eq!(o.max_load(), 0);
         assert_eq!(o.probes_per_ball(), 0.0);
         assert!(o.is_consistent());
@@ -62,7 +70,11 @@ mod tests {
 
     #[test]
     fn inconsistency_detected() {
-        let o = SequentialOutcome { loads: vec![1, 1], assignment: vec![0], probes: 1 };
+        let o = SequentialOutcome {
+            loads: vec![1, 1],
+            assignment: vec![0],
+            probes: 1,
+        };
         assert!(!o.is_consistent());
     }
 }

@@ -41,10 +41,20 @@ fn main() {
     );
     println!();
 
-    let mut table = Table::new(["strategy", "rounds", "messages/ball", "max load", "decentralised"]);
+    let mut table = Table::new([
+        "strategy",
+        "rounds",
+        "messages/ball",
+        "max load",
+        "decentralised",
+    ]);
 
     // SAER.
-    let mut sim = Simulation::new(&graph, Saer::new(c, d), Demand::Constant(d), SimConfig::new(seed));
+    let mut sim = Simulation::builder(&graph)
+        .protocol(Saer::new(c, d))
+        .demand(Demand::Constant(d))
+        .seed(seed)
+        .build();
     let saer = sim.run();
     table.row([
         format!("SAER(c={c}, d={d})"),
@@ -55,7 +65,11 @@ fn main() {
     ]);
 
     // RAES.
-    let mut sim = Simulation::new(&graph, Raes::new(c, d), Demand::Constant(d), SimConfig::new(seed));
+    let mut sim = Simulation::builder(&graph)
+        .protocol(Raes::new(c, d))
+        .demand(Demand::Constant(d))
+        .seed(seed)
+        .build();
     let raes = sim.run();
     table.row([
         format!("RAES(c={c}, d={d})"),
@@ -66,7 +80,11 @@ fn main() {
     ]);
 
     // One-shot uniform.
-    let mut sim = Simulation::new(&graph, OneShot::new(), Demand::Constant(d), SimConfig::new(seed));
+    let mut sim = Simulation::builder(&graph)
+        .protocol(OneShot::new())
+        .demand(Demand::Constant(d))
+        .seed(seed)
+        .build();
     let oneshot = sim.run();
     table.row([
         "one-shot uniform".into(),

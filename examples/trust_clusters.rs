@@ -24,7 +24,12 @@ fn main() {
     let inter = 16;
 
     let config = ExperimentConfig::new(
-        GraphSpec::Clusters { n, clusters, intra_degree: intra, inter_degree: inter },
+        GraphSpec::Clusters {
+            n,
+            clusters,
+            intra_degree: intra,
+            inter_degree: inter,
+        },
         ProtocolSpec::Saer { c, d },
     )
     .trials(5)
@@ -41,7 +46,12 @@ fn main() {
     let mass = trial.neighborhood_mass_series.as_ref().unwrap();
     let alive = trial.alive_series.as_ref().unwrap();
 
-    let mut table = Table::new(["round", "alive balls", "max r_t(N(v))", "S_t (burned fraction)"]);
+    let mut table = Table::new([
+        "round",
+        "alive balls",
+        "max r_t(N(v))",
+        "S_t (burned fraction)",
+    ]);
     for round in 0..burned.len() {
         table.row([
             (round + 1).to_string(),
@@ -50,7 +60,10 @@ fn main() {
             fmt3(burned[round]),
         ]);
     }
-    println!("round-by-round trajectory of trial 1 (seed {}):", trial.seed);
+    println!(
+        "round-by-round trajectory of trial 1 (seed {}):",
+        trial.seed
+    );
     println!("{}", table.to_markdown());
 
     let peak = report.peak_burned_fraction().unwrap();

@@ -7,9 +7,9 @@
 //! Theorem 1 proves SAER works for `c ≥ max(32, 288/(η·d))`, a deliberately
 //! un-optimised constant. Operators care about the practical question: how small can
 //! `c` be before completion time degrades or runs stop terminating? This example sweeps
-//! `c` on a fixed sparse topology and prints completion rate, rounds and the burned
-//! fraction peak, next to the paper's sufficient constant — the empirical counterpart
-//! of experiment E6 in DESIGN.md.
+//! `c` on a fixed sparse topology through the scenario runner and prints completion
+//! rate, rounds and the burned fraction peak, next to the paper's sufficient constant —
+//! the empirical counterpart of experiment E6 in DESIGN.md.
 
 use clb::prelude::*;
 use clb::report::{fmt2, fmt3};
@@ -18,15 +18,34 @@ fn main() {
     let n = 2048;
     let d = 2;
     let eta = 1.0;
-    let trials = 10;
 
-    println!(
-        "sweep of the SAER threshold constant c on a log²n-regular graph (n = {n}, d = {d})"
-    );
+    println!("sweep of the SAER threshold constant c on a log²n-regular graph (n = {n}, d = {d})");
     println!(
         "paper's sufficient constant: c >= max(32, 288/(eta*d)) = {:.0}\n",
         required_c_regular(eta, d)
     );
+
+    let scenario = Scenario::new(
+        "tune-threshold",
+        "how small can c be in practice?",
+        "completion collapses only for very small c",
+    )
+    .trials(10)
+    .max_rounds(500)
+    .measurements(Measurements {
+        burned_fraction: true,
+        ..Default::default()
+    });
+
+    let report = scenario
+        .run(Sweep::over("c", [1u32, 2, 3, 4, 6, 8, 16, 32, 64]), |&c| {
+            ExperimentConfig::new(
+                GraphSpec::RegularLogSquared { n, eta },
+                ProtocolSpec::Saer { c, d },
+            )
+            .seed(1000 + c as u64)
+        })
+        .expect("valid configuration");
 
     let mut table = Table::new([
         "c",
@@ -36,26 +55,14 @@ fn main() {
         "max load (max)",
         "peak burned fraction",
     ]);
-
-    for c in [1u32, 2, 3, 4, 6, 8, 16, 32, 64] {
-        let report = ExperimentConfig::new(
-            GraphSpec::RegularLogSquared { n, eta },
-            ProtocolSpec::Saer { c, d },
-        )
-        .trials(trials)
-        .seed(1000 + c as u64)
-        .max_rounds(500)
-        .measurements(Measurements { burned_fraction: true, ..Default::default() })
-        .run()
-        .expect("valid configuration");
-
-        let peak = report.peak_burned_fraction().map(|s| s.max).unwrap_or(0.0);
+    for (&c, point) in report.iter() {
+        let peak = point.peak_burned_fraction().map(|s| s.max).unwrap_or(0.0);
         table.row([
             c.to_string(),
-            format!("{:.0}%", 100.0 * report.completion_rate()),
-            fmt2(report.rounds.mean),
-            fmt2(report.work_per_ball.mean),
-            format!("{:.0}", report.max_load.max),
+            format!("{:.0}%", 100.0 * point.completion_rate()),
+            fmt2(point.rounds.mean),
+            fmt2(point.work_per_ball.mean),
+            format!("{:.0}", point.max_load.max),
             fmt3(peak),
         ]);
     }

@@ -1,0 +1,111 @@
+//! # constrained-lb
+//!
+//! A faithful, executable reproduction of *"Parallel Load Balancing on Constrained
+//! Client-Server Topologies"* (Clementi, Natale, Ziccardi — SPAA 2020): the **SAER**
+//! protocol, the **RAES** protocol it derives from, the synchronous distributed model
+//! they run in, the topology families the theorems cover, the sequential and parallel
+//! baselines of the related work, and an experiment harness that regenerates every
+//! quantitative claim of the paper.
+//!
+//! This crate is the facade: it re-exports the whole stack plus the experiment and
+//! scenario-runner layer of `clb-core`, and provides the [`prelude`].
+//!
+//! ## The stack
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`rng`] (`clb-rng`) | splittable deterministic random streams and sampling utilities |
+//! | [`graph`] (`clb-graph`) | bipartite client-server graphs, degree statistics, topology generators |
+//! | [`engine`] (`clb-engine`) | the synchronous round engine (model M), the fluent simulation builder, the object-safe `ErasedProtocol` layer, work accounting, observers |
+//! | [`protocols`] (`clb-protocols`) | SAER, RAES, threshold and k-choice baselines; `ProtocolSpec` for runtime selection |
+//! | [`sequential`] (`clb-sequential`) | sequential one-choice / best-of-k / Godfrey greedy baselines |
+//! | [`analysis`] (`clb-analysis`) | the paper's recurrences, bounds and concentration inequalities; statistics |
+//! | [`experiment`]/[`scenario`] (`clb-core`) | declarative, parallel, seed-reproducible experiments and parameter sweeps |
+//!
+//! ## Quick start: one simulation
+//!
+//! ```
+//! use clb::prelude::*;
+//!
+//! let graph = generators::regular_random(512, log2_squared(512), 7).unwrap();
+//! let result = Simulation::builder(&graph)
+//!     .protocol(Saer::new(8, 2))
+//!     .demand(Demand::Constant(2))
+//!     .seed(42)
+//!     .build()
+//!     .run();
+//! assert!(result.completed);
+//! assert!(result.max_load <= 16); // hard c·d guarantee
+//! ```
+//!
+//! ## Quick start: a parameter sweep
+//!
+//! ```
+//! use clb::prelude::*;
+//!
+//! // SAER across threshold constants on a Δ = ⌈log²n⌉ regular random graph.
+//! let scenario = Scenario::new("demo", "c sweep", "rounds shrink as c grows").trials(4);
+//! let report = scenario
+//!     .run(Sweep::over("c", [4u32, 8]), |&c| {
+//!         ExperimentConfig::new(
+//!             GraphSpec::RegularLogSquared { n: 512, eta: 1.0 },
+//!             ProtocolSpec::Saer { c, d: 2 },
+//!         )
+//!         .seed(7)
+//!     })
+//!     .unwrap();
+//! for (c, point) in report.iter() {
+//!     assert_eq!(point.completion_rate(), 1.0, "c = {c}");
+//!     assert!(point.max_load.max <= (c * 2) as f64);
+//! }
+//! println!("{}", report.to_markdown());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Re-export of `clb-rng`.
+pub use clb_rng as rng;
+
+/// Re-export of `clb-graph`.
+pub use clb_graph as graph;
+
+/// Re-export of `clb-engine`.
+pub use clb_engine as engine;
+
+/// Re-export of `clb-protocols`.
+pub use clb_protocols as protocols;
+
+/// Re-export of `clb-sequential`.
+pub use clb_sequential as sequential;
+
+/// Re-export of `clb-analysis`.
+pub use clb_analysis as analysis;
+
+pub use clb_core::{experiment, report, scenario};
+pub use clb_core::{
+    ExperimentConfig, ExperimentReport, Measurements, Scenario, Sweep, SweepReport, SweepRow,
+    Table, TrialOutcome,
+};
+
+/// The most commonly used items, importable with `use clb::prelude::*`.
+pub mod prelude {
+    pub use clb_analysis::{
+        completion_horizon_rounds, linear_fit, min_admissible_degree, required_c_general,
+        required_c_regular, Histogram, Summary,
+    };
+    pub use clb_core::experiment::{
+        ExperimentConfig, ExperimentReport, Measurements, TrialOutcome,
+    };
+    pub use clb_core::report::Table;
+    pub use clb_core::scenario::{
+        default_trials, n_sweep, quick_mode, Scenario, Sweep, SweepReport, SweepRow,
+    };
+    pub use clb_engine::{
+        erase, Demand, ErasedProtocol, Protocol, RunResult, SimConfig, Simulation,
+        SimulationBuilder,
+    };
+    pub use clb_graph::{generators, log2_squared, BipartiteGraph, DegreeStats, GraphSpec};
+    pub use clb_protocols::{KChoice, OneShot, ProtocolSpec, Raes, Saer, Threshold};
+    pub use clb_sequential::{best_of_k, godfrey_greedy, one_choice, SequentialOutcome};
+}

@@ -1,0 +1,108 @@
+//! Offline stand-in for `bytes`: the little-endian cursor surface used by the
+//! graph snapshot codec. See `stubs/README.md`.
+
+use std::ops::Deref;
+
+/// Mirror of `bytes::Buf` for the read surface the snapshot decoder uses.
+/// Implemented on `&[u8]`, advancing the slice in place.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+    fn get_u32_le(&mut self) -> u32;
+    fn get_u64_le(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, tail) = self.split_at(4);
+        *self = tail;
+        u32::from_le_bytes(head.try_into().unwrap())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, tail) = self.split_at(8);
+        *self = tail;
+        u64::from_le_bytes(head.try_into().unwrap())
+    }
+}
+
+/// Mirror of `bytes::BufMut` for the write surface the snapshot encoder uses.
+pub trait BufMut {
+    fn put_u32_le(&mut self, value: u32);
+    fn put_u64_le(&mut self, value: u64);
+}
+
+impl BufMut for BytesMut {
+    fn put_u32_le(&mut self, value: u32) {
+        self.data.extend_from_slice(&value.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, value: u64) {
+        self.data.extend_from_slice(&value.to_le_bytes());
+    }
+}
+
+/// Mirror of `bytes::BytesMut` (a growable byte buffer).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+}
+
+/// Mirror of `bytes::Bytes` (an immutable byte buffer; the stub does not share).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_little_endian() {
+        let mut buf = BytesMut::with_capacity(12);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(42);
+        let bytes = buf.freeze();
+        let mut cursor: &[u8] = &bytes;
+        assert_eq!(cursor.remaining(), 12);
+        assert_eq!(cursor.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cursor.get_u64_le(), 42);
+        assert!(!cursor.has_remaining());
+    }
+}

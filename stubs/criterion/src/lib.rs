@@ -1,0 +1,189 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock benchmark harness
+//! with the API shape the workspace's benches use. See `stubs/README.md`.
+//!
+//! Each benchmark runs a short warm-up followed by a fixed number of timed
+//! iterations and prints the mean per-iteration time. No statistics, plots or
+//! baselines — just enough to keep `cargo bench` meaningful offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export point mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Mirror of `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, 10, &mut f);
+        self
+    }
+}
+
+/// Mirror of `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub does not report throughput.
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.to_string(), self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs a parameterised benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.0, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    // Warm-up pass (not timed into the report).
+    f(&mut bencher);
+    bencher.elapsed = Duration::ZERO;
+    bencher.iters = 0;
+    for _ in 0..samples {
+        f(&mut bencher);
+    }
+    let mean = if bencher.iters == 0 {
+        Duration::ZERO
+    } else {
+        bencher.elapsed / bencher.iters
+    };
+    println!("  {name}: {mean:?}/iter over {} iters", bencher.iters);
+}
+
+/// Mirror of `criterion::Bencher`.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times one closure invocation (criterion batches; the stub times singly).
+    pub fn iter<F, R>(&mut self, mut f: F)
+    where
+        F: FnMut() -> R,
+    {
+        let start = Instant::now();
+        let out = f();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        black_box(out);
+    }
+}
+
+/// Mirror of `criterion::BenchmarkId`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self(format!("{name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Mirror of `criterion::Throughput`.
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Mirror of `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Mirror of `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        let mut calls = 0u32;
+        group
+            .sample_size(3)
+            .bench_function("count", |b| b.iter(|| calls += 1));
+        group.finish();
+        // One warm-up call plus three samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("gen", 128).0, "gen/128");
+        assert_eq!(BenchmarkId::from_parameter(7).0, "7");
+    }
+}

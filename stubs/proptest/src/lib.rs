@@ -1,0 +1,385 @@
+//! Offline stand-in for `proptest`: the macro and strategy surface this
+//! workspace uses, backed by a deterministic SplitMix64 sampler. See
+//! `stubs/README.md`.
+//!
+//! Supported: `proptest! { #![proptest_config(...)] #[test] fn f(pat in strategy, ...) { .. } }`,
+//! integer/float range strategies, `any::<T>()`, tuples of strategies,
+//! `prop::collection::vec`, `.prop_map`, and the `prop_assert*` / `prop_assume!`
+//! macros. Cases are sampled deterministically from the test's source location,
+//! so failures replay identically.
+
+/// Deterministic sampler handed to strategies (SplitMix64).
+pub struct TestRunner {
+    state: u64,
+}
+
+impl TestRunner {
+    /// Creates a sampler for one test case; `salt` encodes (test id, case index).
+    pub fn from_salt(salt: u64) -> Self {
+        Self {
+            state: salt ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next 64 uniform bits (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64) * (1.0 / ((1u64 << 53) as f64))
+    }
+
+    /// Uniform value in `[0, bound)`; `bound > 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// Hashes a test's identity into a base seed (FNV-1a over the location string).
+pub fn location_seed(file: &str, line: u32, case: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in file.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^= line as u64;
+    h = h.wrapping_mul(0x100_0000_01b3);
+    h.wrapping_add(case.wrapping_mul(0x2545_F491_4F6C_DD1D))
+}
+
+/// A value generator (mirror of `proptest::strategy::Strategy`).
+pub trait Strategy {
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Mirror of `Strategy::prop_map`.
+    fn prop_map<F, O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(S::Value) -> O, O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.sample(runner))
+    }
+}
+
+macro_rules! int_range_strategy {
+    // $u is $t's unsigned counterpart: going through it keeps the two's-complement
+    // span correct for negative-start signed ranges without sign-extension artefacts.
+    ($(($t:ty, $u:ty)),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end.wrapping_sub(self.start) as $u as u64;
+                self.start.wrapping_add(runner.below(span) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                // A full-width 64-bit inclusive range would overflow span; the
+                // workspace never uses one, so keep the arithmetic simple.
+                let span = hi.wrapping_sub(lo) as $u as u64 + 1;
+                lo.wrapping_add(runner.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(
+    (u8, u8),
+    (u16, u16),
+    (u32, u32),
+    (u64, u64),
+    (usize, usize),
+    (i32, u32),
+    (i64, u64),
+);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, runner: &mut TestRunner) -> f64 {
+        self.start + runner.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, runner: &mut TestRunner) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        // next_f64 is in [0, 1); nudging by the span's ulp would be overkill for
+        // test sampling, so treat the closed range as half-open.
+        lo + runner.next_f64() * (hi - lo)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($s:ident/$idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$idx.sample(runner),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A / 0);
+tuple_strategy!(A / 0, B / 1);
+tuple_strategy!(A / 0, B / 1, C / 2);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+
+/// Types with a canonical full-domain strategy (mirror of `Arbitrary`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(runner: &mut TestRunner) -> $t {
+                runner.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_uint!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(runner: &mut TestRunner) -> bool {
+        runner.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(runner: &mut TestRunner) -> f64 {
+        runner.next_f64()
+    }
+}
+
+/// Full-domain strategy for `T` (mirror of `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary(runner)
+    }
+}
+
+/// Mirror of `proptest::test_runner::Config` (only `cases` is honoured).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Collection strategies (mirror of `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRunner};
+
+    /// Strategy for `Vec`s with lengths drawn from `size` (mirror of
+    /// `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Output of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let len = self.size.clone().sample(runner);
+            (0..len).map(|_| self.element.sample(runner)).collect()
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec(...)` resolves.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything a test file needs (mirror of `proptest::prelude`).
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition. The
+/// `proptest!` expansion wraps each case body in a closure, so `return` aborts
+/// only the case at hand.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; the config expression is threaded in
+/// at repetition depth 0 so it can be reused by every generated test.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                for case in 0..config.cases as u64 {
+                    let mut runner = $crate::TestRunner::from_salt($crate::location_seed(
+                        concat!(file!(), "::", stringify!($name)),
+                        line!(),
+                        case,
+                    ));
+                    $(let $pat = $crate::Strategy::sample(&($strat), &mut runner);)+
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| $body)();
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn tuple_strategy() -> impl Strategy<Value = (usize, u32)> {
+        (4usize..=8, 1u32..5).prop_map(|(n, c)| (n, c))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 3usize..10, x in 0.25f64..=0.75, s in any::<u64>()) {
+            prop_assert!((3..10).contains(&n));
+            prop_assert!((0.25..=0.75).contains(&x));
+            let _ = s;
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(v in prop::collection::vec(0u32..5, 1..9)) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn negative_start_signed_ranges_stay_in_bounds(a in -5i32..5, b in -100i64..=-10) {
+            prop_assert!((-5..5).contains(&a));
+            prop_assert!((-100..=-10).contains(&b));
+        }
+
+        #[test]
+        fn patterns_and_assume((n, c) in tuple_strategy()) {
+            prop_assume!(n != 5);
+            prop_assert_ne!(n, 5);
+            prop_assert!(c >= 1);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let mut a = crate::TestRunner::from_salt(crate::location_seed("x.rs", 1, 0));
+        let mut b = crate::TestRunner::from_salt(crate::location_seed("x.rs", 1, 0));
+        assert_eq!((0u64..100).sample(&mut a), (0u64..100).sample(&mut b));
+    }
+}

@@ -1,0 +1,260 @@
+//! Offline stand-in for `rayon`: the parallel-iterator surface used by this
+//! workspace, executed **sequentially**. See `stubs/README.md`.
+//!
+//! The simulation engine derives an independent RNG stream per `(ball, round)`
+//! pair precisely so that results never depend on scheduling; running the same
+//! combinators sequentially therefore produces bit-identical output to the real
+//! `rayon`, just without the speed-up.
+
+use std::marker::PhantomData;
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSliceMut,
+    };
+}
+
+/// A "parallel" iterator: a thin wrapper over a sequential [`Iterator`] that
+/// exposes rayon's method names and signatures.
+pub struct ParIter<I> {
+    inner: I,
+}
+
+/// Marker trait mirroring `rayon::iter::ParallelIterator`; implemented by
+/// [`ParIter`] so `use rayon::prelude::*` keeps working.
+pub trait ParallelIterator {}
+
+impl<I: Iterator> ParallelIterator for ParIter<I> {}
+
+impl<I: Iterator> ParIter<I> {
+    pub fn map<F, R>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> R,
+    {
+        ParIter {
+            inner: self.inner.map(f),
+        }
+    }
+
+    pub fn flat_map_iter<F, J>(self, f: F) -> ParIter<std::iter::FlatMap<I, J, F>>
+    where
+        F: FnMut(I::Item) -> J,
+        J: IntoIterator,
+    {
+        ParIter {
+            inner: self.inner.flat_map(f),
+        }
+    }
+
+    pub fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<I, F>>
+    where
+        F: FnMut(&I::Item) -> bool,
+    {
+        ParIter {
+            inner: self.inner.filter(f),
+        }
+    }
+
+    pub fn zip<J>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>>
+    where
+        J: Iterator,
+    {
+        ParIter {
+            inner: self.inner.zip(other.inner),
+        }
+    }
+
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter {
+            inner: self.inner.enumerate(),
+        }
+    }
+
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<I::Item>,
+    {
+        self.inner.collect()
+    }
+
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.inner.fold(identity(), op)
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I::Item>,
+    {
+        self.inner.sum()
+    }
+
+    pub fn count(self) -> usize {
+        self.inner.count()
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: FnMut(I::Item),
+    {
+        self.inner.for_each(f)
+    }
+}
+
+/// Mirror of `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Item = u64;
+    type Iter = std::ops::Range<u64>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { inner: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = std::ops::Range<usize>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { inner: self }
+    }
+}
+
+/// Mirror of `rayon::iter::IntoParallelRefIterator` (`.par_iter()` on slices).
+pub trait IntoParallelRefIterator<'a> {
+    type Item: 'a;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+/// Mirror of `rayon::slice::ParallelSliceMut` (`.par_sort_unstable()`).
+pub trait ParallelSliceMut<T> {
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+}
+
+/// Mirror of `rayon::ThreadPoolBuilder`; thread counts are accepted and ignored.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    _priv: PhantomData<()>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(self, _threads: usize) -> Self {
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { _priv: PhantomData })
+    }
+}
+
+/// Mirror of `rayon::ThreadPool`: `install` simply runs the closure.
+#[derive(Debug)]
+pub struct ThreadPool {
+    _priv: PhantomData<()>,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        f()
+    }
+}
+
+/// Mirror of `rayon::ThreadPoolBuildError` (the stub never produces one).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error (stub)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn combinators_match_sequential_semantics() {
+        let v = vec![3u32, 1, 2];
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 4]);
+
+        let pairs: Vec<(u32, u32)> = v
+            .par_iter()
+            .map(|&x| x)
+            .zip(v.par_iter().map(|&x| x))
+            .collect();
+        assert_eq!(pairs.len(), 3);
+
+        let total: u32 = v.clone().into_par_iter().sum();
+        assert_eq!(total, 6);
+
+        let max = v.par_iter().map(|&x| x as f64).reduce(|| 0.0, f64::max);
+        assert!((max - 3.0).abs() < 1e-12);
+
+        let mut keys = vec![5u64, 1, 4];
+        keys.par_sort_unstable();
+        assert_eq!(keys, vec![1, 4, 5]);
+
+        let flat: Vec<u32> = v.par_iter().flat_map_iter(|&x| vec![x, x]).collect();
+        assert_eq!(flat, vec![3, 3, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn thread_pool_installs() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.install(|| 41 + 1), 42);
+    }
+}

@@ -1,0 +1,11 @@
+//! Offline stand-in for `serde`: the `Serialize`/`Deserialize` marker traits plus
+//! the (no-op) derive macros, enough for the workspace's `#[derive(...)]`
+//! annotations to compile without a registry. See `stubs/README.md`.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

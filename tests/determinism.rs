@@ -6,7 +6,11 @@ use clb::prelude::*;
 
 fn experiment() -> ExperimentConfig {
     ExperimentConfig::new(
-        GraphSpec::AlmostRegular { n: 512, min_degree: 81, max_degree: 162 },
+        GraphSpec::AlmostRegular {
+            n: 512,
+            min_degree: 81,
+            max_degree: 162,
+        },
         ProtocolSpec::Saer { c: 6, d: 2 },
     )
     .trials(4)
@@ -58,8 +62,11 @@ fn graph_generation_protocol_and_demand_randomness_are_isolated() {
 
     let run = |demand: Demand| {
         let graph = spec.build(5).unwrap();
-        let mut sim =
-            Simulation::new(&graph, Saer::new(8, 4), demand, SimConfig::new(5));
+        let mut sim = Simulation::builder(&graph)
+            .protocol(Saer::new(8, 4))
+            .demand(demand)
+            .seed(5)
+            .build();
         sim.run()
     };
     let constant = run(Demand::Constant(4));

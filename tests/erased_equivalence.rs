@@ -1,0 +1,128 @@
+//! The object-safe protocol layer must be a zero-cost *semantic* wrapper: a protocol
+//! dispatched through `Box<dyn ErasedProtocol>` runs through the same engine hot loop
+//! as its concrete-typed counterpart and must produce bit-identical results — same
+//! `RunResult`, same per-server loads, same per-client assignments — for every
+//! `ProtocolSpec` variant.
+
+use clb::prelude::*;
+
+/// Runs one simulation and captures everything observable about the outcome.
+fn run<P: Protocol>(graph: &BipartiteGraph, protocol: P, d: u32, seed: u64) -> Observations {
+    let mut sim = Simulation::builder(graph)
+        .protocol(protocol)
+        .demand(Demand::Constant(d))
+        .seed(seed)
+        .max_rounds(2_000)
+        .build();
+    let result = sim.run();
+    Observations {
+        result,
+        loads: sim.server_loads().to_vec(),
+        assignments: graph.clients().map(|c| sim.client_assignment(c)).collect(),
+    }
+}
+
+#[derive(Debug, PartialEq)]
+struct Observations {
+    result: RunResult,
+    loads: Vec<u32>,
+    assignments: Vec<Vec<Option<u32>>>,
+}
+
+/// The concrete-typed run for a spec: the enumeration the erased layer exists to
+/// replace, kept here (and only here) as the ground truth for the equivalence check.
+fn run_concrete(spec: &ProtocolSpec, graph: &BipartiteGraph, d: u32, seed: u64) -> Observations {
+    match *spec {
+        ProtocolSpec::Saer { c, d: pd } => run(graph, Saer::new(c, pd), d, seed),
+        ProtocolSpec::Raes { c, d: pd } => run(graph, Raes::new(c, pd), d, seed),
+        ProtocolSpec::Threshold { per_round } => run(graph, Threshold::new(per_round), d, seed),
+        ProtocolSpec::KChoice { k, capacity } => run(graph, KChoice::new(k, capacity), d, seed),
+        ProtocolSpec::OneShot => run(graph, OneShot::new(), d, seed),
+    }
+}
+
+fn specs_under_test() -> Vec<ProtocolSpec> {
+    let mut specs = Vec::new();
+    // Generous and tight parameterisations of every variant, so both the completing
+    // and the non-completing (round-capped) paths are compared.
+    for (c, d) in [(8, 2), (2, 1), (1, 3)] {
+        specs.extend(ProtocolSpec::all_variants(c, d));
+    }
+    specs
+}
+
+#[test]
+fn dyn_dispatch_is_bit_identical_to_concrete_dispatch_for_every_spec() {
+    let d = 2;
+    let graph = generators::regular_random(128, log2_squared(128), 11).unwrap();
+    for spec in specs_under_test() {
+        for seed in [1u64, 99, 2024] {
+            let concrete = run_concrete(&spec, &graph, d, seed);
+            let erased = run(&graph, spec.build(), d, seed);
+            assert_eq!(
+                concrete,
+                erased,
+                "{} diverged between concrete and erased dispatch (seed {seed})",
+                spec.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn double_erasure_changes_nothing() {
+    // Box<dyn ErasedProtocol> implements Protocol, so it can be erased again; the
+    // tower must still run identically.
+    let d = 2;
+    let graph = generators::regular_random(64, 16, 5).unwrap();
+    let spec = ProtocolSpec::Saer { c: 4, d };
+    let once = run(&graph, spec.build(), d, 7);
+    let twice = run(&graph, erase(spec.build()), d, 7);
+    assert_eq!(once, twice);
+}
+
+#[test]
+fn erased_equivalence_holds_across_topology_families() {
+    let d = 2;
+    let spec = ProtocolSpec::Raes { c: 4, d };
+    for graph_spec in [
+        GraphSpec::Regular { n: 64, delta: 16 },
+        GraphSpec::Complete { n: 32 },
+        GraphSpec::SkewedExample { n: 64 },
+        GraphSpec::Clusters {
+            n: 64,
+            clusters: 4,
+            intra_degree: 12,
+            inter_degree: 3,
+        },
+    ] {
+        let graph = graph_spec.build(3).unwrap();
+        let concrete = run_concrete(&spec, &graph, d, 42);
+        let erased = run(&graph, spec.build(), d, 42);
+        assert_eq!(concrete, erased, "{} diverged", graph_spec.label());
+    }
+}
+
+#[test]
+fn erased_states_expose_concrete_state_for_inspection() {
+    // The burned census of a dyn-dispatched SAER run is reachable through the opaque
+    // state handles and matches the closed-server count the engine reports.
+    let graph = generators::regular_random(128, log2_squared(128), 2).unwrap();
+    let mut sim = Simulation::builder(&graph)
+        .protocol(ProtocolSpec::Saer { c: 2, d: 2 }.build())
+        .demand(Demand::Constant(2))
+        .seed(13)
+        .build();
+    let result = sim.run();
+    let burned = sim
+        .server_states()
+        .iter()
+        .filter(|state| {
+            state
+                .downcast_ref::<clb::protocols::SaerServerState>()
+                .unwrap()
+                .burned
+        })
+        .count() as u64;
+    assert_eq!(burned, result.closed_servers);
+}

@@ -20,12 +20,7 @@ proptest! {
     #[test]
     fn saer_structural_invariants((n, delta, c, d, seed) in instance_strategy()) {
         let graph = generators::regular_random(n, delta, seed).unwrap();
-        let mut sim = Simulation::new(
-            &graph,
-            Saer::new(c, d),
-            Demand::Constant(d),
-            SimConfig::new(seed).with_max_rounds(200),
-        );
+        let mut sim = Simulation::builder(&graph).protocol(Saer::new(c, d)).demand(Demand::Constant(d)).seed(seed).max_rounds(200).build();
         let result = sim.run();
 
         // Hard load bound, independent of completion.
@@ -63,12 +58,7 @@ proptest! {
     #[test]
     fn raes_structural_invariants((n, delta, c, d, seed) in instance_strategy()) {
         let graph = generators::regular_random(n, delta, seed).unwrap();
-        let mut sim = Simulation::new(
-            &graph,
-            Raes::new(c, d),
-            Demand::Constant(d),
-            SimConfig::new(seed).with_max_rounds(200),
-        );
+        let mut sim = Simulation::builder(&graph).protocol(Raes::new(c, d)).demand(Demand::Constant(d)).seed(seed).max_rounds(200).build();
         let result = sim.run();
         prop_assert!(result.max_load <= c * d);
         let assigned: u64 = sim.server_loads().iter().map(|&l| l as u64).sum();

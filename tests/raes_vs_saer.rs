@@ -30,10 +30,20 @@ fn paired_runs_raes_never_slower() {
     let c = 4;
     let d = 2;
     for seed in 0..8u64 {
-        let graph = GraphSpec::RegularLogSquared { n, eta: 1.0 }.build(seed).unwrap();
+        let graph = GraphSpec::RegularLogSquared { n, eta: 1.0 }
+            .build(seed)
+            .unwrap();
         let cfg = SimConfig::new(seed);
-        let mut saer = Simulation::new(&graph, Saer::new(c, d), Demand::Constant(d), cfg);
-        let mut raes = Simulation::new(&graph, Raes::new(c, d), Demand::Constant(d), cfg);
+        let mut saer = Simulation::builder(&graph)
+            .protocol(Saer::new(c, d))
+            .demand(Demand::Constant(d))
+            .config(cfg)
+            .build();
+        let mut raes = Simulation::builder(&graph)
+            .protocol(Raes::new(c, d))
+            .demand(Demand::Constant(d))
+            .config(cfg)
+            .build();
         let rs = saer.run();
         let rr = raes.run();
         assert!(rs.completed && rr.completed, "seed {seed}");
@@ -58,16 +68,29 @@ fn saer_wastes_capacity_where_raes_does_not() {
     let c = 2; // tight so that the threshold actually bites
     let d = 2;
     for seed in 0..5u64 {
-        let graph = GraphSpec::RegularLogSquared { n, eta: 1.0 }.build(seed).unwrap();
+        let graph = GraphSpec::RegularLogSquared { n, eta: 1.0 }
+            .build(seed)
+            .unwrap();
         let cfg = SimConfig::new(seed).with_max_rounds(500);
-        let mut saer = Simulation::new(&graph, Saer::new(c, d), Demand::Constant(d), cfg);
-        let mut raes = Simulation::new(&graph, Raes::new(c, d), Demand::Constant(d), cfg);
+        let mut saer = Simulation::builder(&graph)
+            .protocol(Saer::new(c, d))
+            .demand(Demand::Constant(d))
+            .config(cfg)
+            .build();
+        let mut raes = Simulation::builder(&graph)
+            .protocol(Raes::new(c, d))
+            .demand(Demand::Constant(d))
+            .config(cfg)
+            .build();
         let saer_result = saer.run();
         let raes_result = raes.run();
 
         // RAES closed servers are exactly the full ones; it never wastes capacity.
         for &load in raes.server_loads() {
-            assert!(load <= c * d, "seed {seed}: RAES load {load} above capacity");
+            assert!(
+                load <= c * d,
+                "seed {seed}: RAES load {load} above capacity"
+            );
         }
 
         // SAER, in this tight regime, burns at least one server below capacity.
@@ -100,10 +123,20 @@ fn protocols_coincide_when_the_threshold_never_bites() {
     let n = 512;
     let c = 64;
     let d = 2;
-    let graph = GraphSpec::RegularLogSquared { n, eta: 1.0 }.build(9).unwrap();
+    let graph = GraphSpec::RegularLogSquared { n, eta: 1.0 }
+        .build(9)
+        .unwrap();
     let cfg = SimConfig::new(9);
-    let mut saer = Simulation::new(&graph, Saer::new(c, d), Demand::Constant(d), cfg);
-    let mut raes = Simulation::new(&graph, Raes::new(c, d), Demand::Constant(d), cfg);
+    let mut saer = Simulation::builder(&graph)
+        .protocol(Saer::new(c, d))
+        .demand(Demand::Constant(d))
+        .config(cfg)
+        .build();
+    let mut raes = Simulation::builder(&graph)
+        .protocol(Raes::new(c, d))
+        .demand(Demand::Constant(d))
+        .config(cfg)
+        .build();
     let rs = saer.run();
     let rr = raes.run();
     assert_eq!(rs, rr);

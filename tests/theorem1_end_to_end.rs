@@ -10,11 +10,19 @@ fn assert_theorem1_behaviour(spec: GraphSpec, c: u32, d: u32, seed: u64) {
     let report = ExperimentConfig::new(spec.clone(), ProtocolSpec::Saer { c, d })
         .trials(5)
         .seed(seed)
-        .measurements(Measurements { burned_fraction: true, ..Default::default() })
+        .measurements(Measurements {
+            burned_fraction: true,
+            ..Default::default()
+        })
         .run()
         .unwrap();
 
-    assert_eq!(report.completion_rate(), 1.0, "{}: some trial did not complete", spec.label());
+    assert_eq!(
+        report.completion_rate(),
+        1.0,
+        "{}: some trial did not complete",
+        spec.label()
+    );
     assert!(
         report.max_load.max <= (c * d) as f64,
         "{}: max load {} exceeds c·d = {}",
@@ -63,7 +71,11 @@ fn almost_regular_graphs() {
     let n = 1024;
     let base = log2_squared(n);
     assert_theorem1_behaviour(
-        GraphSpec::AlmostRegular { n, min_degree: base, max_degree: 2 * base },
+        GraphSpec::AlmostRegular {
+            n,
+            min_degree: base,
+            max_degree: 2 * base,
+        },
         8,
         2,
         17,

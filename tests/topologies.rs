@@ -91,20 +91,24 @@ fn parallel_baselines_complete_but_with_different_signatures() {
     let n = 512;
     let graph_spec = GraphSpec::RegularLogSquared { n, eta: 1.0 };
 
-    let threshold = ExperimentConfig::new(graph_spec.clone(), ProtocolSpec::Threshold { per_round: 2 })
-        .demand(Demand::Constant(2))
-        .trials(3)
-        .seed(3)
-        .run()
-        .unwrap();
+    let threshold =
+        ExperimentConfig::new(graph_spec.clone(), ProtocolSpec::Threshold { per_round: 2 })
+            .demand(Demand::Constant(2))
+            .trials(3)
+            .seed(3)
+            .run()
+            .unwrap();
     assert_eq!(threshold.completion_rate(), 1.0);
 
-    let kchoice = ExperimentConfig::new(graph_spec.clone(), ProtocolSpec::KChoice { k: 2, capacity: 8 })
-        .demand(Demand::Constant(2))
-        .trials(3)
-        .seed(3)
-        .run()
-        .unwrap();
+    let kchoice = ExperimentConfig::new(
+        graph_spec.clone(),
+        ProtocolSpec::KChoice { k: 2, capacity: 8 },
+    )
+    .demand(Demand::Constant(2))
+    .trials(3)
+    .seed(3)
+    .run()
+    .unwrap();
     assert_eq!(kchoice.completion_rate(), 1.0);
     assert!(kchoice.max_load.max <= 8.0);
 
@@ -123,7 +127,9 @@ fn parallel_baselines_complete_but_with_different_signatures() {
 #[test]
 fn sequential_baselines_beat_one_shot_on_balance() {
     let n = 1024;
-    let graph = GraphSpec::RegularLogSquared { n, eta: 1.0 }.build(77).unwrap();
+    let graph = GraphSpec::RegularLogSquared { n, eta: 1.0 }
+        .build(77)
+        .unwrap();
     let d = 1;
     let one = one_choice(&graph, d, 7);
     let two = best_of_k(&graph, d, 2, 7);
