@@ -45,7 +45,9 @@ fn main() {
             |point| {
                 let (i, (_, spec)) = point;
                 ExperimentConfig::new(spec.clone(), ProtocolSpec::Saer { c, d })
-                    .seed(800 + *i as u64)
+                    // Seed-striding convention: 1000 per sweep point keeps trial
+                    // seed ranges disjoint across points.
+                    .seed(800 + 1000 * *i as u64)
             },
         )
         .expect("valid configuration");

@@ -24,15 +24,20 @@ fn main() {
         required_c_regular(1.0, d)
     );
 
+    // Seed-striding convention: base seeds jump by 1000 per sweep point so the
+    // per-point trial ranges [base, base + trials) never overlap. (The old
+    // `600 + c` pattern made c = 1 run seeds 601-615 and c = 2 run 602-616 — 14 of
+    // 15 trials on identical graphs and RNG streams, sold as independent points.)
+    let c_values = [1u32, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64];
     let report = scenario
         .run(
-            Sweep::over("c", [1u32, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64]),
-            |&c| {
+            Sweep::over("c", c_values.into_iter().enumerate()),
+            |&(idx, c)| {
                 ExperimentConfig::new(
                     GraphSpec::RegularLogSquared { n, eta: 1.0 },
                     ProtocolSpec::Saer { c, d },
                 )
-                .seed(600 + c as u64)
+                .seed(600 + 1000 * idx as u64)
             },
         )
         .expect("valid configuration");
@@ -45,7 +50,7 @@ fn main() {
         "work/ball (mean)",
         "peak S_t (max)",
     ]);
-    for (&c, point) in report.iter() {
+    for (&(_, c), point) in report.iter() {
         let peak = point.peak_burned_fraction().map(|s| s.max).unwrap_or(0.0);
         table.row([
             c.to_string(),

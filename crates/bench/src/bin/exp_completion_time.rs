@@ -25,7 +25,9 @@ fn main() {
                     GraphSpec::RegularLogSquared { n, eta: 1.0 },
                     ProtocolSpec::Saer { c, d },
                 )
-                .seed(100 + i as u64)
+                // Seed-striding convention: 1000 per sweep point keeps trial
+                // seed ranges disjoint across points.
+                .seed(100 + 1000 * i as u64)
             },
         )
         .expect("valid configuration");

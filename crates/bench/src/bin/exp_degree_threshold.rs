@@ -48,7 +48,9 @@ fn main() {
             Sweep::over("degree", degrees.into_iter().enumerate()),
             |&(i, (_, delta))| {
                 ExperimentConfig::new(GraphSpec::Regular { n, delta }, ProtocolSpec::Saer { c, d })
-                    .seed(700 + i as u64)
+                    // Seed-striding convention: 1000 per sweep point keeps trial
+                    // seed ranges disjoint across points.
+                    .seed(700 + 1000 * i as u64)
             },
         )
         .expect("valid configuration");

@@ -19,10 +19,16 @@ fn main() {
     let d = 2;
     let graph = GraphSpec::RegularLogSquared { n, eta: 1.0 };
 
+    // Seed-striding convention: 1000 per sweep point keeps trial seed ranges disjoint
+    // (300 + c overlapped adjacent points' ranges).
     let report = scenario
-        .run(Sweep::over("c", [2u32, 4, 8, 16, 32]), |&c| {
-            ExperimentConfig::new(graph.clone(), ProtocolSpec::Saer { c, d }).seed(300 + c as u64)
-        })
+        .run(
+            Sweep::over("c", [2u32, 4, 8, 16, 32].into_iter().enumerate()),
+            |&(idx, c)| {
+                ExperimentConfig::new(graph.clone(), ProtocolSpec::Saer { c, d })
+                    .seed(300 + 1000 * idx as u64)
+            },
+        )
         .expect("valid configuration");
 
     let mut table = Table::new([
@@ -33,7 +39,7 @@ fn main() {
         "servers at max",
         "completed",
     ]);
-    for (&c, point) in report.iter() {
+    for (&(_, c), point) in report.iter() {
         let hist = &point.trials[0].load_histogram;
         let max = hist.max_value().unwrap_or(0);
         table.row([

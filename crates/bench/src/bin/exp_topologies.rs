@@ -49,7 +49,11 @@ fn main() {
     let report = scenario
         .run(Sweep::over("topology", cases), |point| {
             let (i, _, spec) = point;
-            ExperimentConfig::new(spec.clone(), ProtocolSpec::Saer { c, d }).seed(1200 + *i as u64)
+            // Seed-striding convention: 1000 per size index keeps trial seed ranges
+            // disjoint across sizes; the two families at each size deliberately share
+            // seeds (different GraphSpecs, so the disjointness assertion allows it).
+            ExperimentConfig::new(spec.clone(), ProtocolSpec::Saer { c, d })
+                .seed(1200 + 1000 * *i as u64)
         })
         .expect("valid configuration");
 

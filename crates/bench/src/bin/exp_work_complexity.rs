@@ -3,8 +3,40 @@
 //! Same sweep as E1, reporting total messages and messages per ball; the paper predicts
 //! the per-ball figure converges to a constant independent of n.
 
+use clb::engine::TrajectoryObserver;
 use clb::prelude::*;
 use clb::report::fmt2;
+
+/// Asserts the engine's message-accounting convention on a live run: `total_messages`
+/// is exactly `2 × Σ_t requests_sent(t)` (one request + one answer per submitted
+/// request), with phase-3 surplus releases excluded — see the docs on
+/// `RunResult::total_messages`. Runs a two-choice protocol, the only family where
+/// releases occur, so the assertion would actually catch a convention change.
+fn assert_message_accounting() {
+    let graph = generators::regular_random(256, log2_squared(256), 42).unwrap();
+    let mut sim = Simulation::builder(&graph)
+        .protocol(ProtocolSpec::KChoice { k: 2, capacity: 4 }.build())
+        .demand(Demand::Constant(2))
+        .seed(42)
+        .max_rounds(600)
+        .observer(TrajectoryObserver::new())
+        .build();
+    let result = sim.run();
+    let trajectory = sim
+        .observer::<TrajectoryObserver>()
+        .expect("observer attached");
+    let request_messages: u64 = trajectory.records.iter().map(|r| 2 * r.requests_sent).sum();
+    assert_eq!(
+        result.total_messages, request_messages,
+        "total_messages must count exactly 2 messages per request (releases excluded)"
+    );
+    println!(
+        "message accounting check: {} messages = 2 x {} requests over {} rounds (surplus releases excluded by convention)\n",
+        result.total_messages,
+        request_messages / 2,
+        result.rounds
+    );
+}
 
 fn main() {
     let scenario = Scenario::new(
@@ -13,6 +45,8 @@ fn main() {
         "messages per ball stay O(1) (flat) as n grows",
     );
     scenario.announce();
+
+    assert_message_accounting();
 
     let d = 2;
     let c = 4;
@@ -24,7 +58,9 @@ fn main() {
                     GraphSpec::RegularLogSquared { n, eta: 1.0 },
                     ProtocolSpec::Saer { c, d },
                 )
-                .seed(200 + i as u64)
+                // Seed-striding convention: 1000 per sweep point keeps trial
+                // seed ranges disjoint across points.
+                .seed(200 + 1000 * i as u64)
             },
         )
         .expect("valid configuration");

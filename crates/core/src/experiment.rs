@@ -108,15 +108,26 @@ impl ExperimentConfig {
         self
     }
 
-    /// Runs one trial with an explicit seed.
+    /// Runs one trial with an explicit seed, building the graph from the spec.
     pub fn run_trial(&self, seed: u64) -> Result<TrialOutcome, clb_graph::GraphError> {
         let graph = self.graph.build(seed)?;
+        Ok(self.run_trial_on(&graph, seed))
+    }
+
+    /// Runs one trial on an already-materialised graph.
+    ///
+    /// `graph` must be what `self.graph.build(seed)` would return — the scenario
+    /// runner uses this to share one generated graph across every protocol that sweeps
+    /// over the same `GraphSpec × seed` cell (via the `clb_graph::snapshot` cache)
+    /// instead of regenerating it per trial. Passing any other graph silently breaks
+    /// the config/outcome correspondence recorded in [`TrialOutcome`].
+    pub fn run_trial_on(&self, graph: &clb_graph::BipartiteGraph, seed: u64) -> TrialOutcome {
         let protocol = self.protocol.build();
         let config = SimConfig {
             seed,
             max_rounds: self.max_rounds,
         };
-        let mut sim = Simulation::builder(&graph)
+        let mut sim = Simulation::builder(graph)
             .protocol(protocol)
             .demand(self.demand.clone())
             .config(config)
@@ -139,9 +150,9 @@ impl ExperimentConfig {
             sim.run_observed(&mut observers)
         };
 
-        Ok(TrialOutcome {
+        TrialOutcome {
             seed,
-            degree_stats: DegreeStats::of(&graph),
+            degree_stats: DegreeStats::of(graph),
             load_histogram: Histogram::of(sim.server_loads().iter().copied()),
             result,
             burned_fraction_series: self
@@ -156,7 +167,7 @@ impl ExperimentConfig {
                 .measurements
                 .trajectory
                 .then(|| trajectory.alive_series()),
-        })
+        }
     }
 
     /// Runs all trials (in parallel) and aggregates them.

@@ -25,4 +25,6 @@ pub mod scenario;
 
 pub use experiment::{ExperimentConfig, ExperimentReport, Measurements, TrialOutcome};
 pub use report::Table;
-pub use scenario::{default_trials, n_sweep, quick_mode, Scenario, Sweep, SweepReport, SweepRow};
+pub use scenario::{
+    default_trials, n_sweep, quick_mode, CacheStats, Scenario, Sweep, SweepReport, SweepRow,
+};

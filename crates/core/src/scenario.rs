@@ -14,6 +14,35 @@
 //!   one flat rayon-parallel pass (so a sweep with a few slow points doesn't serialise
 //!   behind them), and aggregates each point's trials into an [`ExperimentReport`].
 //!
+//! # Seed discipline across sweep points
+//!
+//! Trial `i` of a sweep point runs with seed `base_seed + i`, and the **seed-striding
+//! convention** is that distinct sweep points stride their base seeds far enough apart
+//! that the per-point seed ranges `[base_seed, base_seed + trials)` never overlap —
+//! the `exp_*` binaries use `base + 1000 · point_index`. Overlapping ranges on the
+//! same topology silently correlate measurements that the report presents as
+//! independent: with `.seed(600 + c)` and 15 trials, the `c = 1` and `c = 2` points
+//! share 14 of 15 seeds, i.e. 14 identical graphs and identical request streams.
+//! [`Scenario::run`] asserts the convention for any two points whose
+//! [`GraphSpec`]s are equal. Designs that *want* shared randomness across points — the
+//! paired RAES-vs-SAER comparison of `exp_raes_vs_saer`, where both protocols must see
+//! identical graphs and request streams — opt out explicitly with
+//! [`Scenario::paired_seeds`].
+//!
+//! # Graph snapshot cache
+//!
+//! Materialising a topology is typically far more expensive than running a protocol on
+//! it, and cross sweeps (e.g. `c × protocol`) revisit the same `GraphSpec × seed`
+//! graph identity once per protocol arm. [`Scenario::run`] therefore builds each
+//! distinct `GraphSpec × seed` graph exactly once: identities shared by several grid
+//! cells are kept as compact `clb_graph::snapshot` encodings that each cell decodes
+//! (an `O(edges)` copy, pinned byte-identical to a fresh generation by the snapshot
+//! round-trip tests), while single-cell identities build their graph directly inside
+//! the cell's trial, so peak memory scales with the shared identities only.
+//! (Terminology: a *cell* is one (sweep point × trial) grid entry; several cells can
+//! map to one graph identity.) The resulting [`CacheStats`] are reported on the
+//! [`SweepReport`] and printed as the `graph cache:` line CI greps.
+//!
 //! A complete experiment binary is now a scenario declaration plus a table render:
 //!
 //! ```no_run
@@ -25,23 +54,28 @@
 //!     .max_rounds(600);
 //! let report = scenario
 //!     .announce()
-//!     .run(Sweep::over("c", [1u32, 2, 4, 8]), |&c| {
-//!         ExperimentConfig::new(
-//!             GraphSpec::RegularLogSquared { n: 1 << 12, eta: 1.0 },
-//!             ProtocolSpec::Saer { c, d: 2 },
-//!         )
-//!         .seed(600 + c as u64)
-//!     })
+//!     .run(
+//!         Sweep::over("c", [1u32, 2, 4, 8].into_iter().enumerate()),
+//!         |&(idx, c)| {
+//!             ExperimentConfig::new(
+//!                 GraphSpec::RegularLogSquared { n: 1 << 12, eta: 1.0 },
+//!                 ProtocolSpec::Saer { c, d: 2 },
+//!             )
+//!             // Seed-striding convention: disjoint trial seed ranges per point.
+//!             .seed(600 + 1000 * idx as u64)
+//!         },
+//!     )
 //!     .unwrap();
-//! for (c, point) in report.iter() {
+//! for (&(_, c), point) in report.iter() {
 //!     println!("c = {c}: {:.1} rounds", point.rounds.mean);
 //! }
 //! ```
 
 use crate::experiment::{ExperimentConfig, ExperimentReport, Measurements, TrialOutcome};
 use clb_engine::Demand;
-use clb_graph::GraphError;
+use clb_graph::{snapshot, GraphError, GraphSpec};
 use rayon::prelude::*;
+use std::collections::HashMap;
 
 /// True if `CLB_QUICK=1` is set: scenarios shrink their trial counts (and binaries
 /// their sweeps) so every experiment finishes in a couple of seconds, e.g. in CI.
@@ -83,6 +117,7 @@ pub struct Scenario {
     max_rounds: Option<u32>,
     measurements: Option<Measurements>,
     demand: Option<Demand>,
+    paired_seeds: bool,
 }
 
 impl Scenario {
@@ -100,6 +135,7 @@ impl Scenario {
             max_rounds: None,
             measurements: None,
             demand: None,
+            paired_seeds: false,
         }
     }
 
@@ -137,6 +173,20 @@ impl Scenario {
         self
     }
 
+    /// Declares that sweep points *deliberately* share base seeds, disabling the
+    /// seed-disjointness assertion of [`Scenario::run`].
+    ///
+    /// Use this only for paired designs where points must see identical randomness —
+    /// e.g. `exp_raes_vs_saer` runs SAER and RAES on the same `GraphSpec × seed`
+    /// graphs so trial `i` sees the same topology and the same request streams under either
+    /// acceptance rule (the stochastic-domination comparison of Corollary 2). For
+    /// ordinary sweeps, stride base seeds by sweep-point index instead (see the module
+    /// docs).
+    pub fn paired_seeds(mut self) -> Self {
+        self.paired_seeds = true;
+        self
+    }
+
     /// Prints the standard experiment header (id, claim, prediction) and returns
     /// `self` so a binary can chain straight into [`Scenario::run`].
     pub fn announce(&self) -> &Self {
@@ -168,6 +218,12 @@ impl Scenario {
     /// `config` maps a sweep point to its experiment; the scenario's trial count, round
     /// cap, measurements and demand overrides are applied on top. Trial `i` of a point
     /// uses seed `base_seed + i`, exactly like [`ExperimentConfig::run`].
+    ///
+    /// Each distinct `GraphSpec × seed` graph identity is materialised exactly once
+    /// and shared (as a snapshot) by every grid cell that lands on it — see the module
+    /// docs. Distinct points with equal `GraphSpec`s must have disjoint
+    /// `[base_seed, base_seed + trials)` ranges unless [`Scenario::paired_seeds`] was
+    /// called; violating this panics (in release builds too).
     pub fn run<T, F>(&self, sweep: Sweep<T>, config: F) -> Result<SweepReport<T>, GraphError>
     where
         T: Send + Sync,
@@ -183,19 +239,70 @@ impl Scenario {
             .map(|point| self.apply(config(point)))
             .collect();
 
+        if !self.paired_seeds {
+            assert_disjoint_seed_ranges(&self.id, &configs);
+        }
+
         // One flat grid: a slow sweep point never serialises the rest of the sweep.
         let grid: Vec<(usize, u64)> = configs
             .iter()
             .enumerate()
             .flat_map(|(index, config)| (0..config.trials as u64).map(move |t| (index, t)))
             .collect();
+
+        // Graph snapshot cache: generate each distinct `GraphSpec × seed` graph
+        // identity once. Identities shared by more than one grid cell (cross sweeps,
+        // paired designs) are pre-generated in parallel and kept as compact snapshot
+        // encodings that every cell decodes; identities with exactly one cell gain
+        // nothing from a resident snapshot, so their graph is built directly inside
+        // the cell's trial and peak memory stays proportional to the *shared*
+        // identities only.
+        let mut identity_of_cell: Vec<usize> = Vec::with_capacity(grid.len());
+        let mut identity_index: HashMap<(String, u64), usize> = HashMap::new();
+        let mut identities: Vec<(&GraphSpec, u64)> = Vec::new();
+        let mut cells_per_identity: Vec<usize> = Vec::new();
+        for &(index, trial) in &grid {
+            let config = &configs[index];
+            let seed = config.base_seed + trial;
+            let key = (config.graph.cache_key(), seed);
+            let identity = *identity_index.entry(key).or_insert_with(|| {
+                identities.push((&config.graph, seed));
+                cells_per_identity.push(0);
+                identities.len() - 1
+            });
+            cells_per_identity[identity] += 1;
+            identity_of_cell.push(identity);
+        }
+        let snapshots: Result<Vec<_>, GraphError> = identities
+            .par_iter()
+            .zip(cells_per_identity.par_iter())
+            .map(|(&(spec, seed), &cells)| {
+                if cells > 1 {
+                    spec.build(seed)
+                        .map(|graph| snapshot::encode(&graph))
+                        .map(Some)
+                } else {
+                    Ok(None)
+                }
+            })
+            .collect();
+        let snapshots = snapshots?;
+        let cache = CacheStats {
+            graphs_built: identities.len(),
+            cells_run: grid.len(),
+        };
+
         let outcomes: Result<Vec<(usize, TrialOutcome)>, GraphError> = grid
-            .into_par_iter()
-            .map(|(index, trial)| {
+            .par_iter()
+            .zip(identity_of_cell.par_iter())
+            .map(|(&(index, trial), &identity)| {
                 let config = &configs[index];
-                config
-                    .run_trial(config.base_seed + trial)
-                    .map(|outcome| (index, outcome))
+                let seed = config.base_seed + trial;
+                let graph = match &snapshots[identity] {
+                    Some(snapshot) => snapshot::decode(snapshot)?,
+                    None => config.graph.build(seed)?,
+                };
+                Ok((index, config.run_trial_on(&graph, seed)))
             })
             .collect();
 
@@ -213,7 +320,11 @@ impl Scenario {
                 report: ExperimentReport::aggregate(config, trials),
             })
             .collect();
-        Ok(SweepReport { label, rows })
+        println!(
+            "graph cache: built {} graphs for {} cells",
+            cache.graphs_built, cache.cells_run
+        );
+        Ok(SweepReport { label, rows, cache })
     }
 
     /// Runs a single configuration under the scenario's policy — the degenerate
@@ -227,6 +338,47 @@ impl Scenario {
             .expect("one-point sweep")
             .report)
     }
+}
+
+/// Panics if two distinct sweep points with equal `GraphSpec`s have overlapping
+/// `[base_seed, base_seed + trials)` seed ranges — overlapping ranges on the same
+/// topology silently correlate points that the report presents as independent
+/// measurements. Paired designs opt out via [`Scenario::paired_seeds`].
+///
+/// Runs in release builds too: the `exp_*` binaries only ever run in release (CI
+/// smoke-runs them with `cargo run --release`), and an O(points²) integer comparison
+/// is negligible next to a single graph generation.
+fn assert_disjoint_seed_ranges(scenario_id: &str, configs: &[ExperimentConfig]) {
+    for (i, a) in configs.iter().enumerate() {
+        for (j, b) in configs.iter().enumerate().skip(i + 1) {
+            if a.graph != b.graph {
+                continue;
+            }
+            let (a_lo, a_hi) = (a.base_seed, a.base_seed + a.trials as u64);
+            let (b_lo, b_hi) = (b.base_seed, b.base_seed + b.trials as u64);
+            assert!(
+                a_hi <= b_lo || b_hi <= a_lo,
+                "scenario {scenario_id}: sweep points {i} and {j} share the topology \
+                 {} but overlap their trial seed ranges [{a_lo}, {a_hi}) and \
+                 [{b_lo}, {b_hi}); overlapping seeds correlate points that are \
+                 reported as independent. Stride base seeds by sweep-point index \
+                 (e.g. base + 1000 * point_idx), or call Scenario::paired_seeds() if \
+                 the sharing is a deliberate paired design.",
+                a.graph.label(),
+            );
+        }
+    }
+}
+
+/// How much graph generation the snapshot cache saved in one [`Scenario::run`]: the
+/// runner materialised `graphs_built` distinct `GraphSpec × seed` cells to serve
+/// `cells_run` (point × trial) grid cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Distinct `GraphSpec × seed` graphs actually generated.
+    pub graphs_built: usize,
+    /// Total (sweep point × trial) cells executed.
+    pub cells_run: usize,
 }
 
 /// An ordered, labelled list of sweep points.
@@ -310,6 +462,8 @@ pub struct SweepReport<T> {
     pub label: String,
     /// One row per sweep point.
     pub rows: Vec<SweepRow<T>>,
+    /// Graph snapshot-cache statistics for this run.
+    pub cache: CacheStats,
 }
 
 impl<T> SweepReport<T> {
@@ -359,11 +513,13 @@ mod tests {
     }
 
     fn config_for(c: u32) -> ExperimentConfig {
+        // Base seeds follow the striding convention: far enough apart that the
+        // per-point trial ranges stay disjoint (see the module docs).
         ExperimentConfig::new(
             GraphSpec::Regular { n: 64, delta: 16 },
             ProtocolSpec::Saer { c, d: 2 },
         )
-        .seed(100 + c as u64)
+        .seed(100 + 1000 * c as u64)
     }
 
     #[test]
@@ -379,9 +535,61 @@ mod tests {
             assert_eq!(point.config.max_rounds, 300);
             // Per-point seeds are base_seed + trial index, in order.
             let seeds: Vec<u64> = point.trials.iter().map(|t| t.seed).collect();
-            let base = 100 + *c as u64;
+            let base = 100 + 1000 * *c as u64;
             assert_eq!(seeds, vec![base, base + 1, base + 2]);
         }
+        // Every cell is a distinct GraphSpec × seed here, so the cache built them all.
+        assert_eq!(report.cache.cells_run, 9);
+        assert_eq!(report.cache.graphs_built, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap their trial seed ranges")]
+    fn overlapping_seed_ranges_on_the_same_topology_are_rejected() {
+        // The pre-fix exp_c_sweep pattern: seed(base + c) with 3 trials means c = 2
+        // and c = 4 share seed 104 — the bug this assertion exists to catch.
+        let _ = scenario().run(Sweep::over("c", [2u32, 4]), |&c| {
+            ExperimentConfig::new(
+                GraphSpec::Regular { n: 64, delta: 16 },
+                ProtocolSpec::Saer { c, d: 2 },
+            )
+            .seed(100 + c as u64)
+        });
+    }
+
+    #[test]
+    fn paired_seeds_allows_identical_ranges_and_shares_graphs() {
+        // The exp_raes_vs_saer design: both protocol arms deliberately run on the
+        // same GraphSpec × seed cells. The cache must build each graph once.
+        let report = scenario()
+            .paired_seeds()
+            .run(Sweep::over("protocol", ["SAER", "RAES"]), |name| {
+                let protocol = match *name {
+                    "SAER" => ProtocolSpec::Saer { c: 4, d: 2 },
+                    _ => ProtocolSpec::Raes { c: 4, d: 2 },
+                };
+                ExperimentConfig::new(GraphSpec::Regular { n: 64, delta: 16 }, protocol).seed(500)
+            })
+            .unwrap();
+        assert_eq!(report.cache.cells_run, 6);
+        assert_eq!(report.cache.graphs_built, 3, "3 seeds shared by 2 arms");
+        // Pairing is real: both arms saw identical topologies per trial.
+        for (a, b) in report.report(0).trials.iter().zip(&report.report(1).trials) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.degree_stats, b.degree_stats);
+        }
+    }
+
+    #[test]
+    fn cached_graphs_match_fresh_generation() {
+        // A Scenario::run trial goes generator → snapshot encode → decode; the direct
+        // ExperimentConfig::run path regenerates per trial. Outcomes must be
+        // bit-identical, proving the cache round-trip changes nothing.
+        let direct = config_for(4).trials(3).run().unwrap();
+        let cached = scenario()
+            .run(Sweep::over("c", [4u32]), |&c| config_for(c))
+            .unwrap();
+        assert_eq!(cached.report(0).trials, direct.trials);
     }
 
     #[test]

@@ -20,6 +20,14 @@
 //!   derived from per-(ball, round) streams so results are bit-identical regardless of
 //!   the number of worker threads. Construction goes through the fluent
 //!   [`Simulation::builder`].
+//!
+//!   The round loop is **allocation-free after construction**: all per-round scratch
+//!   (the flat slot-major request buffer phase 1 writes picks into, the stable
+//!   `O(R + S)` counting sort that groups requests server-major for phase 2, the
+//!   accept flags, the per-server counts/closed census and the double-buffered
+//!   alive-ball list) lives in a `RoundBuffers` struct owned by the simulation and
+//!   sized once at build time — see the `simulation` module docs and the
+//!   counting-allocator harness in `tests/alloc_free.rs`.
 //! * [`observe`] — round observers that record the quantities the paper's analysis
 //!   tracks: the burned/saturated fraction `S_t`, the per-neighbourhood request mass
 //!   `r_t(N(v))`, alive balls, loads and work. Observers can be borrowed per run

@@ -1,4 +1,18 @@
 //! The synchronous round executor and its fluent builder.
+//!
+//! # Hot-loop design: `RoundBuffers`
+//!
+//! A round is executed entirely inside scratch space that is sized once at build time
+//! and reused for the whole run ([`RoundBuffers`], owned by [`Simulation`]): the flat
+//! slot-major request buffer phase 1 writes into, the counting-sort output that groups
+//! requests server-major for phase 2, the per-request accept flags, the per-server
+//! counts and closed census the observers read, and the double-buffered alive-ball
+//! list. After the buffers are warm (i.e. after construction), [`Simulation::step`]
+//! performs **no heap allocation** — pinned by the counting-allocator harness in
+//! `crates/engine/tests/alloc_free.rs`. Server-major grouping is an `O(R + S)` stable
+//! counting sort over server ids, replacing the earlier `O(R log R)` key sort while
+//! producing the identical canonical order (ascending server id, ascending request
+//! index within a server).
 
 use crate::{
     config::SimConfig,
@@ -18,6 +32,67 @@ const UNASSIGNED: u32 = u32::MAX;
 /// Domain tag for the protocol-execution randomness (distinct from graph generation and
 /// demand materialisation).
 const PROTOCOL_DOMAIN: u64 = 0x70726f74; // "prot"
+
+/// Checks that a round's request count (`alive × choices`) fits the engine's 32-bit
+/// request indexing and returns it.
+///
+/// Request indices are stored as `u32` in the counting-sort buffer (and were packed
+/// into the low 32 bits of the sort keys before the counting-sort rewrite), so a round
+/// may carry at most `u32::MAX` requests. The guard panics with a diagnosable message
+/// instead of silently corrupting indices.
+fn checked_request_count(alive: usize, choices: u32) -> usize {
+    match alive.checked_mul(choices as usize) {
+        Some(total) if total <= u32::MAX as usize => total,
+        _ => panic!(
+            "request count overflow: {alive} alive balls x {choices} choices per round \
+             exceeds the engine's 2^32 - 1 requests-per-round limit; reduce the demand, \
+             the ball count or the protocol's choices_per_round()"
+        ),
+    }
+}
+
+/// Reusable per-round scratch space, hoisted out of the hot loop.
+///
+/// The PR-1 engine allocated six vectors per round (the request list, the sort keys,
+/// the accept flags, the per-server counts, the closed census and the next alive list)
+/// plus one `picks` Vec per ball inside phase 1. All of that scratch now lives here,
+/// sized once in [`SimulationBuilder::build`], so a steady-state round never touches
+/// the allocator (`clear()` + `resize()` within reserved capacity only moves the
+/// length).
+struct RoundBuffers {
+    /// Phase-1 picks in a flat slot-major layout: entry `slot * choices + k` is the
+    /// destination server of the k-th pick of the ball at `alive_balls[slot]`.
+    request_server: Vec<u32>,
+    /// Request indices grouped server-major by the counting sort. The scatter is
+    /// stable, so within a server's segment the indices ascend — the same canonical
+    /// order the former `(server << 32) | index` key sort produced.
+    sorted_requests: Vec<u32>,
+    /// Requests each server received this round (read by observers via [`RoundView`]).
+    requests_per_server: Vec<u32>,
+    /// Counting-sort cursor: prefix sums before the scatter, segment ends after it.
+    server_cursor: Vec<u32>,
+    /// Per-request accept flags for the current round.
+    accepted: Vec<bool>,
+    /// Per-server closed census at the end of the round (read by observers).
+    closed: Vec<bool>,
+    /// Double-buffer swapped with `Simulation::alive_balls` at the end of phase 3.
+    alive_next: Vec<u32>,
+}
+
+impl RoundBuffers {
+    fn new(num_servers: usize, total_balls: usize, choices: u32) -> Self {
+        let request_capacity = checked_request_count(total_balls, choices);
+        Self {
+            request_server: Vec::with_capacity(request_capacity),
+            sorted_requests: Vec::with_capacity(request_capacity),
+            requests_per_server: vec![0; num_servers],
+            server_cursor: vec![0; num_servers],
+            accepted: Vec::with_capacity(request_capacity),
+            closed: vec![false; num_servers],
+            alive_next: Vec::with_capacity(total_balls),
+        }
+    }
+}
 
 /// Per-round summary statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -46,6 +121,16 @@ pub struct RunResult {
     /// Rounds executed.
     pub rounds: u32,
     /// Total messages exchanged (the paper's work complexity).
+    ///
+    /// **Accounting convention:** every submitted request counts two messages — the
+    /// request itself and the server's accept/reject answer — so this is always
+    /// `2 · Σ_t (requests sent in round t)`. Phase-3 surplus releases (a ball that had
+    /// several accepted choices telling the losing servers it settled elsewhere, only
+    /// possible when `choices_per_round() > 1`) are **excluded**: the paper's model M
+    /// protocols are single-choice, its work complexity counts request/answer pairs
+    /// (Section 2.1), and keeping the k-choice baselines on the same ledger keeps
+    /// their work figures comparable. `exp_work_complexity` asserts this identity on a
+    /// real k-choice run.
     pub total_messages: u64,
     /// Maximum server load at the end of the run.
     pub max_load: u32,
@@ -191,6 +276,11 @@ impl<'g, P: Protocol> SimulationBuilder<'g, P> {
         let server_states = (0..graph.num_servers())
             .map(|_| protocol.init_server())
             .collect();
+        let buffers = RoundBuffers::new(
+            graph.num_servers(),
+            total_balls,
+            protocol.choices_per_round().max(1),
+        );
         Simulation {
             graph,
             protocol,
@@ -204,6 +294,7 @@ impl<'g, P: Protocol> SimulationBuilder<'g, P> {
             round: 0,
             alive_balls: (0..total_balls as u32).collect(),
             total_messages: 0,
+            buffers,
             observers: self.observers,
         }
     }
@@ -231,6 +322,7 @@ pub struct Simulation<'g, P: Protocol> {
     alive_balls: Vec<u32>,
     total_messages: u64,
 
+    buffers: RoundBuffers,
     observers: Vec<Box<dyn AnyObserver>>,
 }
 
@@ -301,8 +393,8 @@ impl<'g, P: Protocol> Simulation<'g, P> {
     /// Executes one round and returns its summary record. Builder-attached observers
     /// see the round exactly as they would under [`Simulation::run`].
     pub fn step(&mut self) -> RoundRecord {
-        let (record, requests_per_server, closed) = self.step_internal();
-        self.notify_observers(&record, &requests_per_server, &closed, &mut []);
+        let record = self.step_internal();
+        self.notify_observers(&record, &mut []);
         record
     }
 
@@ -316,19 +408,13 @@ impl<'g, P: Protocol> Simulation<'g, P> {
     /// observers and then every borrowed observer after each round.
     pub fn run_observed(&mut self, observers: &mut [&mut dyn Observer]) -> RunResult {
         while !self.is_complete() && self.round < self.config.max_rounds {
-            let (record, requests_per_server, closed) = self.step_internal();
-            self.notify_observers(&record, &requests_per_server, &closed, observers);
+            let record = self.step_internal();
+            self.notify_observers(&record, observers);
         }
         self.result()
     }
 
-    fn notify_observers(
-        &mut self,
-        record: &RoundRecord,
-        requests_per_server: &[u32],
-        closed: &[bool],
-        external: &mut [&mut dyn Observer],
-    ) {
+    fn notify_observers(&mut self, record: &RoundRecord, external: &mut [&mut dyn Observer]) {
         if self.observers.is_empty() && external.is_empty() {
             return;
         }
@@ -339,8 +425,8 @@ impl<'g, P: Protocol> Simulation<'g, P> {
             record,
             graph: self.graph,
             server_loads: &self.server_load,
-            requests_per_server,
-            closed,
+            requests_per_server: &self.buffers.requests_per_server,
+            closed: &self.buffers.closed,
         };
         for obs in owned.iter_mut() {
             obs.as_observer_mut().on_round(&view);
@@ -372,81 +458,102 @@ impl<'g, P: Protocol> Simulation<'g, P> {
     }
 
     /// One round: phase 1 (clients submit), phase 2 (servers decide), phase 3 (balls
-    /// settle). Returns the record plus the per-server request counts and closed flags
-    /// needed by observers.
-    fn step_internal(&mut self) -> (RoundRecord, Vec<u32>, Vec<bool>) {
+    /// settle). The per-server request counts and closed flags the observers need stay
+    /// behind in [`RoundBuffers`]; nothing is allocated on the way.
+    fn step_internal(&mut self) -> RoundRecord {
         self.round += 1;
         let round = self.round;
         let choices = self.protocol.choices_per_round().max(1);
         let graph = self.graph;
         let factory = self.factory;
         let ball_owner = &self.ball_owner;
+        let total_requests = checked_request_count(self.alive_balls.len(), choices);
+
+        let RoundBuffers {
+            request_server,
+            sorted_requests,
+            requests_per_server,
+            server_cursor,
+            accepted,
+            closed,
+            alive_next,
+        } = &mut self.buffers;
 
         // Phase 1 — every alive ball picks `choices` destinations independently and
-        // uniformly at random (with replacement) from its owner's neighbourhood.
-        // Parallel over balls; the per-(ball, round) stream keeps it deterministic.
-        let requests: Vec<(u32, u32)> = self
-            .alive_balls
-            .par_iter()
-            .flat_map_iter(|&ball| {
+        // uniformly at random (with replacement) from its owner's neighbourhood,
+        // written straight into the flat slot-major request buffer. Parallel over
+        // balls; the per-(ball, round) stream keeps it deterministic.
+        request_server.clear();
+        request_server.resize(total_requests, 0);
+        request_server
+            .par_chunks_mut(choices as usize)
+            .zip(self.alive_balls.par_iter())
+            .for_each(|(picks, &ball)| {
                 let client = ball_owner[ball as usize];
                 let neigh = graph.client_neighbors(ClientId::new(client as usize));
                 let mut rng = factory.stream3(client as u64, ball as u64, round as u64);
-                let mut picks = Vec::with_capacity(choices as usize);
-                for _ in 0..choices {
-                    let server = neigh[rng.gen_index(neigh.len())].0;
-                    picks.push((ball, server));
+                for pick in picks {
+                    *pick = neigh[rng.gen_index(neigh.len())].0;
                 }
-                picks
-            })
-            .collect();
+            });
 
-        let num_requests = requests.len() as u64;
+        let num_requests = total_requests as u64;
         self.total_messages += 2 * num_requests;
 
-        // Canonical server-major order: sort (server, request-index) keys so each
-        // server's batch is a contiguous segment processed in a deterministic order.
-        let mut keys: Vec<u64> = (0..requests.len())
-            .map(|i| ((requests[i].1 as u64) << 32) | i as u64)
-            .collect();
-        keys.par_sort_unstable();
+        // Canonical server-major grouping: a stable O(R + S) counting sort over server
+        // ids. Within a server's segment the scatter preserves ascending request
+        // index — exactly the order the former `(server << 32) | index` key sort gave.
+        requests_per_server.fill(0);
+        for &server in request_server.iter() {
+            requests_per_server[server as usize] += 1;
+        }
+        let mut acc = 0u32;
+        for (cursor, &count) in server_cursor.iter_mut().zip(requests_per_server.iter()) {
+            *cursor = acc;
+            acc += count;
+        }
+        sorted_requests.clear();
+        sorted_requests.resize(total_requests, 0);
+        for (index, &server) in request_server.iter().enumerate() {
+            let position = server_cursor[server as usize];
+            sorted_requests[position as usize] = index as u32;
+            server_cursor[server as usize] = position + 1;
+        }
 
-        // Phase 2 — per-server threshold decisions.
-        let mut requests_per_server = vec![0u32; graph.num_servers()];
-        let mut accepted = vec![false; requests.len()];
-        let mut segment_start = 0usize;
-        while segment_start < keys.len() {
-            let server = (keys[segment_start] >> 32) as u32;
-            let mut segment_end = segment_start + 1;
-            while segment_end < keys.len() && (keys[segment_end] >> 32) as u32 == server {
-                segment_end += 1;
+        // Phase 2 — per-server threshold decisions, in ascending server order over the
+        // servers that received at least one request. After the scatter the cursor
+        // points at each segment's end.
+        accepted.clear();
+        accepted.resize(total_requests, false);
+        for server in 0..graph.num_servers() {
+            let incoming = requests_per_server[server];
+            if incoming == 0 {
+                continue;
             }
-            let incoming = (segment_end - segment_start) as u32;
-            requests_per_server[server as usize] = incoming;
+            let segment_end = server_cursor[server] as usize;
+            let segment_start = segment_end - incoming as usize;
             let ctx = ServerCtx {
-                server,
+                server: server as u32,
                 round,
-                current_load: self.server_load[server as usize],
+                current_load: self.server_load[server],
                 incoming,
             };
             let accept = self
                 .protocol
-                .server_decide(&mut self.server_states[server as usize], &ctx)
+                .server_decide(&mut self.server_states[server], &ctx)
                 .min(incoming);
-            self.server_load[server as usize] += accept;
-            for (rank, &key) in keys[segment_start..segment_end].iter().enumerate() {
-                if (rank as u32) < accept {
-                    accepted[(key & 0xFFFF_FFFF) as usize] = true;
-                }
+            self.server_load[server] += accept;
+            for &request in &sorted_requests[segment_start..segment_start + accept as usize] {
+                accepted[request as usize] = true;
             }
-            segment_start = segment_end;
         }
 
         // Phase 3 — balls settle. With a single choice per round each ball has exactly
         // one request; with k choices a ball keeps the first accepted destination and
-        // the engine releases the rest back to their servers.
+        // the engine releases the rest back to their servers. The surviving balls go
+        // into the double buffer, which then swaps with the alive list.
         let mut balls_assigned = 0u64;
-        let mut still_alive = Vec::with_capacity(self.alive_balls.len());
+        alive_next.clear();
         let per_ball = choices as usize;
         for (slot, &ball) in self.alive_balls.iter().enumerate() {
             let base = slot * per_ball;
@@ -456,7 +563,7 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                 if !accepted[idx] {
                     continue;
                 }
-                let server = requests[idx].1;
+                let server = request_server[idx];
                 if settled.is_none() {
                     settled = Some(server);
                 } else {
@@ -471,21 +578,21 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                     self.ball_assigned[ball as usize] = server;
                     balls_assigned += 1;
                 }
-                None => still_alive.push(ball),
+                None => alive_next.push(ball),
             }
         }
-        self.alive_balls = still_alive;
+        std::mem::swap(&mut self.alive_balls, alive_next);
 
         // Closed-server census for the observers and the record.
-        let closed: Vec<bool> = self
-            .server_states
-            .par_iter()
+        let protocol = &self.protocol;
+        closed
+            .par_iter_mut()
+            .zip(self.server_states.par_iter())
             .zip(self.server_load.par_iter())
-            .map(|(state, &load)| self.protocol.server_is_closed(state, load))
-            .collect();
+            .for_each(|((flag, state), &load)| *flag = protocol.server_is_closed(state, load));
         let closed_servers = closed.iter().filter(|&&c| c).count() as u64;
 
-        let record = RoundRecord {
+        RoundRecord {
             round,
             requests_sent: num_requests,
             balls_assigned,
@@ -493,8 +600,7 @@ impl<'g, P: Protocol> Simulation<'g, P> {
             messages: 2 * num_requests,
             closed_servers,
             max_load: self.server_load.iter().copied().max().unwrap_or(0),
-        };
-        (record, requests_per_server, closed)
+        }
     }
 }
 
@@ -752,6 +858,72 @@ mod tests {
             stepped.observer::<MaxLoadObserver>().unwrap().max_load,
             result.max_load
         );
+    }
+
+    /// A protocol whose per-round choice count is absurdly large, to hit the request
+    /// overflow guard without allocating anything first.
+    struct ManyChoices(u32);
+    impl Protocol for ManyChoices {
+        type ServerState = ();
+        fn init_server(&self) {}
+        fn choices_per_round(&self) -> u32 {
+            self.0
+        }
+        fn server_decide(&self, _state: &mut (), ctx: &ServerCtx) -> u32 {
+            ctx.incoming
+        }
+        fn server_is_closed(&self, _state: &(), _load: u32) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn request_count_guard_accepts_the_limit() {
+        assert_eq!(checked_request_count(0, u32::MAX), 0);
+        assert_eq!(checked_request_count(1, u32::MAX), u32::MAX as usize);
+        assert_eq!(checked_request_count(6, 7), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "request count overflow")]
+    fn request_count_guard_rejects_overflow() {
+        let _ = checked_request_count(2, u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "request count overflow")]
+    fn oversized_choice_count_is_diagnosed_at_build() {
+        // 8 balls x u32::MAX choices per round can never be indexed by the engine's
+        // 32-bit request ids; the guard must fire before any buffer is sized.
+        let g = generators::regular_random(8, 2, 3).unwrap();
+        let _ = Simulation::builder(&g)
+            .protocol(ManyChoices(u32::MAX))
+            .demand(Demand::Constant(1))
+            .build();
+    }
+
+    #[test]
+    fn surplus_releases_are_excluded_from_total_messages() {
+        // Two choices per ball on capacity-1 servers: surplus accepts (both choices
+        // accepted) are released in phase 3. The documented convention is that those
+        // release notifications do NOT count as messages: the total stays exactly
+        // 2 x (requests submitted), matching the sum of the per-round records.
+        let g = generators::complete(8, 8).unwrap();
+        let mut sim = Simulation::builder(&g)
+            .protocol(TwoChoiceCapacityOne)
+            .demand(Demand::Constant(1))
+            .seed(3)
+            .max_rounds(500)
+            .build();
+        let mut request_messages = 0u64;
+        while !sim.is_complete() && sim.round() < 500 {
+            let record = sim.step();
+            assert_eq!(record.messages, 2 * record.requests_sent);
+            request_messages += record.messages;
+        }
+        let result = sim.result();
+        assert!(result.completed);
+        assert_eq!(result.total_messages, request_messages);
     }
 
     #[test]

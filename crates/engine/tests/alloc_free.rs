@@ -1,0 +1,150 @@
+//! Pins the zero-allocation round loop: after the simulation is built, `step()` must
+//! never touch the global allocator.
+//!
+//! The harness installs a counting `#[global_allocator]` (this integration test is its
+//! own binary, so the counter sees nothing but this file's work) and counts every
+//! `alloc` / `alloc_zeroed` / `realloc` call. The engine sizes all of its per-round
+//! scratch in `SimulationBuilder::build` (see `RoundBuffers` in
+//! `src/simulation.rs`), so the steady-state count across any number of rounds must be
+//! exactly zero.
+//!
+//! NOTE: under the vendored sequential rayon stub every round runs on this thread, so
+//! a zero count is airtight. Once the real rayon is swapped in (stubs/README.md), its
+//! worker threads may allocate job-queue bookkeeping on first use; if that happens,
+//! keep the assertion tight by running one warm-up step before the counted window
+//! (already done below) rather than loosening the bound.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use clb_engine::{Demand, Protocol, ServerCtx, Simulation};
+use clb_graph::generators;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Single-choice protocol that keeps every ball alive for `open_round - 1` rounds, so
+/// the counted window exercises full-size request batches every round.
+struct OpensAt(u32);
+impl Protocol for OpensAt {
+    type ServerState = ();
+    fn init_server(&self) {}
+    fn server_decide(&self, _state: &mut (), ctx: &ServerCtx) -> u32 {
+        if ctx.round >= self.0 {
+            ctx.incoming
+        } else {
+            0
+        }
+    }
+    fn server_is_closed(&self, _state: &(), _load: u32) -> bool {
+        false
+    }
+}
+
+/// Two choices per ball on capacity-1 servers: drives the release path and the
+/// k-choice phase-3 logic through the counted window.
+struct TwoChoiceCapacityOne;
+impl Protocol for TwoChoiceCapacityOne {
+    type ServerState = u32;
+    fn init_server(&self) -> u32 {
+        0
+    }
+    fn choices_per_round(&self) -> u32 {
+        2
+    }
+    fn server_decide(&self, state: &mut u32, ctx: &ServerCtx) -> u32 {
+        let take = 1u32.saturating_sub(*state).min(ctx.incoming);
+        *state += take;
+        take
+    }
+    fn server_is_closed(&self, state: &u32, _load: u32) -> bool {
+        *state >= 1
+    }
+    fn server_on_release(&self, state: &mut u32, count: u32) {
+        *state -= count;
+    }
+}
+
+#[test]
+fn round_loop_is_allocation_free_after_build() {
+    // Case 1: single-choice, all balls stay alive for 40 rounds — every counted round
+    // runs the phase-1 pick loop, the counting sort and phase 3 at full size.
+    let graph = generators::regular_random(256, 16, 21).unwrap();
+    let mut sim = Simulation::builder(&graph)
+        .protocol(OpensAt(u32::MAX))
+        .demand(Demand::Constant(3))
+        .seed(7)
+        .build();
+    sim.step(); // warm-up (the buffers are pre-sized in build; this is belt and braces)
+    let before = allocation_count();
+    for _ in 0..40 {
+        sim.step();
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "single-choice step() allocated {} times over 40 rounds",
+        after - before
+    );
+    assert_eq!(
+        sim.alive_count(),
+        256 * 3,
+        "every ball must have stayed alive"
+    );
+
+    // Case 2: two choices per ball with releases — the k-choice settle path must be
+    // just as clean. Complete bipartite 64x64 with capacity-1 servers takes many
+    // rounds to finish, so 10 counted steps all do real work.
+    let graph = generators::complete(64, 64).unwrap();
+    let mut sim = Simulation::builder(&graph)
+        .protocol(TwoChoiceCapacityOne)
+        .demand(Demand::Constant(1))
+        .seed(3)
+        .max_rounds(500)
+        .build();
+    sim.step();
+    let before = allocation_count();
+    for _ in 0..10 {
+        if sim.is_complete() {
+            break;
+        }
+        sim.step();
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "two-choice step() allocated {} times over the counted window",
+        after - before
+    );
+}

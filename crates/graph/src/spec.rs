@@ -104,6 +104,21 @@ impl GraphSpec {
         }
     }
 
+    /// A string that identifies this spec (variant plus every parameter), for use as a
+    /// cache key: for the finite, non-signed-zero parameters experiments actually use,
+    /// two specs produce the same key exactly when they compare equal, so
+    /// `(cache_key, seed)` identifies the graph [`GraphSpec::build`] returns.
+    ///
+    /// The experiment runner keys its graph-snapshot cache on this (`GraphSpec`
+    /// deliberately does not implement `Hash`/`Eq` because of its `f64` parameters;
+    /// the derived `Debug` rendering round-trips finite floats exactly). The only
+    /// divergences from `PartialEq` are the f64 edge cases `-0.0` (equal to `0.0` but
+    /// a distinct key — a harmless extra cache entry) and `NaN` (unequal to itself but
+    /// one key — never a valid edge probability or degree multiplier).
+    pub fn cache_key(&self) -> String {
+        format!("{self:?}")
+    }
+
     /// Number of clients (= number of servers) the spec will produce.
     pub fn n(&self) -> usize {
         match *self {
@@ -206,6 +221,34 @@ mod tests {
         assert!(GraphSpec::ErdosRenyi { n: 10, p: 0.5 }
             .label()
             .contains("0.5"));
+    }
+
+    #[test]
+    fn cache_key_is_injective_over_parameters() {
+        let specs = [
+            GraphSpec::Regular { n: 64, delta: 8 },
+            GraphSpec::Regular { n: 64, delta: 9 },
+            GraphSpec::RegularLogSquared { n: 64, eta: 1.0 },
+            GraphSpec::RegularLogSquared { n: 64, eta: 1.5 },
+            GraphSpec::Complete { n: 64 },
+            GraphSpec::ErdosRenyi { n: 64, p: 0.25 },
+        ];
+        for (i, a) in specs.iter().enumerate() {
+            for (j, b) in specs.iter().enumerate() {
+                assert_eq!(
+                    a.cache_key() == b.cache_key(),
+                    i == j,
+                    "{} vs {}",
+                    a.cache_key(),
+                    b.cache_key()
+                );
+            }
+        }
+        // Equal specs share the key.
+        assert_eq!(
+            GraphSpec::Regular { n: 64, delta: 8 }.cache_key(),
+            GraphSpec::Regular { n: 64, delta: 8 }.cache_key()
+        );
     }
 
     #[test]

@@ -38,13 +38,20 @@ fn main() {
     });
 
     let report = scenario
-        .run(Sweep::over("c", [1u32, 2, 3, 4, 6, 8, 16, 32, 64]), |&c| {
-            ExperimentConfig::new(
-                GraphSpec::RegularLogSquared { n, eta },
-                ProtocolSpec::Saer { c, d },
-            )
-            .seed(1000 + c as u64)
-        })
+        .run(
+            Sweep::over(
+                "c",
+                [1u32, 2, 3, 4, 6, 8, 16, 32, 64].into_iter().enumerate(),
+            ),
+            |&(idx, c)| {
+                ExperimentConfig::new(
+                    GraphSpec::RegularLogSquared { n, eta },
+                    ProtocolSpec::Saer { c, d },
+                )
+                // Seed-striding convention: disjoint trial seed ranges per point.
+                .seed(1000 + 1000 * idx as u64)
+            },
+        )
         .expect("valid configuration");
 
     let mut table = Table::new([
@@ -55,7 +62,7 @@ fn main() {
         "max load (max)",
         "peak burned fraction",
     ]);
-    for (&c, point) in report.iter() {
+    for (&(_, c), point) in report.iter() {
         let peak = point.peak_burned_fraction().map(|s| s.max).unwrap_or(0.0);
         table.row([
             c.to_string(),

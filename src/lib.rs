@@ -43,22 +43,27 @@
 //! ```
 //! use clb::prelude::*;
 //!
-//! // SAER across threshold constants on a Δ = ⌈log²n⌉ regular random graph.
+//! // SAER across threshold constants on a Δ = ⌈log²n⌉ regular random graph. Base
+//! // seeds stride by 1000 per sweep point so the per-point trial seed ranges stay
+//! // disjoint (the runner asserts this — see `clb::scenario`).
 //! let scenario = Scenario::new("demo", "c sweep", "rounds shrink as c grows").trials(4);
 //! let report = scenario
-//!     .run(Sweep::over("c", [4u32, 8]), |&c| {
-//!         ExperimentConfig::new(
-//!             GraphSpec::RegularLogSquared { n: 512, eta: 1.0 },
-//!             ProtocolSpec::Saer { c, d: 2 },
-//!         )
-//!         .seed(7)
-//!     })
+//!     .run(
+//!         Sweep::over("c", [4u32, 8].into_iter().enumerate()),
+//!         |&(idx, c)| {
+//!             ExperimentConfig::new(
+//!                 GraphSpec::RegularLogSquared { n: 512, eta: 1.0 },
+//!                 ProtocolSpec::Saer { c, d: 2 },
+//!             )
+//!             .seed(7 + 1000 * idx as u64)
+//!         },
+//!     )
 //!     .unwrap();
-//! for (c, point) in report.iter() {
+//! for (&(_, c), point) in report.iter() {
 //!     assert_eq!(point.completion_rate(), 1.0, "c = {c}");
 //!     assert!(point.max_load.max <= (c * 2) as f64);
+//!     println!("c = {c}: {:.1} rounds", point.rounds.mean);
 //! }
-//! println!("{}", report.to_markdown());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -84,8 +89,8 @@ pub use clb_analysis as analysis;
 
 pub use clb_core::{experiment, report, scenario};
 pub use clb_core::{
-    ExperimentConfig, ExperimentReport, Measurements, Scenario, Sweep, SweepReport, SweepRow,
-    Table, TrialOutcome,
+    CacheStats, ExperimentConfig, ExperimentReport, Measurements, Scenario, Sweep, SweepReport,
+    SweepRow, Table, TrialOutcome,
 };
 
 /// The most commonly used items, importable with `use clb::prelude::*`.
@@ -99,7 +104,7 @@ pub mod prelude {
     };
     pub use clb_core::report::Table;
     pub use clb_core::scenario::{
-        default_trials, n_sweep, quick_mode, Scenario, Sweep, SweepReport, SweepRow,
+        default_trials, n_sweep, quick_mode, CacheStats, Scenario, Sweep, SweepReport, SweepRow,
     };
     pub use clb_engine::{
         erase, Demand, ErasedProtocol, Protocol, RunResult, SimConfig, Simulation,

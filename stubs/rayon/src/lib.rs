@@ -10,7 +10,8 @@ use std::marker::PhantomData;
 
 pub mod prelude {
     pub use crate::{
-        IntoParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSliceMut,
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator, ParallelSliceMut,
     };
 }
 
@@ -160,11 +161,43 @@ impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
     }
 }
 
-/// Mirror of `rayon::slice::ParallelSliceMut` (`.par_sort_unstable()`).
+/// Mirror of `rayon::iter::IntoParallelRefMutIterator` (`.par_iter_mut()` on slices).
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: 'a;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Iter = std::slice::IterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.iter_mut(),
+        }
+    }
+}
+
+impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type Iter = std::slice::IterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.iter_mut(),
+        }
+    }
+}
+
+/// Mirror of `rayon::slice::ParallelSliceMut` (`.par_sort_unstable()`,
+/// `.par_chunks_mut()`).
 pub trait ParallelSliceMut<T> {
     fn par_sort_unstable(&mut self)
     where
         T: Ord;
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>
+    where
+        T: Send;
 }
 
 impl<T> ParallelSliceMut<T> for [T] {
@@ -173,6 +206,15 @@ impl<T> ParallelSliceMut<T> for [T] {
         T: Ord,
     {
         self.sort_unstable();
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>
+    where
+        T: Send,
+    {
+        ParIter {
+            inner: self.chunks_mut(chunk_size),
+        }
     }
 }
 
@@ -250,6 +292,16 @@ mod tests {
 
         let flat: Vec<u32> = v.par_iter().flat_map_iter(|&x| vec![x, x]).collect();
         assert_eq!(flat, vec![3, 3, 1, 1, 2, 2]);
+
+        let mut buf = vec![0u32; 6];
+        buf.par_chunks_mut(2)
+            .zip(v.par_iter())
+            .for_each(|(chunk, &x)| chunk.fill(x));
+        assert_eq!(buf, vec![3, 3, 1, 1, 2, 2]);
+
+        let mut incr = vec![1u32, 2, 3];
+        incr.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(incr, vec![11, 12, 13]);
     }
 
     #[test]
