@@ -40,16 +40,12 @@ fn main() {
     ));
 
     let report = scenario
-        .run(
-            Sweep::over("topology", cases.into_iter().enumerate()),
-            |point| {
-                let (i, (_, spec)) = point;
-                ExperimentConfig::new(spec.clone(), ProtocolSpec::Saer { c, d })
-                    // Seed-striding convention: 1000 per sweep point keeps trial
-                    // seed ranges disjoint across points.
-                    .seed(800 + 1000 * *i as u64)
-            },
-        )
+        .run(Sweep::over("topology", cases), |i, (_, spec)| {
+            ExperimentConfig::new(spec.clone(), ProtocolSpec::Saer { c, d })
+                // Seed-striding convention: 1000 per sweep point keeps trial
+                // seed ranges disjoint across points.
+                .seed(800 + 1000 * i as u64)
+        })
         .expect("valid configuration");
 
     let mut table = Table::new([
@@ -60,7 +56,7 @@ fn main() {
         "work/ball (mean)",
         "max load",
     ]);
-    for ((_, (label, _)), point) in report.iter() {
+    for ((label, _), point) in report.iter() {
         let rho = point
             .trials
             .iter()

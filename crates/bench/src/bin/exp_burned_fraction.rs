@@ -41,14 +41,15 @@ fn main() {
     // across c points on the same topology. The three topologies deliberately share
     // each c point's seeds (same request streams on different graph families), which
     // the runner's disjointness assertion allows because the GraphSpecs differ.
+    let c_values = [2u32, 4, 8, 16, 32];
     let report = scenario
         .run(
-            Sweep::over("topology", topologies)
-                .cross("c", [2u32, 4, 8, 16, 32].into_iter().enumerate()),
-            |point| {
-                let ((_, spec), (c_idx, c)) = point;
+            Sweep::over("topology", topologies).cross("c", c_values),
+            |idx, ((_, spec), c)| {
+                // The grid is topology-major, so the c index cycles within each arm.
+                let c_idx = idx % c_values.len();
                 ExperimentConfig::new(spec.clone(), ProtocolSpec::Saer { c: *c, d })
-                    .seed(400 + 1000 * *c_idx as u64)
+                    .seed(400 + 1000 * c_idx as u64)
             },
         )
         .expect("valid configuration");
@@ -61,7 +62,7 @@ fn main() {
         "peak S_t (max)",
         "rounds (mean)",
     ]);
-    for (((label, _), (_, c)), point) in report.iter() {
+    for (((label, _), c), point) in report.iter() {
         let peak = point.peak_burned_fraction().unwrap();
         table.row([
             label.to_string(),

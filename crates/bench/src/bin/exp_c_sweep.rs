@@ -30,16 +30,13 @@ fn main() {
     // 15 trials on identical graphs and RNG streams, sold as independent points.)
     let c_values = [1u32, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64];
     let report = scenario
-        .run(
-            Sweep::over("c", c_values.into_iter().enumerate()),
-            |&(idx, c)| {
-                ExperimentConfig::new(
-                    GraphSpec::RegularLogSquared { n, eta: 1.0 },
-                    ProtocolSpec::Saer { c, d },
-                )
-                .seed(600 + 1000 * idx as u64)
-            },
-        )
+        .run(Sweep::over("c", c_values), |idx, &c| {
+            ExperimentConfig::new(
+                GraphSpec::RegularLogSquared { n, eta: 1.0 },
+                ProtocolSpec::Saer { c, d },
+            )
+            .seed(600 + 1000 * idx as u64)
+        })
         .expect("valid configuration");
 
     let mut table = Table::new([
@@ -50,7 +47,7 @@ fn main() {
         "work/ball (mean)",
         "peak S_t (max)",
     ]);
-    for (&(_, c), point) in report.iter() {
+    for (&c, point) in report.iter() {
         let peak = point.peak_burned_fraction().map(|s| s.max).unwrap_or(0.0);
         table.row([
             c.to_string(),

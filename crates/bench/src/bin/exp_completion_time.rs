@@ -18,18 +18,15 @@ fn main() {
     let d = 2;
     let c = 3;
     let report = scenario
-        .run(
-            Sweep::over("n", n_sweep().into_iter().enumerate()),
-            |&(i, n)| {
-                ExperimentConfig::new(
-                    GraphSpec::RegularLogSquared { n, eta: 1.0 },
-                    ProtocolSpec::Saer { c, d },
-                )
-                // Seed-striding convention: 1000 per sweep point keeps trial
-                // seed ranges disjoint across points.
-                .seed(100 + 1000 * i as u64)
-            },
-        )
+        .run(Sweep::over("n", n_sweep()), |i, &n| {
+            ExperimentConfig::new(
+                GraphSpec::RegularLogSquared { n, eta: 1.0 },
+                ProtocolSpec::Saer { c, d },
+            )
+            // Seed-striding convention: 1000 per sweep point keeps trial
+            // seed ranges disjoint across points.
+            .seed(100 + 1000 * i as u64)
+        })
         .expect("valid configuration");
 
     let mut table = Table::new([
@@ -43,7 +40,7 @@ fn main() {
     ]);
     let mut xs = Vec::new();
     let mut ys = Vec::new();
-    for (&(_, n), point) in report.iter() {
+    for (&n, point) in report.iter() {
         xs.push((n as f64).log2());
         ys.push(point.rounds.mean);
         table.row([

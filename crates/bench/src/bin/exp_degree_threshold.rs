@@ -44,15 +44,12 @@ fn main() {
     ];
 
     let report = scenario
-        .run(
-            Sweep::over("degree", degrees.into_iter().enumerate()),
-            |&(i, (_, delta))| {
-                ExperimentConfig::new(GraphSpec::Regular { n, delta }, ProtocolSpec::Saer { c, d })
-                    // Seed-striding convention: 1000 per sweep point keeps trial
-                    // seed ranges disjoint across points.
-                    .seed(700 + 1000 * i as u64)
-            },
-        )
+        .run(Sweep::over("degree", degrees), |i, &(_, delta)| {
+            ExperimentConfig::new(GraphSpec::Regular { n, delta }, ProtocolSpec::Saer { c, d })
+                // Seed-striding convention: 1000 per sweep point keeps trial
+                // seed ranges disjoint across points.
+                .seed(700 + 1000 * i as u64)
+        })
         .expect("valid configuration");
 
     let mut table = Table::new([
@@ -62,7 +59,7 @@ fn main() {
         "rounds (max)",
         "work/ball (mean)",
     ]);
-    for ((_, (label, _)), point) in report.iter() {
+    for ((label, _), point) in report.iter() {
         table.row([
             label.clone(),
             format!("{:.0}%", 100.0 * point.completion_rate()),

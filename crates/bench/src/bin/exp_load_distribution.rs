@@ -22,13 +22,10 @@ fn main() {
     // Seed-striding convention: 1000 per sweep point keeps trial seed ranges disjoint
     // (300 + c overlapped adjacent points' ranges).
     let report = scenario
-        .run(
-            Sweep::over("c", [2u32, 4, 8, 16, 32].into_iter().enumerate()),
-            |&(idx, c)| {
-                ExperimentConfig::new(graph.clone(), ProtocolSpec::Saer { c, d })
-                    .seed(300 + 1000 * idx as u64)
-            },
-        )
+        .run(Sweep::over("c", [2u32, 4, 8, 16, 32]), |idx, &c| {
+            ExperimentConfig::new(graph.clone(), ProtocolSpec::Saer { c, d })
+                .seed(300 + 1000 * idx as u64)
+        })
         .expect("valid configuration");
 
     let mut table = Table::new([
@@ -39,7 +36,7 @@ fn main() {
         "servers at max",
         "completed",
     ]);
-    for (&(_, c), point) in report.iter() {
+    for (&c, point) in report.iter() {
         let hist = &point.trials[0].load_histogram;
         let max = hist.max_value().unwrap_or(0);
         table.row([

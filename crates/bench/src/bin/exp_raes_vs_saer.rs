@@ -32,7 +32,7 @@ fn main() {
     let report = scenario
         .run(
             Sweep::over("c", [2u32, 3, 4, 8]).cross("protocol", ["SAER", "RAES"]),
-            |point| {
+            |_, point| {
                 let (c, name) = point;
                 let protocol = match *name {
                     "SAER" => ProtocolSpec::Saer { c: *c, d },

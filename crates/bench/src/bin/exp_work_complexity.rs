@@ -51,18 +51,15 @@ fn main() {
     let d = 2;
     let c = 4;
     let report = scenario
-        .run(
-            Sweep::over("n", n_sweep().into_iter().enumerate()),
-            |&(i, n)| {
-                ExperimentConfig::new(
-                    GraphSpec::RegularLogSquared { n, eta: 1.0 },
-                    ProtocolSpec::Saer { c, d },
-                )
-                // Seed-striding convention: 1000 per sweep point keeps trial
-                // seed ranges disjoint across points.
-                .seed(200 + 1000 * i as u64)
-            },
-        )
+        .run(Sweep::over("n", n_sweep()), |i, &n| {
+            ExperimentConfig::new(
+                GraphSpec::RegularLogSquared { n, eta: 1.0 },
+                ProtocolSpec::Saer { c, d },
+            )
+            // Seed-striding convention: 1000 per sweep point keeps trial
+            // seed ranges disjoint across points.
+            .seed(200 + 1000 * i as u64)
+        })
         .expect("valid configuration");
 
     let mut table = Table::new([
@@ -73,7 +70,7 @@ fn main() {
         "messages / ball (max)",
     ]);
     let mut per_ball = Vec::new();
-    for (&(_, n), point) in report.iter() {
+    for (&n, point) in report.iter() {
         let messages_mean: f64 = point
             .trials
             .iter()

@@ -1,0 +1,96 @@
+//! Wall-clock smoke benchmark for the parallel rayon stub: one scenario grid, timed
+//! under a 1-thread scope and under an N-thread scope, recorded to
+//! `BENCH_parallel.json` in the working directory.
+//!
+//! The workload is the scenario runner's natural unit — a quick-mode-sized
+//! (sweep point × trial) grid of SAER runs with near-uniform per-cell cost — so the
+//! measured ratio is the speedup every `exp_*` binary inherits. Both runs must
+//! produce bit-identical `SweepReport`s (the stub's determinism contract); the JSON
+//! records the comparison alongside the timings.
+//!
+//! `PERF_SMOKE_THREADS` overrides the parallel thread count (default 4). The
+//! speedup is naturally bounded by the machine: `hardware_threads` in the JSON gives
+//! the context (a 1-core container cannot go faster than 1×, however many workers
+//! the pool spawns).
+
+use clb::prelude::*;
+use std::time::Instant;
+
+fn sweep(scenario: &Scenario, n: usize) -> SweepReport<u32> {
+    scenario
+        .run(Sweep::over("c", [4u32, 8, 16]), |idx, &c| {
+            ExperimentConfig::new(
+                GraphSpec::RegularLogSquared { n, eta: 1.0 },
+                ProtocolSpec::Saer { c, d: 2 },
+            )
+            .seed(2_600 + 1000 * idx as u64)
+        })
+        .expect("valid configuration")
+}
+
+/// Best-of-two wall-clock time for the sweep under a `threads`-wide install scope.
+fn timed(threads: usize, scenario: &Scenario, n: usize) -> (f64, SweepReport<u32>) {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("stub pools always build");
+    let mut best = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..2 {
+        let start = Instant::now();
+        let result = pool.install(|| sweep(scenario, n));
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        report = Some(result);
+    }
+    (best, report.expect("at least one timed run"))
+}
+
+fn main() {
+    let scenario = Scenario::new(
+        "PERF",
+        "wall-clock speedup of the parallel rayon stub on the scenario grid",
+        "near-linear scaling up to the machine's core count; bit-identical output",
+    )
+    .trials(8)
+    .max_rounds(400);
+    scenario.announce();
+
+    let n = if scenario.quick() { 1 << 11 } else { 1 << 12 };
+    let threads = std::env::var("PERF_SMOKE_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t >= 2)
+        .unwrap_or(4);
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
+    let cells = 3 * scenario.trials_per_point();
+
+    // Warm-up outside every timed window: lazy pool spawn, allocator, page cache.
+    let _ = timed(threads, &scenario.clone().trials(1), 256);
+
+    let (sequential_ms, sequential_report) = timed(1, &scenario, n);
+    let (parallel_ms, parallel_report) = timed(threads, &scenario, n);
+    let speedup = sequential_ms / parallel_ms;
+    let deterministic = sequential_report == parallel_report;
+
+    println!();
+    println!(
+        "| mode | threads | wall-clock (ms) |\n|---|---|---|\n| sequential | 1 | {sequential_ms:.1} |\n| parallel | {threads} | {parallel_ms:.1} |"
+    );
+    println!();
+    println!(
+        "speedup: {speedup:.2}x at {threads} threads over {cells} grid cells \
+         (hardware threads: {hardware_threads}); outputs bit-identical: {deterministic}"
+    );
+    assert!(
+        deterministic,
+        "parallel SweepReport diverged from sequential — determinism contract broken"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"parallel_scenario_grid\",\n  \"graph\": \"regular-log2 n={n}\",\n  \"cells\": {cells},\n  \"threads_sequential\": 1,\n  \"threads_parallel\": {threads},\n  \"hardware_threads\": {hardware_threads},\n  \"sequential_ms\": {sequential_ms:.1},\n  \"parallel_ms\": {parallel_ms:.1},\n  \"speedup\": {speedup:.2},\n  \"deterministic\": {deterministic}\n}}\n"
+    );
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("\nwrote BENCH_parallel.json:\n{json}");
+}

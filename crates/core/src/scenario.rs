@@ -23,7 +23,11 @@
 //! same topology silently correlate measurements that the report presents as
 //! independent: with `.seed(600 + c)` and 15 trials, the `c = 1` and `c = 2` points
 //! share 14 of 15 seeds, i.e. 14 identical graphs and identical request streams.
-//! [`Scenario::run`] asserts the convention for any two points whose
+//! To make the stride impossible to forget, the config closure receives the
+//! sweep-point index as its first argument — `.seed(base + 1000 * idx as u64)` needs
+//! no `.enumerate()` contortions on the sweep itself, and scalar sweep points keep
+//! their `Display` impl for the generic [`SweepReport::to_markdown`].
+//! [`Scenario::run`] additionally asserts the convention for any two points whose
 //! [`GraphSpec`]s are equal. Designs that *want* shared randomness across points — the
 //! paired RAES-vs-SAER comparison of `exp_raes_vs_saer`, where both protocols must see
 //! identical graphs and request streams — opt out explicitly with
@@ -54,19 +58,16 @@
 //!     .max_rounds(600);
 //! let report = scenario
 //!     .announce()
-//!     .run(
-//!         Sweep::over("c", [1u32, 2, 4, 8].into_iter().enumerate()),
-//!         |&(idx, c)| {
-//!             ExperimentConfig::new(
-//!                 GraphSpec::RegularLogSquared { n: 1 << 12, eta: 1.0 },
-//!                 ProtocolSpec::Saer { c, d: 2 },
-//!             )
-//!             // Seed-striding convention: disjoint trial seed ranges per point.
-//!             .seed(600 + 1000 * idx as u64)
-//!         },
-//!     )
+//!     .run(Sweep::over("c", [1u32, 2, 4, 8]), |idx, &c| {
+//!         ExperimentConfig::new(
+//!             GraphSpec::RegularLogSquared { n: 1 << 12, eta: 1.0 },
+//!             ProtocolSpec::Saer { c, d: 2 },
+//!         )
+//!         // Seed-striding convention: disjoint trial seed ranges per point.
+//!         .seed(600 + 1000 * idx as u64)
+//!     })
 //!     .unwrap();
-//! for (&(_, c), point) in report.iter() {
+//! for (&c, point) in report.iter() {
 //!     println!("c = {c}: {:.1} rounds", point.rounds.mean);
 //! }
 //! ```
@@ -76,6 +77,7 @@ use clb_engine::Demand;
 use clb_graph::{snapshot, GraphError, GraphSpec};
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// True if `CLB_QUICK=1` is set: scenarios shrink their trial counts (and binaries
 /// their sweeps) so every experiment finishes in a couple of seconds, e.g. in CI.
@@ -215,9 +217,13 @@ impl Scenario {
     /// Runs the whole *(sweep point × trial)* grid in one flat rayon-parallel pass and
     /// aggregates each point's trials into an [`ExperimentReport`].
     ///
-    /// `config` maps a sweep point to its experiment; the scenario's trial count, round
-    /// cap, measurements and demand overrides are applied on top. Trial `i` of a point
-    /// uses seed `base_seed + i`, exactly like [`ExperimentConfig::run`].
+    /// `config` maps `(point_index, sweep point)` to its experiment; the scenario's
+    /// trial count, round cap, measurements and demand overrides are applied on top.
+    /// The index is the point's position in the sweep (0-based) — use it for the
+    /// seed-striding convention (`.seed(base + 1000 * idx as u64)`, see the module
+    /// docs) without threading `.enumerate()` through the sweep's point type. Trial
+    /// `i` of a point uses seed `base_seed + i`, exactly like
+    /// [`ExperimentConfig::run`].
     ///
     /// Each distinct `GraphSpec × seed` graph identity is materialised exactly once
     /// and shared (as a snapshot) by every grid cell that lands on it — see the module
@@ -227,7 +233,7 @@ impl Scenario {
     pub fn run<T, F>(&self, sweep: Sweep<T>, config: F) -> Result<SweepReport<T>, GraphError>
     where
         T: Send + Sync,
-        F: Fn(&T) -> ExperimentConfig + Sync,
+        F: Fn(usize, &T) -> ExperimentConfig + Sync,
     {
         assert!(
             self.trials > 0,
@@ -236,7 +242,8 @@ impl Scenario {
         let Sweep { label, points } = sweep;
         let configs: Vec<ExperimentConfig> = points
             .iter()
-            .map(|point| self.apply(config(point)))
+            .enumerate()
+            .map(|(index, point)| self.apply(config(index, point)))
             .collect();
 
         if !self.paired_seeds {
@@ -287,10 +294,14 @@ impl Scenario {
             })
             .collect();
         let snapshots = snapshots?;
-        let cache = CacheStats {
-            graphs_built: identities.len(),
-            cells_run: grid.len(),
-        };
+
+        // Per-cell cache accounting. The grid pass below runs on pool workers, so the
+        // tallies are relaxed atomics merged into plain `CacheStats` fields after the
+        // pass — the totals are exact at any thread count because every cell
+        // increments exactly one counter exactly once, and the final loads happen
+        // after the parallel collect's completion barrier.
+        let snapshot_hits = AtomicUsize::new(0);
+        let direct_builds = AtomicUsize::new(0);
 
         let outcomes: Result<Vec<(usize, TrialOutcome)>, GraphError> = grid
             .par_iter()
@@ -299,12 +310,25 @@ impl Scenario {
                 let config = &configs[index];
                 let seed = config.base_seed + trial;
                 let graph = match &snapshots[identity] {
-                    Some(snapshot) => snapshot::decode(snapshot)?,
-                    None => config.graph.build(seed)?,
+                    Some(snapshot) => {
+                        snapshot_hits.fetch_add(1, Ordering::Relaxed);
+                        snapshot::decode(snapshot)?
+                    }
+                    None => {
+                        direct_builds.fetch_add(1, Ordering::Relaxed);
+                        config.graph.build(seed)?
+                    }
                 };
                 Ok((index, config.run_trial_on(&graph, seed)))
             })
             .collect();
+
+        let cache = CacheStats {
+            graphs_built: identities.len(),
+            cells_run: grid.len(),
+            snapshot_hits: snapshot_hits.load(Ordering::Relaxed),
+            direct_builds: direct_builds.load(Ordering::Relaxed),
+        };
 
         // The grid is point-major, so pushing in order restores per-point seed order.
         let mut buckets: Vec<Vec<TrialOutcome>> = configs.iter().map(|_| Vec::new()).collect();
@@ -330,7 +354,7 @@ impl Scenario {
     /// Runs a single configuration under the scenario's policy — the degenerate
     /// one-point sweep, for experiments that dissect one run in depth.
     pub fn run_single(&self, config: ExperimentConfig) -> Result<ExperimentReport, GraphError> {
-        let report = self.run(Sweep::over("-", [()]), |_| config.clone())?;
+        let report = self.run(Sweep::over("-", [()]), |_, _| config.clone())?;
         Ok(report
             .rows
             .into_iter()
@@ -373,12 +397,22 @@ fn assert_disjoint_seed_ranges(scenario_id: &str, configs: &[ExperimentConfig]) 
 /// How much graph generation the snapshot cache saved in one [`Scenario::run`]: the
 /// runner materialised `graphs_built` distinct `GraphSpec × seed` cells to serve
 /// `cells_run` (point × trial) grid cells.
+///
+/// The per-cell tallies are counted with relaxed atomics while the grid runs on the
+/// thread pool and are exact at any thread count: every successful run satisfies
+/// `snapshot_hits + direct_builds == cells_run`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
     /// Distinct `GraphSpec × seed` graphs actually generated.
     pub graphs_built: usize,
     /// Total (sweep point × trial) cells executed.
     pub cells_run: usize,
+    /// Cells whose graph identity is shared with other cells and was served by
+    /// decoding the resident snapshot (the cache's savings).
+    pub snapshot_hits: usize,
+    /// Cells with a single-use graph identity that built their graph directly inside
+    /// the cell (a resident snapshot would save nothing).
+    pub direct_builds: usize,
 }
 
 /// An ordered, labelled list of sweep points.
@@ -447,7 +481,7 @@ impl<T> Sweep<T> {
 }
 
 /// One aggregated sweep point.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepRow<T> {
     /// The sweep point.
     pub point: T,
@@ -455,8 +489,10 @@ pub struct SweepRow<T> {
     pub report: ExperimentReport,
 }
 
-/// Results of a full sweep, in sweep-point order.
-#[derive(Debug, Clone)]
+/// Results of a full sweep, in sweep-point order. `PartialEq` compares every
+/// per-point statistic (all trials included), which is what the cross-thread-count
+/// determinism tests assert on.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepReport<T> {
     /// The sweep's label.
     pub label: String,
@@ -526,7 +562,7 @@ mod tests {
     fn sweep_runs_every_point_with_the_scenario_policy() {
         let report = scenario()
             .max_rounds(300)
-            .run(Sweep::over("c", [2u32, 4, 8]), |&c| config_for(c))
+            .run(Sweep::over("c", [2u32, 4, 8]), |_, &c| config_for(c))
             .unwrap();
         assert_eq!(report.rows.len(), 3);
         for (c, point) in report.iter() {
@@ -541,6 +577,21 @@ mod tests {
         // Every cell is a distinct GraphSpec × seed here, so the cache built them all.
         assert_eq!(report.cache.cells_run, 9);
         assert_eq!(report.cache.graphs_built, 9);
+        assert_eq!(report.cache.snapshot_hits, 0);
+        assert_eq!(report.cache.direct_builds, 9);
+    }
+
+    #[test]
+    fn config_closure_receives_the_point_index() {
+        let report = scenario()
+            .run(Sweep::over("c", [2u32, 4, 8]), |idx, &c| {
+                // Stride by index, not by the point value.
+                config_for(c).seed(100 + 1000 * idx as u64)
+            })
+            .unwrap();
+        for (idx, row) in report.rows.iter().enumerate() {
+            assert_eq!(row.report.config.base_seed, 100 + 1000 * idx as u64);
+        }
     }
 
     #[test]
@@ -548,7 +599,7 @@ mod tests {
     fn overlapping_seed_ranges_on_the_same_topology_are_rejected() {
         // The pre-fix exp_c_sweep pattern: seed(base + c) with 3 trials means c = 2
         // and c = 4 share seed 104 — the bug this assertion exists to catch.
-        let _ = scenario().run(Sweep::over("c", [2u32, 4]), |&c| {
+        let _ = scenario().run(Sweep::over("c", [2u32, 4]), |_, &c| {
             ExperimentConfig::new(
                 GraphSpec::Regular { n: 64, delta: 16 },
                 ProtocolSpec::Saer { c, d: 2 },
@@ -563,7 +614,7 @@ mod tests {
         // same GraphSpec × seed cells. The cache must build each graph once.
         let report = scenario()
             .paired_seeds()
-            .run(Sweep::over("protocol", ["SAER", "RAES"]), |name| {
+            .run(Sweep::over("protocol", ["SAER", "RAES"]), |_, name| {
                 let protocol = match *name {
                     "SAER" => ProtocolSpec::Saer { c: 4, d: 2 },
                     _ => ProtocolSpec::Raes { c: 4, d: 2 },
@@ -573,10 +624,57 @@ mod tests {
             .unwrap();
         assert_eq!(report.cache.cells_run, 6);
         assert_eq!(report.cache.graphs_built, 3, "3 seeds shared by 2 arms");
+        assert_eq!(
+            report.cache.snapshot_hits, 6,
+            "every cell decoded a snapshot"
+        );
+        assert_eq!(report.cache.direct_builds, 0);
         // Pairing is real: both arms saw identical topologies per trial.
         for (a, b) in report.report(0).trials.iter().zip(&report.report(1).trials) {
             assert_eq!(a.seed, b.seed);
             assert_eq!(a.degree_stats, b.degree_stats);
+        }
+    }
+
+    #[test]
+    fn cache_stats_totals_are_exact_at_any_thread_count() {
+        // Mixed workload: the paired arms share graph identities (hits) while a
+        // third point runs on its own seeds (direct builds). The relaxed-atomic
+        // tallies must account for every cell exactly, however many pool workers
+        // executed the grid, and the whole report must not depend on the thread
+        // count either.
+        let run_with_threads = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| {
+                    scenario()
+                        .paired_seeds()
+                        .run(Sweep::over("arm", ["SAER", "RAES", "SOLO"]), |_, name| {
+                            let (protocol, seed) = match *name {
+                                "SAER" => (ProtocolSpec::Saer { c: 4, d: 2 }, 500),
+                                "RAES" => (ProtocolSpec::Raes { c: 4, d: 2 }, 500),
+                                _ => (ProtocolSpec::Saer { c: 8, d: 2 }, 9_000),
+                            };
+                            ExperimentConfig::new(GraphSpec::Regular { n: 64, delta: 16 }, protocol)
+                                .seed(seed)
+                        })
+                        .unwrap()
+                })
+        };
+        let sequential = run_with_threads(1);
+        assert_eq!(sequential.cache.cells_run, 9);
+        assert_eq!(sequential.cache.snapshot_hits, 6);
+        assert_eq!(sequential.cache.direct_builds, 3);
+        for threads in [2, 4, 8] {
+            let parallel = run_with_threads(threads);
+            assert_eq!(
+                parallel.cache.snapshot_hits + parallel.cache.direct_builds,
+                parallel.cache.cells_run,
+                "threads = {threads}"
+            );
+            assert_eq!(parallel, sequential, "threads = {threads}");
         }
     }
 
@@ -587,7 +685,7 @@ mod tests {
         // bit-identical, proving the cache round-trip changes nothing.
         let direct = config_for(4).trials(3).run().unwrap();
         let cached = scenario()
-            .run(Sweep::over("c", [4u32]), |&c| config_for(c))
+            .run(Sweep::over("c", [4u32]), |_, &c| config_for(c))
             .unwrap();
         assert_eq!(cached.report(0).trials, direct.trials);
     }
@@ -597,7 +695,7 @@ mod tests {
         // The grid path must produce exactly what ExperimentConfig::run produces.
         let direct = config_for(4).trials(3).run().unwrap();
         let swept = scenario()
-            .run(Sweep::over("c", [4u32]), |&c| config_for(c))
+            .run(Sweep::over("c", [4u32]), |_, &c| config_for(c))
             .unwrap();
         assert_eq!(swept.report(0).trials, direct.trials);
         assert_eq!(swept.report(0).rounds, direct.rounds);
@@ -622,7 +720,7 @@ mod tests {
     #[test]
     fn default_markdown_has_one_row_per_point() {
         let report = scenario()
-            .run(Sweep::over("c", [2u32, 8]), |&c| config_for(c))
+            .run(Sweep::over("c", [2u32, 8]), |_, &c| config_for(c))
             .unwrap();
         let md = report.to_markdown();
         assert!(md.lines().count() >= 4);
@@ -634,7 +732,7 @@ mod tests {
     fn demand_override_applies_to_every_point() {
         let report = scenario()
             .demand(clb_engine::Demand::Constant(1))
-            .run(Sweep::over("c", [4u32]), |&c| config_for(c))
+            .run(Sweep::over("c", [4u32]), |_, &c| config_for(c))
             .unwrap();
         // d = 2 would give 128 balls; the override gives one ball per client.
         assert_eq!(report.report(0).trials[0].result.total_balls, 64);
@@ -642,7 +740,7 @@ mod tests {
 
     #[test]
     fn invalid_configs_surface_the_error() {
-        let result = scenario().run(Sweep::over("delta", [200usize]), |&delta| {
+        let result = scenario().run(Sweep::over("delta", [200usize]), |_, &delta| {
             ExperimentConfig::new(GraphSpec::Regular { n: 8, delta }, ProtocolSpec::OneShot)
         });
         assert!(result.is_err());

@@ -187,7 +187,7 @@ pub struct SimulationBuilder<'g, P: Protocol> {
     protocol: Option<P>,
     demand: Demand,
     config: SimConfig,
-    observers: Vec<Box<dyn AnyObserver>>,
+    observers: Vec<Box<dyn AnyObserver + Send>>,
 }
 
 impl<'g, P: Protocol> SimulationBuilder<'g, P> {
@@ -232,8 +232,9 @@ impl<'g, P: Protocol> SimulationBuilder<'g, P> {
     }
 
     /// Attaches an owned observer, invoked after every round; read it back after the
-    /// run with [`Simulation::observer`].
-    pub fn observer(mut self, observer: impl Observer + Any) -> Self {
+    /// run with [`Simulation::observer`]. Observers are `Send` so a built simulation
+    /// can move onto a pool worker whole (the scenario grid runs trials that way).
+    pub fn observer(mut self, observer: impl Observer + Any + Send) -> Self {
         self.observers.push(Box::new(observer));
         self
     }
@@ -323,7 +324,7 @@ pub struct Simulation<'g, P: Protocol> {
     total_messages: u64,
 
     buffers: RoundBuffers,
-    observers: Vec<Box<dyn AnyObserver>>,
+    observers: Vec<Box<dyn AnyObserver + Send>>,
 }
 
 impl<'g, P: Protocol> Simulation<'g, P> {

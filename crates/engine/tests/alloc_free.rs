@@ -1,42 +1,62 @@
 //! Pins the zero-allocation round loop: after the simulation is built, `step()` must
 //! never touch the global allocator.
 //!
-//! The harness installs a counting `#[global_allocator]` (this integration test is its
-//! own binary, so the counter sees nothing but this file's work) and counts every
-//! `alloc` / `alloc_zeroed` / `realloc` call. The engine sizes all of its per-round
+//! The harness installs a **thread-aware** counting `#[global_allocator]` (this
+//! integration test is its own binary, so the counter sees nothing but this file's
+//! work): each thread opts in with a thread-local flag and gets its own thread-local
+//! count, so pool workers, the test harness and other tests' threads can allocate
+//! freely without polluting a measured window. The engine sizes all of its per-round
 //! scratch in `SimulationBuilder::build` (see `RoundBuffers` in
 //! `src/simulation.rs`), so the steady-state count across any number of rounds must be
 //! exactly zero.
 //!
-//! NOTE: under the vendored sequential rayon stub every round runs on this thread, so
-//! a zero count is airtight. Once the real rayon is swapped in (stubs/README.md), its
-//! worker threads may allocate job-queue bookkeeping on first use; if that happens,
-//! keep the assertion tight by running one warm-up step before the counted window
-//! (already done below) rather than loosening the bound.
+//! Two execution contexts are pinned:
+//!
+//! 1. the classic sequential path (`ThreadPool::install(1)` scopes the rayon stub to
+//!    one thread, exactly the pre-pool behaviour), and
+//! 2. `step()` running *on pool workers* — how `Scenario::run` executes trials since
+//!    the rayon stub became genuinely parallel. Nested parallel calls inside a pool
+//!    job run sequentially on the worker, so the hot loop must stay allocation-free
+//!    there too.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
 use clb_engine::{Demand, Protocol, ServerCtx, Simulation};
 use clb_graph::generators;
+use rayon::prelude::*;
 
 struct CountingAllocator;
 
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    // Const-initialised Cells: accessing them never allocates (which would recurse
+    // into the allocator) and registers no destructor.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn count_one() {
+    // try_with: allocations during thread teardown must not panic inside alloc.
+    let _ = COUNTING.try_with(|counting| {
+        if counting.get() {
+            let _ = ALLOCATIONS.try_with(|count| count.set(count.get() + 1));
+        }
+    });
+}
 
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         System.realloc(ptr, layout, new_size)
     }
 
@@ -48,8 +68,15 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static GLOBAL: CountingAllocator = CountingAllocator;
 
-fn allocation_count() -> u64 {
-    ALLOCATIONS.load(Ordering::Relaxed)
+/// Runs `f` with allocation counting enabled on *this* thread and returns how many
+/// allocator calls it made.
+fn counted<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    COUNTING.with(|c| c.set(true));
+    let before = ALLOCATIONS.with(|c| c.get());
+    let result = f();
+    let after = ALLOCATIONS.with(|c| c.get());
+    COUNTING.with(|c| c.set(false));
+    (after - before, result)
 }
 
 /// Single-choice protocol that keeps every ball alive for `open_round - 1` rounds, so
@@ -96,55 +123,98 @@ impl Protocol for TwoChoiceCapacityOne {
 
 #[test]
 fn round_loop_is_allocation_free_after_build() {
-    // Case 1: single-choice, all balls stay alive for 40 rounds — every counted round
-    // runs the phase-1 pick loop, the counting sort and phase 3 at full size.
-    let graph = generators::regular_random(256, 16, 21).unwrap();
-    let mut sim = Simulation::builder(&graph)
-        .protocol(OpensAt(u32::MAX))
-        .demand(Demand::Constant(3))
-        .seed(7)
-        .build();
-    sim.step(); // warm-up (the buffers are pre-sized in build; this is belt and braces)
-    let before = allocation_count();
-    for _ in 0..40 {
-        sim.step();
-    }
-    let after = allocation_count();
-    assert_eq!(
-        after - before,
-        0,
-        "single-choice step() allocated {} times over 40 rounds",
-        after - before
-    );
-    assert_eq!(
-        sim.alive_count(),
-        256 * 3,
-        "every ball must have stayed alive"
-    );
+    // Scope the rayon stub to one thread: the classic sequential path, where the
+    // engine's own par_* calls never touch the pool (and so never enqueue jobs,
+    // which does allocate on the driving thread).
+    let sequential = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    sequential.install(|| {
+        // Case 1: single-choice, all balls stay alive for 40 rounds — every counted
+        // round runs the phase-1 pick loop, the counting sort and phase 3 at full size.
+        let graph = generators::regular_random(256, 16, 21).unwrap();
+        let mut sim = Simulation::builder(&graph)
+            .protocol(OpensAt(u32::MAX))
+            .demand(Demand::Constant(3))
+            .seed(7)
+            .build();
+        sim.step(); // warm-up (the buffers are pre-sized in build; belt and braces)
+        let (allocations, ()) = counted(|| {
+            for _ in 0..40 {
+                sim.step();
+            }
+        });
+        assert_eq!(
+            allocations, 0,
+            "single-choice step() allocated {allocations} times over 40 rounds"
+        );
+        assert_eq!(
+            sim.alive_count(),
+            256 * 3,
+            "every ball must have stayed alive"
+        );
 
-    // Case 2: two choices per ball with releases — the k-choice settle path must be
-    // just as clean. Complete bipartite 64x64 with capacity-1 servers takes many
-    // rounds to finish, so 10 counted steps all do real work.
-    let graph = generators::complete(64, 64).unwrap();
-    let mut sim = Simulation::builder(&graph)
-        .protocol(TwoChoiceCapacityOne)
-        .demand(Demand::Constant(1))
-        .seed(3)
-        .max_rounds(500)
-        .build();
-    sim.step();
-    let before = allocation_count();
-    for _ in 0..10 {
-        if sim.is_complete() {
-            break;
-        }
+        // Case 2: two choices per ball with releases — the k-choice settle path must
+        // be just as clean. Complete bipartite 64x64 with capacity-1 servers takes
+        // many rounds to finish, so 10 counted steps all do real work.
+        let graph = generators::complete(64, 64).unwrap();
+        let mut sim = Simulation::builder(&graph)
+            .protocol(TwoChoiceCapacityOne)
+            .demand(Demand::Constant(1))
+            .seed(3)
+            .max_rounds(500)
+            .build();
         sim.step();
-    }
-    let after = allocation_count();
-    assert_eq!(
-        after - before,
-        0,
-        "two-choice step() allocated {} times over the counted window",
-        after - before
-    );
+        let (allocations, ()) = counted(|| {
+            for _ in 0..10 {
+                if sim.is_complete() {
+                    break;
+                }
+                sim.step();
+            }
+        });
+        assert_eq!(
+            allocations, 0,
+            "two-choice step() allocated {allocations} times over the counted window"
+        );
+    });
+}
+
+#[test]
+fn round_loop_is_allocation_free_on_pool_workers() {
+    // The scenario runner executes whole trials on pool workers; inside a worker the
+    // engine's nested par_* calls run sequentially, and the steady-state round loop
+    // must stay allocation-free *on that worker thread*. Each closure counts on the
+    // thread that actually runs it (main thread or worker — both must be clean).
+    let graph = generators::regular_random(256, 16, 21).unwrap();
+    let sims: Vec<_> = (0..4u64)
+        .map(|seed| {
+            let mut sim = Simulation::builder(&graph)
+                .protocol(OpensAt(u32::MAX))
+                .demand(Demand::Constant(3))
+                .seed(seed)
+                .build();
+            sim.step(); // warm-up outside the counted window
+            sim
+        })
+        .collect();
+
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .unwrap()
+        .install(|| {
+            sims.into_par_iter().for_each(|mut sim| {
+                let (allocations, ()) = counted(|| {
+                    for _ in 0..20 {
+                        sim.step();
+                    }
+                });
+                assert_eq!(
+                    allocations, 0,
+                    "step() allocated {allocations} times on a pool worker"
+                );
+            });
+        });
 }

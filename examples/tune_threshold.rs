@@ -39,11 +39,8 @@ fn main() {
 
     let report = scenario
         .run(
-            Sweep::over(
-                "c",
-                [1u32, 2, 3, 4, 6, 8, 16, 32, 64].into_iter().enumerate(),
-            ),
-            |&(idx, c)| {
+            Sweep::over("c", [1u32, 2, 3, 4, 6, 8, 16, 32, 64]),
+            |idx, &c| {
                 ExperimentConfig::new(
                     GraphSpec::RegularLogSquared { n, eta },
                     ProtocolSpec::Saer { c, d },
@@ -62,7 +59,7 @@ fn main() {
         "max load (max)",
         "peak burned fraction",
     ]);
-    for (&(_, c), point) in report.iter() {
+    for (&c, point) in report.iter() {
         let peak = point.peak_burned_fraction().map(|s| s.max).unwrap_or(0.0);
         table.row([
             c.to_string(),

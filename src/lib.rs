@@ -48,18 +48,15 @@
 //! // disjoint (the runner asserts this — see `clb::scenario`).
 //! let scenario = Scenario::new("demo", "c sweep", "rounds shrink as c grows").trials(4);
 //! let report = scenario
-//!     .run(
-//!         Sweep::over("c", [4u32, 8].into_iter().enumerate()),
-//!         |&(idx, c)| {
-//!             ExperimentConfig::new(
-//!                 GraphSpec::RegularLogSquared { n: 512, eta: 1.0 },
-//!                 ProtocolSpec::Saer { c, d: 2 },
-//!             )
-//!             .seed(7 + 1000 * idx as u64)
-//!         },
-//!     )
+//!     .run(Sweep::over("c", [4u32, 8]), |idx, &c| {
+//!         ExperimentConfig::new(
+//!             GraphSpec::RegularLogSquared { n: 512, eta: 1.0 },
+//!             ProtocolSpec::Saer { c, d: 2 },
+//!         )
+//!         .seed(7 + 1000 * idx as u64)
+//!     })
 //!     .unwrap();
-//! for (&(_, c), point) in report.iter() {
+//! for (&c, point) in report.iter() {
 //!     assert_eq!(point.completion_rate(), 1.0, "c = {c}");
 //!     assert!(point.max_load.max <= (c * 2) as f64);
 //!     println!("c = {c}: {:.1} rounds", point.rounds.mean);

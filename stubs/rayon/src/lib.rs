@@ -1,12 +1,28 @@
 //! Offline stand-in for `rayon`: the parallel-iterator surface used by this
-//! workspace, executed **sequentially**. See `stubs/README.md`.
+//! workspace, executed on a real `std::thread` work-distributing pool. See
+//! `stubs/README.md`.
 //!
-//! The simulation engine derives an independent RNG stream per `(ball, round)`
-//! pair precisely so that results never depend on scheduling; running the same
-//! combinators sequentially therefore produces bit-identical output to the real
-//! `rayon`, just without the speed-up.
+//! The API mirrors `rayon` 1.x exactly where the workspace uses it, so swapping in
+//! the upstream crate stays a one-line `Cargo.toml` change. Unlike upstream there is
+//! no work stealing — pieces are claimed dynamically from a shared queue instead —
+//! but the results are **bit-identical to sequential execution** by construction:
+//! producers split into contiguous index ranges and every driver merges piece
+//! results in index order (`pool` module docs spell out the contract).
+//!
+//! Thread count: `RAYON_NUM_THREADS` (read once; unset/`0` means the machine's
+//! available parallelism, `1` forces the pre-pool sequential path), scoped overrides
+//! via [`ThreadPool::install`]. Parallel calls nested inside a pool job run
+//! sequentially on the current thread.
 
-use std::marker::PhantomData;
+mod pool;
+pub mod producer;
+
+use producer::{
+    ChunksMutProducer, EnumerateProducer, FilterProducer, FlatMapProducer, IndexedProducer,
+    MapProducer, Producer, RangeProducer, SliceMutProducer, SliceProducer, VecProducer,
+    ZipProducer,
+};
+use std::sync::Arc;
 
 pub mod prelude {
     pub use crate::{
@@ -15,175 +31,244 @@ pub mod prelude {
     };
 }
 
-/// A "parallel" iterator: a thin wrapper over a sequential [`Iterator`] that
-/// exposes rayon's method names and signatures.
-pub struct ParIter<I> {
-    inner: I,
+/// A parallel iterator: a splittable [`Producer`] plus rayon's method surface.
+pub struct ParIter<P> {
+    producer: P,
 }
 
 /// Marker trait mirroring `rayon::iter::ParallelIterator`; implemented by
 /// [`ParIter`] so `use rayon::prelude::*` keeps working.
 pub trait ParallelIterator {}
 
-impl<I: Iterator> ParallelIterator for ParIter<I> {}
+impl<P: Producer> ParallelIterator for ParIter<P> {}
 
-impl<I: Iterator> ParIter<I> {
-    pub fn map<F, R>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+impl<P: Producer> ParIter<P> {
+    pub fn map<F, R>(self, f: F) -> ParIter<MapProducer<P, F>>
     where
-        F: FnMut(I::Item) -> R,
+        F: Fn(P::Item) -> R + Send + Sync,
+        R: Send,
     {
         ParIter {
-            inner: self.inner.map(f),
+            producer: MapProducer {
+                base: self.producer,
+                f: Arc::new(f),
+            },
         }
     }
 
-    pub fn flat_map_iter<F, J>(self, f: F) -> ParIter<std::iter::FlatMap<I, J, F>>
+    pub fn flat_map_iter<F, J>(self, f: F) -> ParIter<FlatMapProducer<P, F>>
     where
-        F: FnMut(I::Item) -> J,
+        F: Fn(P::Item) -> J + Send + Sync,
         J: IntoIterator,
+        J::Item: Send,
     {
         ParIter {
-            inner: self.inner.flat_map(f),
+            producer: FlatMapProducer {
+                base: self.producer,
+                f: Arc::new(f),
+            },
         }
     }
 
-    pub fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<I, F>>
+    pub fn filter<F>(self, f: F) -> ParIter<FilterProducer<P, F>>
     where
-        F: FnMut(&I::Item) -> bool,
+        F: Fn(&P::Item) -> bool + Send + Sync,
     {
         ParIter {
-            inner: self.inner.filter(f),
+            producer: FilterProducer {
+                base: self.producer,
+                f: Arc::new(f),
+            },
         }
     }
 
-    pub fn zip<J>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>>
+    pub fn zip<Q>(self, other: ParIter<Q>) -> ParIter<ZipProducer<P, Q>>
     where
-        J: Iterator,
+        P: IndexedProducer,
+        Q: IndexedProducer,
     {
         ParIter {
-            inner: self.inner.zip(other.inner),
+            producer: ZipProducer {
+                a: self.producer,
+                b: other.producer,
+            },
         }
     }
 
-    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+    pub fn enumerate(self) -> ParIter<EnumerateProducer<P>>
+    where
+        P: IndexedProducer,
+    {
         ParIter {
-            inner: self.inner.enumerate(),
+            producer: EnumerateProducer {
+                base: self.producer,
+                offset: 0,
+            },
         }
     }
 
+    /// Order-preserving collection: parallel pieces are merged in index order, so the
+    /// result is bit-identical to sequential collection.
     pub fn collect<C>(self) -> C
     where
-        C: FromIterator<I::Item>,
+        C: FromIterator<P::Item>,
     {
-        self.inner.collect()
+        if pool::run_sequentially(self.producer.len()) {
+            self.producer.into_seq().collect()
+        } else {
+            pool::run_parallel(self.producer, &|piece: P| {
+                piece.into_seq().collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        }
     }
 
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    /// Reduction. Per-piece partials fold left-to-right and combine left-to-right in
+    /// piece order, so any *associative* `op` with a true identity gives results
+    /// bit-identical to sequential execution at every thread count (all reductions in
+    /// this workspace — `f64::max`, integer sums — qualify).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> P::Item
     where
-        ID: Fn() -> I::Item,
-        OP: Fn(I::Item, I::Item) -> I::Item,
+        ID: Fn() -> P::Item + Send + Sync,
+        OP: Fn(P::Item, P::Item) -> P::Item + Send + Sync,
     {
-        self.inner.fold(identity(), op)
+        if pool::run_sequentially(self.producer.len()) {
+            self.producer.into_seq().fold(identity(), &op)
+        } else {
+            pool::run_parallel(self.producer, &|piece: P| {
+                piece.into_seq().fold(identity(), &op)
+            })
+            .into_iter()
+            .fold(identity(), &op)
+        }
     }
 
+    /// Sum via per-piece partial sums (see [`ParIter::reduce`] for the determinism
+    /// contract; exact for the integer sums this workspace uses).
     pub fn sum<S>(self) -> S
     where
-        S: std::iter::Sum<I::Item>,
+        S: Send + std::iter::Sum<P::Item> + std::iter::Sum<S>,
     {
-        self.inner.sum()
+        if pool::run_sequentially(self.producer.len()) {
+            self.producer.into_seq().sum()
+        } else {
+            pool::run_parallel(self.producer, &|piece: P| piece.into_seq().sum::<S>())
+                .into_iter()
+                .sum()
+        }
     }
 
     pub fn count(self) -> usize {
-        self.inner.count()
+        if pool::run_sequentially(self.producer.len()) {
+            self.producer.into_seq().count()
+        } else {
+            pool::run_parallel(self.producer, &|piece: P| piece.into_seq().count())
+                .into_iter()
+                .sum()
+        }
     }
 
     pub fn for_each<F>(self, f: F)
     where
-        F: FnMut(I::Item),
+        F: Fn(P::Item) + Send + Sync,
     {
-        self.inner.for_each(f)
+        if pool::run_sequentially(self.producer.len()) {
+            self.producer.into_seq().for_each(&f);
+        } else {
+            pool::run_parallel(self.producer, &|piece: P| piece.into_seq().for_each(&f));
+        }
     }
 }
 
 /// Mirror of `rayon::iter::IntoParallelIterator`.
 pub trait IntoParallelIterator {
-    type Item;
-    type Iter: Iterator<Item = Self::Item>;
+    type Item: Send;
+    type Iter: Producer<Item = Self::Item>;
     fn into_par_iter(self) -> ParIter<Self::Iter>;
 }
 
-impl<T> IntoParallelIterator for Vec<T> {
+impl<T: Send> IntoParallelIterator for Vec<T> {
     type Item = T;
-    type Iter = std::vec::IntoIter<T>;
+    type Iter = VecProducer<T>;
     fn into_par_iter(self) -> ParIter<Self::Iter> {
         ParIter {
-            inner: self.into_iter(),
+            producer: VecProducer { vec: self },
         }
     }
 }
 
 impl IntoParallelIterator for std::ops::Range<u64> {
     type Item = u64;
-    type Iter = std::ops::Range<u64>;
+    type Iter = RangeProducer<u64>;
     fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter { inner: self }
+        ParIter {
+            producer: RangeProducer { range: self },
+        }
     }
 }
 
 impl IntoParallelIterator for std::ops::Range<usize> {
     type Item = usize;
-    type Iter = std::ops::Range<usize>;
+    type Iter = RangeProducer<usize>;
     fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter { inner: self }
+        ParIter {
+            producer: RangeProducer { range: self },
+        }
     }
 }
 
 /// Mirror of `rayon::iter::IntoParallelRefIterator` (`.par_iter()` on slices).
 pub trait IntoParallelRefIterator<'a> {
-    type Item: 'a;
-    type Iter: Iterator<Item = Self::Item>;
+    type Item: 'a + Send;
+    type Iter: Producer<Item = Self::Item>;
     fn par_iter(&'a self) -> ParIter<Self::Iter>;
 }
 
 impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
     type Item = &'a T;
-    type Iter = std::slice::Iter<'a, T>;
+    type Iter = SliceProducer<'a, T>;
     fn par_iter(&'a self) -> ParIter<Self::Iter> {
-        ParIter { inner: self.iter() }
+        ParIter {
+            producer: SliceProducer { slice: self },
+        }
     }
 }
 
 impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
     type Item = &'a T;
-    type Iter = std::slice::Iter<'a, T>;
+    type Iter = SliceProducer<'a, T>;
     fn par_iter(&'a self) -> ParIter<Self::Iter> {
-        ParIter { inner: self.iter() }
+        ParIter {
+            producer: SliceProducer { slice: self },
+        }
     }
 }
 
 /// Mirror of `rayon::iter::IntoParallelRefMutIterator` (`.par_iter_mut()` on slices).
 pub trait IntoParallelRefMutIterator<'a> {
-    type Item: 'a;
-    type Iter: Iterator<Item = Self::Item>;
+    type Item: 'a + Send;
+    type Iter: Producer<Item = Self::Item>;
     fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter>;
 }
 
 impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for [T] {
     type Item = &'a mut T;
-    type Iter = std::slice::IterMut<'a, T>;
+    type Iter = SliceMutProducer<'a, T>;
     fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
         ParIter {
-            inner: self.iter_mut(),
+            producer: SliceMutProducer { slice: self },
         }
     }
 }
 
 impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for Vec<T> {
     type Item = &'a mut T;
-    type Iter = std::slice::IterMut<'a, T>;
+    type Iter = SliceMutProducer<'a, T>;
     fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
         ParIter {
-            inner: self.iter_mut(),
+            producer: SliceMutProducer { slice: self },
         }
     }
 }
@@ -191,11 +276,13 @@ impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for Vec<T> {
 /// Mirror of `rayon::slice::ParallelSliceMut` (`.par_sort_unstable()`,
 /// `.par_chunks_mut()`).
 pub trait ParallelSliceMut<T> {
+    /// Sorts sequentially — no measured path in this workspace sorts through rayon,
+    /// so the parallel merge machinery is not worth stubbing.
     fn par_sort_unstable(&mut self)
     where
         T: Ord;
 
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<ChunksMutProducer<'_, T>>
     where
         T: Send;
 }
@@ -208,20 +295,24 @@ impl<T> ParallelSliceMut<T> for [T] {
         self.sort_unstable();
     }
 
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<ChunksMutProducer<'_, T>>
     where
         T: Send,
     {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
         ParIter {
-            inner: self.chunks_mut(chunk_size),
+            producer: ChunksMutProducer {
+                slice: self,
+                chunk_size,
+            },
         }
     }
 }
 
-/// Mirror of `rayon::ThreadPoolBuilder`; thread counts are accepted and ignored.
+/// Mirror of `rayon::ThreadPoolBuilder`.
 #[derive(Debug, Default)]
 pub struct ThreadPoolBuilder {
-    _priv: PhantomData<()>,
+    num_threads: usize,
 }
 
 impl ThreadPoolBuilder {
@@ -229,24 +320,47 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
-    pub fn num_threads(self, _threads: usize) -> Self {
+    /// `0` (the default) means "pick for me": `RAYON_NUM_THREADS` or the machine's
+    /// available parallelism.
+    pub fn num_threads(mut self, threads: usize) -> Self {
+        self.num_threads = threads;
         self
     }
 
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool { _priv: PhantomData })
+        let threads = if self.num_threads == 0 {
+            pool::default_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
     }
 }
 
-/// Mirror of `rayon::ThreadPool`: `install` simply runs the closure.
+/// Mirror of `rayon::ThreadPool`: [`ThreadPool::install`] scopes the parallelism of
+/// every parallel call made inside the closure to this pool's thread count.
+///
+/// Unlike upstream, the closure runs on the *calling* thread (workers come from the
+/// shared global set); the observable effect — `num_threads(1)` forces sequential
+/// execution, `num_threads(n)` caps a drive at `n` executors — matches.
 #[derive(Debug)]
 pub struct ThreadPool {
-    _priv: PhantomData<()>,
+    threads: usize,
 }
 
 impl ThreadPool {
-    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
-        f()
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let _guard = pool::enter_install(self.threads);
+        op()
+    }
+
+    /// The parallelism this pool grants to drives under [`ThreadPool::install`].
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
     }
 }
 
@@ -266,6 +380,14 @@ impl std::error::Error for ThreadPoolBuildError {}
 mod tests {
     use super::prelude::*;
     use super::*;
+
+    fn with_threads<R: Send>(threads: usize, op: impl FnOnce() -> R + Send) -> R {
+        ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(op)
+    }
 
     #[test]
     fn combinators_match_sequential_semantics() {
@@ -308,5 +430,146 @@ mod tests {
     fn thread_pool_installs() {
         let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
         assert_eq!(pool.install(|| 41 + 1), 42);
+        assert_eq!(pool.current_num_threads(), 4);
+    }
+
+    #[test]
+    fn collect_order_is_identical_across_thread_counts() {
+        // Enough items to force many pieces; enumerate + filter + map exercises the
+        // combinator stack. The merged output must equal plain sequential iteration.
+        let input: Vec<u64> = (0..10_000).collect();
+        let expected: Vec<(usize, u64)> = input
+            .iter()
+            .map(|&x| x * 3 + 1)
+            .enumerate()
+            .filter(|(_, x)| x % 7 != 0)
+            .collect();
+        for threads in [1, 2, 4, 7] {
+            let got: Vec<(usize, u64)> = with_threads(threads, || {
+                input
+                    .par_iter()
+                    .map(|&x| x * 3 + 1)
+                    .enumerate()
+                    .filter(|(_, x)| x % 7 != 0)
+                    .collect()
+            });
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn zipped_chunks_stay_aligned_under_splitting() {
+        // chunk i must pair with seed i exactly, no matter where pieces split —
+        // including the ragged final chunk.
+        let seeds: Vec<u32> = (0..1001).collect();
+        let mut buf = vec![0u32; 1001 * 3 - 2]; // last chunk has 1 element
+        buf.par_chunks_mut(3)
+            .zip(seeds.par_iter())
+            .for_each(|(chunk, &seed)| chunk.fill(seed));
+        for (i, chunk) in buf.chunks(3).enumerate() {
+            assert!(chunk.iter().all(|&x| x == i as u32), "chunk {i}");
+        }
+    }
+
+    #[test]
+    fn pieces_actually_run_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        // 64 sleeping pieces per batch give idle workers ample time to claim a token
+        // even on a loaded single-CPU machine (sleeping needs no extra cores).
+        // Tokens queue FIFO behind other tests' drives, so one batch can
+        // legitimately end up all-driver — retry batches until a second executor
+        // shows up rather than asserting on wall-clock time, which is flaky under
+        // CI load. A pool that never runs pieces on workers fails the final assert.
+        let ids = Mutex::new(HashSet::new());
+        for _ in 0..50 {
+            with_threads(4, || {
+                (0..64usize).into_par_iter().for_each(|_| {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                });
+            });
+            if ids.lock().unwrap().len() >= 2 {
+                break;
+            }
+        }
+        let distinct = ids.lock().unwrap().len();
+        assert!(
+            distinct >= 2,
+            "expected >= 2 executor threads across 50 batches, saw {distinct}"
+        );
+    }
+
+    #[test]
+    fn num_threads_one_forces_the_sequential_path() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        with_threads(1, || {
+            (0..256usize).into_par_iter().for_each(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+            });
+        });
+        assert_eq!(ids.lock().unwrap().len(), 1);
+        assert!(ids.lock().unwrap().contains(&std::thread::current().id()));
+    }
+
+    #[test]
+    fn nested_parallel_calls_run_sequentially_on_the_worker() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        // The inner drive inside each outer piece must not fan back out to the pool.
+        let inner_ids = Mutex::new(HashSet::new());
+        with_threads(4, || {
+            (0..8usize).into_par_iter().for_each(|_| {
+                let outer = std::thread::current().id();
+                (0..100usize).into_par_iter().for_each(|_| {
+                    assert_eq!(std::thread::current().id(), outer);
+                });
+                inner_ids.lock().unwrap().insert(outer);
+            });
+        });
+        assert!(!inner_ids.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn reduce_and_sum_match_sequential_at_any_thread_count() {
+        let input: Vec<u64> = (0..5000).map(|x| x * x % 997).collect();
+        let seq_sum: u64 = input.iter().sum();
+        let seq_max = input.iter().map(|&x| x as f64).fold(0.0, f64::max);
+        let seq_count = input.iter().filter(|&&x| x % 3 == 0).count();
+        for threads in [1, 3, 8] {
+            let (sum, max, count) = with_threads(threads, || {
+                (
+                    input.par_iter().map(|&x| x).sum::<u64>(),
+                    input.par_iter().map(|&x| x as f64).reduce(|| 0.0, f64::max),
+                    input
+                        .par_iter()
+                        .filter(|&&x| x % 3 == 0)
+                        .map(|&x| x)
+                        .count(),
+                )
+            });
+            assert_eq!(sum, seq_sum, "threads = {threads}");
+            assert_eq!(max.to_bits(), seq_max.to_bits(), "threads = {threads}");
+            assert_eq!(count, seq_count, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn piece_panics_propagate_to_the_driver() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                (0..1000usize).into_par_iter().for_each(|i| {
+                    assert!(i != 613, "boom at {i}");
+                });
+            });
+        });
+        let payload = result.expect_err("panic must propagate");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(message.contains("boom at 613"), "got: {message}");
     }
 }

@@ -1,0 +1,343 @@
+//! The `std::thread` execution engine behind the parallel-iterator surface.
+//!
+//! # Architecture
+//!
+//! One process-wide set of detached worker threads grows lazily to the largest
+//! parallelism any call has asked for (workers block on a condvar when idle and are
+//! never torn down; process exit reaps them). A *drive* — one terminal
+//! parallel-iterator call such as `collect` or `for_each` — splits its producer into
+//! contiguous pieces, publishes a stack-allocated batch descriptor, and enqueues one
+//! claim *token* per participating worker. Every executor (the workers plus the
+//! driving thread itself) repeatedly claims the next unclaimed piece via an atomic
+//! counter and runs it sequentially; results land in per-piece slots, so the merged
+//! output is index-ordered and bit-identical to sequential execution no matter which
+//! thread ran which piece, or in what order.
+//!
+//! # Determinism contract
+//!
+//! Scheduling never influences results: pieces are contiguous index ranges, piece
+//! results are merged in index order, and `reduce`/`sum` combine per-piece partials
+//! left-to-right. The only way to observe the thread count is through a non-associative
+//! reduction operator (e.g. float addition) — every reduction in this workspace is
+//! exact and associative (`f64::max`, integer sums), so all outputs are bit-identical
+//! from `RAYON_NUM_THREADS=1` to `=N`.
+//!
+//! # Nesting
+//!
+//! A parallel call made *from inside a pool job* (e.g. the engine's per-round
+//! `par_chunks_mut` while the scenario grid already runs the enclosing trial on a
+//! worker) executes sequentially on the current thread. That keeps the hot `step()`
+//! loop allocation-free on workers, cannot deadlock, and loses nothing: the outer
+//! grid already saturates the pool.
+//!
+//! # Safety
+//!
+//! Jobs carry a raw pointer to the driver's stack-allocated batch. The driver cannot
+//! return before every token has exited (tracked by an `Arc`ed latch that lives
+//! independently of the driver's stack, so a token's final countdown never touches
+//! freed memory), and a token never dereferences the batch after its countdown.
+//! Piece panics are caught per piece and re-raised on the driving thread after the
+//! batch completes, in piece order.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+use crate::producer::{split_into, Producer};
+
+thread_local! {
+    /// True while this thread is executing a pool job (worker token or the driver's
+    /// own claim loop): nested parallel calls then run sequentially.
+    static IN_POOL_JOB: Cell<bool> = const { Cell::new(false) };
+    /// Scoped thread-count override installed by `ThreadPool::install` (0 = none).
+    static INSTALL_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Restores the previous `IN_POOL_JOB` value on drop (panic-safe).
+struct JobGuard {
+    prev: bool,
+}
+
+fn enter_job() -> JobGuard {
+    JobGuard {
+        prev: IN_POOL_JOB.replace(true),
+    }
+}
+
+impl Drop for JobGuard {
+    fn drop(&mut self) {
+        IN_POOL_JOB.set(self.prev);
+    }
+}
+
+/// Restores the previous install override on drop (panic-safe).
+pub(crate) struct InstallGuard {
+    prev: usize,
+}
+
+pub(crate) fn enter_install(threads: usize) -> InstallGuard {
+    InstallGuard {
+        prev: INSTALL_OVERRIDE.replace(threads.max(1)),
+    }
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        INSTALL_OVERRIDE.set(self.prev);
+    }
+}
+
+/// The process-wide default: `RAYON_NUM_THREADS` if set to a positive integer
+/// (rayon's convention: unset, `0` or garbage mean "pick for me"), else the
+/// machine's available parallelism. Read once, like rayon's global pool size.
+pub(crate) fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        match std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            Some(n) if n >= 1 => n,
+            _ => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    })
+}
+
+/// Parallelism available to a drive started on the current thread right now.
+pub(crate) fn current_parallelism() -> usize {
+    if IN_POOL_JOB.get() {
+        return 1; // nested: stay sequential
+    }
+    let override_threads = INSTALL_OVERRIDE.get();
+    if override_threads > 0 {
+        return override_threads;
+    }
+    default_threads()
+}
+
+/// True if a drive over `len` work units should take the plain sequential path.
+/// `RAYON_NUM_THREADS=1` (or nesting) makes this always true — the pre-pool
+/// behaviour, with zero pool involvement and zero extra allocation.
+pub(crate) fn run_sequentially(len: usize) -> bool {
+    len < 2 || current_parallelism() <= 1
+}
+
+/// How many pieces to carve `len` work units into: enough beyond the thread count
+/// that dynamically-claimed pieces absorb uneven per-item cost, capped so tiny drives
+/// are not all dispatch overhead.
+fn piece_count(len: usize, threads: usize) -> usize {
+    len.min((threads * 4).max(64))
+}
+
+// ---------------------------------------------------------------------------
+// Global worker set
+// ---------------------------------------------------------------------------
+
+/// Type-erased claim-token job handed to a worker. `data` points into the driving
+/// thread's stack; see the module docs for why that is sound.
+struct Job {
+    data: *const (),
+    exec: unsafe fn(*const ()),
+    latch: std::sync::Arc<TokenLatch>,
+}
+
+// SAFETY: `data` points at a `Batch` whose pieces/process are `Send`/`Sync` (enforced
+// by `execute_pieces`' bounds) and which outlives the job per the latch protocol.
+unsafe impl Send for Job {}
+
+/// Counts worker tokens still running for one batch. Lives in an `Arc` so the final
+/// countdown and wakeup never touch the driver's stack.
+struct TokenLatch {
+    outstanding: Mutex<usize>,
+    done: Condvar,
+}
+
+impl TokenLatch {
+    fn count_down(&self) {
+        let mut outstanding = self.outstanding.lock().unwrap();
+        *outstanding -= 1;
+        self.done.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut outstanding = self.outstanding.lock().unwrap();
+        while *outstanding > 0 {
+            outstanding = self.done.wait(outstanding).unwrap();
+        }
+    }
+}
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    spawned: Mutex<usize>,
+}
+
+fn pool() -> &'static PoolShared {
+    static POOL: OnceLock<PoolShared> = OnceLock::new();
+    POOL.get_or_init(|| PoolShared {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        spawned: Mutex::new(0),
+    })
+}
+
+/// Grows the worker set to at least `target` threads.
+fn ensure_workers(target: usize) {
+    let shared = pool();
+    let mut spawned = shared.spawned.lock().unwrap();
+    while *spawned < target {
+        std::thread::Builder::new()
+            .name(format!("clb-rayon-{}", *spawned))
+            .spawn(worker_main)
+            .expect("failed to spawn pool worker thread");
+        *spawned += 1;
+    }
+}
+
+fn worker_main() {
+    let shared = pool();
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                match queue.pop_front() {
+                    Some(job) => break job,
+                    None => queue = shared.ready.wait(queue).unwrap(),
+                }
+            }
+        };
+        {
+            let _guard = enter_job();
+            // SAFETY: the batch behind `data` is alive — its driver is blocked in
+            // `TokenLatch::wait` until this token counts down below.
+            unsafe { (job.exec)(job.data) };
+        }
+        // Last touch of the batch was inside `exec`; from here only the Arc'ed
+        // latch is used, so the driver may free the batch as soon as it wakes.
+        job.latch.count_down();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batch execution
+// ---------------------------------------------------------------------------
+
+/// One drive's shared state, allocated on the driving thread's stack.
+struct Batch<'f, P, R, F> {
+    pieces: Vec<Mutex<Option<P>>>,
+    results: Vec<Mutex<Option<std::thread::Result<R>>>>,
+    next: AtomicUsize,
+    process: &'f F,
+}
+
+impl<P, R, F> Batch<'_, P, R, F>
+where
+    F: Fn(P) -> R + Sync,
+{
+    /// Claims and runs pieces until none remain, catching per-piece panics.
+    fn claim_loop(&self) {
+        loop {
+            let index = self.next.fetch_add(1, Ordering::Relaxed);
+            if index >= self.pieces.len() {
+                break;
+            }
+            let piece = self.pieces[index]
+                .lock()
+                .unwrap()
+                .take()
+                .expect("piece claimed twice");
+            let result = catch_unwind(AssertUnwindSafe(|| (self.process)(piece)));
+            *self.results[index].lock().unwrap() = Some(result);
+        }
+    }
+}
+
+unsafe fn token_entry<P, R, F>(data: *const ())
+where
+    P: Send,
+    R: Send,
+    F: Fn(P) -> R + Sync,
+{
+    // SAFETY: `data` was created from a `&Batch<P, R, F>` in `execute_pieces` and is
+    // alive for the duration of this call (latch protocol, see module docs).
+    let batch = unsafe { &*(data as *const Batch<'_, P, R, F>) };
+    batch.claim_loop();
+}
+
+/// Splits `producer` and runs the pieces across the pool (the calling thread
+/// participates), returning per-piece results in piece-index order. Panics from
+/// pieces are re-raised here, earliest piece first.
+pub(crate) fn run_parallel<P, R, F>(producer: P, process: &F) -> Vec<R>
+where
+    P: Producer,
+    R: Send,
+    F: Fn(P) -> R + Sync,
+{
+    let threads = current_parallelism();
+    let len = producer.len();
+    let pieces = split_into(producer, piece_count(len, threads));
+    execute_pieces(pieces, threads, process)
+}
+
+fn execute_pieces<P, R, F>(pieces: Vec<P>, threads: usize, process: &F) -> Vec<R>
+where
+    P: Send,
+    R: Send,
+    F: Fn(P) -> R + Sync,
+{
+    let piece_total = pieces.len();
+    let batch = Batch {
+        pieces: pieces.into_iter().map(|p| Mutex::new(Some(p))).collect(),
+        results: (0..piece_total).map(|_| Mutex::new(None)).collect(),
+        next: AtomicUsize::new(0),
+        process,
+    };
+
+    // One claim token per extra executor; the driving thread is the remaining one.
+    let tokens = threads.min(piece_total).saturating_sub(1);
+    let latch = std::sync::Arc::new(TokenLatch {
+        outstanding: Mutex::new(tokens),
+        done: Condvar::new(),
+    });
+    if tokens > 0 {
+        ensure_workers(tokens);
+        let shared = pool();
+        let mut queue = shared.queue.lock().unwrap();
+        for _ in 0..tokens {
+            queue.push_back(Job {
+                data: &batch as *const Batch<'_, P, R, F> as *const (),
+                exec: token_entry::<P, R, F>,
+                latch: std::sync::Arc::clone(&latch),
+            });
+        }
+        drop(queue);
+        shared.ready.notify_all();
+    }
+
+    {
+        // The driver claims pieces too, flagged as in-job so nesting stays sequential.
+        let _guard = enter_job();
+        batch.claim_loop();
+    }
+    latch.wait();
+
+    let mut out = Vec::with_capacity(piece_total);
+    let mut first_panic = None;
+    for slot in batch.results {
+        match slot.into_inner().unwrap().expect("piece never executed") {
+            Ok(result) => out.push(result),
+            Err(payload) => {
+                first_panic.get_or_insert(payload);
+            }
+        }
+    }
+    if let Some(payload) = first_panic {
+        resume_unwind(payload);
+    }
+    out
+}
