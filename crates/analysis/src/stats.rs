@@ -169,6 +169,15 @@ impl Histogram {
     pub fn buckets(&self) -> &[u64] {
         &self.counts
     }
+
+    /// Rebuilds a histogram from a bucket vector, verbatim (the inverse of
+    /// [`Histogram::buckets`], used by wire codecs that ship histograms between
+    /// processes). The vector is stored as-is: [`Histogram::of`] never produces
+    /// trailing zero buckets, so a faithful round-trip must not normalise them away
+    /// either — `PartialEq` compares the raw bucket vectors.
+    pub fn from_buckets(buckets: Vec<u64>) -> Self {
+        Self { counts: buckets }
+    }
 }
 
 #[cfg(test)]

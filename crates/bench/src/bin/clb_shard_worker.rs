@@ -1,0 +1,41 @@
+//! Standalone shard worker for [`clb::shard`]-driven scenario runs.
+//!
+//! Every `exp_*` binary is already its own worker (they call
+//! `shard::maybe_run_worker()` first thing in `main`, and the driver re-executes the
+//! current binary by default), so this executable exists for the other launch modes:
+//! point `CLB_SHARD_WORKER` at it — or pass it to `ShardPlan::worker` — and any
+//! driver process can farm its shards out without being re-executable itself. It
+//! also makes manifests debuggable from a shell:
+//!
+//! ```text
+//! clb_shard_worker <manifest> <report>
+//! ```
+//!
+//! reads a `ShardManifest` file, executes it on this process's rayon pool
+//! (`RAYON_NUM_THREADS` applies as usual), and writes the `ShardReport`. With no
+//! arguments it expects the standard worker environment (`CLB_SHARD_ROLE=worker`
+//! plus `CLB_SHARD_MANIFEST`/`CLB_SHARD_REPORT`), exactly as the driver spawns it.
+
+use clb::shard;
+use std::path::Path;
+use std::process::exit;
+
+fn main() {
+    // Driver-spawned invocation: the environment carries everything.
+    shard::maybe_run_worker();
+
+    // Explicit invocation: paths on the command line.
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 3 {
+        eprintln!("usage: {} <manifest> <report>", args[0]);
+        eprintln!(
+            "   or: CLB_SHARD_ROLE=worker CLB_SHARD_MANIFEST=... CLB_SHARD_REPORT=... {}",
+            args[0]
+        );
+        exit(2);
+    }
+    if let Err(e) = shard::run_worker(Path::new(&args[1]), Path::new(&args[2])) {
+        eprintln!("clb shard worker: {e}");
+        exit(2);
+    }
+}

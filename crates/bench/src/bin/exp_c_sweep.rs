@@ -8,6 +8,10 @@ use clb::prelude::*;
 use clb::report::{fmt2, fmt3};
 
 fn main() {
+    // Worker hook: when the sharded runner re-executes this binary for one shard,
+    // execute that shard and exit before any driver code runs (see clb::shard).
+    clb::shard::maybe_run_worker();
+
     let scenario = Scenario::new(
         "E6",
         "sensitivity to the threshold constant c",
@@ -29,15 +33,23 @@ fn main() {
     // `600 + c` pattern made c = 1 run seeds 601-615 and c = 2 run 602-616 — 14 of
     // 15 trials on identical graphs and RNG streams, sold as independent points.)
     let c_values = [1u32, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64];
-    let report = scenario
-        .run(Sweep::over("c", c_values), |idx, &c| {
-            ExperimentConfig::new(
-                GraphSpec::RegularLogSquared { n, eta: 1.0 },
-                ProtocolSpec::Saer { c, d },
-            )
-            .seed(600 + 1000 * idx as u64)
-        })
-        .expect("valid configuration");
+    let sweep = Sweep::over("c", c_values);
+    let config = |idx: usize, &c: &u32| {
+        ExperimentConfig::new(
+            GraphSpec::RegularLogSquared { n, eta: 1.0 },
+            ProtocolSpec::Saer { c, d },
+        )
+        .seed(600 + 1000 * idx as u64)
+    };
+    // CLB_SHARDS=k splits the grid across k worker processes (this binary re-executed
+    // — the hook above); merged output is bit-identical to the in-process run, which
+    // the CI shard matrix pins by diffing this binary's whole stdout.
+    let report = match ShardPlan::from_env() {
+        Some(plan) => scenario
+            .run_sharded(sweep, config, &plan)
+            .expect("sharded run"),
+        None => scenario.run(sweep, config).expect("valid configuration"),
+    };
 
     let mut table = Table::new([
         "c",

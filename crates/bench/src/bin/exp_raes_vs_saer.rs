@@ -10,6 +10,10 @@ use clb::prelude::*;
 use clb::report::fmt2;
 
 fn main() {
+    // Worker hook: when the sharded runner re-executes this binary for one shard,
+    // execute that shard and exit before any driver code runs (see clb::shard).
+    clb::shard::maybe_run_worker();
+
     // `paired_seeds`: every sweep point deliberately shares base seed 900, so SAER
     // and RAES (and every c) run on identical graphs and identical request streams —
     // the paired design Corollary 2's stochastic-domination comparison needs. This is
@@ -29,20 +33,25 @@ fn main() {
     let n = if scenario.quick() { 1 << 11 } else { 1 << 13 };
     let d = 2;
 
-    let report = scenario
-        .run(
-            Sweep::over("c", [2u32, 3, 4, 8]).cross("protocol", ["SAER", "RAES"]),
-            |_, point| {
-                let (c, name) = point;
-                let protocol = match *name {
-                    "SAER" => ProtocolSpec::Saer { c: *c, d },
-                    _ => ProtocolSpec::Raes { c: *c, d },
-                };
-                ExperimentConfig::new(GraphSpec::RegularLogSquared { n, eta: 1.0 }, protocol)
-                    .seed(900)
-            },
-        )
-        .expect("valid configuration");
+    let sweep = Sweep::over("c", [2u32, 3, 4, 8]).cross("protocol", ["SAER", "RAES"]);
+    let config = |_: usize, point: &(u32, &str)| {
+        let (c, name) = point;
+        let protocol = match *name {
+            "SAER" => ProtocolSpec::Saer { c: *c, d },
+            _ => ProtocolSpec::Raes { c: *c, d },
+        };
+        ExperimentConfig::new(GraphSpec::RegularLogSquared { n, eta: 1.0 }, protocol).seed(900)
+    };
+    // CLB_SHARDS=k distributes the paired grid across k worker processes. The shared
+    // graphs make this the interesting sharded case: each trial-seed graph is
+    // generated once in the driver and shipped as a snapshot to every shard whose
+    // cells decode it, so sharding never regenerates a shared topology.
+    let report = match ShardPlan::from_env() {
+        Some(plan) => scenario
+            .run_sharded(sweep, config, &plan)
+            .expect("sharded run"),
+        None => scenario.run(sweep, config).expect("valid configuration"),
+    };
 
     let mut table = Table::new([
         "c",

@@ -11,6 +11,10 @@
 //!   execution policy, a [`Sweep`] lists the parameter grid, and [`Scenario::run`]
 //!   executes the whole *(sweep point × trial)* grid in one flat rayon-parallel pass.
 //!   This is the API the `exp_*` experiment binaries are written against.
+//! * [`shard`] — the sharded runner: [`Scenario::run_sharded`] partitions the same
+//!   grid into contiguous cell ranges executed by worker *processes* (work units and
+//!   results travel over a versioned binary wire format) and merges the per-shard
+//!   reports bit-identically to [`Scenario::run`], at every shard count.
 //! * [`report`] — markdown table rendering for experiment output.
 //!
 //! Most users depend on the `clb` facade crate instead, which re-exports this crate
@@ -22,9 +26,11 @@
 pub mod experiment;
 pub mod report;
 pub mod scenario;
+pub mod shard;
 
 pub use experiment::{ExperimentConfig, ExperimentReport, Measurements, TrialOutcome};
 pub use report::Table;
 pub use scenario::{
     default_trials, n_sweep, quick_mode, CacheStats, Scenario, Sweep, SweepReport, SweepRow,
 };
+pub use shard::{ShardError, ShardPlan};

@@ -74,7 +74,7 @@
 
 use crate::experiment::{ExperimentConfig, ExperimentReport, Measurements, TrialOutcome};
 use clb_engine::Demand;
-use clb_graph::{snapshot, GraphError, GraphSpec};
+use clb_graph::{snapshot, GraphError};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -115,11 +115,11 @@ pub struct Scenario {
     pub claim: String,
     /// The machine-independent prediction of the paper being tested.
     pub prediction: String,
-    trials: usize,
+    pub(crate) trials: usize,
     max_rounds: Option<u32>,
     measurements: Option<Measurements>,
     demand: Option<Demand>,
-    paired_seeds: bool,
+    pub(crate) paired_seeds: bool,
 }
 
 impl Scenario {
@@ -200,7 +200,7 @@ impl Scenario {
     }
 
     /// Applies the scenario's execution policy to a per-point config.
-    fn apply(&self, mut config: ExperimentConfig) -> ExperimentConfig {
+    pub(crate) fn apply(&self, mut config: ExperimentConfig) -> ExperimentConfig {
         config.trials = self.trials;
         if let Some(max_rounds) = self.max_rounds {
             config.max_rounds = max_rounds;
@@ -250,50 +250,8 @@ impl Scenario {
             assert_disjoint_seed_ranges(&self.id, &configs);
         }
 
-        // One flat grid: a slow sweep point never serialises the rest of the sweep.
-        let grid: Vec<(usize, u64)> = configs
-            .iter()
-            .enumerate()
-            .flat_map(|(index, config)| (0..config.trials as u64).map(move |t| (index, t)))
-            .collect();
-
-        // Graph snapshot cache: generate each distinct `GraphSpec × seed` graph
-        // identity once. Identities shared by more than one grid cell (cross sweeps,
-        // paired designs) are pre-generated in parallel and kept as compact snapshot
-        // encodings that every cell decodes; identities with exactly one cell gain
-        // nothing from a resident snapshot, so their graph is built directly inside
-        // the cell's trial and peak memory stays proportional to the *shared*
-        // identities only.
-        let mut identity_of_cell: Vec<usize> = Vec::with_capacity(grid.len());
-        let mut identity_index: HashMap<(String, u64), usize> = HashMap::new();
-        let mut identities: Vec<(&GraphSpec, u64)> = Vec::new();
-        let mut cells_per_identity: Vec<usize> = Vec::new();
-        for &(index, trial) in &grid {
-            let config = &configs[index];
-            let seed = config.base_seed + trial;
-            let key = (config.graph.cache_key(), seed);
-            let identity = *identity_index.entry(key).or_insert_with(|| {
-                identities.push((&config.graph, seed));
-                cells_per_identity.push(0);
-                identities.len() - 1
-            });
-            cells_per_identity[identity] += 1;
-            identity_of_cell.push(identity);
-        }
-        let snapshots: Result<Vec<_>, GraphError> = identities
-            .par_iter()
-            .zip(cells_per_identity.par_iter())
-            .map(|(&(spec, seed), &cells)| {
-                if cells > 1 {
-                    spec.build(seed)
-                        .map(|graph| snapshot::encode(&graph))
-                        .map(Some)
-                } else {
-                    Ok(None)
-                }
-            })
-            .collect();
-        let snapshots = snapshots?;
+        let plan = plan_grid(&configs);
+        let snapshots = build_shared_snapshots(&configs, &plan)?;
 
         // Per-cell cache accounting. The grid pass below runs on pool workers, so the
         // tallies are relaxed atomics merged into plain `CacheStats` fields after the
@@ -303,9 +261,10 @@ impl Scenario {
         let snapshot_hits = AtomicUsize::new(0);
         let direct_builds = AtomicUsize::new(0);
 
-        let outcomes: Result<Vec<(usize, TrialOutcome)>, GraphError> = grid
+        let outcomes: Result<Vec<(usize, TrialOutcome)>, GraphError> = plan
+            .grid
             .par_iter()
-            .zip(identity_of_cell.par_iter())
+            .zip(plan.identity_of_cell.par_iter())
             .map(|(&(index, trial), &identity)| {
                 let config = &configs[index];
                 let seed = config.base_seed + trial;
@@ -324,8 +283,8 @@ impl Scenario {
             .collect();
 
         let cache = CacheStats {
-            graphs_built: identities.len(),
-            cells_run: grid.len(),
+            graphs_built: plan.identities.len(),
+            cells_run: plan.grid.len(),
             snapshot_hits: snapshot_hits.load(Ordering::Relaxed),
             direct_builds: direct_builds.load(Ordering::Relaxed),
         };
@@ -344,10 +303,7 @@ impl Scenario {
                 report: ExperimentReport::aggregate(config, trials),
             })
             .collect();
-        println!(
-            "graph cache: built {} graphs for {} cells",
-            cache.graphs_built, cache.cells_run
-        );
+        print_cache_line(&cache);
         Ok(SweepReport { label, rows, cache })
     }
 
@@ -364,6 +320,96 @@ impl Scenario {
     }
 }
 
+/// The expanded *(sweep point × trial)* grid of one scenario run plus its graph
+/// identity analysis — the unit of work both [`Scenario::run`] (in-process) and
+/// [`Scenario::run_sharded`] (child processes) execute. Sharing the planning code is
+/// what makes the two paths bit-identical by construction: both see the same cell
+/// order, the same identity numbering and the same shared-vs-direct split.
+pub(crate) struct GridPlan {
+    /// Flat point-major grid: one `(point index, trial index)` entry per cell.
+    pub(crate) grid: Vec<(usize, u64)>,
+    /// For each grid cell, the index of its graph identity in `identities`.
+    pub(crate) identity_of_cell: Vec<usize>,
+    /// Distinct `GraphSpec × seed` identities in first-appearance (grid) order, each
+    /// recorded as `(config index of first appearance, seed)`.
+    pub(crate) identities: Vec<(usize, u64)>,
+    /// Number of grid cells mapping to each identity.
+    pub(crate) cells_per_identity: Vec<usize>,
+}
+
+/// Expands the configs into the flat grid and groups cells by `GraphSpec × seed`
+/// graph identity (keyed by [`GraphSpec::cache_key`], like the snapshot cache).
+pub(crate) fn plan_grid(configs: &[ExperimentConfig]) -> GridPlan {
+    // One flat grid: a slow sweep point never serialises the rest of the sweep.
+    let grid: Vec<(usize, u64)> = configs
+        .iter()
+        .enumerate()
+        .flat_map(|(index, config)| (0..config.trials as u64).map(move |t| (index, t)))
+        .collect();
+
+    let mut identity_of_cell: Vec<usize> = Vec::with_capacity(grid.len());
+    let mut identity_index: HashMap<(String, u64), usize> = HashMap::new();
+    let mut identities: Vec<(usize, u64)> = Vec::new();
+    let mut cells_per_identity: Vec<usize> = Vec::new();
+    for &(index, trial) in &grid {
+        let config = &configs[index];
+        let seed = config.base_seed + trial;
+        let key = (config.graph.cache_key(), seed);
+        let identity = *identity_index.entry(key).or_insert_with(|| {
+            identities.push((index, seed));
+            cells_per_identity.push(0);
+            identities.len() - 1
+        });
+        cells_per_identity[identity] += 1;
+        identity_of_cell.push(identity);
+    }
+    GridPlan {
+        grid,
+        identity_of_cell,
+        identities,
+        cells_per_identity,
+    }
+}
+
+/// Graph snapshot cache: generate each distinct `GraphSpec × seed` graph identity
+/// once. Identities shared by more than one grid cell (cross sweeps, paired designs)
+/// are pre-generated in parallel and kept as compact snapshot encodings that every
+/// cell decodes; identities with exactly one cell gain nothing from a resident
+/// snapshot, so their graph is built directly inside the cell's trial and peak memory
+/// stays proportional to the *shared* identities only. The sharded runner ships the
+/// same encodings to worker processes, so a graph shared across shards is still
+/// generated exactly once.
+pub(crate) fn build_shared_snapshots(
+    configs: &[ExperimentConfig],
+    plan: &GridPlan,
+) -> Result<Vec<Option<bytes::Bytes>>, GraphError> {
+    plan.identities
+        .par_iter()
+        .zip(plan.cells_per_identity.par_iter())
+        .map(|(&(config_index, seed), &cells)| {
+            if cells > 1 {
+                configs[config_index]
+                    .graph
+                    .build(seed)
+                    .map(|graph| snapshot::encode(&graph))
+                    .map(Some)
+            } else {
+                Ok(None)
+            }
+        })
+        .collect()
+}
+
+/// Prints the `graph cache:` line CI greps. One function for both the in-process and
+/// the sharded runner, so the formats cannot drift apart (the shard-matrix CI job
+/// diffs their whole stdout).
+pub(crate) fn print_cache_line(cache: &CacheStats) {
+    println!(
+        "graph cache: built {} graphs for {} cells",
+        cache.graphs_built, cache.cells_run
+    );
+}
+
 /// Panics if two distinct sweep points with equal `GraphSpec`s have overlapping
 /// `[base_seed, base_seed + trials)` seed ranges — overlapping ranges on the same
 /// topology silently correlate points that the report presents as independent
@@ -372,7 +418,7 @@ impl Scenario {
 /// Runs in release builds too: the `exp_*` binaries only ever run in release (CI
 /// smoke-runs them with `cargo run --release`), and an O(points²) integer comparison
 /// is negligible next to a single graph generation.
-fn assert_disjoint_seed_ranges(scenario_id: &str, configs: &[ExperimentConfig]) {
+pub(crate) fn assert_disjoint_seed_ranges(scenario_id: &str, configs: &[ExperimentConfig]) {
     for (i, a) in configs.iter().enumerate() {
         for (j, b) in configs.iter().enumerate().skip(i + 1) {
             if a.graph != b.graph {
@@ -477,6 +523,12 @@ impl<T> Sweep<T> {
     /// The sweep points, in order.
     pub fn points(&self) -> &[T] {
         &self.points
+    }
+
+    /// Decomposes the sweep into its label and points (for the sharded runner, which
+    /// lives in a sibling module).
+    pub(crate) fn into_parts(self) -> (String, Vec<T>) {
+        (self.label, self.points)
     }
 }
 

@@ -1,0 +1,693 @@
+//! Versioned binary wire format for shard work units and results.
+//!
+//! [`ShardManifest`] (driver → worker) and [`ShardReport`] (worker → driver) are
+//! encoded in the style of `clb_graph::snapshot`: a magic/version header followed by a
+//! length-prefixed little-endian body, deliberately independent of the in-memory
+//! layout so the format stays stable across refactors. Every length is validated
+//! against the remaining buffer *before* anything is allocated, so truncated or
+//! corrupted inputs fail with a diagnosable [`ShardError::Corrupt`] instead of
+//! panicking or over-allocating. Floating-point fields travel as IEEE-754 bit
+//! patterns (`f64::to_bits`), which is what makes a decoded [`TrialOutcome`]
+//! bit-identical to the worker's original — the foundation of the sharded runner's
+//! determinism contract.
+//!
+//! See the [`crate::shard`] module docs for the full layout tables.
+
+use super::ShardError;
+use crate::experiment::{ExperimentConfig, Measurements, TrialOutcome};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use clb_analysis::Histogram;
+use clb_engine::{Demand, RunResult};
+use clb_graph::{DegreeStats, GraphSpec};
+
+/// Magic number identifying a shard manifest ("CLBM" in ASCII).
+pub const MANIFEST_MAGIC: u32 = 0x434C_424D;
+/// Magic number identifying a shard report ("CLBR" in ASCII).
+pub const REPORT_MAGIC: u32 = 0x434C_4252;
+/// Wire format version; bump when either encoding changes.
+pub const WIRE_VERSION: u32 = 1;
+
+/// One shard's work unit: which grid cells to run, the configs they index into, and
+/// the pre-built graph snapshots for identities shared across cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardManifest {
+    /// This shard's index in `0..shard_count`.
+    pub shard_index: u32,
+    /// Total number of shards in the plan.
+    pub shard_count: u32,
+    /// Global index of the first cell in `cells` within the driver's flat grid.
+    pub first_cell: u64,
+    /// The sweep's per-point configs; cells reference them by index.
+    pub configs: Vec<ExperimentConfig>,
+    /// Snapshot encodings (`clb_graph::snapshot`) of the shared graph identities this
+    /// shard's cells decode; cells reference them by index.
+    pub snapshots: Vec<Vec<u8>>,
+    /// The contiguous run of grid cells this shard executes, in global grid order.
+    pub cells: Vec<ShardCell>,
+}
+
+/// One *(sweep point × trial)* grid cell of a shard manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardCell {
+    /// Index into [`ShardManifest::configs`].
+    pub point: u32,
+    /// Trial index within the point; the cell's seed is `base_seed + trial`.
+    pub trial: u64,
+    /// Where the cell's graph comes from.
+    pub source: GraphSource,
+}
+
+/// Where a shard cell obtains its graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphSource {
+    /// Build `GraphSpec × seed` directly in the worker (single-use identity).
+    Direct,
+    /// Decode the indexed entry of [`ShardManifest::snapshots`] (shared identity,
+    /// generated once by the driver).
+    Snapshot(u32),
+}
+
+/// One shard's results: per-cell trial outcomes in cell order plus the shard's share
+/// of the cache tallies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardReport {
+    /// Echo of [`ShardManifest::shard_index`].
+    pub shard_index: u32,
+    /// Echo of [`ShardManifest::first_cell`].
+    pub first_cell: u64,
+    /// Cells served by decoding a shipped snapshot.
+    pub snapshot_hits: u64,
+    /// Cells that built their graph directly.
+    pub direct_builds: u64,
+    /// One outcome per manifest cell, in the same order.
+    pub outcomes: Vec<TrialOutcome>,
+}
+
+/// Checked little-endian reader over a byte slice; every read validates the remaining
+/// length first so corrupt input surfaces as [`ShardError::Corrupt`], never a panic.
+struct Reader<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data }
+    }
+
+    fn need(&self, bytes: usize, what: &str) -> Result<(), ShardError> {
+        if self.data.remaining() < bytes {
+            return Err(ShardError::Corrupt(format!(
+                "truncated while reading {what}"
+            )));
+        }
+        Ok(())
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, ShardError> {
+        self.need(4, what)?;
+        Ok(self.data.get_u32_le())
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, ShardError> {
+        self.need(8, what)?;
+        Ok(self.data.get_u64_le())
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, ShardError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// A `u64` that will be used as an element count: additionally bounds it by the
+    /// bytes still in the buffer (each element needs ≥ `min_element_bytes`), so a
+    /// corrupted length can neither over-allocate nor defer the truncation error.
+    fn len(&mut self, min_element_bytes: usize, what: &str) -> Result<usize, ShardError> {
+        let len = self.u64(what)?;
+        let need = len.saturating_mul(min_element_bytes as u64);
+        if need > self.data.remaining() as u64 {
+            return Err(ShardError::Corrupt(format!(
+                "length {len} of {what} exceeds the {} bytes remaining",
+                self.data.remaining()
+            )));
+        }
+        Ok(len as usize)
+    }
+
+    fn flag(&mut self, what: &str) -> Result<bool, ShardError> {
+        match self.u32(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(ShardError::Corrupt(format!(
+                "flag {what} must be 0 or 1, got {other}"
+            ))),
+        }
+    }
+
+    fn raw(&mut self, len: usize, what: &str) -> Result<&'a [u8], ShardError> {
+        self.need(len, what)?;
+        let (head, tail) = self.data.split_at(len);
+        self.data = tail;
+        Ok(head)
+    }
+
+    fn finish(&self, what: &str) -> Result<(), ShardError> {
+        if self.data.has_remaining() {
+            return Err(ShardError::Corrupt(format!(
+                "{} trailing bytes after {what}",
+                self.data.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn put_header(buf: &mut BytesMut, magic: u32) {
+    buf.put_u32_le(magic);
+    buf.put_u32_le(WIRE_VERSION);
+}
+
+fn check_header(r: &mut Reader, magic: u32, what: &str) -> Result<(), ShardError> {
+    let found = r.u32("magic")?;
+    if found != magic {
+        return Err(ShardError::Corrupt(format!(
+            "bad {what} magic 0x{found:08x} (expected 0x{magic:08x})"
+        )));
+    }
+    let version = r.u32("version")?;
+    if version != WIRE_VERSION {
+        return Err(ShardError::Corrupt(format!(
+            "unsupported {what} wire version {version} (this build speaks {WIRE_VERSION})"
+        )));
+    }
+    Ok(())
+}
+
+fn put_graph_spec(buf: &mut BytesMut, spec: &GraphSpec) {
+    match *spec {
+        GraphSpec::Regular { n, delta } => {
+            buf.put_u32_le(0);
+            buf.put_u64_le(n as u64);
+            buf.put_u64_le(delta as u64);
+        }
+        GraphSpec::RegularLogSquared { n, eta } => {
+            buf.put_u32_le(1);
+            buf.put_u64_le(n as u64);
+            buf.put_u64_le(eta.to_bits());
+        }
+        GraphSpec::AlmostRegular {
+            n,
+            min_degree,
+            max_degree,
+        } => {
+            buf.put_u32_le(2);
+            buf.put_u64_le(n as u64);
+            buf.put_u64_le(min_degree as u64);
+            buf.put_u64_le(max_degree as u64);
+        }
+        GraphSpec::SkewedExample { n } => {
+            buf.put_u32_le(3);
+            buf.put_u64_le(n as u64);
+        }
+        GraphSpec::Complete { n } => {
+            buf.put_u32_le(4);
+            buf.put_u64_le(n as u64);
+        }
+        GraphSpec::ErdosRenyi { n, p } => {
+            buf.put_u32_le(5);
+            buf.put_u64_le(n as u64);
+            buf.put_u64_le(p.to_bits());
+        }
+        GraphSpec::Geometric { n, expected_degree } => {
+            buf.put_u32_le(6);
+            buf.put_u64_le(n as u64);
+            buf.put_u64_le(expected_degree as u64);
+        }
+        GraphSpec::Clusters {
+            n,
+            clusters,
+            intra_degree,
+            inter_degree,
+        } => {
+            buf.put_u32_le(7);
+            buf.put_u64_le(n as u64);
+            buf.put_u64_le(clusters as u64);
+            buf.put_u64_le(intra_degree as u64);
+            buf.put_u64_le(inter_degree as u64);
+        }
+    }
+}
+
+fn get_graph_spec(r: &mut Reader) -> Result<GraphSpec, ShardError> {
+    let tag = r.u32("graph spec tag")?;
+    Ok(match tag {
+        0 => GraphSpec::Regular {
+            n: r.u64("regular n")? as usize,
+            delta: r.u64("regular delta")? as usize,
+        },
+        1 => GraphSpec::RegularLogSquared {
+            n: r.u64("log2 n")? as usize,
+            eta: r.f64("log2 eta")?,
+        },
+        2 => GraphSpec::AlmostRegular {
+            n: r.u64("almost-regular n")? as usize,
+            min_degree: r.u64("almost-regular min degree")? as usize,
+            max_degree: r.u64("almost-regular max degree")? as usize,
+        },
+        3 => GraphSpec::SkewedExample {
+            n: r.u64("skewed n")? as usize,
+        },
+        4 => GraphSpec::Complete {
+            n: r.u64("complete n")? as usize,
+        },
+        5 => GraphSpec::ErdosRenyi {
+            n: r.u64("erdos-renyi n")? as usize,
+            p: r.f64("erdos-renyi p")?,
+        },
+        6 => GraphSpec::Geometric {
+            n: r.u64("geometric n")? as usize,
+            expected_degree: r.u64("geometric expected degree")? as usize,
+        },
+        7 => GraphSpec::Clusters {
+            n: r.u64("clusters n")? as usize,
+            clusters: r.u64("clusters count")? as usize,
+            intra_degree: r.u64("clusters intra degree")? as usize,
+            inter_degree: r.u64("clusters inter degree")? as usize,
+        },
+        other => {
+            return Err(ShardError::Corrupt(format!(
+                "unknown graph spec tag {other}"
+            )))
+        }
+    })
+}
+
+fn put_protocol_spec(buf: &mut BytesMut, spec: &clb_protocols::ProtocolSpec) {
+    use clb_protocols::ProtocolSpec;
+    match *spec {
+        ProtocolSpec::Saer { c, d } => {
+            buf.put_u32_le(0);
+            buf.put_u32_le(c);
+            buf.put_u32_le(d);
+        }
+        ProtocolSpec::Raes { c, d } => {
+            buf.put_u32_le(1);
+            buf.put_u32_le(c);
+            buf.put_u32_le(d);
+        }
+        ProtocolSpec::Threshold { per_round } => {
+            buf.put_u32_le(2);
+            buf.put_u32_le(per_round);
+        }
+        ProtocolSpec::KChoice { k, capacity } => {
+            buf.put_u32_le(3);
+            buf.put_u32_le(k);
+            buf.put_u32_le(capacity);
+        }
+        ProtocolSpec::OneShot => buf.put_u32_le(4),
+    }
+}
+
+fn get_protocol_spec(r: &mut Reader) -> Result<clb_protocols::ProtocolSpec, ShardError> {
+    use clb_protocols::ProtocolSpec;
+    let tag = r.u32("protocol spec tag")?;
+    Ok(match tag {
+        0 => ProtocolSpec::Saer {
+            c: r.u32("saer c")?,
+            d: r.u32("saer d")?,
+        },
+        1 => ProtocolSpec::Raes {
+            c: r.u32("raes c")?,
+            d: r.u32("raes d")?,
+        },
+        2 => ProtocolSpec::Threshold {
+            per_round: r.u32("threshold per-round")?,
+        },
+        3 => ProtocolSpec::KChoice {
+            k: r.u32("k-choice k")?,
+            capacity: r.u32("k-choice capacity")?,
+        },
+        4 => ProtocolSpec::OneShot,
+        other => {
+            return Err(ShardError::Corrupt(format!(
+                "unknown protocol spec tag {other}"
+            )))
+        }
+    })
+}
+
+fn put_demand(buf: &mut BytesMut, demand: &Demand) {
+    match demand {
+        Demand::Constant(d) => {
+            buf.put_u32_le(0);
+            buf.put_u32_le(*d);
+        }
+        Demand::UniformAtMost(d) => {
+            buf.put_u32_le(1);
+            buf.put_u32_le(*d);
+        }
+        Demand::Explicit(per_client) => {
+            buf.put_u32_le(2);
+            buf.put_u64_le(per_client.len() as u64);
+            for &d in per_client {
+                buf.put_u32_le(d);
+            }
+        }
+    }
+}
+
+fn get_demand(r: &mut Reader) -> Result<Demand, ShardError> {
+    let tag = r.u32("demand tag")?;
+    Ok(match tag {
+        0 => Demand::Constant(r.u32("constant demand")?),
+        1 => Demand::UniformAtMost(r.u32("uniform demand bound")?),
+        2 => {
+            let len = r.len(4, "explicit demand length")?;
+            let mut per_client = Vec::with_capacity(len);
+            for _ in 0..len {
+                per_client.push(r.u32("explicit demand entry")?);
+            }
+            Demand::Explicit(per_client)
+        }
+        other => return Err(ShardError::Corrupt(format!("unknown demand tag {other}"))),
+    })
+}
+
+fn put_measurements(buf: &mut BytesMut, m: &Measurements) {
+    let bits = (m.burned_fraction as u32)
+        | ((m.neighborhood_mass as u32) << 1)
+        | ((m.trajectory as u32) << 2);
+    buf.put_u32_le(bits);
+}
+
+fn get_measurements(r: &mut Reader) -> Result<Measurements, ShardError> {
+    let bits = r.u32("measurements bitmask")?;
+    if bits > 0b111 {
+        return Err(ShardError::Corrupt(format!(
+            "unknown measurement bits 0x{bits:x}"
+        )));
+    }
+    Ok(Measurements {
+        burned_fraction: bits & 0b001 != 0,
+        neighborhood_mass: bits & 0b010 != 0,
+        trajectory: bits & 0b100 != 0,
+    })
+}
+
+fn put_config(buf: &mut BytesMut, config: &ExperimentConfig) {
+    put_graph_spec(buf, &config.graph);
+    put_protocol_spec(buf, &config.protocol);
+    put_demand(buf, &config.demand);
+    buf.put_u64_le(config.trials as u64);
+    buf.put_u64_le(config.base_seed);
+    buf.put_u32_le(config.max_rounds);
+    put_measurements(buf, &config.measurements);
+}
+
+fn get_config(r: &mut Reader) -> Result<ExperimentConfig, ShardError> {
+    let graph = get_graph_spec(r)?;
+    let protocol = get_protocol_spec(r)?;
+    let demand = get_demand(r)?;
+    let trials = r.u64("config trials")? as usize;
+    let base_seed = r.u64("config base seed")?;
+    let max_rounds = r.u32("config max rounds")?;
+    let measurements = get_measurements(r)?;
+    let mut config = ExperimentConfig::new(graph, protocol);
+    config.demand = demand;
+    config.trials = trials;
+    config.base_seed = base_seed;
+    config.max_rounds = max_rounds;
+    config.measurements = measurements;
+    Ok(config)
+}
+
+fn put_degree_stats(buf: &mut BytesMut, s: &DegreeStats) {
+    buf.put_u64_le(s.min_client_degree as u64);
+    buf.put_u64_le(s.max_client_degree as u64);
+    buf.put_u64_le(s.mean_client_degree.to_bits());
+    buf.put_u64_le(s.min_server_degree as u64);
+    buf.put_u64_le(s.max_server_degree as u64);
+    buf.put_u64_le(s.mean_server_degree.to_bits());
+    buf.put_u64_le(s.num_clients as u64);
+    buf.put_u64_le(s.num_servers as u64);
+    buf.put_u64_le(s.num_edges as u64);
+}
+
+fn get_degree_stats(r: &mut Reader) -> Result<DegreeStats, ShardError> {
+    Ok(DegreeStats {
+        min_client_degree: r.u64("min client degree")? as usize,
+        max_client_degree: r.u64("max client degree")? as usize,
+        mean_client_degree: r.f64("mean client degree")?,
+        min_server_degree: r.u64("min server degree")? as usize,
+        max_server_degree: r.u64("max server degree")? as usize,
+        mean_server_degree: r.f64("mean server degree")?,
+        num_clients: r.u64("num clients")? as usize,
+        num_servers: r.u64("num servers")? as usize,
+        num_edges: r.u64("num edges")? as usize,
+    })
+}
+
+fn put_run_result(buf: &mut BytesMut, result: &RunResult) {
+    buf.put_u32_le(result.completed as u32);
+    buf.put_u32_le(result.rounds);
+    buf.put_u64_le(result.total_messages);
+    buf.put_u32_le(result.max_load);
+    buf.put_u64_le(result.unassigned_balls);
+    buf.put_u64_le(result.total_balls);
+    buf.put_u64_le(result.closed_servers);
+}
+
+fn get_run_result(r: &mut Reader) -> Result<RunResult, ShardError> {
+    Ok(RunResult {
+        completed: r.flag("run completed")?,
+        rounds: r.u32("run rounds")?,
+        total_messages: r.u64("run total messages")?,
+        max_load: r.u32("run max load")?,
+        unassigned_balls: r.u64("run unassigned balls")?,
+        total_balls: r.u64("run total balls")?,
+        closed_servers: r.u64("run closed servers")?,
+    })
+}
+
+fn put_u64_series(buf: &mut BytesMut, series: &Option<Vec<u64>>) {
+    match series {
+        None => buf.put_u32_le(0),
+        Some(values) => {
+            buf.put_u32_le(1);
+            buf.put_u64_le(values.len() as u64);
+            for &v in values {
+                buf.put_u64_le(v);
+            }
+        }
+    }
+}
+
+fn get_u64_series(r: &mut Reader, what: &str) -> Result<Option<Vec<u64>>, ShardError> {
+    if !r.flag(what)? {
+        return Ok(None);
+    }
+    let len = r.len(8, what)?;
+    let mut values = Vec::with_capacity(len);
+    for _ in 0..len {
+        values.push(r.u64(what)?);
+    }
+    Ok(Some(values))
+}
+
+fn put_f64_series(buf: &mut BytesMut, series: &Option<Vec<f64>>) {
+    match series {
+        None => buf.put_u32_le(0),
+        Some(values) => {
+            buf.put_u32_le(1);
+            buf.put_u64_le(values.len() as u64);
+            for &v in values {
+                buf.put_u64_le(v.to_bits());
+            }
+        }
+    }
+}
+
+fn get_f64_series(r: &mut Reader, what: &str) -> Result<Option<Vec<f64>>, ShardError> {
+    if !r.flag(what)? {
+        return Ok(None);
+    }
+    let len = r.len(8, what)?;
+    let mut values = Vec::with_capacity(len);
+    for _ in 0..len {
+        values.push(r.f64(what)?);
+    }
+    Ok(Some(values))
+}
+
+fn put_outcome(buf: &mut BytesMut, outcome: &TrialOutcome) {
+    buf.put_u64_le(outcome.seed);
+    put_degree_stats(buf, &outcome.degree_stats);
+    put_run_result(buf, &outcome.result);
+    let buckets = outcome.load_histogram.buckets();
+    buf.put_u64_le(buckets.len() as u64);
+    for &count in buckets {
+        buf.put_u64_le(count);
+    }
+    put_f64_series(buf, &outcome.burned_fraction_series);
+    put_u64_series(buf, &outcome.neighborhood_mass_series);
+    put_u64_series(buf, &outcome.alive_series);
+}
+
+fn get_outcome(r: &mut Reader) -> Result<TrialOutcome, ShardError> {
+    let seed = r.u64("outcome seed")?;
+    let degree_stats = get_degree_stats(r)?;
+    let result = get_run_result(r)?;
+    let len = r.len(8, "load histogram length")?;
+    let mut buckets = Vec::with_capacity(len);
+    for _ in 0..len {
+        buckets.push(r.u64("load histogram bucket")?);
+    }
+    Ok(TrialOutcome {
+        seed,
+        degree_stats,
+        result,
+        load_histogram: Histogram::from_buckets(buckets),
+        burned_fraction_series: get_f64_series(r, "burned fraction series")?,
+        neighborhood_mass_series: get_u64_series(r, "neighborhood mass series")?,
+        alive_series: get_u64_series(r, "alive series")?,
+    })
+}
+
+/// Serialises a shard work unit.
+pub fn encode_manifest(manifest: &ShardManifest) -> Bytes {
+    let snapshot_bytes: usize = manifest.snapshots.iter().map(|s| s.len() + 8).sum();
+    let mut buf = BytesMut::with_capacity(64 + snapshot_bytes + manifest.cells.len() * 20);
+    put_header(&mut buf, MANIFEST_MAGIC);
+    buf.put_u32_le(manifest.shard_index);
+    buf.put_u32_le(manifest.shard_count);
+    buf.put_u64_le(manifest.first_cell);
+    buf.put_u32_le(manifest.configs.len() as u32);
+    for config in &manifest.configs {
+        put_config(&mut buf, config);
+    }
+    buf.put_u32_le(manifest.snapshots.len() as u32);
+    for snapshot in &manifest.snapshots {
+        buf.put_u64_le(snapshot.len() as u64);
+        buf.put_slice(snapshot);
+    }
+    buf.put_u64_le(manifest.cells.len() as u64);
+    for cell in &manifest.cells {
+        buf.put_u32_le(cell.point);
+        buf.put_u64_le(cell.trial);
+        match cell.source {
+            GraphSource::Direct => buf.put_u32_le(0),
+            GraphSource::Snapshot(index) => {
+                buf.put_u32_le(1);
+                buf.put_u32_le(index);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Reconstructs a shard work unit from [`encode_manifest`] output, validating every
+/// length and cross-reference (cells must point at existing configs/snapshots).
+pub fn decode_manifest(data: &[u8]) -> Result<ShardManifest, ShardError> {
+    let mut r = Reader::new(data);
+    check_header(&mut r, MANIFEST_MAGIC, "manifest")?;
+    let shard_index = r.u32("shard index")?;
+    let shard_count = r.u32("shard count")?;
+    if shard_index >= shard_count {
+        return Err(ShardError::Corrupt(format!(
+            "shard index {shard_index} out of range for {shard_count} shards"
+        )));
+    }
+    let first_cell = r.u64("first cell")?;
+    let num_configs = r.u32("config count")?;
+    let mut configs = Vec::with_capacity(num_configs.min(1 << 16) as usize);
+    for _ in 0..num_configs {
+        configs.push(get_config(&mut r)?);
+    }
+    let num_snapshots = r.u32("snapshot count")?;
+    let mut snapshots = Vec::with_capacity(num_snapshots.min(1 << 16) as usize);
+    for _ in 0..num_snapshots {
+        let len = r.len(1, "snapshot length")?;
+        snapshots.push(r.raw(len, "snapshot bytes")?.to_vec());
+    }
+    let num_cells = r.len(16, "cell count")?;
+    let mut cells = Vec::with_capacity(num_cells);
+    for _ in 0..num_cells {
+        let point = r.u32("cell point index")?;
+        if point as usize >= configs.len() {
+            return Err(ShardError::Corrupt(format!(
+                "cell references config {point} but the manifest has {}",
+                configs.len()
+            )));
+        }
+        let trial = r.u64("cell trial index")?;
+        let source = match r.u32("cell graph source tag")? {
+            0 => GraphSource::Direct,
+            1 => {
+                let index = r.u32("cell snapshot index")?;
+                if index as usize >= snapshots.len() {
+                    return Err(ShardError::Corrupt(format!(
+                        "cell references snapshot {index} but the manifest has {}",
+                        snapshots.len()
+                    )));
+                }
+                GraphSource::Snapshot(index)
+            }
+            other => {
+                return Err(ShardError::Corrupt(format!(
+                    "unknown graph source tag {other}"
+                )))
+            }
+        };
+        cells.push(ShardCell {
+            point,
+            trial,
+            source,
+        });
+    }
+    r.finish("manifest")?;
+    Ok(ShardManifest {
+        shard_index,
+        shard_count,
+        first_cell,
+        configs,
+        snapshots,
+        cells,
+    })
+}
+
+/// Serialises a shard result.
+pub fn encode_report(report: &ShardReport) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + report.outcomes.len() * 160);
+    put_header(&mut buf, REPORT_MAGIC);
+    buf.put_u32_le(report.shard_index);
+    buf.put_u64_le(report.first_cell);
+    buf.put_u64_le(report.snapshot_hits);
+    buf.put_u64_le(report.direct_builds);
+    buf.put_u64_le(report.outcomes.len() as u64);
+    for outcome in &report.outcomes {
+        put_outcome(&mut buf, outcome);
+    }
+    buf.freeze()
+}
+
+/// Reconstructs a shard result from [`encode_report`] output. Decoded outcomes are
+/// bit-identical to the worker's originals (floats travel as IEEE-754 bit patterns).
+pub fn decode_report(data: &[u8]) -> Result<ShardReport, ShardError> {
+    let mut r = Reader::new(data);
+    check_header(&mut r, REPORT_MAGIC, "report")?;
+    let shard_index = r.u32("shard index")?;
+    let first_cell = r.u64("first cell")?;
+    let snapshot_hits = r.u64("snapshot hits")?;
+    let direct_builds = r.u64("direct builds")?;
+    let num_outcomes = r.len(100, "outcome count")?;
+    let mut outcomes = Vec::with_capacity(num_outcomes);
+    for _ in 0..num_outcomes {
+        outcomes.push(get_outcome(&mut r)?);
+    }
+    r.finish("report")?;
+    Ok(ShardReport {
+        shard_index,
+        first_cell,
+        snapshot_hits,
+        direct_builds,
+        outcomes,
+    })
+}

@@ -1,0 +1,341 @@
+//! Property tests for the shard wire format (`clb_core::shard`): arbitrary
+//! [`ShardManifest`]/[`ShardReport`] values round-trip through encode/decode exactly,
+//! every strict prefix of an encoding fails to decode (mirroring the truncation test
+//! of `clb_graph::snapshot`), corrupted magic/version/tag bytes produce diagnosable
+//! [`ShardError::Corrupt`] errors, and [`partition_cells`] covers every grid cell
+//! exactly once for arbitrary (grid size, shard count) pairs — including more shards
+//! than cells.
+
+use clb_analysis::Histogram;
+use clb_core::shard::{
+    decode_manifest, decode_report, encode_manifest, encode_report, partition_cells, GraphSource,
+    ShardCell, ShardError, ShardManifest, ShardReport,
+};
+use clb_core::{ExperimentConfig, Measurements, TrialOutcome};
+use clb_engine::{Demand, RunResult};
+use clb_graph::{DegreeStats, GraphSpec};
+use clb_protocols::ProtocolSpec;
+use proptest::prelude::*;
+
+fn arb_graph_spec() -> impl Strategy<Value = GraphSpec> {
+    (0u32..8, 1usize..64, 1usize..16, 1usize..16, 0.0f64..1.0).prop_map(|(tag, n, a, b, f)| {
+        match tag {
+            0 => GraphSpec::Regular { n, delta: a },
+            1 => GraphSpec::RegularLogSquared { n, eta: f },
+            2 => GraphSpec::AlmostRegular {
+                n,
+                min_degree: a.min(b),
+                max_degree: a.max(b),
+            },
+            3 => GraphSpec::SkewedExample { n },
+            4 => GraphSpec::Complete { n },
+            5 => GraphSpec::ErdosRenyi { n, p: f },
+            6 => GraphSpec::Geometric {
+                n,
+                expected_degree: a,
+            },
+            _ => GraphSpec::Clusters {
+                n,
+                clusters: a,
+                intra_degree: b,
+                inter_degree: a,
+            },
+        }
+    })
+}
+
+fn arb_protocol_spec() -> impl Strategy<Value = ProtocolSpec> {
+    (0u32..5, 1u32..64, 1u32..8).prop_map(|(tag, c, d)| match tag {
+        0 => ProtocolSpec::Saer { c, d },
+        1 => ProtocolSpec::Raes { c, d },
+        2 => ProtocolSpec::Threshold { per_round: c },
+        3 => ProtocolSpec::KChoice { k: d, capacity: c },
+        _ => ProtocolSpec::OneShot,
+    })
+}
+
+fn arb_demand() -> impl Strategy<Value = Demand> {
+    (0u32..3, 1u32..8, prop::collection::vec(1u32..5, 1..6)).prop_map(
+        |(tag, d, explicit)| match tag {
+            0 => Demand::Constant(d),
+            1 => Demand::UniformAtMost(d),
+            _ => Demand::Explicit(explicit),
+        },
+    )
+}
+
+fn arb_config() -> impl Strategy<Value = ExperimentConfig> {
+    (
+        arb_graph_spec(),
+        arb_protocol_spec(),
+        arb_demand(),
+        (1usize..20, any::<u64>(), 1u32..2000),
+        (any::<bool>(), any::<bool>(), any::<bool>()),
+    )
+        .prop_map(
+            |(graph, protocol, demand, (trials, base_seed, max_rounds), (bf, nm, tr))| {
+                let mut config = ExperimentConfig::new(graph, protocol);
+                config.demand = demand;
+                config.trials = trials;
+                config.base_seed = base_seed;
+                config.max_rounds = max_rounds;
+                config.measurements = Measurements {
+                    burned_fraction: bf,
+                    neighborhood_mass: nm,
+                    trajectory: tr,
+                };
+                config
+            },
+        )
+}
+
+fn arb_degree_stats() -> impl Strategy<Value = DegreeStats> {
+    (
+        (0usize..100, 0usize..100, 0.0f64..64.0),
+        (0usize..100, 0usize..100, 0.0f64..64.0),
+        (0usize..1000, 0usize..1000, 0usize..10_000),
+    )
+        .prop_map(
+            |((min_c, max_c, mean_c), (min_s, max_s, mean_s), (nc, ns, ne))| DegreeStats {
+                min_client_degree: min_c,
+                max_client_degree: max_c,
+                mean_client_degree: mean_c,
+                min_server_degree: min_s,
+                max_server_degree: max_s,
+                mean_server_degree: mean_s,
+                num_clients: nc,
+                num_servers: ns,
+                num_edges: ne,
+            },
+        )
+}
+
+fn arb_run_result() -> impl Strategy<Value = RunResult> {
+    (
+        (any::<bool>(), 0u32..5000, any::<u64>(), 0u32..100),
+        (0u64..1000, 0u64..1000, 0u64..1000),
+    )
+        .prop_map(
+            |((completed, rounds, total_messages, max_load), (unassigned, total, closed))| {
+                RunResult {
+                    completed,
+                    rounds,
+                    total_messages,
+                    max_load,
+                    unassigned_balls: unassigned,
+                    total_balls: total,
+                    closed_servers: closed,
+                }
+            },
+        )
+}
+
+fn arb_outcome() -> impl Strategy<Value = TrialOutcome> {
+    (
+        (any::<u64>(), arb_degree_stats(), arb_run_result()),
+        prop::collection::vec(0u64..50, 0..8),
+        (any::<bool>(), prop::collection::vec(0.0f64..1.0, 0..6)),
+        (any::<bool>(), prop::collection::vec(0u64..100, 0..6)),
+        (any::<bool>(), prop::collection::vec(0u64..100, 0..6)),
+    )
+        .prop_map(
+            |((seed, degree_stats, result), buckets, (has_bf, bf), (has_nm, nm), (has_al, al))| {
+                TrialOutcome {
+                    seed,
+                    degree_stats,
+                    result,
+                    load_histogram: Histogram::from_buckets(buckets),
+                    burned_fraction_series: has_bf.then_some(bf),
+                    neighborhood_mass_series: has_nm.then_some(nm),
+                    alive_series: has_al.then_some(al),
+                }
+            },
+        )
+}
+
+fn arb_manifest() -> impl Strategy<Value = ShardManifest> {
+    (
+        (0u32..100, 1u32..8, any::<u64>()),
+        prop::collection::vec(arb_config(), 1..4),
+        prop::collection::vec(prop::collection::vec(any::<u8>(), 0..24), 0..3),
+        // Raw cells; point/snapshot references are clamped into range below so every
+        // sampled manifest is internally consistent (decode validates references).
+        prop::collection::vec((any::<u32>(), 0u64..50, any::<bool>(), any::<u32>()), 0..10),
+    )
+        .prop_map(
+            |((index_raw, count, first_cell), configs, snapshots, raw_cells)| {
+                let cells = raw_cells
+                    .into_iter()
+                    .map(|(point, trial, shared, snap)| ShardCell {
+                        point: point % configs.len() as u32,
+                        trial,
+                        source: if shared && !snapshots.is_empty() {
+                            GraphSource::Snapshot(snap % snapshots.len() as u32)
+                        } else {
+                            GraphSource::Direct
+                        },
+                    })
+                    .collect();
+                ShardManifest {
+                    shard_index: index_raw % count,
+                    shard_count: count,
+                    first_cell,
+                    configs,
+                    snapshots,
+                    cells,
+                }
+            },
+        )
+}
+
+fn arb_report() -> impl Strategy<Value = ShardReport> {
+    (
+        (0u32..8, any::<u64>(), 0u64..100, 0u64..100),
+        prop::collection::vec(arb_outcome(), 0..5),
+    )
+        .prop_map(
+            |((shard_index, first_cell, snapshot_hits, direct_builds), outcomes)| ShardReport {
+                shard_index,
+                first_cell,
+                snapshot_hits,
+                direct_builds,
+                outcomes,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn manifest_round_trips_exactly(manifest in arb_manifest()) {
+        let decoded = decode_manifest(&encode_manifest(&manifest)).expect("decode");
+        prop_assert_eq!(decoded, manifest);
+    }
+
+    #[test]
+    fn report_round_trips_exactly(report in arb_report()) {
+        let decoded = decode_report(&encode_report(&report)).expect("decode");
+        prop_assert_eq!(decoded, report);
+    }
+
+    #[test]
+    fn partition_covers_every_cell_exactly_once(cells in 0usize..500, shards in 1usize..40) {
+        let ranges = partition_cells(cells, shards);
+        prop_assert_eq!(ranges.len(), shards);
+        let mut next = 0;
+        for range in &ranges {
+            // Contiguous, in order, balanced to within one cell.
+            prop_assert_eq!(range.start, next);
+            prop_assert!(range.len() >= cells / shards);
+            prop_assert!(range.len() <= cells / shards + 1);
+            next = range.end;
+        }
+        prop_assert_eq!(next, cells);
+    }
+}
+
+proptest! {
+    // Quadratic in the encoding length; a few cases suffice since every sampled
+    // manifest exercises every field.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn every_strict_prefix_of_a_manifest_fails_to_decode(manifest in arb_manifest()) {
+        let bytes = encode_manifest(&manifest);
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                decode_manifest(&bytes[..cut]).is_err(),
+                "a manifest truncated to {cut} of {} bytes decoded", bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn every_strict_prefix_of_a_report_fails_to_decode(report in arb_report()) {
+        let bytes = encode_report(&report);
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                decode_report(&bytes[..cut]).is_err(),
+                "a report truncated to {cut} of {} bytes decoded", bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected(manifest in arb_manifest()) {
+        let mut bytes = encode_manifest(&manifest).to_vec();
+        bytes.push(0);
+        prop_assert!(matches!(decode_manifest(&bytes), Err(ShardError::Corrupt(_))));
+    }
+}
+
+fn sample_manifest() -> ShardManifest {
+    ShardManifest {
+        shard_index: 0,
+        shard_count: 2,
+        first_cell: 0,
+        configs: vec![ExperimentConfig::new(
+            GraphSpec::Regular { n: 16, delta: 4 },
+            ProtocolSpec::OneShot,
+        )],
+        snapshots: vec![vec![9, 9, 9]],
+        cells: vec![ShardCell {
+            point: 0,
+            trial: 0,
+            source: GraphSource::Snapshot(0),
+        }],
+    }
+}
+
+#[test]
+fn corrupted_magic_is_diagnosed() {
+    let mut bytes = encode_manifest(&sample_manifest()).to_vec();
+    bytes[0] ^= 0xFF;
+    let err = decode_manifest(&bytes).expect_err("bad magic must fail");
+    assert!(err.to_string().contains("magic"), "got: {err}");
+}
+
+#[test]
+fn unsupported_version_is_diagnosed() {
+    let mut bytes = encode_manifest(&sample_manifest()).to_vec();
+    bytes[4] = 99;
+    let err = decode_manifest(&bytes).expect_err("future version must fail");
+    assert!(err.to_string().contains("version"), "got: {err}");
+}
+
+#[test]
+fn report_magic_is_not_a_manifest_magic() {
+    // Feeding a report where a manifest is expected (e.g. swapped files) must fail on
+    // the magic, not misparse.
+    let report = ShardReport {
+        shard_index: 0,
+        first_cell: 0,
+        snapshot_hits: 0,
+        direct_builds: 0,
+        outcomes: vec![],
+    };
+    let bytes = encode_report(&report);
+    let err = decode_manifest(&bytes).expect_err("wrong magic must fail");
+    assert!(err.to_string().contains("magic"), "got: {err}");
+}
+
+#[test]
+fn dangling_cell_references_are_diagnosed() {
+    // Hand-corrupt the cell's point index (last cell field block): flipping bytes in
+    // the encoded cell region must produce a Corrupt error, not a bad manifest.
+    let manifest = sample_manifest();
+    let good = encode_manifest(&manifest);
+    // The cell's point u32 sits 16 bytes before the end (point + trial + tag + index).
+    let mut bytes = good.to_vec();
+    let point_offset = bytes.len() - 20;
+    bytes[point_offset] = 7; // references config 7 of 1
+    let err = decode_manifest(&bytes).expect_err("dangling config reference");
+    assert!(err.to_string().contains("config"), "got: {err}");
+
+    let mut bytes = good.to_vec();
+    let snap_offset = bytes.len() - 4;
+    bytes[snap_offset] = 5; // references snapshot 5 of 1
+    let err = decode_manifest(&bytes).expect_err("dangling snapshot reference");
+    assert!(err.to_string().contains("snapshot"), "got: {err}");
+}

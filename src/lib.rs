@@ -84,10 +84,10 @@ pub use clb_sequential as sequential;
 /// Re-export of `clb-analysis`.
 pub use clb_analysis as analysis;
 
-pub use clb_core::{experiment, report, scenario};
+pub use clb_core::{experiment, report, scenario, shard};
 pub use clb_core::{
-    CacheStats, ExperimentConfig, ExperimentReport, Measurements, Scenario, Sweep, SweepReport,
-    SweepRow, Table, TrialOutcome,
+    CacheStats, ExperimentConfig, ExperimentReport, Measurements, Scenario, ShardError, ShardPlan,
+    Sweep, SweepReport, SweepRow, Table, TrialOutcome,
 };
 
 /// The most commonly used items, importable with `use clb::prelude::*`.
@@ -103,6 +103,7 @@ pub mod prelude {
     pub use clb_core::scenario::{
         default_trials, n_sweep, quick_mode, CacheStats, Scenario, Sweep, SweepReport, SweepRow,
     };
+    pub use clb_core::shard::{ShardError, ShardPlan};
     pub use clb_engine::{
         erase, Demand, ErasedProtocol, Protocol, RunResult, SimConfig, Simulation,
         SimulationBuilder,

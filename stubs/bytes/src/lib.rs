@@ -32,19 +32,29 @@ impl Buf for &[u8] {
     }
 }
 
-/// Mirror of `bytes::BufMut` for the write surface the snapshot encoder uses.
+/// Mirror of `bytes::BufMut` for the write surface the snapshot and shard codecs use.
 pub trait BufMut {
+    fn put_u8(&mut self, value: u8);
     fn put_u32_le(&mut self, value: u32);
     fn put_u64_le(&mut self, value: u64);
+    fn put_slice(&mut self, src: &[u8]);
 }
 
 impl BufMut for BytesMut {
+    fn put_u8(&mut self, value: u8) {
+        self.data.push(value);
+    }
+
     fn put_u32_le(&mut self, value: u32) {
         self.data.extend_from_slice(&value.to_le_bytes());
     }
 
     fn put_u64_le(&mut self, value: u64) {
         self.data.extend_from_slice(&value.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
     }
 }
 
@@ -104,5 +114,13 @@ mod tests {
         assert_eq!(cursor.get_u32_le(), 0xDEAD_BEEF);
         assert_eq!(cursor.get_u64_le(), 42);
         assert!(!cursor.has_remaining());
+    }
+
+    #[test]
+    fn put_u8_and_put_slice_append_raw_bytes() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(0xAB);
+        buf.put_slice(&[1, 2, 3]);
+        assert_eq!(buf.freeze().as_ref(), &[0xAB, 1, 2, 3]);
     }
 }

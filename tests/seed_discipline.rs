@@ -1,0 +1,82 @@
+//! Pins the PR-2 seed-discipline backstop at the integration level: the sweep
+//! runner's disjointness assertion fires on overlapping per-point seed ranges, and
+//! [`Scenario::paired_seeds`] is the sanctioned opt-out for paired designs. Until
+//! now only unit tests inside `clb-core` exercised the assertion; with the sharded
+//! runner replaying seeds in child processes, the backstop deserves an external pin
+//! against the facade's public API (both the in-process and the sharded driver run
+//! the same assertion before any work is partitioned).
+
+use clb::prelude::*;
+
+fn overlapping_config(c: u32) -> ExperimentConfig {
+    // The pre-PR-2 anti-pattern: seeds stride by the point *value*, so with 3 trials
+    // the c = 2 and c = 4 points share seed 104 on an identical topology.
+    ExperimentConfig::new(
+        GraphSpec::Regular { n: 64, delta: 16 },
+        ProtocolSpec::Saer { c, d: 2 },
+    )
+    .seed(100 + c as u64)
+}
+
+#[test]
+#[should_panic(expected = "overlap their trial seed ranges")]
+fn overlapping_seed_ranges_on_the_same_topology_panic() {
+    let _ = Scenario::new("SEED-X", "overlap rejected", "panics")
+        .trials(3)
+        .run(Sweep::over("c", [2u32, 4]), |_, &c| overlapping_config(c));
+}
+
+#[test]
+#[should_panic(expected = "overlap their trial seed ranges")]
+fn sharded_runner_runs_the_same_assertion_before_spawning_workers() {
+    let _ = Scenario::new("SEED-S", "overlap rejected sharded", "panics")
+        .trials(3)
+        .run_sharded(
+            Sweep::over("c", [2u32, 4]),
+            |_, &c| overlapping_config(c),
+            &clb::shard::ShardPlan::new(2),
+        );
+}
+
+#[test]
+fn paired_seeds_allows_identical_ranges_and_really_pairs_the_randomness() {
+    // The exp_raes_vs_saer design: both arms share base seed 500 on purpose. The
+    // opt-out must run cleanly, and the pairing must be real — trial i of either arm
+    // sees the same topology (asserted via degree stats) and the same seeds.
+    let report = Scenario::new("SEED-P", "paired design", "shared seeds allowed")
+        .trials(3)
+        .max_rounds(300)
+        .paired_seeds()
+        .run(Sweep::over("protocol", ["SAER", "RAES"]), |_, name| {
+            let protocol = match *name {
+                "SAER" => ProtocolSpec::Saer { c: 4, d: 2 },
+                _ => ProtocolSpec::Raes { c: 4, d: 2 },
+            };
+            ExperimentConfig::new(GraphSpec::Regular { n: 64, delta: 16 }, protocol).seed(500)
+        })
+        .unwrap();
+    assert_eq!(report.rows.len(), 2);
+    for (a, b) in report.report(0).trials.iter().zip(&report.report(1).trials) {
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.degree_stats, b.degree_stats);
+    }
+    // And the shared identities were each built exactly once.
+    assert_eq!(report.cache.graphs_built, 3);
+    assert_eq!(report.cache.snapshot_hits, 6);
+}
+
+#[test]
+fn disjoint_ranges_on_the_same_topology_pass() {
+    // The documented convention: stride base seeds by 1000 × point index.
+    let report = Scenario::new("SEED-OK", "striding passes", "no panic")
+        .trials(3)
+        .run(Sweep::over("c", [2u32, 4]), |idx, &c| {
+            ExperimentConfig::new(
+                GraphSpec::Regular { n: 64, delta: 16 },
+                ProtocolSpec::Saer { c, d: 2 },
+            )
+            .seed(100 + 1000 * idx as u64)
+        })
+        .unwrap();
+    assert_eq!(report.rows.len(), 2);
+}

@@ -1,0 +1,164 @@
+//! The determinism contract of the sharded runner, pinned across real processes: one
+//! full scenario — sweep, graph snapshot cache, trials, optional measurement series —
+//! must be **bit-identical** (`SweepReport ==`) between in-process `Scenario::run`
+//! and `Scenario::run_sharded` at shard counts 1, 2, 3 and 5, on a grid none of 2 or
+//! 5 divides evenly. These tests actually spawn worker subprocesses: the driver
+//! re-executes this test binary with a libtest filter that routes the child into
+//! [`shard_worker_entry`], whose `maybe_run_worker()` call executes the shard and
+//! exits before the harness gets any further — the same self-exec mechanism the
+//! `exp_*` binaries use, minus the filter.
+//!
+//! This is the process-level extension of `tests/parallel_determinism.rs`: PR 3
+//! guaranteed bit-identical output at every *thread* count, this suite guarantees it
+//! at every *shard* count (and the two compose — workers inherit
+//! `RAYON_NUM_THREADS`, which the CI shard matrix crosses with `CLB_SHARDS`).
+
+use clb::prelude::*;
+
+/// Name of the worker-hook test below; the driver passes it as a libtest filter so a
+/// spawned child runs exactly this test, which immediately becomes the shard worker.
+const WORKER_TEST: &str = "shard_worker_entry";
+
+/// Worker hook: a no-op pass in a normal test run; the whole worker when this binary
+/// is re-executed with `CLB_SHARD_ROLE=worker` in the environment.
+#[test]
+fn shard_worker_entry() {
+    clb::shard::maybe_run_worker();
+}
+
+fn plan(shards: usize) -> ShardPlan {
+    ShardPlan::new(shards).worker_args([WORKER_TEST, "--exact"])
+}
+
+/// A quick-mode-sized scenario with an *uneven* grid: 3 points × 4 trials = 12 cells,
+/// not divisible by 5 (nor by 8), so unbalanced partitions are exercised. Measurement
+/// series are on, so the per-round vectors ride the wire format too.
+fn scenario() -> Scenario {
+    Scenario::new(
+        "SHARD-DET",
+        "cross-process determinism",
+        "bit-identical at every shard count",
+    )
+    .trials(4)
+    .max_rounds(300)
+    .measurements(Measurements::all())
+}
+
+fn sweep() -> Sweep<u32> {
+    Sweep::over("c", [2u32, 4, 8])
+}
+
+fn config(idx: usize, &c: &u32) -> ExperimentConfig {
+    ExperimentConfig::new(
+        GraphSpec::RegularLogSquared { n: 256, eta: 1.0 },
+        ProtocolSpec::Saer { c, d: 2 },
+    )
+    .seed(100 + 1000 * idx as u64)
+}
+
+#[test]
+fn run_sharded_is_bit_identical_to_in_process_at_every_shard_count() {
+    let baseline = scenario().run(sweep(), config).unwrap();
+    // Spot-check the comparison has teeth before trusting 4 equality assertions.
+    assert!(baseline
+        .report(0)
+        .trials
+        .iter()
+        .all(|t| t.burned_fraction_series.is_some() && t.alive_series.is_some()));
+
+    for shards in [1usize, 2, 3, 5] {
+        let sharded = scenario()
+            .run_sharded(sweep(), config, &plan(shards))
+            .unwrap_or_else(|e| panic!("sharded run with {shards} shards failed: {e}"));
+        assert_eq!(
+            baseline, sharded,
+            "SweepReport diverged between in-process and {shards}-shard execution"
+        );
+        // CacheStats summed across shards must account for every cell exactly.
+        assert_eq!(
+            sharded.cache.snapshot_hits + sharded.cache.direct_builds,
+            sharded.cache.cells_run,
+            "shards = {shards}"
+        );
+    }
+}
+
+#[test]
+fn paired_design_ships_shared_snapshots_across_processes() {
+    // The paired RAES-vs-SAER design shares every graph identity between its arms.
+    // Sharded, the arms land in *different worker processes*, so the driver must ship
+    // each shared graph (as a snapshot) to both — and the merged report must still be
+    // bit-identical, with the cache tallies proving every cell decoded a snapshot.
+    let run_scenario = || {
+        Scenario::new("SHARD-P", "paired sharded determinism", "bit-identical")
+            .trials(3)
+            .max_rounds(300)
+            .paired_seeds()
+    };
+    let sweep = || Sweep::over("protocol", ["SAER", "RAES"]);
+    let config = |_: usize, name: &&str| {
+        let protocol = match *name {
+            "SAER" => ProtocolSpec::Saer { c: 4, d: 2 },
+            _ => ProtocolSpec::Raes { c: 4, d: 2 },
+        };
+        ExperimentConfig::new(GraphSpec::Regular { n: 128, delta: 32 }, protocol).seed(500)
+    };
+
+    let baseline = run_scenario().run(sweep(), config).unwrap();
+    let sharded = run_scenario()
+        .run_sharded(sweep(), config, &plan(2))
+        .unwrap();
+    assert_eq!(baseline, sharded);
+    assert_eq!(sharded.cache.graphs_built, 3, "3 seeds shared by 2 arms");
+    assert_eq!(
+        sharded.cache.snapshot_hits, 6,
+        "every cell in every shard decoded a shipped snapshot"
+    );
+    assert_eq!(sharded.cache.direct_builds, 0);
+}
+
+#[test]
+fn more_shards_than_cells_still_covers_the_grid_exactly_once() {
+    // 1 point × 2 trials = 2 cells across 5 shards: 3 shards are empty and spawn no
+    // worker; the merged report must still be complete and identical.
+    let scenario = Scenario::new("SHARD-E", "shards > cells", "bit-identical").trials(2);
+    let config = |_: usize, &c: &u32| {
+        ExperimentConfig::new(
+            GraphSpec::Regular { n: 64, delta: 16 },
+            ProtocolSpec::Saer { c, d: 2 },
+        )
+        .seed(700)
+    };
+    let baseline = scenario.run(Sweep::over("c", [4u32]), config).unwrap();
+    let sharded = scenario
+        .run_sharded(Sweep::over("c", [4u32]), config, &plan(5))
+        .unwrap();
+    assert_eq!(baseline, sharded);
+    assert_eq!(sharded.cache.cells_run, 2);
+}
+
+#[test]
+fn missing_worker_hook_is_a_diagnosable_error() {
+    // A worker binary that never writes a report (here: `true`, which exits 0 and
+    // does nothing) must surface as a Worker/Io error mentioning the report, not a
+    // hang or a corrupt merge.
+    let scenario = Scenario::new("SHARD-X", "broken worker", "diagnosable").trials(1);
+    let result = scenario.run_sharded(
+        Sweep::over("c", [4u32]),
+        |_, &c| {
+            ExperimentConfig::new(
+                GraphSpec::Regular { n: 32, delta: 8 },
+                ProtocolSpec::Saer { c, d: 2 },
+            )
+            .seed(800)
+        },
+        &ShardPlan::new(1).worker("/bin/true"),
+    );
+    let message = result
+        .expect_err("a no-op worker cannot succeed")
+        .to_string();
+    assert!(
+        message.contains("report"),
+        "error should point at the missing report, got: {message}"
+    );
+}
