@@ -13,6 +13,12 @@
 //! * **Statistics** ([`stats`]) — the estimators the harness applies to measured data:
 //!   summaries with confidence intervals, quantiles, histograms and least-squares fits
 //!   (used, e.g., to fit completion time against `log₂ n` for experiment E1).
+//! * **Streaming statistics** ([`streaming`]) — mergeable, O(1)-memory counterparts
+//!   of the [`stats`] estimators: [`RunningSummary`] folds a sample one observation
+//!   at a time over exact (Kulisch-style) sum accumulators, so chunked parallel
+//!   folds merge bit-identically to a sequential pass; [`StreamingHistogram`]
+//!   provides approximate quantiles from a fixed, universally-mergeable bucket
+//!   layout. These power the experiment layer's `Retention::Summary` mode.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,6 +27,7 @@ pub mod bounds;
 pub mod concentration;
 pub mod recurrences;
 pub mod stats;
+pub mod streaming;
 
 pub use bounds::{
     completion_horizon_rounds, kchoice_expected_max_load, min_admissible_degree,
@@ -29,3 +36,4 @@ pub use bounds::{
 pub use concentration::{bounded_differences_tail, chernoff_upper_tail};
 pub use recurrences::{delta_sequence, gamma_sequence, stage_one_length, GammaProperties};
 pub use stats::{linear_fit, Histogram, LinearFit, Summary};
+pub use streaming::{ExactSum, RunningSummary, StreamingHistogram};

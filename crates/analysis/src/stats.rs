@@ -22,6 +22,15 @@ pub struct Summary {
 impl Summary {
     /// Computes the summary of a sample. Panics if the sample is empty or contains NaN.
     pub fn of(samples: &[f64]) -> Self {
+        Self::of_vec(samples.to_vec())
+    }
+
+    /// Computes the summary of an owned sample, sorting it in place — the
+    /// allocation-free core of [`Summary::of`]. Mean and variance are computed
+    /// *before* the sort, over the caller's order, so the float operations (and
+    /// hence the bits of every statistic) are identical to the historical
+    /// copy-then-sort implementation.
+    fn of_vec(mut samples: Vec<f64>) -> Self {
         assert!(!samples.is_empty(), "cannot summarise an empty sample");
         assert!(samples.iter().all(|x| !x.is_nan()), "sample contains NaN");
         let count = samples.len();
@@ -31,27 +40,27 @@ impl Summary {
         } else {
             0.0
         };
-        let mut sorted: Vec<f64> = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         let median = if count % 2 == 1 {
-            sorted[count / 2]
+            samples[count / 2]
         } else {
-            (sorted[count / 2 - 1] + sorted[count / 2]) / 2.0
+            (samples[count / 2 - 1] + samples[count / 2]) / 2.0
         };
         Self {
             count,
             mean,
             std_dev: variance.sqrt(),
-            min: sorted[0],
-            max: sorted[count - 1],
+            min: samples[0],
+            max: samples[count - 1],
             median,
         }
     }
 
-    /// Convenience constructor for integer-valued measurements.
+    /// Convenience constructor for integer-valued measurements. Performs exactly one
+    /// allocation: the converted values are summarised (and sorted) in place instead
+    /// of being copied a second time by [`Summary::of`].
     pub fn of_counts<T: Copy + Into<f64>>(samples: &[T]) -> Self {
-        let floats: Vec<f64> = samples.iter().map(|&x| x.into()).collect();
-        Self::of(&floats)
+        Self::of_vec(samples.iter().map(|&x| x.into()).collect())
     }
 
     /// Half-width of the normal-approximation 95% confidence interval of the mean.

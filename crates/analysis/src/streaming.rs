@@ -1,0 +1,1042 @@
+//! Streaming, mergeable summary statistics for memory-bounded aggregation.
+//!
+//! The collect-then-aggregate pipeline ([`Summary::of`] over a materialised sample)
+//! holds every observation in memory. This module is the streaming replacement: each
+//! accumulator consumes observations one at a time with `update`/`record`, holds O(1)
+//! state, and **merges associatively**, so a sample can be folded in independent
+//! chunks (thread-pool pieces, shard worker processes) and combined in any grouping
+//! without changing the result.
+//!
+//! # Why the merge is *bit*-associative, not just mathematically associative
+//!
+//! The workspace's determinism contract demands bit-identical output at every thread
+//! count and shard count, which means a fold over chunks must not depend on where the
+//! chunk boundaries fall. A Welford-style mean/M2 merge is mathematically associative
+//! but **not** bit-associative: each merge rounds, so different chunkings give
+//! different last-bit results. [`RunningSummary`] therefore tracks nothing that
+//! rounds:
+//!
+//! * `count` — an integer, exact;
+//! * `min`/`max` — lattice operations, exact and order-independent;
+//! * `Σx` and `Σx²` — kept in [`ExactSum`]-style fixed-point *superaccumulators*
+//!   (Kulisch accumulators): a 2176-bit (resp. 4288-bit for squares) two's-complement
+//!   integer wide enough to hold any sum of `f64` values without rounding. Adding an
+//!   `f64` is an exact integer shift-and-add, merging is exact integer addition, so
+//!   the accumulated state is a function of the *multiset* of observations only.
+//!
+//! The derived statistics (`mean`, `variance`, …) are fixed sequences of `f64`
+//! operations on the exact state, hence equally chunking-independent. Squares are
+//! computed exactly in integer arithmetic (`m²·2^{2e}` from the mantissa/exponent
+//! decomposition), so no FMA support is assumed.
+//!
+//! Medians cannot be computed from O(1) exact state; [`StreamingHistogram`] provides
+//! the standard approximation: a fixed, universal log-scaled bucket layout whose
+//! counts merge by integer addition (again exact), from which quantiles are read off
+//! to ~1.6 % relative error.
+//!
+//! `RunningSummary` and `Summary::of` agree to well below 1e-9 relative error on the
+//! same sample (the exact sums are *more* accurate than the naive left-to-right
+//! summation in [`Summary::of`]); `crates/analysis/tests/proptest_streaming.rs` pins
+//! both the agreement and the bit-exact merge invariance.
+
+use crate::stats::Summary;
+use serde::{Deserialize, Serialize};
+
+/// Limb count of [`ExactSum`]: covers every finite `f64` bit position
+/// (2^-1074 … 2^1023, 2098 bits) plus 78 headroom bits for carries, i.e. at least
+/// 2^78 additions before the sign bit could be touched.
+pub const EXACT_SUM_LIMBS: usize = 34;
+
+/// Limb count of the sum-of-squares accumulator inside [`RunningSummary`]: squares of
+/// finite `f64` values span 2^-2148 … 2^2048 (4196 bits), leaving 91 headroom bits.
+pub const EXACT_SUM_SQ_LIMBS: usize = 67;
+
+/// Fixed-point base of [`ExactSum`]: the accumulator integer is `value · 2^1074`.
+const SUM_BIAS: u32 = 1074;
+
+/// Fixed-point base of the sum-of-squares accumulator: `value · 2^2148`.
+const SUM_SQ_BIAS: u32 = 2148;
+
+/// A fixed-width two's-complement integer accumulator (little-endian limbs).
+///
+/// All arithmetic is exact integer arithmetic; the generic parameter only sets the
+/// width. Interpretation (where the binary point sits) is the caller's `bias`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Limbs<const L: usize> {
+    w: [u64; L],
+}
+
+impl<const L: usize> Limbs<L> {
+    fn zero() -> Self {
+        Self { w: [0; L] }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.w.iter().all(|&w| w == 0)
+    }
+
+    /// Adds (or, for `negative`, subtracts) `mag · 2^bit` into the accumulator.
+    /// `mag` may use up to 128 bits; `bit + 128` must stay below `64·L` minus the
+    /// headroom, which the callers' bias arithmetic guarantees for finite `f64`s.
+    fn add_mag(&mut self, mag: u128, bit: usize, negative: bool) {
+        if mag == 0 {
+            return;
+        }
+        let (start, sh) = (bit / 64, (bit % 64) as u32);
+        // `mag << sh` spans at most three 64-bit words.
+        let words: [u64; 3] = if sh == 0 {
+            [mag as u64, (mag >> 64) as u64, 0]
+        } else {
+            [
+                (mag << sh) as u64,
+                (mag >> (64 - sh)) as u64,
+                (mag >> (128 - sh)) as u64,
+            ]
+        };
+        if negative {
+            let mut borrow = 0u64;
+            for (i, &word) in words.iter().enumerate() {
+                let idx = start + i;
+                debug_assert!(idx < L, "value exceeds accumulator width");
+                let (d1, b1) = self.w[idx].overflowing_sub(word);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                self.w[idx] = d2;
+                borrow = u64::from(b1) + u64::from(b2);
+            }
+            let mut idx = start + 3;
+            while borrow != 0 && idx < L {
+                let (d, b) = self.w[idx].overflowing_sub(borrow);
+                self.w[idx] = d;
+                borrow = u64::from(b);
+                idx += 1;
+            }
+        } else {
+            let mut carry = 0u64;
+            for (i, &word) in words.iter().enumerate() {
+                let idx = start + i;
+                debug_assert!(idx < L, "value exceeds accumulator width");
+                let (s1, c1) = self.w[idx].overflowing_add(word);
+                let (s2, c2) = s1.overflowing_add(carry);
+                self.w[idx] = s2;
+                carry = u64::from(c1) + u64::from(c2);
+            }
+            let mut idx = start + 3;
+            while carry != 0 && idx < L {
+                let (s, c) = self.w[idx].overflowing_add(carry);
+                self.w[idx] = s;
+                carry = u64::from(c);
+                idx += 1;
+            }
+        }
+    }
+
+    /// Exact merge: two's-complement addition of the full accumulators.
+    fn merge(&mut self, other: &Self) {
+        let mut carry = 0u64;
+        for i in 0..L {
+            let (s1, c1) = self.w[i].overflowing_add(other.w[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            self.w[i] = s2;
+            carry = u64::from(c1) + u64::from(c2);
+        }
+        // A final carry wraps — correct two's-complement behaviour; the headroom
+        // guarantees the true value never overflows the width.
+    }
+
+    fn is_negative(&self) -> bool {
+        self.w[L - 1] >> 63 == 1
+    }
+
+    fn negated(&self) -> Self {
+        let mut out = Self::zero();
+        let mut carry = 1u64;
+        for i in 0..L {
+            let (s, c) = (!self.w[i]).overflowing_add(carry);
+            out.w[i] = s;
+            carry = u64::from(c);
+        }
+        out
+    }
+
+    /// Lowest 64 bits of the accumulator shifted right by `cutoff`.
+    fn bits_from(&self, cutoff: usize) -> u64 {
+        let (limb, sh) = (cutoff / 64, (cutoff % 64) as u32);
+        let lo = self.w.get(limb).copied().unwrap_or(0) >> sh;
+        let hi = if sh == 0 {
+            0
+        } else {
+            self.w.get(limb + 1).copied().unwrap_or(0) << (64 - sh)
+        };
+        lo | hi
+    }
+
+    fn bit(&self, index: usize) -> bool {
+        self.w[index / 64] >> (index % 64) & 1 == 1
+    }
+
+    /// True if any bit strictly below `index` is set.
+    fn any_below(&self, index: usize) -> bool {
+        let (limb, sh) = (index / 64, index % 64);
+        if self.w[..limb].iter().any(|&w| w != 0) {
+            return true;
+        }
+        sh > 0 && self.w[limb] & ((1u64 << sh) - 1) != 0
+    }
+
+    /// The accumulator's value `int / 2^bias`, correctly rounded to `f64`
+    /// (round-to-nearest, ties to even). Exact zero returns `+0.0`.
+    fn rounded(&self, bias: u32) -> f64 {
+        let negative = self.is_negative();
+        let mag = if negative { self.negated() } else { *self };
+        let Some(top_limb) = mag.w.iter().rposition(|&w| w != 0) else {
+            return 0.0;
+        };
+        let high = top_limb * 64 + 63 - mag.w[top_limb].leading_zeros() as usize;
+        // Lowest bit the f64 result can represent: 53-bit precision below the MSB,
+        // floored at the subnormal cutoff 2^-1074 (= accumulator bit `bias - 1074`).
+        let min_cutoff = (bias as i64) - 1074;
+        let mut cutoff = ((high as i64) - 52).max(min_cutoff).max(0) as usize;
+        // The whole value can sit below the representable cutoff (e.g. a sum of
+        // squares smaller than the smallest subnormal): the mantissa is then 0 and
+        // only the rounding below can produce a non-zero result.
+        let mut mantissa = if cutoff > high {
+            0
+        } else {
+            let nbits = (high - cutoff + 1) as u32;
+            mag.bits_from(cutoff) & (u64::MAX >> (64 - nbits))
+        };
+        // Round to nearest, ties to even, on the dropped bits.
+        if cutoff > 0 {
+            let round = cutoff - 1 <= high && mag.bit(cutoff - 1);
+            let sticky = mag.any_below(cutoff - 1);
+            if round && (sticky || mantissa & 1 == 1) {
+                mantissa += 1;
+                if mantissa == 1 << 53 {
+                    mantissa >>= 1;
+                    cutoff += 1;
+                }
+            }
+        }
+        if mantissa == 0 {
+            return 0.0;
+        }
+        let exp = cutoff as i64 - bias as i64;
+        let value = if exp > 1023 {
+            f64::INFINITY
+        } else {
+            // `mantissa` (≤ 53 bits, exact as f64) times an exact power of two; a
+            // single correctly-rounded multiply, so the overall conversion rounds
+            // exactly once.
+            mantissa as f64 * pow2(exp as i32)
+        };
+        if negative {
+            -value
+        } else {
+            value
+        }
+    }
+}
+
+/// `2^e` for `-1074 ≤ e ≤ 1023`, constructed exactly from the bit pattern.
+fn pow2(e: i32) -> f64 {
+    debug_assert!((-1074..=1023).contains(&e));
+    if e >= -1022 {
+        f64::from_bits(((e + 1023) as u64) << 52)
+    } else {
+        f64::from_bits(1u64 << (e + 1074))
+    }
+}
+
+/// Splits a finite `f64` into `(negative, mantissa, exponent-of-lsb)` such that
+/// `x = ±mantissa · 2^exp`. Returns `None` for ±0.
+fn decompose(x: f64) -> Option<(bool, u64, i32)> {
+    let bits = x.to_bits();
+    let negative = bits >> 63 == 1;
+    let biased = ((bits >> 52) & 0x7FF) as i32;
+    let frac = bits & ((1u64 << 52) - 1);
+    debug_assert!(biased != 0x7FF, "non-finite value");
+    if biased == 0 {
+        if frac == 0 {
+            return None;
+        }
+        Some((negative, frac, -1074))
+    } else {
+        Some((negative, frac | 1 << 52, biased - 1023 - 52))
+    }
+}
+
+/// An exact, reproducible sum of `f64` values.
+///
+/// The sum is held in a 2176-bit fixed-point accumulator wide enough to represent
+/// any finite `f64` exactly, so [`ExactSum::add`] and [`ExactSum::merge`] never
+/// round: the state after any sequence of adds and merges depends only on the
+/// multiset of added values, and [`ExactSum::value`] returns the correctly rounded
+/// `f64` of the true sum. This is what makes chunked parallel folds bit-identical to
+/// sequential ones regardless of chunk boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExactSum {
+    limbs: Limbs<EXACT_SUM_LIMBS>,
+}
+
+impl Default for ExactSum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExactSum {
+    /// The empty sum.
+    pub fn new() -> Self {
+        Self {
+            limbs: Limbs::zero(),
+        }
+    }
+
+    /// Adds a value exactly. Panics on non-finite input (an exact sum of `NaN`/`±∞`
+    /// is not meaningful).
+    pub fn add(&mut self, x: f64) {
+        assert!(
+            x.is_finite(),
+            "ExactSum::add requires finite values, got {x}"
+        );
+        if let Some((negative, mantissa, exp)) = decompose(x) {
+            let bit = (exp + SUM_BIAS as i32) as usize;
+            self.limbs.add_mag(mantissa as u128, bit, negative);
+        }
+    }
+
+    /// Merges another sum exactly (integer addition of the accumulators).
+    pub fn merge(&mut self, other: &Self) {
+        self.limbs.merge(&other.limbs);
+    }
+
+    /// The correctly rounded `f64` value of the exact sum (`+0.0` when empty).
+    pub fn value(&self) -> f64 {
+        self.limbs.rounded(SUM_BIAS)
+    }
+
+    /// True if the exact sum is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_zero()
+    }
+
+    /// The raw little-endian limbs of the accumulator (for wire codecs).
+    pub fn limbs(&self) -> &[u64; EXACT_SUM_LIMBS] {
+        &self.limbs.w
+    }
+
+    /// Rebuilds a sum from [`ExactSum::limbs`] output, verbatim.
+    pub fn from_limbs(limbs: [u64; EXACT_SUM_LIMBS]) -> Self {
+        Self {
+            limbs: Limbs { w: limbs },
+        }
+    }
+}
+
+/// The sum-of-squares counterpart of [`ExactSum`]: adds `x²` computed exactly in
+/// integer arithmetic (`m² · 2^{2e}`), over a 4288-bit accumulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ExactSumSq {
+    limbs: Limbs<EXACT_SUM_SQ_LIMBS>,
+}
+
+impl ExactSumSq {
+    fn new() -> Self {
+        Self {
+            limbs: Limbs::zero(),
+        }
+    }
+
+    fn add_square(&mut self, x: f64) {
+        debug_assert!(x.is_finite());
+        if let Some((_, mantissa, exp)) = decompose(x) {
+            let square = (mantissa as u128) * (mantissa as u128);
+            let bit = (2 * exp + SUM_SQ_BIAS as i32) as usize;
+            self.limbs.add_mag(square, bit, false);
+        }
+    }
+
+    fn merge(&mut self, other: &Self) {
+        self.limbs.merge(&other.limbs);
+    }
+}
+
+/// Working width of the exact variance numerator `n·Σx² − (Σx)²`: both terms live in
+/// the shared `2^-2148` fixed-point base (`(Σx·2^1074)² = (Σx)²·2^2148`), where
+/// `n·Σx²` needs at most 4260 bits and `(Σx)²` at most 4350.
+const VARIANCE_LIMBS: usize = 70;
+
+/// Schoolbook multiply of two little-endian magnitudes into `out` (which must be
+/// zeroed and at least `a.len() + b.len() + 1` limbs).
+fn mul_mag_into(a: &[u64], b: &[u64], out: &mut [u64]) {
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry: u128 = 0;
+        for (j, &bj) in b.iter().enumerate() {
+            let t = out[i + j] as u128 + (ai as u128) * (bj as u128) + carry;
+            out[i + j] = t as u64;
+            carry = t >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let t = out[k] as u128 + carry;
+            out[k] = t as u64;
+            carry = t >> 64;
+            k += 1;
+        }
+    }
+}
+
+/// Exact in-place magnitude subtraction `a -= b`; the caller guarantees `a ≥ b`
+/// (here: Cauchy–Schwarz, `(Σx)² ≤ n·Σx²` — exact integers, so the true inequality
+/// carries over verbatim).
+fn sub_mag_assign(a: &mut [u64], b: &[u64]) {
+    let mut borrow = 0u64;
+    for (ai, &bi) in a.iter_mut().zip(b) {
+        let (d1, b1) = ai.overflowing_sub(bi);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        *ai = d2;
+        borrow = u64::from(b1) + u64::from(b2);
+    }
+    for ai in a.iter_mut().skip(b.len()) {
+        if borrow == 0 {
+            break;
+        }
+        let (d, b) = ai.overflowing_sub(borrow);
+        *ai = d;
+        borrow = u64::from(b);
+    }
+    debug_assert!(borrow == 0, "sub_mag_assign requires a >= b");
+}
+
+/// The raw state of a [`RunningSummary`], exposed for wire codecs (the shard layer
+/// ships accumulators between processes). All fields round-trip verbatim through
+/// [`RunningSummary::state`] / [`RunningSummary::from_state`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunningSummaryState {
+    /// Number of observations.
+    pub count: u64,
+    /// Minimum observation (`+∞` when empty).
+    pub min: f64,
+    /// Maximum observation (`-∞` when empty).
+    pub max: f64,
+    /// Limbs of the exact `Σx` accumulator.
+    pub sum: [u64; EXACT_SUM_LIMBS],
+    /// Limbs of the exact `Σx²` accumulator.
+    pub sum_sq: [u64; EXACT_SUM_SQ_LIMBS],
+}
+
+/// Streaming summary statistics with an exactly-mergeable state: count, mean,
+/// variance (via exact `Σx`/`Σx²`), min and max in O(1) memory.
+///
+/// [`RunningSummary::merge`] is bit-associative and bit-commutative (see the
+/// [module docs](self)), so a sample may be folded in arbitrary chunks — thread-pool
+/// pieces, shard processes — and merged in any grouping: every derived statistic
+/// comes out bit-identical to a single sequential [`RunningSummary::update`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunningSummary {
+    count: u64,
+    min: f64,
+    max: f64,
+    sum: ExactSum,
+    sum_sq: ExactSumSq,
+}
+
+impl Default for RunningSummary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RunningSummary {
+    /// The empty summary.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: ExactSum::new(),
+            sum_sq: ExactSumSq::new(),
+        }
+    }
+
+    /// Consumes one observation. Panics on non-finite input, mirroring the NaN
+    /// rejection of [`Summary::of`].
+    pub fn update(&mut self, x: f64) {
+        assert!(
+            x.is_finite(),
+            "RunningSummary::update requires finite values, got {x}"
+        );
+        self.count += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        self.sum.add(x);
+        self.sum_sq.add_square(x);
+    }
+
+    /// Merges another summary. Exact, associative and commutative — chunk boundaries
+    /// never influence any derived statistic.
+    pub fn merge(&mut self, other: &Self) {
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum.merge(&other.sum);
+        self.sum_sq.merge(&other.sum_sq);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True before the first observation.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Minimum observation. Panics when empty.
+    pub fn min(&self) -> f64 {
+        assert!(self.count > 0, "empty RunningSummary has no minimum");
+        self.min
+    }
+
+    /// Maximum observation. Panics when empty.
+    pub fn max(&self) -> f64 {
+        assert!(self.count > 0, "empty RunningSummary has no maximum");
+        self.max
+    }
+
+    /// Sample mean: the correctly rounded exact sum divided by the count. Panics
+    /// when empty.
+    pub fn mean(&self) -> f64 {
+        assert!(self.count > 0, "empty RunningSummary has no mean");
+        self.sum.value() / self.count as f64
+    }
+
+    /// Unbiased sample variance `(n·Σx² − (Σx)²) / (n(n−1))`, with the numerator
+    /// computed **exactly in the integer domain** and rounded once (0 for fewer
+    /// than two observations).
+    ///
+    /// Subtracting the two sums after rounding each to `f64` would catastrophically
+    /// cancel for large-mean/small-spread samples (e.g. values near 1e8 differing
+    /// by 1 — the subtraction would lose every significant bit of the spread), so
+    /// the multiply-and-subtract happens on the raw limbs: `Σx²·2^2148` times `n`
+    /// minus `(Σx·2^1074)²` share the same fixed-point base, their difference is
+    /// non-negative by Cauchy–Schwarz, and the single rounding leaves the result
+    /// accurate to a few ulps of the true variance at any magnitude.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let mut numerator = Limbs::<VARIANCE_LIMBS>::zero();
+        mul_mag_into(&self.sum_sq.limbs.w, &[self.count], &mut numerator.w);
+        let sum_magnitude = if self.sum.limbs.is_negative() {
+            self.sum.limbs.negated()
+        } else {
+            self.sum.limbs
+        };
+        let mut sum_squared = Limbs::<VARIANCE_LIMBS>::zero();
+        mul_mag_into(&sum_magnitude.w, &sum_magnitude.w, &mut sum_squared.w);
+        sub_mag_assign(&mut numerator.w, &sum_squared.w);
+        numerator.rounded(SUM_SQ_BIAS) / self.count as f64 / (self.count - 1) as f64
+    }
+
+    /// Unbiased sample standard deviation (0 for fewer than two observations).
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Renders the summary as a [`Summary`], supplying the median (which O(1) exact
+    /// state cannot produce — see [`StreamingHistogram::median`]). Panics when empty,
+    /// mirroring [`Summary::of`].
+    pub fn to_summary(&self, median: f64) -> Summary {
+        assert!(self.count > 0, "cannot summarise an empty RunningSummary");
+        Summary {
+            count: self.count as usize,
+            mean: self.mean(),
+            std_dev: self.std_dev(),
+            min: self.min,
+            max: self.max,
+            median,
+        }
+    }
+
+    /// The raw accumulator state, for wire codecs.
+    pub fn state(&self) -> RunningSummaryState {
+        RunningSummaryState {
+            count: self.count,
+            min: self.min,
+            max: self.max,
+            sum: self.sum.limbs.w,
+            sum_sq: self.sum_sq.limbs.w,
+        }
+    }
+
+    /// Rebuilds a summary from [`RunningSummary::state`] output, validating the
+    /// invariants a wire peer could violate: no NaN bounds, `min ≤ max` for
+    /// non-empty summaries, and the canonical `(+∞, -∞)` bounds for empty ones.
+    pub fn from_state(state: RunningSummaryState) -> Result<Self, String> {
+        if state.min.is_nan() || state.max.is_nan() {
+            return Err("NaN min/max in RunningSummary state".into());
+        }
+        if state.count == 0 {
+            if state.min != f64::INFINITY || state.max != f64::NEG_INFINITY {
+                return Err("empty RunningSummary state with non-canonical bounds".into());
+            }
+        } else if state.min > state.max {
+            return Err(format!(
+                "RunningSummary state has min {} > max {}",
+                state.min, state.max
+            ));
+        }
+        Ok(Self {
+            count: state.count,
+            min: state.min,
+            max: state.max,
+            sum: ExactSum::from_limbs(state.sum),
+            sum_sq: ExactSumSq {
+                limbs: Limbs { w: state.sum_sq },
+            },
+        })
+    }
+}
+
+/// Number of buckets in a [`StreamingHistogram`]: one underflow bucket (values below
+/// 2^-32, including 0), 64 octaves × 32 log-spaced sub-buckets, one overflow bucket
+/// (values ≥ 2^32).
+pub const STREAMING_HISTOGRAM_BUCKETS: usize = 2 + 64 * SUB_BUCKETS;
+
+/// Sub-buckets per octave: 5 mantissa bits, i.e. ≤ 1/64 ≈ 1.6 % relative error on a
+/// bucket's representative value.
+const SUB_BUCKETS: usize = 32;
+
+/// Smallest exponent with its own octave; values below 2^-32 share the underflow
+/// bucket (whose representative is 0).
+const MIN_EXP: i32 = -32;
+
+/// One-past-largest exponent; values ≥ 2^32 share the overflow bucket.
+const MAX_EXP: i32 = 32;
+
+/// A mergeable, fixed-bucket histogram of non-negative values, for approximate
+/// quantiles in O(1) memory.
+///
+/// The bucket layout is *universal* — log-spaced with [`SUB_BUCKETS`] sub-buckets per
+/// power of two, fixed at compile time — so two histograms always merge by integer
+/// bucket addition: exact, associative, commutative, and therefore as
+/// chunking-independent as [`RunningSummary`]. Quantiles are read off the merged
+/// counts with ≤ ~1.6 % relative error (each bucket spans a 1/32-octave; a rank maps
+/// to its bucket's midpoint).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamingHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Default for StreamingHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingHistogram {
+    /// The empty histogram (all [`STREAMING_HISTOGRAM_BUCKETS`] buckets zero).
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; STREAMING_HISTOGRAM_BUCKETS],
+            total: 0,
+        }
+    }
+
+    /// Bucket index of a value. Exposed so wire codecs and tests can reason about
+    /// the layout; panics on NaN or negative input (the experiment metrics are all
+    /// non-negative).
+    pub fn bucket_index(x: f64) -> usize {
+        assert!(!x.is_nan(), "StreamingHistogram does not accept NaN");
+        assert!(
+            x >= 0.0,
+            "StreamingHistogram only covers non-negative values, got {x}"
+        );
+        let bits = x.to_bits();
+        let exp = ((bits >> 52) & 0x7FF) as i32 - 1023;
+        if exp < MIN_EXP {
+            return 0; // underflow: 0 and everything below 2^-32
+        }
+        if exp >= MAX_EXP {
+            return STREAMING_HISTOGRAM_BUCKETS - 1; // overflow: ≥ 2^32
+        }
+        let sub = ((bits >> 47) & (SUB_BUCKETS as u64 - 1)) as usize;
+        1 + (exp - MIN_EXP) as usize * SUB_BUCKETS + sub
+    }
+
+    /// The representative value of a bucket (its midpoint; 0 for the underflow
+    /// bucket, 2^32 for the overflow bucket).
+    fn bucket_value(index: usize) -> f64 {
+        if index == 0 {
+            return 0.0;
+        }
+        if index == STREAMING_HISTOGRAM_BUCKETS - 1 {
+            return (1u64 << 32) as f64;
+        }
+        let exp = MIN_EXP + ((index - 1) / SUB_BUCKETS) as i32;
+        let sub = (index - 1) % SUB_BUCKETS;
+        pow2(exp) * (1.0 + (2 * sub + 1) as f64 / (2 * SUB_BUCKETS) as f64)
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.counts[Self::bucket_index(x)] += 1;
+        self.total += 1;
+    }
+
+    /// Merges another histogram by exact bucket-wise addition.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Approximate median: the average of the representative values at the two
+    /// middle ranks (which coincide for odd counts). `None` when empty.
+    pub fn median(&self) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let lo = self.value_at_rank((self.total - 1) / 2);
+        let hi = self.value_at_rank(self.total / 2);
+        Some((lo + hi) / 2.0)
+    }
+
+    /// The representative value at a 0-based rank in the sorted sample. Panics if
+    /// `rank >= total`.
+    pub fn value_at_rank(&self, rank: u64) -> f64 {
+        assert!(rank < self.total, "rank {rank} out of {}", self.total);
+        let mut seen = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen > rank {
+                return Self::bucket_value(index);
+            }
+        }
+        unreachable!("total() covers all buckets");
+    }
+
+    /// The raw bucket counts (length [`STREAMING_HISTOGRAM_BUCKETS`]), for wire
+    /// codecs.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Rebuilds a histogram from [`StreamingHistogram::counts`] output, validating
+    /// the length and guarding the total against overflow.
+    pub fn from_counts(counts: Vec<u64>) -> Result<Self, String> {
+        if counts.len() != STREAMING_HISTOGRAM_BUCKETS {
+            return Err(format!(
+                "histogram has {} buckets, expected {STREAMING_HISTOGRAM_BUCKETS}",
+                counts.len()
+            ));
+        }
+        let mut total = 0u64;
+        for &count in &counts {
+            total = total
+                .checked_add(count)
+                .ok_or_else(|| "histogram total overflows u64".to_string())?;
+        }
+        Ok(Self { counts, total })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_sum_of_two_values_matches_ieee_addition() {
+        // A single IEEE addition is the correctly rounded exact sum, which is what
+        // ExactSum::value returns — so they must agree bitwise, including subnormal
+        // and near-overflow cases.
+        let cases = [
+            (0.1, 0.2),
+            (1e308, 1e308), // overflows to +inf
+            (1e-320, 2e-320),
+            (1.5e308, -1.5e308),
+            (f64::MIN_POSITIVE, f64::MIN_POSITIVE / 4.0),
+            (-3.25, 1e-15),
+            (12345.678, -9876.54321),
+        ];
+        for (a, b) in cases {
+            let mut sum = ExactSum::new();
+            sum.add(a);
+            sum.add(b);
+            assert_eq!(
+                sum.value().to_bits(),
+                (a + b).to_bits(),
+                "ExactSum({a}, {b}) = {} but IEEE gives {}",
+                sum.value(),
+                a + b
+            );
+        }
+    }
+
+    #[test]
+    fn exact_sum_survives_catastrophic_cancellation() {
+        // Naive summation returns 0 here; the exact accumulator recovers the tiny
+        // addend bit-for-bit.
+        let mut sum = ExactSum::new();
+        sum.add(1e308);
+        sum.add(1e-308);
+        sum.add(-1e308);
+        assert_eq!(sum.value().to_bits(), 1e-308_f64.to_bits());
+    }
+
+    #[test]
+    fn exact_sum_matches_integer_arithmetic() {
+        // Values k · 2^-20 sum exactly in i128; the accumulator must agree exactly.
+        let ks: Vec<i64> = (0..500).map(|i| (i * i * 31 % 4001) - 2000).collect();
+        let mut sum = ExactSum::new();
+        for &k in &ks {
+            sum.add(k as f64 / (1u64 << 20) as f64);
+        }
+        let expected = ks.iter().map(|&k| k as i128).sum::<i128>() as f64 / (1u64 << 20) as f64;
+        assert_eq!(sum.value().to_bits(), expected.to_bits());
+    }
+
+    #[test]
+    fn exact_sum_merge_is_chunking_independent() {
+        let values: Vec<f64> = (0..300)
+            .map(|i| {
+                let x = (i as f64 * 0.7391 + 0.13).sin() * 1e6_f64.powf((i % 7) as f64 / 6.0);
+                if i % 3 == 0 {
+                    -x
+                } else {
+                    x
+                }
+            })
+            .collect();
+        let mut reference = ExactSum::new();
+        for &v in &values {
+            reference.add(v);
+        }
+        for chunk_size in [1, 2, 7, 50, 299] {
+            let mut merged = ExactSum::new();
+            for chunk in values.chunks(chunk_size) {
+                let mut partial = ExactSum::new();
+                for &v in chunk {
+                    partial.add(v);
+                }
+                merged.merge(&partial);
+            }
+            assert_eq!(merged, reference, "chunk size {chunk_size}");
+            assert_eq!(merged.value().to_bits(), reference.value().to_bits());
+        }
+    }
+
+    #[test]
+    fn exact_sum_limbs_round_trip() {
+        let mut sum = ExactSum::new();
+        sum.add(-42.5);
+        sum.add(1e-300);
+        let rebuilt = ExactSum::from_limbs(*sum.limbs());
+        assert_eq!(rebuilt, sum);
+        assert_eq!(rebuilt.value().to_bits(), sum.value().to_bits());
+        assert!(!sum.is_zero());
+        assert!(ExactSum::new().is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn exact_sum_rejects_non_finite() {
+        ExactSum::new().add(f64::NAN);
+    }
+
+    #[test]
+    fn running_summary_matches_summary_of_on_a_known_sample() {
+        let sample = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let exact = Summary::of(&sample);
+        let mut running = RunningSummary::new();
+        for &x in &sample {
+            running.update(x);
+        }
+        assert_eq!(running.count(), 8);
+        assert!((running.mean() - exact.mean).abs() < 1e-12);
+        assert!((running.std_dev() - exact.std_dev).abs() < 1e-12);
+        assert_eq!(running.min(), exact.min);
+        assert_eq!(running.max(), exact.max);
+    }
+
+    #[test]
+    fn variance_survives_large_mean_small_spread() {
+        // 50 × 1e8 and 50 × (1e8 + 1): true variance is 100·0.25/99. Rounding Σx²
+        // (≈ 1e18, ulp 128) before subtracting (Σx)²/n would wipe out the entire
+        // spread and report 0 — the exact-numerator path must stay within a few
+        // ulps of the two-pass Summary::of value instead.
+        let sample: Vec<f64> = (0..100).map(|i| 1e8 + (i % 2) as f64).collect();
+        let exact = Summary::of(&sample);
+        let mut running = RunningSummary::new();
+        sample.iter().for_each(|&x| running.update(x));
+        assert!(exact.std_dev > 0.5, "probe must have real spread");
+        assert!(
+            (running.std_dev() - exact.std_dev).abs() <= 1e-9 * exact.std_dev,
+            "std_dev cancelled: streaming {} vs exact {}",
+            running.std_dev(),
+            exact.std_dev
+        );
+        // Same spread around a huge negative mean (exercises the magnitude path).
+        let mut negated = RunningSummary::new();
+        sample.iter().for_each(|&x| negated.update(-x));
+        assert!((negated.std_dev() - exact.std_dev).abs() <= 1e-9 * exact.std_dev);
+    }
+
+    #[test]
+    fn running_summary_single_point_and_empty() {
+        let mut s = RunningSummary::new();
+        assert!(s.is_empty());
+        s.update(3.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), 3.0);
+        assert_eq!(s.max(), 3.0);
+        let summary = s.to_summary(3.0);
+        assert_eq!(summary.count, 1);
+        assert_eq!(summary.median, 3.0);
+    }
+
+    #[test]
+    fn running_summary_merge_equals_sequential_update_bitwise() {
+        let values: Vec<f64> = (0..200).map(|i| ((i * 37) % 101) as f64 * 1.375).collect();
+        let mut sequential = RunningSummary::new();
+        for &v in &values {
+            sequential.update(v);
+        }
+        for split in [1, 50, 117, 199] {
+            let (left, right) = values.split_at(split);
+            let mut a = RunningSummary::new();
+            let mut b = RunningSummary::new();
+            left.iter().for_each(|&v| a.update(v));
+            right.iter().for_each(|&v| b.update(v));
+            a.merge(&b);
+            assert_eq!(a, sequential, "split at {split}");
+            assert_eq!(a.mean().to_bits(), sequential.mean().to_bits());
+            assert_eq!(a.std_dev().to_bits(), sequential.std_dev().to_bits());
+        }
+        // Merging an empty summary is the identity.
+        let mut merged = sequential;
+        merged.merge(&RunningSummary::new());
+        assert_eq!(merged, sequential);
+    }
+
+    #[test]
+    fn running_summary_state_round_trip_and_validation() {
+        let mut s = RunningSummary::new();
+        s.update(1.0);
+        s.update(-2.5);
+        let rebuilt = RunningSummary::from_state(s.state()).expect("valid state");
+        assert_eq!(rebuilt, s);
+
+        let mut bad = s.state();
+        bad.min = f64::NAN;
+        assert!(RunningSummary::from_state(bad).is_err());
+        let mut swapped = s.state();
+        (swapped.min, swapped.max) = (swapped.max, swapped.min);
+        assert!(RunningSummary::from_state(swapped).is_err());
+        let mut empty = RunningSummary::new().state();
+        assert!(RunningSummary::from_state(empty).is_ok());
+        empty.min = 0.0;
+        assert!(RunningSummary::from_state(empty).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn running_summary_rejects_nan() {
+        RunningSummary::new().update(f64::NAN);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_the_line_in_order() {
+        // Bucket indices must be monotone in the value and bucket representatives
+        // must fall inside (or at least respect the order of) their buckets.
+        let values = [
+            0.0, 1e-300, 1e-10, 0.24, 0.25, 0.5, 0.99, 1.0, 1.03, 2.0, 3.75, 1000.0, 4.0e9, 5.0e9,
+            1e300,
+        ];
+        let mut last = 0;
+        for &v in &values {
+            let index = StreamingHistogram::bucket_index(v);
+            assert!(index >= last, "index regressed at {v}");
+            assert!(index < STREAMING_HISTOGRAM_BUCKETS);
+            last = index;
+        }
+        // A mid-range value's representative is within 1.6% of the value itself.
+        for &v in &[0.26, 1.0, 3.1875, 720.0, 1e6] {
+            let rep = StreamingHistogram::bucket_value(StreamingHistogram::bucket_index(v));
+            assert!(
+                (rep - v).abs() / v < 1.0 / 32.0,
+                "representative {rep} too far from {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_median_is_close_for_integer_samples() {
+        let mut h = StreamingHistogram::new();
+        for v in 1..=101u32 {
+            h.record(v as f64);
+        }
+        let median = h.median().unwrap();
+        assert!((median - 51.0).abs() / 51.0 < 0.02, "median {median}");
+        assert_eq!(h.total(), 101);
+    }
+
+    #[test]
+    fn histogram_merge_is_exact_and_order_free() {
+        let values: Vec<f64> = (0..500).map(|i| (i % 97) as f64 * 0.5).collect();
+        let mut reference = StreamingHistogram::new();
+        values.iter().for_each(|&v| reference.record(v));
+        let mut merged = StreamingHistogram::new();
+        for chunk in values.chunks(13).rev() {
+            let mut partial = StreamingHistogram::new();
+            chunk.iter().for_each(|&v| partial.record(v));
+            merged.merge(&partial);
+        }
+        assert_eq!(merged, reference);
+        assert_eq!(
+            merged.median().unwrap().to_bits(),
+            reference.median().unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn histogram_counts_round_trip_and_validation() {
+        let mut h = StreamingHistogram::new();
+        h.record(0.0);
+        h.record(42.0);
+        h.record(1e40); // overflow bucket
+        let rebuilt = StreamingHistogram::from_counts(h.counts().to_vec()).expect("valid");
+        assert_eq!(rebuilt, h);
+        assert!(StreamingHistogram::from_counts(vec![0; 3]).is_err());
+        let mut overflowing = vec![0; STREAMING_HISTOGRAM_BUCKETS];
+        overflowing[0] = u64::MAX;
+        overflowing[1] = 1;
+        assert!(StreamingHistogram::from_counts(overflowing).is_err());
+    }
+
+    #[test]
+    fn histogram_empty_has_no_median() {
+        assert_eq!(StreamingHistogram::new().median(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn histogram_rejects_negative_values() {
+        StreamingHistogram::new().record(-1.0);
+    }
+}

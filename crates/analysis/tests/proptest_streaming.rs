@@ -1,0 +1,124 @@
+//! Property tests for the streaming accumulators (`clb_analysis::streaming`):
+//!
+//! * **Equivalence** — [`RunningSummary`] and the collect-then-aggregate
+//!   [`Summary::of`] agree on the same sample: count/min/max exactly, mean and
+//!   variance to ≤ 1e-9 relative error (relative to the sample's magnitude scale —
+//!   the exact-sum accumulator is strictly *more* accurate than the naive summation
+//!   in `Summary::of`, so the gap is really `Summary::of`'s own rounding).
+//! * **Merge invariance** — folding a sample in chunks and merging gives state and
+//!   statistics **bit-identical** to a single sequential pass, for every chunking.
+//!   This is the property the experiment layer's cross-thread / cross-shard
+//!   determinism contract rests on.
+//! * **Histogram quantiles** — [`StreamingHistogram::median`] lands within its
+//!   documented ~1.6 % bucket resolution of the exact median.
+
+use clb_analysis::streaming::{RunningSummary, StreamingHistogram};
+use clb_analysis::Summary;
+use proptest::prelude::*;
+
+/// Magnitude scale of a sample: the tolerance anchor for relative comparisons.
+fn scale(sample: &[f64]) -> f64 {
+    sample.iter().fold(1.0_f64, |acc, &x| acc.max(x.abs()))
+}
+
+fn running_over(sample: &[f64]) -> RunningSummary {
+    let mut running = RunningSummary::new();
+    for &x in sample {
+        running.update(x);
+    }
+    running
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn running_summary_agrees_with_summary_of(
+        base in prop::collection::vec(-1.0e6f64..1.0e6, 1..120),
+        offset in 0.0f64..1.0e8,
+    ) {
+        // The common offset makes the mean huge relative to the spread — the regime
+        // where a read-out that subtracts rounded sums catastrophically cancels.
+        // The tolerance is relative to the *variance* (not the squared scale), so a
+        // cancelled result cannot hide behind a large-magnitude sample.
+        let sample: Vec<f64> = base.iter().map(|&x| x + offset).collect();
+        let exact = Summary::of(&sample);
+        let running = running_over(&sample);
+        let s = scale(&sample);
+
+        prop_assert_eq!(running.count() as usize, exact.count);
+        // Min and max are exact in both implementations — bitwise equal.
+        prop_assert_eq!(running.min().to_bits(), exact.min.to_bits());
+        prop_assert_eq!(running.max().to_bits(), exact.max.to_bits());
+        // Mean to 1e-9 relative (to the sample scale).
+        prop_assert!(
+            (running.mean() - exact.mean).abs() <= 1e-9 * s,
+            "mean diverged: streaming {} vs exact {}", running.mean(), exact.mean
+        );
+        // Variance to 1e-9 relative to the variance itself, plus a floor for
+        // Summary::of's own two-pass error (its rounded mean contributes an
+        // n·(n·eps·scale)² absolute term; the streaming side's single rounding is
+        // far below that).
+        let exact_var = exact.std_dev * exact.std_dev;
+        let n = sample.len() as f64;
+        let floor = n * (n * f64::EPSILON * s) * (n * f64::EPSILON * s);
+        prop_assert!(
+            (running.variance() - exact_var).abs() <= 1e-9 * exact_var + floor,
+            "variance diverged: streaming {} vs exact {}", running.variance(), exact_var
+        );
+    }
+
+    #[test]
+    fn chunked_merge_is_bit_identical_to_sequential_update(
+        sample in prop::collection::vec(-1.0e6f64..1.0e6, 1..120),
+        chunk in 1usize..40,
+    ) {
+        let sequential = running_over(&sample);
+        let mut merged = RunningSummary::new();
+        for piece in sample.chunks(chunk) {
+            merged.merge(&running_over(piece));
+        }
+        // The full state — not just the derived statistics — must match exactly.
+        prop_assert_eq!(&merged, &sequential);
+        prop_assert_eq!(merged.mean().to_bits(), sequential.mean().to_bits());
+        prop_assert_eq!(merged.std_dev().to_bits(), sequential.std_dev().to_bits());
+        prop_assert_eq!(merged.variance().to_bits(), sequential.variance().to_bits());
+    }
+
+    #[test]
+    fn histogram_chunked_merge_is_bit_identical(
+        sample in prop::collection::vec(0.0f64..1.0e6, 1..120),
+        chunk in 1usize..40,
+    ) {
+        let mut sequential = StreamingHistogram::new();
+        sample.iter().for_each(|&x| sequential.record(x));
+        let mut merged = StreamingHistogram::new();
+        for piece in sample.chunks(chunk) {
+            let mut partial = StreamingHistogram::new();
+            piece.iter().for_each(|&x| partial.record(x));
+            merged.merge(&partial);
+        }
+        prop_assert_eq!(&merged, &sequential);
+        prop_assert_eq!(
+            merged.median().unwrap().to_bits(),
+            sequential.median().unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn histogram_median_is_within_bucket_resolution_of_the_exact_median(
+        sample in prop::collection::vec(0.0f64..1.0e6, 1..120),
+    ) {
+        let exact = Summary::of(&sample).median;
+        let mut histogram = StreamingHistogram::new();
+        sample.iter().for_each(|&x| histogram.record(x));
+        let approx = histogram.median().expect("non-empty");
+        // Each of the (up to two) middle ranks maps to a bucket midpoint within
+        // 1/64 of its value; allow 1/16 for the even-count average plus slack, and
+        // an absolute epsilon for medians in the underflow bucket.
+        prop_assert!(
+            (approx - exact).abs() <= exact.abs() / 16.0 + 1e-9,
+            "median diverged: histogram {approx} vs exact {exact}"
+        );
+    }
+}

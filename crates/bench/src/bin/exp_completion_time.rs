@@ -46,7 +46,7 @@ fn main() {
         table.row([
             n.to_string(),
             log2_squared(n).to_string(),
-            point.trials.len().to_string(),
+            point.trial_count.to_string(),
             format!("{:.0}%", 100.0 * point.completion_rate()),
             fmt2(point.rounds.mean),
             format!("{:.0}", point.rounds.max),

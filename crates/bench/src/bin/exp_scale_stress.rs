@@ -1,0 +1,148 @@
+//! SCALE — streaming aggregation at grid sizes the collect-everything pipeline
+//! cannot hold.
+//!
+//! Runs a *(sweep point × trial)* grid two orders of magnitude larger than any other
+//! `exp_*` binary (quick mode: 6 400 cells vs. `exp_raes_vs_saer`'s 64; full mode:
+//! 20 000 cells vs. `exp_c_sweep`'s 180) under `Retention::Summary`, where every
+//! trial outcome folds into O(1)-memory accumulators the moment it is produced — in
+//! the pool workers in-process, in the shard workers under `CLB_SHARDS=k` — and the
+//! driver merges shard reports one at a time instead of materialising outcomes.
+//!
+//! The binary *asserts* the memory contract rather than just describing it:
+//! summary-mode retained-outcome bytes must be identical across trial counts
+//! (calibration runs at two small trial counts, then the large grid), while full
+//! retention on the same workload demonstrably grows per trial. It reports
+//! throughput as `timing:`-prefixed lines so CI can diff the remaining (fully
+//! deterministic) output across `RAYON_NUM_THREADS` values.
+
+use clb::prelude::*;
+use std::time::Instant;
+
+/// The sweep: four threshold constants, same topology family as `exp_c_sweep` but a
+/// small graph, so the grid is huge in *cells* while each cell stays cheap.
+fn sweep() -> Sweep<u32> {
+    Sweep::over("c", [2u32, 4, 8, 16])
+}
+
+fn config_for(n: usize) -> impl Fn(usize, &u32) -> ExperimentConfig {
+    move |idx, &c| {
+        ExperimentConfig::new(
+            GraphSpec::Regular { n, delta: 16 },
+            ProtocolSpec::Saer { c, d: 2 },
+        )
+        // Seed-striding convention, with room for the large trial counts.
+        .seed(100_000 * idx as u64)
+    }
+}
+
+/// Total retained-outcome bytes across a report's sweep points. Retention only ever
+/// grows (Full) or stays flat (Summary) as trials fold, so the final total *is* the
+/// peak of retained bytes over the whole merge.
+fn peak_retained_bytes<T>(report: &SweepReport<T>) -> u64 {
+    report.iter().map(|(_, point)| point.retained_bytes).sum()
+}
+
+fn main() {
+    // Worker hook: a CLB_SHARDS=k run re-executes this binary per shard; workers
+    // execute their cell range here and exit before any driver code runs.
+    clb::shard::maybe_run_worker();
+
+    let scenario = Scenario::new(
+        "SCALE",
+        "memory-bounded aggregation of a grid ~100x any other experiment",
+        "retained-outcome memory is O(1) per sweep point — independent of the trial count",
+    )
+    .max_rounds(300)
+    .retention(Retention::Summary);
+    scenario.announce();
+
+    let n = 64;
+    let trials = if scenario.quick() { 1_600 } else { 5_000 };
+    let points = sweep().len();
+
+    // ---- Calibration: the memory contract, asserted -------------------------
+    // Summary retention must hold exactly the same bytes at 32 and at 64 trials;
+    // full retention on the identical workload must grow with every extra trial.
+    let calibrate = |retention: Retention, trials: usize| {
+        Scenario::new("SCALE-CAL", "calibration", "-")
+            .max_rounds(300)
+            .retention(retention)
+            .trials(trials)
+            .run(sweep(), config_for(n))
+            .expect("valid configuration")
+    };
+    let summary_small = peak_retained_bytes(&calibrate(Retention::Summary, 32));
+    let summary_double = peak_retained_bytes(&calibrate(Retention::Summary, 64));
+    assert_eq!(
+        summary_small, summary_double,
+        "summary-mode retained bytes changed with the trial count"
+    );
+    let full_small = peak_retained_bytes(&calibrate(Retention::Full, 32));
+    let full_double = peak_retained_bytes(&calibrate(Retention::Full, 64));
+    assert!(
+        full_double > full_small,
+        "full-mode retained bytes failed to grow with the trial count"
+    );
+    println!(
+        "calibration: summary retention holds {summary_small} bytes at 32 and at 64 trials; \
+         full retention grows {full_small} -> {full_double} bytes"
+    );
+    println!();
+
+    // ---- The large grid -----------------------------------------------------
+    let scenario = scenario.trials(trials);
+    let cells = points * trials;
+    let start = Instant::now();
+    // CLB_SHARDS=k splits the grid across k worker processes; the merged report is
+    // bit-identical to the in-process run (the CI scale-stress step diffs the
+    // non-timing output across thread counts under CLB_SHARDS=2).
+    let report = match ShardPlan::from_env() {
+        Some(plan) => scenario
+            .run_sharded(sweep(), config_for(n), &plan)
+            .expect("sharded run"),
+        None => scenario
+            .run(sweep(), config_for(n))
+            .expect("valid configuration"),
+    };
+    let elapsed = start.elapsed().as_secs_f64();
+
+    // The headline assertion: the grid just ran ~100x larger than any other
+    // experiment, and it retained exactly the bytes the 32-trial calibration did.
+    let peak = peak_retained_bytes(&report);
+    assert_eq!(
+        peak, summary_small,
+        "large-grid retained bytes diverged from the calibration runs"
+    );
+    for (_, point) in report.iter() {
+        assert!(
+            point.trials.is_empty(),
+            "summary mode must not retain outcomes"
+        );
+        assert_eq!(point.trial_count, trials);
+        assert!(point.completion_rate().is_finite());
+    }
+
+    let mut table = Table::new([
+        "c",
+        "trials",
+        "completion rate",
+        "rounds (mean)",
+        "median (approx)",
+        "work/ball (mean)",
+    ]);
+    for (&c, point) in report.iter() {
+        table.row([
+            c.to_string(),
+            point.trial_count.to_string(),
+            format!("{:.0}%", 100.0 * point.completion_rate()),
+            format!("{:.2}", point.rounds.mean),
+            format!("{:.2}", point.rounds.median),
+            format!("{:.2}", point.work_per_ball.mean),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+    println!("grid: {points} points x {trials} trials = {cells} cells (n = {n})");
+    println!("peak retained-outcome bytes: {peak} (independent of trial count)");
+    println!("timing: {elapsed:.2}s wall clock");
+    println!("timing: {:.0} cells/sec", cells as f64 / elapsed);
+}

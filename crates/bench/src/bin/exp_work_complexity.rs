@@ -71,6 +71,9 @@ fn main() {
     ]);
     let mut per_ball = Vec::new();
     for (&n, point) in report.iter() {
+        // A per-trial dissection: the numerator needs the outcome vec, so divide by
+        // its length too — under Retention::Summary (empty trials) that fails
+        // loudly as NaN instead of silently printing 0/trial_count.
         let messages_mean: f64 = point
             .trials
             .iter()

@@ -7,7 +7,9 @@
 //! (sweep point × trial) grid of SAER runs with near-uniform per-cell cost — so the
 //! measured ratio is the speedup every `exp_*` binary inherits. Both runs must
 //! produce bit-identical `SweepReport`s (the stub's determinism contract); the JSON
-//! records the comparison alongside the timings.
+//! records the comparison alongside the timings. A `Retention::Summary` leg times
+//! the same grid through the streaming-accumulator fold and records `cells_per_sec`
+//! plus `peak_retained_bytes`, giving the bench trajectory a memory axis.
 //!
 //! `PERF_SMOKE_THREADS` overrides the parallel thread count (default 4). The
 //! speedup is naturally bounded by the machine: `hardware_threads` in the JSON gives
@@ -136,8 +138,44 @@ fn main() {
         "sharded SweepReport diverged from in-process — cross-process determinism contract broken"
     );
 
+    // Summary-retention leg: the same grid folded into O(1)-memory accumulators
+    // instead of collected outcomes. The hard gates are bit-identity across thread
+    // counts (exact accumulator merges make the fold chunking-independent) and the
+    // flat retained-byte footprint; the cells/sec figure gives the bench trajectory
+    // its throughput-per-memory axis.
+    let summary_scenario = scenario.clone().retention(Retention::Summary);
+    let (summary_ms, summary_report) = timed(threads, &summary_scenario, n);
+    let (_, summary_sequential) = timed(1, &summary_scenario, n);
+    let summary_deterministic = summary_report == summary_sequential;
+    let peak_retained_bytes: u64 = summary_report
+        .iter()
+        .map(|(_, point)| point.retained_bytes)
+        .sum();
+    let full_retained_bytes: u64 = parallel_report
+        .iter()
+        .map(|(_, point)| point.retained_bytes)
+        .sum();
+    let cells_per_sec = cells as f64 / (summary_ms / 1e3);
+
+    println!();
+    println!(
+        "summary retention: {cells} cells in {summary_ms:.1} ms ({cells_per_sec:.0} cells/sec), \
+         {peak_retained_bytes} retained-outcome bytes (full retention: {full_retained_bytes}); \
+         outputs bit-identical across thread counts: {summary_deterministic}"
+    );
+    println!(
+        "(note: on this {}-trial-per-point smoke grid the fixed accumulator state \
+         outweighs the few retained outcomes — the flat state wins at scale; \
+         exp_scale_stress asserts the trial-count independence on a 100x grid)",
+        scenario.trials_per_point()
+    );
+    assert!(
+        summary_deterministic,
+        "summary-mode SweepReport diverged across thread counts — determinism contract broken"
+    );
+
     let json = format!(
-        "{{\n  \"bench\": \"parallel_scenario_grid\",\n  \"graph\": \"regular-log2 n={n}\",\n  \"cells\": {cells},\n  \"threads_sequential\": 1,\n  \"threads_parallel\": {threads},\n  \"hardware_threads\": {hardware_threads},\n  \"sequential_ms\": {sequential_ms:.1},\n  \"parallel_ms\": {parallel_ms:.1},\n  \"speedup\": {speedup:.2},\n  \"deterministic\": {deterministic},\n  \"shards\": {shards},\n  \"sharded_ms\": {sharded_ms:.1},\n  \"shard_deterministic\": {shard_deterministic}\n}}\n"
+        "{{\n  \"bench\": \"parallel_scenario_grid\",\n  \"graph\": \"regular-log2 n={n}\",\n  \"cells\": {cells},\n  \"threads_sequential\": 1,\n  \"threads_parallel\": {threads},\n  \"hardware_threads\": {hardware_threads},\n  \"sequential_ms\": {sequential_ms:.1},\n  \"parallel_ms\": {parallel_ms:.1},\n  \"speedup\": {speedup:.2},\n  \"deterministic\": {deterministic},\n  \"shards\": {shards},\n  \"sharded_ms\": {sharded_ms:.1},\n  \"shard_deterministic\": {shard_deterministic},\n  \"summary_ms\": {summary_ms:.1},\n  \"cells_per_sec\": {cells_per_sec:.1},\n  \"peak_retained_bytes\": {peak_retained_bytes},\n  \"full_retained_bytes\": {full_retained_bytes},\n  \"summary_deterministic\": {summary_deterministic}\n}}\n"
     );
     std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
     println!("\nwrote BENCH_parallel.json:\n{json}");

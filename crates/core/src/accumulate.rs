@@ -1,0 +1,619 @@
+//! Streaming, mergeable aggregation of trial outcomes.
+//!
+//! The historical pipeline was collect-then-aggregate: every layer buffered the full
+//! `Vec<TrialOutcome>` — the experiment runner collected all trials before
+//! summarising, a shard report carried every outcome of its cell range — so memory
+//! grew linearly with the trial count and grid sizes were capped by RAM, not compute.
+//! This module is the streaming replacement:
+//!
+//! * [`Retention`] — the policy: [`Retention::Full`] keeps every [`TrialOutcome`]
+//!   (the historical behaviour, bit-for-bit), [`Retention::Summary`] folds each
+//!   outcome into O(1) accumulator state the moment it is produced and drops the
+//!   outcome (including its per-round measurement series).
+//! * [`OutcomeAccumulator`] — the mergeable fold state both runners feed in
+//!   trial-index order. Under `Retention::Summary` it holds one
+//!   [`RunningSummary`] + [`StreamingHistogram`] pair per reported statistic; under
+//!   `Retention::Full` it is simply the ordered outcome vector.
+//!
+//! # Determinism
+//!
+//! [`OutcomeAccumulator::merge`] concatenates ordered outcome vectors (`Full`) or
+//! performs the **exact** accumulator merges of `clb_analysis::streaming`
+//! (`Summary`). Both are associative over adjacent chunks of the trial sequence, and
+//! the summary merges are even bit-exact under *any* chunking — which is why
+//! `Scenario::run`, the thread-pool piece merge and the shard-report merge all
+//! produce bit-identical reports at every thread and shard count, in both retention
+//! modes, by construction rather than by careful scheduling.
+
+use crate::experiment::{ExperimentConfig, ExperimentReport, TrialOutcome};
+use clb_analysis::streaming::{RunningSummary, StreamingHistogram, STREAMING_HISTOGRAM_BUCKETS};
+use clb_analysis::Summary;
+use serde::{Deserialize, Serialize};
+
+/// How much per-trial data an experiment retains after aggregation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Retention {
+    /// Keep every [`TrialOutcome`] (histograms, measurement series, …) in
+    /// [`ExperimentReport::trials`] — the historical behaviour. Memory grows
+    /// linearly with the trial count.
+    #[default]
+    Full,
+    /// Fold each outcome into mergeable accumulators the moment it is produced and
+    /// drop it: O(1) retained memory per sweep point, independent of the trial
+    /// count. [`ExperimentReport::trials`] stays empty; medians become
+    /// histogram-approximate (≤ ~1.6 % relative error); everything else — count,
+    /// completion, mean, std-dev, min, max — is computed from exact accumulators.
+    Summary,
+}
+
+/// One statistic's streaming state: exact moments plus an approximate-quantile
+/// histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct StreamStat {
+    pub(crate) summary: RunningSummary,
+    pub(crate) histogram: StreamingHistogram,
+}
+
+impl StreamStat {
+    fn new() -> Self {
+        Self {
+            summary: RunningSummary::new(),
+            histogram: StreamingHistogram::new(),
+        }
+    }
+
+    fn record(&mut self, x: f64) {
+        self.summary.update(x);
+        self.histogram.record(x);
+    }
+
+    fn merge(&mut self, other: &Self) {
+        self.summary.merge(&other.summary);
+        self.histogram.merge(&other.histogram);
+    }
+
+    /// Renders the stat as a [`Summary`], with the median read off the histogram.
+    fn to_summary(&self) -> Summary {
+        self.summary
+            .to_summary(self.histogram.median().expect("non-empty stat"))
+    }
+
+    /// Builds a stat from wire-decoded parts, enforcing the cross-invariant the
+    /// codec cannot see locally: both halves must have folded the same sample.
+    pub(crate) fn from_parts(
+        summary: RunningSummary,
+        histogram: StreamingHistogram,
+    ) -> Result<Self, String> {
+        if summary.count() != histogram.total() {
+            return Err(format!(
+                "stat summary folded {} observations but its histogram folded {}",
+                summary.count(),
+                histogram.total()
+            ));
+        }
+        Ok(Self { summary, histogram })
+    }
+}
+
+/// The `Retention::Summary` fold state of one sweep point: O(1) memory regardless of
+/// how many trials it has folded.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SummaryState {
+    /// Trials folded so far.
+    pub(crate) trial_count: u64,
+    /// Trials that terminated within the round cap.
+    pub(crate) completed: u64,
+    pub(crate) rounds: StreamStat,
+    pub(crate) work_per_ball: StreamStat,
+    pub(crate) max_load: StreamStat,
+    pub(crate) closed_servers: StreamStat,
+    /// Present iff the burned-fraction measurement was recorded (created on the
+    /// first outcome that carries a series, which the per-config measurement flag
+    /// makes uniform across a point's trials).
+    pub(crate) peak_burned: Option<StreamStat>,
+}
+
+impl SummaryState {
+    fn new() -> Self {
+        Self {
+            trial_count: 0,
+            completed: 0,
+            rounds: StreamStat::new(),
+            work_per_ball: StreamStat::new(),
+            max_load: StreamStat::new(),
+            closed_servers: StreamStat::new(),
+            peak_burned: None,
+        }
+    }
+
+    fn push(&mut self, outcome: &TrialOutcome) {
+        self.trial_count += 1;
+        self.completed += u64::from(outcome.result.completed);
+        self.rounds.record(outcome.result.rounds as f64);
+        self.work_per_ball.record(outcome.result.work_per_ball());
+        self.max_load.record(outcome.result.max_load as f64);
+        self.closed_servers
+            .record(outcome.result.closed_servers as f64);
+        if let Some(peak) = outcome.peak_burned_fraction() {
+            self.peak_burned
+                .get_or_insert_with(StreamStat::new)
+                .record(peak);
+        }
+    }
+
+    fn merge(&mut self, other: &Self) {
+        self.trial_count += other.trial_count;
+        self.completed += other.completed;
+        self.rounds.merge(&other.rounds);
+        self.work_per_ball.merge(&other.work_per_ball);
+        self.max_load.merge(&other.max_load);
+        self.closed_servers.merge(&other.closed_servers);
+        if let Some(theirs) = &other.peak_burned {
+            match &mut self.peak_burned {
+                Some(ours) => ours.merge(theirs),
+                None => self.peak_burned = Some(theirs.clone()),
+            }
+        }
+    }
+
+    /// Wire-decode constructor: validates every cross-count invariant a corrupted
+    /// or hand-crafted frame could violate.
+    pub(crate) fn from_parts(
+        trial_count: u64,
+        completed: u64,
+        rounds: StreamStat,
+        work_per_ball: StreamStat,
+        max_load: StreamStat,
+        closed_servers: StreamStat,
+        peak_burned: Option<StreamStat>,
+    ) -> Result<Self, String> {
+        if completed > trial_count {
+            return Err(format!("{completed} completed trials out of {trial_count}"));
+        }
+        for (name, stat) in [
+            ("rounds", &rounds),
+            ("work per ball", &work_per_ball),
+            ("max load", &max_load),
+            ("closed servers", &closed_servers),
+        ] {
+            if stat.summary.count() != trial_count {
+                return Err(format!(
+                    "{name} stat folded {} observations for {trial_count} trials",
+                    stat.summary.count()
+                ));
+            }
+        }
+        // The peak-burned stat folds only outcomes that carried a series. Config
+        // driven runs make that all-or-none, but the accumulator API itself allows
+        // mixed pushes — so the wire invariant is presence-consistency, not
+        // equality: a present stat folded between 1 and trial_count observations.
+        if let Some(stat) = &peak_burned {
+            if stat.summary.count() == 0 || stat.summary.count() > trial_count {
+                return Err(format!(
+                    "peak burned-fraction stat folded {} observations for {trial_count} trials",
+                    stat.summary.count()
+                ));
+            }
+        }
+        Ok(Self {
+            trial_count,
+            completed,
+            rounds,
+            work_per_ball,
+            max_load,
+            closed_servers,
+            peak_burned,
+        })
+    }
+
+    /// Bytes this state retains, counting the heap-resident histogram buckets. A
+    /// pure function of the layout (not of the trial count) — the number the
+    /// `exp_scale_stress` memory assertion pins.
+    fn retained_bytes(&self) -> u64 {
+        let histograms = 4 + u64::from(self.peak_burned.is_some());
+        std::mem::size_of::<Self>() as u64 + histograms * (STREAMING_HISTOGRAM_BUCKETS as u64) * 8
+    }
+}
+
+/// Mergeable fold state over a sequence of [`TrialOutcome`]s — the unit both the
+/// in-process and the sharded runner feed in trial-index order and merge along the
+/// way (thread-pool pieces in index order, shard reports in shard-index order).
+///
+/// See the [module docs](self) for the retention semantics and the determinism
+/// argument.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutcomeAccumulator {
+    retention: Retention,
+    /// Ordered outcomes under [`Retention::Full`]; empty under `Summary`.
+    trials: Vec<TrialOutcome>,
+    /// Fold state under [`Retention::Summary`]; `None` under `Full` and before the
+    /// first push (so an identity accumulator costs nothing to create).
+    summary: Option<Box<SummaryState>>,
+}
+
+impl OutcomeAccumulator {
+    /// An empty accumulator (the fold identity) under the given policy.
+    pub fn new(retention: Retention) -> Self {
+        Self {
+            retention,
+            trials: Vec::new(),
+            summary: None,
+        }
+    }
+
+    /// The accumulator's retention policy.
+    pub fn retention(&self) -> Retention {
+        self.retention
+    }
+
+    /// Trials folded so far.
+    pub fn trial_count(&self) -> u64 {
+        match self.retention {
+            Retention::Full => self.trials.len() as u64,
+            Retention::Summary => self.summary.as_ref().map_or(0, |s| s.trial_count),
+        }
+    }
+
+    /// True before the first push/merge.
+    pub fn is_empty(&self) -> bool {
+        self.trial_count() == 0
+    }
+
+    /// Folds one outcome. Under `Summary` the outcome (and its measurement series)
+    /// is dropped here, immediately after its scalars are extracted.
+    pub fn push(&mut self, outcome: TrialOutcome) {
+        match self.retention {
+            Retention::Full => self.trials.push(outcome),
+            Retention::Summary => {
+                self.summary
+                    .get_or_insert_with(|| Box::new(SummaryState::new()))
+                    .push(&outcome);
+            }
+        }
+    }
+
+    /// Merges an adjacent chunk's accumulator: `other` must cover the trials
+    /// immediately after `self`'s (the runners guarantee this by merging pieces in
+    /// index order and shard reports in shard-index order).
+    ///
+    /// # Panics
+    /// Panics if the retention policies differ — one fold cannot mix them.
+    pub fn merge(&mut self, other: OutcomeAccumulator) {
+        assert!(
+            self.retention == other.retention,
+            "cannot merge accumulators with different retention policies"
+        );
+        match self.retention {
+            Retention::Full => self.trials.extend(other.trials),
+            Retention::Summary => {
+                if let Some(theirs) = other.summary {
+                    match &mut self.summary {
+                        Some(ours) => ours.merge(&theirs),
+                        None => self.summary = Some(theirs),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Bytes of per-trial outcome data this accumulator retains: the sum of the
+    /// outcome footprints under `Full` (grows with the trial count), the fixed
+    /// accumulator-state size under `Summary` (independent of it). Deterministic
+    /// at every thread and shard count.
+    pub fn retained_bytes(&self) -> u64 {
+        match self.retention {
+            Retention::Full => self.trials.iter().map(TrialOutcome::retained_bytes).sum(),
+            Retention::Summary => self.summary.as_ref().map_or(0, |s| s.retained_bytes()),
+        }
+    }
+
+    /// Finishes the fold into an [`ExperimentReport`].
+    ///
+    /// # Panics
+    /// Panics if the accumulator is empty (an experiment needs at least one trial).
+    pub fn into_report(self, config: ExperimentConfig) -> ExperimentReport {
+        match self.retention {
+            Retention::Full => ExperimentReport::aggregate(config, self.trials),
+            Retention::Summary => {
+                let retained = self.retained_bytes();
+                let state = *self
+                    .summary
+                    .expect("cannot report an experiment with zero trials");
+                ExperimentReport {
+                    config,
+                    trials: Vec::new(),
+                    trial_count: state.trial_count as usize,
+                    completed_trials: state.completed as usize,
+                    rounds: state.rounds.to_summary(),
+                    work_per_ball: state.work_per_ball.to_summary(),
+                    max_load: state.max_load.to_summary(),
+                    closed_servers: state.closed_servers.to_summary(),
+                    peak_burned: state.peak_burned.as_ref().map(StreamStat::to_summary),
+                    retained_bytes: retained,
+                }
+            }
+        }
+    }
+
+    /// The ordered outcomes of a `Full` accumulator, consuming it (used by the
+    /// shard worker to emit the historical outcome wire frames).
+    ///
+    /// # Panics
+    /// Panics under [`Retention::Summary`], which holds no outcomes.
+    pub fn into_trials(self) -> Vec<TrialOutcome> {
+        assert!(
+            self.retention == Retention::Full,
+            "a Retention::Summary accumulator retains no outcomes"
+        );
+        self.trials
+    }
+
+    /// The summary fold state, if this is a non-empty `Summary` accumulator
+    /// (wire-codec access).
+    pub(crate) fn summary_state(&self) -> Option<&SummaryState> {
+        self.summary.as_deref()
+    }
+
+    /// Rebuilds a `Summary` accumulator from a wire-decoded state.
+    pub(crate) fn from_summary_state(state: SummaryState) -> Self {
+        Self {
+            retention: Retention::Summary,
+            trials: Vec::new(),
+            summary: Some(Box::new(state)),
+        }
+    }
+}
+
+/// One step of the runners' parallel grid fold: the `map` side emits bare
+/// [`GridFold::Cell`]s (no accumulator state — creating a summary state per cell
+/// would allocate its histograms ~`cells` times only to merge-and-drop them), and
+/// the reduction folds cells into per-point accumulators, so state is allocated
+/// once per *(piece, point)* rather than once per cell.
+///
+/// Shared by `Scenario::run`, `ExperimentConfig::run` and the shard worker's
+/// `execute_manifest`, which keeps their fold semantics — error precedence,
+/// adjacency merging, ordering — from drifting apart.
+#[derive(Debug)]
+pub(crate) enum GridFold<I> {
+    /// One cell's outcome, not yet folded (`map` output). Boxed to keep the
+    /// variant as small as the `Merged` one.
+    Cell(I, Retention, Box<TrialOutcome>),
+    /// Per-point accumulators for a contiguous run of cells, point-major.
+    Merged(Vec<(I, OutcomeAccumulator)>),
+}
+
+impl<I: Copy + Eq> GridFold<I> {
+    /// A `map`-side cell.
+    pub(crate) fn cell(index: I, retention: Retention, outcome: TrialOutcome) -> Self {
+        GridFold::Cell(index, retention, Box::new(outcome))
+    }
+
+    /// The fold identity.
+    pub(crate) fn empty() -> Self {
+        GridFold::Merged(Vec::new())
+    }
+
+    /// Normalises to the per-point accumulator list.
+    pub(crate) fn into_merged(self) -> Vec<(I, OutcomeAccumulator)> {
+        match self {
+            GridFold::Cell(index, retention, outcome) => {
+                let mut accumulator = OutcomeAccumulator::new(retention);
+                accumulator.push(*outcome);
+                vec![(index, accumulator)]
+            }
+            GridFold::Merged(accumulators) => accumulators,
+        }
+    }
+}
+
+/// The reduction operator of the grid fold: merges two adjacent chunks, left before
+/// right. Point indices are non-decreasing within each side and `right` continues
+/// where `left` ends, so the only possible overlap is `left`'s last point continuing
+/// into `right`'s first. Errors win left-to-right, matching what collecting into
+/// `Result<Vec, _>` used to report.
+pub(crate) fn merge_grid_fold<I: Copy + Eq, E>(
+    left: Result<GridFold<I>, E>,
+    right: Result<GridFold<I>, E>,
+) -> Result<GridFold<I>, E> {
+    let (left, right) = match (left, right) {
+        (Err(e), _) | (Ok(_), Err(e)) => return Err(e),
+        (Ok(left), Ok(right)) => (left, right),
+    };
+    let mut merged = left.into_merged();
+    match right {
+        // The common in-piece step: fold one more cell into the running
+        // accumulator of its point (created on the point's first cell).
+        GridFold::Cell(index, retention, outcome) => match merged.last_mut() {
+            Some((last, accumulator)) if *last == index => accumulator.push(*outcome),
+            _ => {
+                let mut accumulator = OutcomeAccumulator::new(retention);
+                accumulator.push(*outcome);
+                merged.push((index, accumulator));
+            }
+        },
+        // The cross-piece step: concatenate, joining the boundary point.
+        GridFold::Merged(accumulators) => {
+            for (index, accumulator) in accumulators {
+                match merged.last_mut() {
+                    Some((last, ours)) if *last == index => ours.merge(accumulator),
+                    _ => merged.push((index, accumulator)),
+                }
+            }
+        }
+    }
+    Ok(GridFold::Merged(merged))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Measurements;
+    use clb_graph::GraphSpec;
+    use clb_protocols::ProtocolSpec;
+
+    fn config() -> ExperimentConfig {
+        ExperimentConfig::new(
+            GraphSpec::Regular { n: 64, delta: 16 },
+            ProtocolSpec::Saer { c: 4, d: 2 },
+        )
+        .seed(40)
+        .trials(6)
+        .measurements(Measurements {
+            burned_fraction: true,
+            ..Default::default()
+        })
+    }
+
+    fn outcomes() -> Vec<TrialOutcome> {
+        let config = config();
+        (0..6).map(|i| config.run_trial(40 + i).unwrap()).collect()
+    }
+
+    #[test]
+    fn summary_accumulator_matches_full_statistics() {
+        let outcomes = outcomes();
+        let mut full = OutcomeAccumulator::new(Retention::Full);
+        let mut summary = OutcomeAccumulator::new(Retention::Summary);
+        for outcome in outcomes {
+            full.push(outcome.clone());
+            summary.push(outcome);
+        }
+        assert_eq!(full.trial_count(), 6);
+        assert_eq!(summary.trial_count(), 6);
+
+        let full = full.into_report(config());
+        let summary = summary.into_report(config());
+        assert_eq!(summary.trial_count, full.trial_count);
+        assert_eq!(summary.completed_trials, full.completed_trials);
+        assert!(summary.trials.is_empty());
+        assert_eq!(full.trials.len(), 6);
+        // Exact statistics agree to fp noise; min/max/count exactly.
+        assert_eq!(summary.rounds.count, full.rounds.count);
+        assert_eq!(summary.rounds.min, full.rounds.min);
+        assert_eq!(summary.rounds.max, full.rounds.max);
+        assert!((summary.rounds.mean - full.rounds.mean).abs() < 1e-9);
+        assert!((summary.work_per_ball.mean - full.work_per_ball.mean).abs() < 1e-9);
+        assert!((summary.max_load.std_dev - full.max_load.std_dev).abs() < 1e-9);
+        // Approximate medians stay within the histogram's bucket resolution.
+        assert!(
+            (summary.rounds.median - full.rounds.median).abs()
+                <= full.rounds.median.abs() / 16.0 + 1e-9
+        );
+        // Peak burned fraction was measured, so both modes report it.
+        let (fp, sp) = (full.peak_burned.unwrap(), summary.peak_burned.unwrap());
+        assert_eq!(sp.count, fp.count);
+        assert_eq!(sp.max, fp.max);
+    }
+
+    #[test]
+    fn chunked_merges_are_bit_identical_in_summary_mode() {
+        let outcomes = outcomes();
+        let mut sequential = OutcomeAccumulator::new(Retention::Summary);
+        outcomes.iter().for_each(|o| sequential.push(o.clone()));
+        for split in [1, 3, 5] {
+            let mut left = OutcomeAccumulator::new(Retention::Summary);
+            let mut right = OutcomeAccumulator::new(Retention::Summary);
+            outcomes[..split].iter().for_each(|o| left.push(o.clone()));
+            outcomes[split..].iter().for_each(|o| right.push(o.clone()));
+            left.merge(right);
+            assert_eq!(left, sequential, "split at {split}");
+        }
+        // Identity merges change nothing.
+        let mut merged = sequential.clone();
+        merged.merge(OutcomeAccumulator::new(Retention::Summary));
+        assert_eq!(merged, sequential);
+    }
+
+    #[test]
+    fn full_mode_merge_preserves_order() {
+        let outcomes = outcomes();
+        let mut left = OutcomeAccumulator::new(Retention::Full);
+        let mut right = OutcomeAccumulator::new(Retention::Full);
+        outcomes[..2].iter().for_each(|o| left.push(o.clone()));
+        outcomes[2..].iter().for_each(|o| right.push(o.clone()));
+        left.merge(right);
+        assert_eq!(left.into_trials(), outcomes);
+    }
+
+    #[test]
+    fn retained_bytes_track_the_policy() {
+        let outcomes = outcomes();
+        let mut full = OutcomeAccumulator::new(Retention::Full);
+        let mut summary = OutcomeAccumulator::new(Retention::Summary);
+        let mut full_sizes = Vec::new();
+        let mut summary_sizes = Vec::new();
+        for outcome in outcomes {
+            full.push(outcome.clone());
+            summary.push(outcome);
+            full_sizes.push(full.retained_bytes());
+            summary_sizes.push(summary.retained_bytes());
+        }
+        // Full retention grows with every outcome; summary retention is flat after
+        // the first push (that is the whole point — at large trial counts the flat
+        // state wins, which `exp_scale_stress` demonstrates at scale).
+        assert!(full_sizes.windows(2).all(|w| w[1] > w[0]));
+        assert!(summary_sizes.windows(2).all(|w| w[1] == w[0]));
+        assert!(summary_sizes[0] > 0);
+    }
+
+    #[test]
+    // The fold deliberately mirrors the rayon stub's reduce, which keeps folding
+    // (no try short-circuit) and relies on merge_grid_fold's error precedence.
+    #[allow(clippy::manual_try_fold)]
+    fn grid_fold_groups_adjacent_cells_and_propagates_the_first_error() {
+        let outcomes = outcomes();
+        // Point-major cell stream 0,0,1 folded left-to-right, split across two
+        // "pieces" at every boundary: the merged result must always be one
+        // accumulator per point with the trials in order.
+        let cells: Vec<(usize, TrialOutcome)> = vec![
+            (0, outcomes[0].clone()),
+            (0, outcomes[1].clone()),
+            (1, outcomes[2].clone()),
+        ];
+        let fold_range = |range: std::ops::Range<usize>| {
+            cells[range].iter().fold(
+                Ok(GridFold::empty()),
+                |acc: Result<GridFold<usize>, ()>, (index, outcome)| {
+                    merge_grid_fold(
+                        acc,
+                        Ok(GridFold::cell(*index, Retention::Full, outcome.clone())),
+                    )
+                },
+            )
+        };
+        let sequential = fold_range(0..3).unwrap().into_merged();
+        assert_eq!(sequential.len(), 2);
+        assert_eq!(sequential[0].0, 0);
+        assert_eq!(sequential[0].1.trial_count(), 2);
+        assert_eq!(sequential[1].0, 1);
+        for split in 0..=3 {
+            let merged = merge_grid_fold(fold_range(0..split), fold_range(split..3))
+                .unwrap()
+                .into_merged();
+            assert_eq!(merged, sequential, "split at {split}");
+        }
+        // Errors win left-to-right, like the historical Result collect.
+        let err: Result<GridFold<usize>, u8> =
+            merge_grid_fold(merge_grid_fold(Ok(GridFold::empty()), Err(1)), Err(2));
+        assert_eq!(err.unwrap_err(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different retention policies")]
+    fn mixed_retention_merge_is_rejected() {
+        let mut full = OutcomeAccumulator::new(Retention::Full);
+        full.merge(OutcomeAccumulator::new(Retention::Summary));
+    }
+
+    #[test]
+    #[should_panic(expected = "retains no outcomes")]
+    fn summary_accumulator_has_no_trials_to_take() {
+        let _ = OutcomeAccumulator::new(Retention::Summary).into_trials();
+    }
+
+    #[test]
+    #[should_panic(expected = "zero trials")]
+    fn empty_summary_accumulator_cannot_report() {
+        let _ = OutcomeAccumulator::new(Retention::Summary).into_report(config());
+    }
+}

@@ -6,7 +6,16 @@
 //! `base_seed + i` for both), runs the trials in parallel with rayon, and aggregates the
 //! per-trial outcomes into an [`ExperimentReport`] with the summary statistics the
 //! experiment tables in `EXPERIMENTS.md` report.
+//!
+//! Aggregation streams: each trial's outcome is folded into an
+//! [`OutcomeAccumulator`](crate::accumulate::OutcomeAccumulator) as soon as it is
+//! produced, and per-piece accumulators merge in trial-index order. Under the default
+//! [`Retention::Full`] policy the fold keeps every [`TrialOutcome`] (the historical
+//! behaviour, bit-for-bit); under [`Retention::Summary`] outcomes and their
+//! measurement series are dropped immediately after folding, so an experiment's
+//! retained memory is O(1) in the trial count — see [`crate::accumulate`].
 
+use crate::accumulate::{merge_grid_fold, GridFold, Retention};
 use clb_analysis::{Histogram, Summary};
 use clb_engine::{
     BurnedFractionObserver, Demand, NeighborhoodMassObserver, Observer, RunResult, SimConfig,
@@ -57,6 +66,9 @@ pub struct ExperimentConfig {
     pub max_rounds: u32,
     /// Optional measurements.
     pub measurements: Measurements,
+    /// How much per-trial data the aggregated report retains (defaults to
+    /// [`Retention::Full`], the historical collect-everything behaviour).
+    pub retention: Retention,
 }
 
 impl ExperimentConfig {
@@ -75,6 +87,7 @@ impl ExperimentConfig {
             base_seed: 0,
             max_rounds: SimConfig::DEFAULT_MAX_ROUNDS,
             measurements: Measurements::default(),
+            retention: Retention::default(),
         }
     }
 
@@ -105,6 +118,12 @@ impl ExperimentConfig {
     /// Enables optional measurements.
     pub fn measurements(mut self, measurements: Measurements) -> Self {
         self.measurements = measurements;
+        self
+    }
+
+    /// Sets the retention policy (see [`Retention`]).
+    pub fn retention(mut self, retention: Retention) -> Self {
+        self.retention = retention;
         self
     }
 
@@ -171,14 +190,29 @@ impl ExperimentConfig {
     }
 
     /// Runs all trials (in parallel) and aggregates them.
+    ///
+    /// Each trial's outcome streams into an accumulator on the worker that produced
+    /// it; per-piece accumulators then merge in trial-index order, so the result is
+    /// bit-identical at every thread count (see [`crate::accumulate`]) and — under
+    /// [`Retention::Summary`] — no more than a bounded number of outcomes is ever
+    /// resident at once.
     pub fn run(&self) -> Result<ExperimentReport, clb_graph::GraphError> {
         assert!(self.trials > 0, "an experiment needs at least one trial");
-        let outcomes: Result<Vec<TrialOutcome>, _> = (0..self.trials as u64)
+        let folded = (0..self.trials as u64)
             .into_par_iter()
-            .map(|i| self.run_trial(self.base_seed + i))
-            .collect();
-        let outcomes = outcomes?;
-        Ok(ExperimentReport::aggregate(self.clone(), outcomes))
+            .map(|i| -> Result<GridFold<()>, clb_graph::GraphError> {
+                Ok(GridFold::cell(
+                    (),
+                    self.retention,
+                    self.run_trial(self.base_seed + i)?,
+                ))
+            })
+            .reduce(|| Ok(GridFold::empty()), merge_grid_fold)?;
+        let (_, accumulator) = folded
+            .into_merged()
+            .pop()
+            .expect("at least one trial folded");
+        Ok(accumulator.into_report(self.clone()))
     }
 }
 
@@ -208,6 +242,25 @@ impl TrialOutcome {
             .as_ref()
             .map(|s| s.iter().copied().fold(0.0, f64::max))
     }
+
+    /// Approximate memory footprint of this outcome: the struct itself plus its
+    /// heap-resident histogram buckets and measurement series. The unit of the
+    /// retained-memory accounting in [`ExperimentReport::retained_bytes`];
+    /// deterministic, so it is safe inside bit-identity comparisons.
+    pub fn retained_bytes(&self) -> u64 {
+        let series = |len: usize| 8 * len as u64;
+        std::mem::size_of::<Self>() as u64
+            + series(self.load_histogram.buckets().len())
+            + self
+                .burned_fraction_series
+                .as_ref()
+                .map_or(0, |s| series(s.len()))
+            + self
+                .neighborhood_mass_series
+                .as_ref()
+                .map_or(0, |s| series(s.len()))
+            + self.alive_series.as_ref().map_or(0, |s| series(s.len()))
+    }
 }
 
 /// Aggregated experiment results.
@@ -215,8 +268,12 @@ impl TrialOutcome {
 pub struct ExperimentReport {
     /// The configuration the report was produced from.
     pub config: ExperimentConfig,
-    /// Per-trial outcomes, in seed order.
+    /// Per-trial outcomes, in seed order — empty under [`Retention::Summary`]
+    /// (use [`ExperimentReport::trial_count`] for the number of trials run).
     pub trials: Vec<TrialOutcome>,
+    /// Number of trials this report aggregates. Valid in every retention mode —
+    /// never derive it from `trials.len()`.
+    pub trial_count: usize,
     /// Summary of completion rounds (over all trials, completed or not).
     pub rounds: Summary,
     /// Summary of work per ball (messages / balls).
@@ -228,6 +285,13 @@ pub struct ExperimentReport {
     pub closed_servers: Summary,
     /// Number of trials that terminated within the round cap.
     pub completed_trials: usize,
+    /// Summary of the per-trial peak burned fraction, when the burned-fraction
+    /// measurement was recorded.
+    pub peak_burned: Option<Summary>,
+    /// Bytes of per-trial data retained by this report: the summed
+    /// [`TrialOutcome::retained_bytes`] under [`Retention::Full`], the fixed
+    /// accumulator-state size under [`Retention::Summary`].
+    pub retained_bytes: u64,
 }
 
 impl ExperimentReport {
@@ -240,37 +304,39 @@ impl ExperimentReport {
             .map(|t| t.result.closed_servers as f64)
             .collect();
         let completed_trials = trials.iter().filter(|t| t.result.completed).count();
+        let peaks: Vec<f64> = trials
+            .iter()
+            .filter_map(|t| t.peak_burned_fraction())
+            .collect();
         Self {
             config,
+            trial_count: trials.len(),
             rounds: Summary::of(&rounds),
             work_per_ball: Summary::of(&work),
             max_load: Summary::of(&max_load),
             closed_servers: Summary::of(&closed),
             completed_trials,
+            peak_burned: (!peaks.is_empty()).then(|| Summary::of(&peaks)),
+            retained_bytes: trials.iter().map(TrialOutcome::retained_bytes).sum(),
             trials,
         }
     }
 
-    /// Fraction of trials that terminated within the round cap.
+    /// Fraction of trials that terminated within the round cap. Divides by the
+    /// explicit [`ExperimentReport::trial_count`], so it stays well-defined under
+    /// [`Retention::Summary`], where `trials` is empty.
     pub fn completion_rate(&self) -> f64 {
-        self.completed_trials as f64 / self.trials.len() as f64
+        self.completed_trials as f64 / self.trial_count as f64
     }
 
     /// Summary of the peak burned fraction across trials, if it was measured.
     pub fn peak_burned_fraction(&self) -> Option<Summary> {
-        let peaks: Vec<f64> = self
-            .trials
-            .iter()
-            .filter_map(|t| t.peak_burned_fraction())
-            .collect();
-        if peaks.is_empty() {
-            None
-        } else {
-            Some(Summary::of(&peaks))
-        }
+        self.peak_burned
     }
 
-    /// One-paragraph markdown rendering of the aggregate results.
+    /// One-paragraph markdown rendering of the aggregate results. Under
+    /// [`Retention::Summary`] a footnote marks the medians as approximate
+    /// (histogram-derived).
     pub fn to_markdown(&self) -> String {
         let mut table = crate::report::Table::new([
             "graph",
@@ -284,13 +350,19 @@ impl ExperimentReport {
         table.row([
             self.config.graph.label(),
             self.config.protocol.label(),
-            self.trials.len().to_string(),
+            self.trial_count.to_string(),
             format!("{:.0}%", 100.0 * self.completion_rate()),
             format!("{:.1} ± {:.1}", self.rounds.mean, self.rounds.std_dev),
             format!("{:.2}", self.work_per_ball.mean),
             format!("{:.0}", self.max_load.max),
         ]);
-        table.to_markdown()
+        let mut rendered = table.to_markdown();
+        if self.config.retention == Retention::Summary {
+            rendered.push_str(
+                "\n*medians are approximate (histogram-derived) under `Retention::Summary`*\n",
+            );
+        }
+        rendered
     }
 }
 
@@ -402,5 +474,76 @@ mod tests {
     #[should_panic(expected = "at least one trial")]
     fn zero_trials_rejected() {
         let _ = quick_config().trials(0).run();
+    }
+
+    #[test]
+    fn summary_retention_drops_outcomes_but_keeps_exact_statistics() {
+        let full = quick_config().run().unwrap();
+        let summary = quick_config().retention(Retention::Summary).run().unwrap();
+        assert!(summary.trials.is_empty());
+        assert_eq!(summary.trial_count, 4);
+        assert_eq!(summary.completed_trials, full.completed_trials);
+        // completion_rate must stay well-defined with an empty trials vec — the
+        // historical trials.len() division would return NaN here.
+        assert_eq!(summary.completion_rate(), full.completion_rate());
+        assert!(summary.completion_rate().is_finite());
+        // Count/min/max are exact; means agree to fp noise; medians to the
+        // histogram's bucket resolution.
+        for (s, f) in [
+            (&summary.rounds, &full.rounds),
+            (&summary.work_per_ball, &full.work_per_ball),
+            (&summary.max_load, &full.max_load),
+            (&summary.closed_servers, &full.closed_servers),
+        ] {
+            assert_eq!(s.count, f.count);
+            assert_eq!(s.min, f.min);
+            assert_eq!(s.max, f.max);
+            assert!((s.mean - f.mean).abs() <= 1e-9 * f.mean.abs().max(1.0));
+            assert!((s.std_dev - f.std_dev).abs() <= 1e-9 * f.max.abs().max(1.0));
+            assert!((s.median - f.median).abs() <= f.median.abs() / 16.0 + 1e-9);
+        }
+        // The retained footprint is the flat accumulator state, far below even a
+        // four-trial outcome vector once series are recorded.
+        assert!(summary.retained_bytes > 0);
+        assert_eq!(
+            summary.retained_bytes,
+            quick_config()
+                .retention(Retention::Summary)
+                .trials(2)
+                .run()
+                .unwrap()
+                .retained_bytes,
+            "summary-mode retained bytes must not depend on the trial count"
+        );
+    }
+
+    #[test]
+    fn summary_retention_markdown_footnotes_approximate_medians() {
+        let summary = quick_config().retention(Retention::Summary).run().unwrap();
+        assert!(summary.to_markdown().contains("approximate"));
+        let full = quick_config().run().unwrap();
+        assert!(!full.to_markdown().contains("approximate"));
+    }
+
+    #[test]
+    fn summary_retention_is_deterministic_across_thread_counts() {
+        let run = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| {
+                    quick_config()
+                        .retention(Retention::Summary)
+                        .measurements(Measurements::all())
+                        .run()
+                        .unwrap()
+                })
+        };
+        let sequential = run(1);
+        assert!(sequential.peak_burned.is_some());
+        for threads in [2, 4] {
+            assert_eq!(run(threads), sequential, "threads = {threads}");
+        }
     }
 }

@@ -11,6 +11,10 @@
 //!   execution policy, a [`Sweep`] lists the parameter grid, and [`Scenario::run`]
 //!   executes the whole *(sweep point × trial)* grid in one flat rayon-parallel pass.
 //!   This is the API the `exp_*` experiment binaries are written against.
+//! * [`accumulate`] — the streaming aggregation layer: a [`Retention`] policy
+//!   (`Full` keeps every trial outcome, `Summary` folds outcomes into O(1)-memory
+//!   mergeable accumulators as they are produced) and the [`OutcomeAccumulator`]
+//!   both runners feed in trial-index order.
 //! * [`shard`] — the sharded runner: [`Scenario::run_sharded`] partitions the same
 //!   grid into contiguous cell ranges executed by worker *processes* (work units and
 //!   results travel over a versioned binary wire format) and merges the per-shard
@@ -23,11 +27,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod accumulate;
 pub mod experiment;
 pub mod report;
 pub mod scenario;
 pub mod shard;
 
+pub use accumulate::{OutcomeAccumulator, Retention};
 pub use experiment::{ExperimentConfig, ExperimentReport, Measurements, TrialOutcome};
 pub use report::Table;
 pub use scenario::{

@@ -72,7 +72,8 @@
 //! }
 //! ```
 
-use crate::experiment::{ExperimentConfig, ExperimentReport, Measurements, TrialOutcome};
+use crate::accumulate::{merge_grid_fold, GridFold, Retention};
+use crate::experiment::{ExperimentConfig, ExperimentReport, Measurements};
 use clb_engine::Demand;
 use clb_graph::{snapshot, GraphError};
 use rayon::prelude::*;
@@ -119,6 +120,7 @@ pub struct Scenario {
     max_rounds: Option<u32>,
     measurements: Option<Measurements>,
     demand: Option<Demand>,
+    retention: Option<Retention>,
     pub(crate) paired_seeds: bool,
 }
 
@@ -137,6 +139,7 @@ impl Scenario {
             max_rounds: None,
             measurements: None,
             demand: None,
+            retention: None,
             paired_seeds: false,
         }
     }
@@ -175,6 +178,16 @@ impl Scenario {
         self
     }
 
+    /// Applies a retention policy to every sweep point. [`Retention::Summary`] folds
+    /// trial outcomes into O(1)-memory accumulators as the grid runs (per-trial
+    /// outcomes and measurement series are dropped after folding), so grids far too
+    /// large to hold every outcome in memory stay runnable — see
+    /// [`crate::accumulate`].
+    pub fn retention(mut self, retention: Retention) -> Self {
+        self.retention = Some(retention);
+        self
+    }
+
     /// Declares that sweep points *deliberately* share base seeds, disabling the
     /// seed-disjointness assertion of [`Scenario::run`].
     ///
@@ -210,6 +223,9 @@ impl Scenario {
         }
         if let Some(demand) = &self.demand {
             config.demand = demand.clone();
+        }
+        if let Some(retention) = self.retention {
+            config.retention = retention;
         }
         config
     }
@@ -261,7 +277,12 @@ impl Scenario {
         let snapshot_hits = AtomicUsize::new(0);
         let direct_builds = AtomicUsize::new(0);
 
-        let outcomes: Result<Vec<(usize, TrialOutcome)>, GraphError> = plan
+        // Streaming fold: each cell's outcome lands in a per-point accumulator on
+        // the worker that ran it, and piece results merge in index order (the grid
+        // is point-major, so merges only ever join *adjacent* trial chunks of one
+        // point). Under Retention::Summary the outcome is dropped right here, so
+        // resident outcome memory is bounded by the piece count — not the grid size.
+        let accumulators: Result<GridFold<usize>, GraphError> = plan
             .grid
             .par_iter()
             .zip(plan.identity_of_cell.par_iter())
@@ -278,9 +299,13 @@ impl Scenario {
                         config.graph.build(seed)?
                     }
                 };
-                Ok((index, config.run_trial_on(&graph, seed)))
+                Ok(GridFold::cell(
+                    index,
+                    config.retention,
+                    config.run_trial_on(&graph, seed),
+                ))
             })
-            .collect();
+            .reduce(|| Ok(GridFold::empty()), merge_grid_fold);
 
         let cache = CacheStats {
             graphs_built: plan.identities.len(),
@@ -289,18 +314,21 @@ impl Scenario {
             direct_builds: direct_builds.load(Ordering::Relaxed),
         };
 
-        // The grid is point-major, so pushing in order restores per-point seed order.
-        let mut buckets: Vec<Vec<TrialOutcome>> = configs.iter().map(|_| Vec::new()).collect();
-        for (index, outcome) in outcomes? {
-            buckets[index].push(outcome);
-        }
+        let accumulators = accumulators?.into_merged();
+        debug_assert!(
+            accumulators
+                .iter()
+                .map(|(index, _)| *index)
+                .eq(0..configs.len()),
+            "grid fold must produce exactly one accumulator per sweep point, in order"
+        );
         let rows = points
             .into_iter()
             .zip(configs)
-            .zip(buckets)
-            .map(|((point, config), trials)| SweepRow {
+            .zip(accumulators)
+            .map(|((point, config), (_, accumulator))| SweepRow {
                 point,
-                report: ExperimentReport::aggregate(config, trials),
+                report: accumulator.into_report(config),
             })
             .collect();
         print_cache_line(&cache);
@@ -796,6 +824,54 @@ mod tests {
             ExperimentConfig::new(GraphSpec::Regular { n: 8, delta }, ProtocolSpec::OneShot)
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn summary_retention_applies_to_every_point_and_matches_full_statistics() {
+        let full = scenario()
+            .run(Sweep::over("c", [2u32, 4, 8]), |_, &c| config_for(c))
+            .unwrap();
+        let summary = scenario()
+            .retention(Retention::Summary)
+            .run(Sweep::over("c", [2u32, 4, 8]), |_, &c| config_for(c))
+            .unwrap();
+        assert_eq!(summary.rows.len(), 3);
+        assert_eq!(summary.cache, full.cache);
+        for (f, s) in full.iter().zip(summary.iter()) {
+            let (f, s) = (f.1, s.1);
+            assert_eq!(s.config.retention, Retention::Summary);
+            assert!(s.trials.is_empty());
+            assert_eq!(s.trial_count, f.trial_count);
+            assert_eq!(s.completed_trials, f.completed_trials);
+            assert_eq!(s.rounds.count, f.rounds.count);
+            assert_eq!(s.rounds.min, f.rounds.min);
+            assert_eq!(s.rounds.max, f.rounds.max);
+            assert!((s.rounds.mean - f.rounds.mean).abs() <= 1e-9 * f.rounds.mean.max(1.0));
+            assert!((s.work_per_ball.mean - f.work_per_ball.mean).abs() <= 1e-9);
+        }
+    }
+
+    #[test]
+    fn summary_retention_is_bit_identical_across_thread_counts() {
+        // The exact accumulator merges make the summary-mode grid fold independent
+        // of where the pool splits pieces — the whole report must match bitwise.
+        let run_with_threads = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| {
+                    scenario()
+                        .retention(Retention::Summary)
+                        .measurements(Measurements::all())
+                        .run(Sweep::over("c", [2u32, 4, 8]), |_, &c| config_for(c))
+                        .unwrap()
+                })
+        };
+        let sequential = run_with_threads(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(run_with_threads(threads), sequential, "threads = {threads}");
+        }
     }
 
     #[test]

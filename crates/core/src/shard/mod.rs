@@ -57,7 +57,7 @@
 //! | snapshots | `u32` count, then per snapshot: `u64` length + raw `clb_graph::snapshot` bytes |
 //! | cells | `u64` count, then per cell: point `u32` (index into configs), trial `u64`, source tag `u32` (0 = build direct, 1 = decode snapshot + `u32` snapshot index) |
 //!
-//! `ShardReport` (worker → driver, magic `"CLBR"`):
+//! `ShardReport` (worker → driver, magic `"CLBR"`, version 2):
 //!
 //! | field | encoding |
 //! |-------|----------|
@@ -65,21 +65,35 @@
 //! | shard_index | `u32` — echo of the manifest |
 //! | first_cell | `u64` — echo of the manifest |
 //! | snapshot_hits, direct_builds | `u64`, `u64` — this shard's cache tallies |
-//! | outcomes | `u64` count, then per outcome: seed `u64`, degree stats (9 × `u64`/bits), run result (`u32` completed flag, `u32` rounds, `u64` messages, `u32` max load, `u64` unassigned, `u64` balls, `u64` closed), load histogram (`u64` length + `u64` buckets), and three optional series (`u32` flag + `u64` length + items) |
+//! | payload tag | `u32` — 0 = per-cell outcomes (`Retention::Full`), 1 = per-point accumulators (`Retention::Summary`) |
+//! | payload 0: outcomes | `u64` count, then per outcome: seed `u64`, degree stats (9 × `u64`/bits), run result (`u32` completed flag, `u32` rounds, `u64` messages, `u32` max load, `u64` unassigned, `u64` balls, `u64` closed), load histogram (`u64` length + `u64` buckets), and three optional series (`u32` flag + `u64` length + items) |
+//! | payload 1: accumulators | `u32` state count, then per state: point `u32` (strictly increasing), trial count `u64`, completed `u64`, four stat blocks (rounds, work/ball, max load, closed servers) and an optional peak-burned block (`u32` flag), each block = running summary (count `u64`, min/max bits, 34 + 67 exact-sum limbs) + sparse histogram (`u32` entries, then strictly-increasing `u32` bucket + non-zero `u64` count pairs) |
 //!
 //! Decoding rejects bad magic, unknown versions, truncation, trailing bytes,
-//! out-of-range flags/tags and dangling config/snapshot references with a
-//! [`ShardError::Corrupt`] naming the offending field — pinned by the property tests
-//! in `crates/core/tests/proptest_shard_wire.rs`.
+//! out-of-range flags/tags, dangling config/snapshot references and inconsistent
+//! accumulator states (counts that disagree across a state's stats, non-monotone
+//! point/bucket indices) with a [`ShardError::Corrupt`] naming the offending field —
+//! pinned by the property tests in `crates/core/tests/proptest_shard_wire.rs`.
+//!
+//! # Streaming driver merge
+//!
+//! The driver consumes shard reports **one at a time, in shard-index order**,
+//! folding each into per-point [`OutcomeAccumulator`]s and dropping it before
+//! touching the next. Under `Retention::Summary` the whole merge therefore holds
+//! O(points) accumulator state — never all outcomes — so grids far larger than RAM's
+//! outcome capacity stay runnable; and because the accumulator merges are exact
+//! (see `clb_analysis::streaming`), the merged report is bit-identical to
+//! [`Scenario::run`] at every shard count, in both retention modes.
 
 mod wire;
 
 pub use wire::{
     decode_manifest, decode_report, encode_manifest, encode_report, GraphSource, ShardCell,
-    ShardManifest, ShardReport,
+    ShardManifest, ShardPayload, ShardReport,
 };
 
-use crate::experiment::{ExperimentConfig, ExperimentReport, TrialOutcome};
+use crate::accumulate::{merge_grid_fold, GridFold, OutcomeAccumulator, Retention};
+use crate::experiment::ExperimentConfig;
 use crate::scenario::{
     build_shared_snapshots, plan_grid, print_cache_line, CacheStats, Scenario, Sweep, SweepReport,
     SweepRow,
@@ -357,6 +371,16 @@ impl Scenario {
         if !self.paired_seeds {
             crate::scenario::assert_disjoint_seed_ranges(&self.id, &configs);
         }
+        // One report payload shape per shard: a sharded sweep needs one retention
+        // policy for all its points (Scenario::retention sets it uniformly; only a
+        // config closure that hand-assigns per-point policies can violate this).
+        let retention = configs.first().map_or(Retention::Full, |c| c.retention);
+        assert!(
+            configs.iter().all(|c| c.retention == retention),
+            "scenario {}: sharded execution requires a uniform retention policy \
+             across sweep points",
+            self.id,
+        );
 
         let grid_plan = plan_grid(&configs);
         let snapshots = build_shared_snapshots(&configs, &grid_plan)?;
@@ -416,8 +440,17 @@ impl Scenario {
             });
         }
 
-        // Collect in shard-index order; workers were pushed in that order.
-        let mut outcomes: Vec<TrialOutcome> = Vec::with_capacity(grid_plan.grid.len());
+        // Stream-merge in shard-index order; workers were pushed in that order.
+        // Each report folds into the per-point accumulators and is dropped before
+        // the next is read, so the driver never materialises all outcomes at once —
+        // under Retention::Summary its resident result state is O(points), not
+        // O(cells). The exact accumulator merges make the fold bit-identical to
+        // Scenario::run's (the grid is point-major, so a shard's cells are adjacent
+        // trial chunks of consecutive points).
+        let mut point_accumulators: Vec<OutcomeAccumulator> = configs
+            .iter()
+            .map(|config| OutcomeAccumulator::new(config.retention))
+            .collect();
         let mut snapshot_hits = 0u64;
         let mut direct_builds = 0u64;
         for worker in &mut workers.spawned {
@@ -453,13 +486,15 @@ impl Scenario {
                     detail: format!("report claims shard index {}", report.shard_index),
                 });
             }
-            if report.first_cell != range.start as u64 || report.outcomes.len() != range.len() {
+            if report.first_cell != range.start as u64
+                || report.payload.cell_count() != range.len() as u64
+            {
                 return Err(ShardError::Worker {
                     shard,
                     detail: format!(
                         "report covers cells [{}, {}) but the shard owns [{}, {})",
                         report.first_cell,
-                        report.first_cell + report.outcomes.len() as u64,
+                        report.first_cell + report.payload.cell_count(),
                         range.start,
                         range.end
                     ),
@@ -467,29 +502,58 @@ impl Scenario {
             }
             snapshot_hits += report.snapshot_hits;
             direct_builds += report.direct_builds;
-            outcomes.extend(report.outcomes);
+            match report.payload {
+                ShardPayload::Outcomes(outcomes) => {
+                    if retention != Retention::Full {
+                        return Err(ShardError::Worker {
+                            shard,
+                            detail: "summary-mode driver received an outcome payload".into(),
+                        });
+                    }
+                    // Outcomes arrive in global grid order for the shard's range;
+                    // the grid tells each one its sweep point.
+                    for (&(index, _trial), outcome) in
+                        grid_plan.grid[range.clone()].iter().zip(outcomes)
+                    {
+                        point_accumulators[index].push(outcome);
+                    }
+                }
+                ShardPayload::Accumulators(states) => {
+                    if retention != Retention::Summary {
+                        return Err(ShardError::Worker {
+                            shard,
+                            detail: "full-mode driver received an accumulator payload".into(),
+                        });
+                    }
+                    for (point, accumulator) in states {
+                        let Some(target) = point_accumulators.get_mut(point as usize) else {
+                            return Err(ShardError::Worker {
+                                shard,
+                                detail: format!(
+                                    "report references sweep point {point} but the sweep has {}",
+                                    configs.len()
+                                ),
+                            });
+                        };
+                        target.merge(accumulator);
+                    }
+                }
+            }
         }
 
-        // Merge exactly like Scenario::run: the concatenated outcomes are in global
-        // grid order (contiguous ranges, shard-index order), and the grid is
-        // point-major, so per-point pushes restore seed order.
         let cache = CacheStats {
             graphs_built: grid_plan.identities.len(),
             cells_run: grid_plan.grid.len(),
             snapshot_hits: snapshot_hits as usize,
             direct_builds: direct_builds as usize,
         };
-        let mut buckets: Vec<Vec<TrialOutcome>> = configs.iter().map(|_| Vec::new()).collect();
-        for (&(index, _trial), outcome) in grid_plan.grid.iter().zip(outcomes) {
-            buckets[index].push(outcome);
-        }
         let rows = points
             .into_iter()
             .zip(configs)
-            .zip(buckets)
-            .map(|((point, config), trials)| SweepRow {
+            .zip(point_accumulators)
+            .map(|((point, config), accumulator)| SweepRow {
                 point,
-                report: ExperimentReport::aggregate(config, trials),
+                report: accumulator.into_report(config),
             })
             .collect();
         print_cache_line(&cache);
@@ -548,12 +612,28 @@ fn build_manifest(
 ///
 /// This is the worker half of the determinism contract: the per-cell work is exactly
 /// the in-process grid pass of [`Scenario::run`] — decode the shipped snapshot or
-/// build `GraphSpec × seed` directly, then run the trial — and outcomes are collected
-/// in manifest cell order at every thread count.
+/// build `GraphSpec × seed` directly, then run the trial — folded into per-point
+/// accumulators in manifest cell order at every thread count. Under
+/// `Retention::Full` the report carries every outcome (in cell order); under
+/// `Retention::Summary` it carries one O(1)-sized accumulator state per sweep point
+/// the shard touched, and the outcomes never outlive the worker.
 pub fn execute_manifest(manifest: &ShardManifest) -> Result<ShardReport, ShardError> {
+    let retention = manifest
+        .configs
+        .first()
+        .map_or(Retention::Full, |c| c.retention);
+    if manifest.configs.iter().any(|c| c.retention != retention) {
+        return Err(ShardError::Corrupt(
+            "manifest mixes retention policies across configs".into(),
+        ));
+    }
     let snapshot_hits = AtomicUsize::new(0);
     let direct_builds = AtomicUsize::new(0);
-    let outcomes: Result<Vec<TrialOutcome>, GraphError> = manifest
+    // The same streaming fold as Scenario::run — literally the same operator
+    // (`accumulate::merge_grid_fold`), so the two cannot drift apart: manifest
+    // cells are contiguous grid cells, so merges join adjacent trial chunks of
+    // consecutive points.
+    let folded: Result<GridFold<u32>, GraphError> = manifest
         .cells
         .par_iter()
         .map(|cell| {
@@ -569,15 +649,29 @@ pub fn execute_manifest(manifest: &ShardManifest) -> Result<ShardReport, ShardEr
                     config.graph.build(seed)?
                 }
             };
-            Ok(config.run_trial_on(&graph, seed))
+            Ok(GridFold::cell(
+                cell.point,
+                config.retention,
+                config.run_trial_on(&graph, seed),
+            ))
         })
-        .collect();
+        .reduce(|| Ok(GridFold::empty()), merge_grid_fold);
+    let accumulators = folded?.into_merged();
+    let payload = match retention {
+        Retention::Full => ShardPayload::Outcomes(
+            accumulators
+                .into_iter()
+                .flat_map(|(_, accumulator)| accumulator.into_trials())
+                .collect(),
+        ),
+        Retention::Summary => ShardPayload::Accumulators(accumulators),
+    };
     Ok(ShardReport {
         shard_index: manifest.shard_index,
         first_cell: manifest.first_cell,
         snapshot_hits: snapshot_hits.load(Ordering::Relaxed) as u64,
         direct_builds: direct_builds.load(Ordering::Relaxed) as u64,
-        outcomes: outcomes?,
+        payload,
     })
 }
 
@@ -675,9 +769,52 @@ mod tests {
         let report = execute_manifest(&manifest).unwrap();
         assert_eq!(report.snapshot_hits, 1);
         assert_eq!(report.direct_builds, 1);
-        assert_eq!(report.outcomes.len(), 2);
-        assert_eq!(report.outcomes[0], config.run_trial(300).unwrap());
-        assert_eq!(report.outcomes[1], config.run_trial_on(&shared, 301));
+        let ShardPayload::Outcomes(outcomes) = &report.payload else {
+            panic!("full-retention manifests produce outcome payloads");
+        };
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(report.payload.cell_count(), 2);
+        assert_eq!(outcomes[0], config.run_trial(300).unwrap());
+        assert_eq!(outcomes[1], config.run_trial_on(&shared, 301));
+    }
+
+    #[test]
+    fn summary_manifest_produces_accumulator_payload() {
+        // A summary-retention manifest must come back as per-point accumulator
+        // states whose fold matches pushing the same outcomes in-process.
+        let config = ExperimentConfig::new(
+            GraphSpec::Regular { n: 64, delta: 16 },
+            ProtocolSpec::Saer { c: 4, d: 2 },
+        )
+        .seed(300)
+        .trials(3)
+        .retention(crate::accumulate::Retention::Summary);
+        let manifest = ShardManifest {
+            shard_index: 0,
+            shard_count: 1,
+            first_cell: 0,
+            configs: vec![config.clone()],
+            snapshots: vec![],
+            cells: (0..3)
+                .map(|trial| ShardCell {
+                    point: 0,
+                    trial,
+                    source: GraphSource::Direct,
+                })
+                .collect(),
+        };
+        let report = execute_manifest(&manifest).unwrap();
+        assert_eq!(report.payload.cell_count(), 3);
+        let ShardPayload::Accumulators(states) = report.payload else {
+            panic!("summary-retention manifests produce accumulator payloads");
+        };
+        assert_eq!(states.len(), 1);
+        let mut expected = OutcomeAccumulator::new(crate::accumulate::Retention::Summary);
+        for trial in 0..3 {
+            expected.push(config.run_trial(300 + trial).unwrap());
+        }
+        assert_eq!(states[0].0, 0);
+        assert_eq!(states[0].1, expected);
     }
 
     #[test]

@@ -14,8 +14,13 @@
 //! See the [`crate::shard`] module docs for the full layout tables.
 
 use super::ShardError;
+use crate::accumulate::{OutcomeAccumulator, Retention, StreamStat, SummaryState};
 use crate::experiment::{ExperimentConfig, Measurements, TrialOutcome};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use clb_analysis::streaming::{
+    RunningSummary, RunningSummaryState, StreamingHistogram, EXACT_SUM_LIMBS, EXACT_SUM_SQ_LIMBS,
+    STREAMING_HISTOGRAM_BUCKETS,
+};
 use clb_analysis::Histogram;
 use clb_engine::{Demand, RunResult};
 use clb_graph::{DegreeStats, GraphSpec};
@@ -25,7 +30,13 @@ pub const MANIFEST_MAGIC: u32 = 0x434C_424D;
 /// Magic number identifying a shard report ("CLBR" in ASCII).
 pub const REPORT_MAGIC: u32 = 0x434C_4252;
 /// Wire format version; bump when either encoding changes.
-pub const WIRE_VERSION: u32 = 1;
+///
+/// Version 2 (this PR): configs carry a [`Retention`] tag, and a report's result
+/// section became a tagged payload — either the historical per-cell
+/// [`TrialOutcome`] frames (`Retention::Full`) or per-point accumulator-state
+/// frames (`Retention::Summary`), which hold O(1) bytes per sweep point however
+/// many cells the shard executed.
+pub const WIRE_VERSION: u32 = 2;
 
 /// One shard's work unit: which grid cells to run, the configs they index into, and
 /// the pre-built graph snapshots for identities shared across cells.
@@ -67,8 +78,8 @@ pub enum GraphSource {
     Snapshot(u32),
 }
 
-/// One shard's results: per-cell trial outcomes in cell order plus the shard's share
-/// of the cache tallies.
+/// One shard's results: the shard's share of the cache tallies plus a
+/// retention-dependent [`ShardPayload`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardReport {
     /// Echo of [`ShardManifest::shard_index`].
@@ -79,8 +90,35 @@ pub struct ShardReport {
     pub snapshot_hits: u64,
     /// Cells that built their graph directly.
     pub direct_builds: u64,
-    /// One outcome per manifest cell, in the same order.
-    pub outcomes: Vec<TrialOutcome>,
+    /// The shard's results, in the shape its retention policy dictates.
+    pub payload: ShardPayload,
+}
+
+/// The result payload of a [`ShardReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardPayload {
+    /// `Retention::Full`: one [`TrialOutcome`] per manifest cell, in cell order —
+    /// the historical exact transport (floats as IEEE-754 bit patterns).
+    Outcomes(Vec<TrialOutcome>),
+    /// `Retention::Summary`: one folded accumulator per sweep point the shard's
+    /// cell range touched, in strictly increasing point order. O(1) bytes per
+    /// point regardless of the trial count; the driver merges these states in
+    /// shard-index order, which the exact accumulator arithmetic makes
+    /// bit-identical to the in-process fold.
+    Accumulators(Vec<(u32, OutcomeAccumulator)>),
+}
+
+impl ShardPayload {
+    /// Number of grid cells this payload accounts for — the driver checks it
+    /// against the shard's assigned range in both retention modes.
+    pub fn cell_count(&self) -> u64 {
+        match self {
+            ShardPayload::Outcomes(outcomes) => outcomes.len() as u64,
+            ShardPayload::Accumulators(states) => {
+                states.iter().map(|(_, acc)| acc.trial_count()).sum()
+            }
+        }
+    }
 }
 
 /// Checked little-endian reader over a byte slice; every read validates the remaining
@@ -392,6 +430,23 @@ fn get_measurements(r: &mut Reader) -> Result<Measurements, ShardError> {
     })
 }
 
+fn put_retention(buf: &mut BytesMut, retention: Retention) {
+    buf.put_u32_le(match retention {
+        Retention::Full => 0,
+        Retention::Summary => 1,
+    });
+}
+
+fn get_retention(r: &mut Reader) -> Result<Retention, ShardError> {
+    match r.u32("retention tag")? {
+        0 => Ok(Retention::Full),
+        1 => Ok(Retention::Summary),
+        other => Err(ShardError::Corrupt(format!(
+            "unknown retention tag {other}"
+        ))),
+    }
+}
+
 fn put_config(buf: &mut BytesMut, config: &ExperimentConfig) {
     put_graph_spec(buf, &config.graph);
     put_protocol_spec(buf, &config.protocol);
@@ -400,6 +455,7 @@ fn put_config(buf: &mut BytesMut, config: &ExperimentConfig) {
     buf.put_u64_le(config.base_seed);
     buf.put_u32_le(config.max_rounds);
     put_measurements(buf, &config.measurements);
+    put_retention(buf, config.retention);
 }
 
 fn get_config(r: &mut Reader) -> Result<ExperimentConfig, ShardError> {
@@ -410,12 +466,14 @@ fn get_config(r: &mut Reader) -> Result<ExperimentConfig, ShardError> {
     let base_seed = r.u64("config base seed")?;
     let max_rounds = r.u32("config max rounds")?;
     let measurements = get_measurements(r)?;
+    let retention = get_retention(r)?;
     let mut config = ExperimentConfig::new(graph, protocol);
     config.demand = demand;
     config.trials = trials;
     config.base_seed = base_seed;
     config.max_rounds = max_rounds;
     config.measurements = measurements;
+    config.retention = retention;
     Ok(config)
 }
 
@@ -551,6 +609,140 @@ fn get_outcome(r: &mut Reader) -> Result<TrialOutcome, ShardError> {
     })
 }
 
+fn put_running_summary(buf: &mut BytesMut, summary: &RunningSummary) {
+    let state = summary.state();
+    buf.put_u64_le(state.count);
+    buf.put_u64_le(state.min.to_bits());
+    buf.put_u64_le(state.max.to_bits());
+    for &limb in &state.sum {
+        buf.put_u64_le(limb);
+    }
+    for &limb in &state.sum_sq {
+        buf.put_u64_le(limb);
+    }
+}
+
+fn get_running_summary(r: &mut Reader, what: &str) -> Result<RunningSummary, ShardError> {
+    let count = r.u64(what)?;
+    let min = r.f64(what)?;
+    let max = r.f64(what)?;
+    let mut sum = [0u64; EXACT_SUM_LIMBS];
+    for limb in &mut sum {
+        *limb = r.u64(what)?;
+    }
+    let mut sum_sq = [0u64; EXACT_SUM_SQ_LIMBS];
+    for limb in &mut sum_sq {
+        *limb = r.u64(what)?;
+    }
+    RunningSummary::from_state(RunningSummaryState {
+        count,
+        min,
+        max,
+        sum,
+        sum_sq,
+    })
+    .map_err(|e| ShardError::Corrupt(format!("{what}: {e}")))
+}
+
+/// Histograms travel sparse — `(bucket index, count)` pairs in strictly increasing
+/// index order — since a typical experiment's values cluster in a handful of the
+/// [`STREAMING_HISTOGRAM_BUCKETS`] fixed buckets.
+fn put_streaming_histogram(buf: &mut BytesMut, histogram: &StreamingHistogram) {
+    let entries = histogram.counts().iter().filter(|&&c| c > 0).count();
+    buf.put_u32_le(entries as u32);
+    for (index, &count) in histogram.counts().iter().enumerate() {
+        if count > 0 {
+            buf.put_u32_le(index as u32);
+            buf.put_u64_le(count);
+        }
+    }
+}
+
+fn get_streaming_histogram(r: &mut Reader, what: &str) -> Result<StreamingHistogram, ShardError> {
+    let entries = r.u32(what)? as usize;
+    if entries > STREAMING_HISTOGRAM_BUCKETS {
+        return Err(ShardError::Corrupt(format!(
+            "{what}: {entries} sparse entries exceed the {STREAMING_HISTOGRAM_BUCKETS} buckets"
+        )));
+    }
+    let mut counts = vec![0u64; STREAMING_HISTOGRAM_BUCKETS];
+    let mut previous: Option<u32> = None;
+    for _ in 0..entries {
+        let index = r.u32(what)?;
+        if index as usize >= STREAMING_HISTOGRAM_BUCKETS {
+            return Err(ShardError::Corrupt(format!(
+                "{what}: bucket index {index} out of range"
+            )));
+        }
+        if previous.is_some_and(|p| index <= p) {
+            return Err(ShardError::Corrupt(format!(
+                "{what}: bucket indices must be strictly increasing at {index}"
+            )));
+        }
+        previous = Some(index);
+        let count = r.u64(what)?;
+        if count == 0 {
+            return Err(ShardError::Corrupt(format!(
+                "{what}: sparse bucket {index} has a zero count"
+            )));
+        }
+        counts[index as usize] = count;
+    }
+    StreamingHistogram::from_counts(counts).map_err(|e| ShardError::Corrupt(format!("{what}: {e}")))
+}
+
+fn put_stream_stat(buf: &mut BytesMut, stat: &StreamStat) {
+    put_running_summary(buf, &stat.summary);
+    put_streaming_histogram(buf, &stat.histogram);
+}
+
+fn get_stream_stat(r: &mut Reader, what: &str) -> Result<StreamStat, ShardError> {
+    let summary = get_running_summary(r, what)?;
+    let histogram = get_streaming_histogram(r, what)?;
+    StreamStat::from_parts(summary, histogram)
+        .map_err(|e| ShardError::Corrupt(format!("{what}: {e}")))
+}
+
+fn put_summary_state(buf: &mut BytesMut, state: &SummaryState) {
+    buf.put_u64_le(state.trial_count);
+    buf.put_u64_le(state.completed);
+    put_stream_stat(buf, &state.rounds);
+    put_stream_stat(buf, &state.work_per_ball);
+    put_stream_stat(buf, &state.max_load);
+    put_stream_stat(buf, &state.closed_servers);
+    match &state.peak_burned {
+        None => buf.put_u32_le(0),
+        Some(stat) => {
+            buf.put_u32_le(1);
+            put_stream_stat(buf, stat);
+        }
+    }
+}
+
+fn get_summary_state(r: &mut Reader) -> Result<SummaryState, ShardError> {
+    let trial_count = r.u64("accumulator trial count")?;
+    let completed = r.u64("accumulator completed count")?;
+    let rounds = get_stream_stat(r, "rounds stat")?;
+    let work_per_ball = get_stream_stat(r, "work-per-ball stat")?;
+    let max_load = get_stream_stat(r, "max-load stat")?;
+    let closed_servers = get_stream_stat(r, "closed-servers stat")?;
+    let peak_burned = if r.flag("peak-burned-fraction flag")? {
+        Some(get_stream_stat(r, "peak-burned-fraction stat")?)
+    } else {
+        None
+    };
+    SummaryState::from_parts(
+        trial_count,
+        completed,
+        rounds,
+        work_per_ball,
+        max_load,
+        closed_servers,
+        peak_burned,
+    )
+    .map_err(|e| ShardError::Corrupt(format!("accumulator state: {e}")))
+}
+
 /// Serialises a shard work unit.
 pub fn encode_manifest(manifest: &ShardManifest) -> Bytes {
     let snapshot_bytes: usize = manifest.snapshots.iter().map(|s| s.len() + 8).sum();
@@ -655,21 +847,46 @@ pub fn decode_manifest(data: &[u8]) -> Result<ShardManifest, ShardError> {
 
 /// Serialises a shard result.
 pub fn encode_report(report: &ShardReport) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64 + report.outcomes.len() * 160);
+    let capacity = 64
+        + match &report.payload {
+            ShardPayload::Outcomes(outcomes) => outcomes.len() * 160,
+            ShardPayload::Accumulators(states) => states.len() * 1200,
+        };
+    let mut buf = BytesMut::with_capacity(capacity);
     put_header(&mut buf, REPORT_MAGIC);
     buf.put_u32_le(report.shard_index);
     buf.put_u64_le(report.first_cell);
     buf.put_u64_le(report.snapshot_hits);
     buf.put_u64_le(report.direct_builds);
-    buf.put_u64_le(report.outcomes.len() as u64);
-    for outcome in &report.outcomes {
-        put_outcome(&mut buf, outcome);
+    match &report.payload {
+        ShardPayload::Outcomes(outcomes) => {
+            buf.put_u32_le(0);
+            buf.put_u64_le(outcomes.len() as u64);
+            for outcome in outcomes {
+                put_outcome(&mut buf, outcome);
+            }
+        }
+        ShardPayload::Accumulators(states) => {
+            buf.put_u32_le(1);
+            buf.put_u32_le(states.len() as u32);
+            for (point, accumulator) in states {
+                buf.put_u32_le(*point);
+                put_summary_state(
+                    &mut buf,
+                    accumulator
+                        .summary_state()
+                        .expect("a summary payload only carries non-empty accumulators"),
+                );
+            }
+        }
     }
     buf.freeze()
 }
 
-/// Reconstructs a shard result from [`encode_report`] output. Decoded outcomes are
-/// bit-identical to the worker's originals (floats travel as IEEE-754 bit patterns).
+/// Reconstructs a shard result from [`encode_report`] output, validating every
+/// length, flag and accumulator cross-invariant. Decoded outcomes (and accumulator
+/// states) are bit-identical to the worker's originals — floats travel as IEEE-754
+/// bit patterns, exact-sum accumulators as raw limbs.
 pub fn decode_report(data: &[u8]) -> Result<ShardReport, ShardError> {
     let mut r = Reader::new(data);
     check_header(&mut r, REPORT_MAGIC, "report")?;
@@ -677,17 +894,49 @@ pub fn decode_report(data: &[u8]) -> Result<ShardReport, ShardError> {
     let first_cell = r.u64("first cell")?;
     let snapshot_hits = r.u64("snapshot hits")?;
     let direct_builds = r.u64("direct builds")?;
-    let num_outcomes = r.len(100, "outcome count")?;
-    let mut outcomes = Vec::with_capacity(num_outcomes);
-    for _ in 0..num_outcomes {
-        outcomes.push(get_outcome(&mut r)?);
-    }
+    let payload = match r.u32("report payload tag")? {
+        0 => {
+            let num_outcomes = r.len(100, "outcome count")?;
+            let mut outcomes = Vec::with_capacity(num_outcomes);
+            for _ in 0..num_outcomes {
+                outcomes.push(get_outcome(&mut r)?);
+            }
+            ShardPayload::Outcomes(outcomes)
+        }
+        1 => {
+            let num_states = r.u32("accumulator state count")?;
+            let mut states = Vec::with_capacity(num_states.min(1 << 16) as usize);
+            let mut previous: Option<u32> = None;
+            for _ in 0..num_states {
+                let point = r.u32("accumulator point index")?;
+                if previous.is_some_and(|p| point <= p) {
+                    return Err(ShardError::Corrupt(format!(
+                        "accumulator point indices must be strictly increasing at {point}"
+                    )));
+                }
+                previous = Some(point);
+                let state = get_summary_state(&mut r)?;
+                if state.trial_count == 0 {
+                    return Err(ShardError::Corrupt(format!(
+                        "accumulator for point {point} folded zero trials"
+                    )));
+                }
+                states.push((point, OutcomeAccumulator::from_summary_state(state)));
+            }
+            ShardPayload::Accumulators(states)
+        }
+        other => {
+            return Err(ShardError::Corrupt(format!(
+                "unknown report payload tag {other}"
+            )))
+        }
+    };
     r.finish("report")?;
     Ok(ShardReport {
         shard_index,
         first_cell,
         snapshot_hits,
         direct_builds,
-        outcomes,
+        payload,
     })
 }

@@ -1,6 +1,7 @@
 //! Property tests for the shard wire format (`clb_core::shard`): arbitrary
-//! [`ShardManifest`]/[`ShardReport`] values round-trip through encode/decode exactly,
-//! every strict prefix of an encoding fails to decode (mirroring the truncation test
+//! [`ShardManifest`]/[`ShardReport`] values round-trip through encode/decode exactly
+//! — including the version-2 accumulator payloads of `Retention::Summary` — every
+//! strict prefix of an encoding fails to decode (mirroring the truncation test
 //! of `clb_graph::snapshot`), corrupted magic/version/tag bytes produce diagnosable
 //! [`ShardError::Corrupt`] errors, and [`partition_cells`] covers every grid cell
 //! exactly once for arbitrary (grid size, shard count) pairs — including more shards
@@ -9,9 +10,9 @@
 use clb_analysis::Histogram;
 use clb_core::shard::{
     decode_manifest, decode_report, encode_manifest, encode_report, partition_cells, GraphSource,
-    ShardCell, ShardError, ShardManifest, ShardReport,
+    ShardCell, ShardError, ShardManifest, ShardPayload, ShardReport,
 };
-use clb_core::{ExperimentConfig, Measurements, TrialOutcome};
+use clb_core::{ExperimentConfig, Measurements, OutcomeAccumulator, Retention, TrialOutcome};
 use clb_engine::{Demand, RunResult};
 use clb_graph::{DegreeStats, GraphSpec};
 use clb_protocols::ProtocolSpec;
@@ -70,10 +71,10 @@ fn arb_config() -> impl Strategy<Value = ExperimentConfig> {
         arb_protocol_spec(),
         arb_demand(),
         (1usize..20, any::<u64>(), 1u32..2000),
-        (any::<bool>(), any::<bool>(), any::<bool>()),
+        (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()),
     )
         .prop_map(
-            |(graph, protocol, demand, (trials, base_seed, max_rounds), (bf, nm, tr))| {
+            |(graph, protocol, demand, (trials, base_seed, max_rounds), (bf, nm, tr, summary))| {
                 let mut config = ExperimentConfig::new(graph, protocol);
                 config.demand = demand;
                 config.trials = trials;
@@ -83,6 +84,11 @@ fn arb_config() -> impl Strategy<Value = ExperimentConfig> {
                     burned_fraction: bf,
                     neighborhood_mass: nm,
                     trajectory: tr,
+                };
+                config.retention = if summary {
+                    Retention::Summary
+                } else {
+                    Retention::Full
                 };
                 config
             },
@@ -199,7 +205,43 @@ fn arb_report() -> impl Strategy<Value = ShardReport> {
                 first_cell,
                 snapshot_hits,
                 direct_builds,
-                outcomes,
+                payload: ShardPayload::Outcomes(outcomes),
+            },
+        )
+}
+
+/// A summary-mode report: per-point accumulators built through the public fold API
+/// (arbitrary outcomes pushed under `Retention::Summary`), with strictly increasing
+/// point indices — exactly what a worker emits.
+fn arb_summary_report() -> impl Strategy<Value = ShardReport> {
+    (
+        (0u32..8, any::<u64>(), 0u64..100, 0u64..100),
+        prop::collection::vec((1u32..5, prop::collection::vec(arb_outcome(), 1..4)), 0..4),
+    )
+        .prop_map(
+            |((shard_index, first_cell, snapshot_hits, direct_builds), groups)| {
+                let mut point = 0u32;
+                let states = groups
+                    .into_iter()
+                    .map(|(gap, outcomes)| {
+                        point += gap;
+                        let mut accumulator = OutcomeAccumulator::new(Retention::Summary);
+                        for mut outcome in outcomes {
+                            // The summary fold records work_per_ball = messages /
+                            // balls, which must be finite.
+                            outcome.result.total_balls = outcome.result.total_balls.max(1);
+                            accumulator.push(outcome);
+                        }
+                        (point, accumulator)
+                    })
+                    .collect();
+                ShardReport {
+                    shard_index,
+                    first_cell,
+                    snapshot_hits,
+                    direct_builds,
+                    payload: ShardPayload::Accumulators(states),
+                }
             },
         )
 }
@@ -217,6 +259,27 @@ proptest! {
     fn report_round_trips_exactly(report in arb_report()) {
         let decoded = decode_report(&encode_report(&report)).expect("decode");
         prop_assert_eq!(decoded, report);
+    }
+
+    #[test]
+    fn summary_report_round_trips_exactly(report in arb_summary_report()) {
+        // Accumulator states — exact-sum limbs, histograms, counts — must survive
+        // the wire bit-for-bit: the driver merges decoded states straight into its
+        // fold, so any loss here would break the cross-process determinism
+        // contract.
+        let decoded = decode_report(&encode_report(&report)).expect("decode");
+        prop_assert_eq!(decoded, report);
+    }
+
+    #[test]
+    fn every_strict_prefix_of_a_summary_report_fails_to_decode(report in arb_summary_report()) {
+        let bytes = encode_report(&report);
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                decode_report(&bytes[..cut]).is_err(),
+                "a summary report truncated to {cut} of {} bytes decoded", bytes.len()
+            );
+        }
     }
 
     #[test]
@@ -288,6 +351,83 @@ fn sample_manifest() -> ShardManifest {
     }
 }
 
+/// A small, deterministic summary-mode report for the targeted corruption tests.
+fn sample_summary_report() -> ShardReport {
+    let config = ExperimentConfig::new(
+        GraphSpec::Regular { n: 32, delta: 8 },
+        ProtocolSpec::Saer { c: 4, d: 2 },
+    )
+    .seed(900)
+    .trials(2)
+    .retention(Retention::Summary);
+    let mut accumulator = OutcomeAccumulator::new(Retention::Summary);
+    for trial in 0..2 {
+        accumulator.push(config.run_trial(900 + trial).expect("valid graph"));
+    }
+    ShardReport {
+        shard_index: 0,
+        first_cell: 0,
+        snapshot_hits: 0,
+        direct_builds: 2,
+        payload: ShardPayload::Accumulators(vec![(3, accumulator)]),
+    }
+}
+
+#[test]
+fn summary_report_corrupted_magic_and_version_are_diagnosed() {
+    let good = encode_report(&sample_summary_report());
+    let mut bytes = good.to_vec();
+    bytes[0] ^= 0xFF;
+    let err = decode_report(&bytes).expect_err("bad magic must fail");
+    assert!(err.to_string().contains("magic"), "got: {err}");
+
+    let mut bytes = good.to_vec();
+    bytes[4] = 99;
+    let err = decode_report(&bytes).expect_err("future version must fail");
+    assert!(err.to_string().contains("version"), "got: {err}");
+}
+
+#[test]
+fn unknown_report_payload_tag_is_diagnosed() {
+    // The payload tag sits right after the fixed header: magic + version (8),
+    // shard index (4), first cell (8), two cache tallies (16).
+    let mut bytes = encode_report(&sample_summary_report()).to_vec();
+    bytes[36] = 7;
+    let err = decode_report(&bytes).expect_err("unknown payload tag must fail");
+    assert!(err.to_string().contains("payload tag"), "got: {err}");
+}
+
+#[test]
+fn inconsistent_accumulator_counts_are_diagnosed() {
+    // Bump the state's trial count (u64 right after the payload tag (at 36), the
+    // state count and the point index, i.e. offset 36 + 4 + 4 + 4 = 48): every stat
+    // then disagrees with it, which the decoder's cross-validation must catch
+    // rather than hand the driver a self-contradictory accumulator.
+    let mut bytes = encode_report(&sample_summary_report()).to_vec();
+    bytes[48] = bytes[48].wrapping_add(1);
+    let err = decode_report(&bytes).expect_err("count mismatch must fail");
+    assert!(
+        err.to_string().contains("observations") || err.to_string().contains("completed"),
+        "got: {err}"
+    );
+}
+
+#[test]
+fn trailing_garbage_after_a_summary_report_is_rejected() {
+    let mut bytes = encode_report(&sample_summary_report()).to_vec();
+    bytes.push(0);
+    assert!(matches!(decode_report(&bytes), Err(ShardError::Corrupt(_))));
+}
+
+#[test]
+fn config_retention_round_trips_in_manifests() {
+    let mut manifest = sample_manifest();
+    manifest.configs[0].retention = Retention::Summary;
+    let decoded = decode_manifest(&encode_manifest(&manifest)).expect("decode");
+    assert_eq!(decoded.configs[0].retention, Retention::Summary);
+    assert_eq!(decoded, manifest);
+}
+
 #[test]
 fn corrupted_magic_is_diagnosed() {
     let mut bytes = encode_manifest(&sample_manifest()).to_vec();
@@ -313,7 +453,7 @@ fn report_magic_is_not_a_manifest_magic() {
         first_cell: 0,
         snapshot_hits: 0,
         direct_builds: 0,
-        outcomes: vec![],
+        payload: ShardPayload::Outcomes(vec![]),
     };
     let bytes = encode_report(&report);
     let err = decode_manifest(&bytes).expect_err("wrong magic must fail");

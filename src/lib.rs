@@ -62,6 +62,36 @@
 //!     println!("c = {c}: {:.1} rounds", point.rounds.mean);
 //! }
 //! ```
+//!
+//! ## Quick start: a memory-bounded sweep
+//!
+//! For grids too large to hold every trial outcome in memory, switch the scenario to
+//! [`Retention::Summary`]: each outcome folds into mergeable, O(1)-memory
+//! accumulators (exact count/mean/std-dev/min/max, histogram-approximate medians)
+//! the moment it is produced, in-process and across shard worker processes alike —
+//! and the result stays bit-identical at every thread and shard count.
+//!
+//! ```
+//! use clb::prelude::*;
+//!
+//! let scenario = Scenario::new("demo-s", "summary retention", "flat memory")
+//!     .trials(64)
+//!     .retention(Retention::Summary);
+//! let report = scenario
+//!     .run(Sweep::over("c", [4u32]), |idx, &c| {
+//!         ExperimentConfig::new(
+//!             GraphSpec::Regular { n: 64, delta: 16 },
+//!             ProtocolSpec::Saer { c, d: 2 },
+//!         )
+//!         .seed(7 + 1000 * idx as u64)
+//!     })
+//!     .unwrap();
+//! let point = report.report(0);
+//! assert!(point.trials.is_empty());        // outcomes were folded, not collected
+//! assert_eq!(point.trial_count, 64);       // ... but fully accounted for
+//! assert!(point.completion_rate().is_finite());
+//! assert!(point.retained_bytes < 100_000); // flat, however many trials run
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -84,18 +114,19 @@ pub use clb_sequential as sequential;
 /// Re-export of `clb-analysis`.
 pub use clb_analysis as analysis;
 
-pub use clb_core::{experiment, report, scenario, shard};
+pub use clb_core::{accumulate, experiment, report, scenario, shard};
 pub use clb_core::{
-    CacheStats, ExperimentConfig, ExperimentReport, Measurements, Scenario, ShardError, ShardPlan,
-    Sweep, SweepReport, SweepRow, Table, TrialOutcome,
+    CacheStats, ExperimentConfig, ExperimentReport, Measurements, OutcomeAccumulator, Retention,
+    Scenario, ShardError, ShardPlan, Sweep, SweepReport, SweepRow, Table, TrialOutcome,
 };
 
 /// The most commonly used items, importable with `use clb::prelude::*`.
 pub mod prelude {
     pub use clb_analysis::{
         completion_horizon_rounds, linear_fit, min_admissible_degree, required_c_general,
-        required_c_regular, Histogram, Summary,
+        required_c_regular, Histogram, RunningSummary, StreamingHistogram, Summary,
     };
+    pub use clb_core::accumulate::{OutcomeAccumulator, Retention};
     pub use clb_core::experiment::{
         ExperimentConfig, ExperimentReport, Measurements, TrialOutcome,
     };

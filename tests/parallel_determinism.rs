@@ -13,7 +13,7 @@
 
 use clb::prelude::*;
 
-fn full_scenario(threads: usize) -> SweepReport<u32> {
+fn full_scenario_with_retention(threads: usize, retention: Retention) -> SweepReport<u32> {
     rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build()
@@ -23,6 +23,7 @@ fn full_scenario(threads: usize) -> SweepReport<u32> {
                 .trials(4)
                 .max_rounds(300)
                 .measurements(Measurements::all())
+                .retention(retention)
                 .run(Sweep::over("c", [2u32, 4, 8]), |idx, &c| {
                     ExperimentConfig::new(
                         GraphSpec::RegularLogSquared { n: 256, eta: 1.0 },
@@ -32,6 +33,10 @@ fn full_scenario(threads: usize) -> SweepReport<u32> {
                 })
                 .unwrap()
         })
+}
+
+fn full_scenario(threads: usize) -> SweepReport<u32> {
+    full_scenario_with_retention(threads, Retention::Full)
 }
 
 #[test]
@@ -53,6 +58,27 @@ fn full_scenario_is_bit_identical_across_thread_counts() {
         sequential.cache.snapshot_hits + sequential.cache.direct_builds,
         sequential.cache.cells_run
     );
+}
+
+#[test]
+fn summary_retention_is_bit_identical_across_thread_counts() {
+    // Retention::Summary folds outcomes into accumulators *on the pool workers*
+    // and merges piece states in index order; the exact accumulator arithmetic
+    // makes the fold independent of where the pool split the grid, so the whole
+    // report must match bitwise — including the histogram-derived medians.
+    let sequential = full_scenario_with_retention(1, Retention::Summary);
+    let parallel = full_scenario_with_retention(4, Retention::Summary);
+    assert_eq!(
+        sequential, parallel,
+        "summary-mode SweepReport diverged between 1 and 4 threads"
+    );
+    // Teeth: outcomes were really dropped, yet fully accounted for.
+    for (_, point) in sequential.iter() {
+        assert!(point.trials.is_empty());
+        assert_eq!(point.trial_count, 4);
+        assert!(point.completion_rate().is_finite());
+        assert!(point.peak_burned_fraction().is_some());
+    }
 }
 
 #[test]

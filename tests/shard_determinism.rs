@@ -84,6 +84,38 @@ fn run_sharded_is_bit_identical_to_in_process_at_every_shard_count() {
 }
 
 #[test]
+fn summary_retention_is_bit_identical_at_every_shard_count() {
+    // Under Retention::Summary the workers ship accumulator states instead of raw
+    // outcomes and the driver merges them one report at a time, in shard-index
+    // order. Shard boundaries split sweep points mid-trial-range (12 cells over 5
+    // shards), so this exercises merges of partial per-point states — which the
+    // exact accumulator arithmetic must make bit-identical to the in-process fold.
+    let summary_scenario = || scenario().retention(Retention::Summary);
+    let baseline = summary_scenario().run(sweep(), config).unwrap();
+    for (_, point) in baseline.iter() {
+        assert!(point.trials.is_empty(), "summary mode retains no outcomes");
+        assert_eq!(point.trial_count, 4);
+        assert!(point.completion_rate().is_finite());
+        assert!(point.peak_burned_fraction().is_some());
+    }
+
+    for shards in [1usize, 2, 3, 5] {
+        let sharded = summary_scenario()
+            .run_sharded(sweep(), config, &plan(shards))
+            .unwrap_or_else(|e| panic!("summary sharded run with {shards} shards failed: {e}"));
+        assert_eq!(
+            baseline, sharded,
+            "summary-mode SweepReport diverged between in-process and {shards}-shard execution"
+        );
+        assert_eq!(
+            sharded.cache.snapshot_hits + sharded.cache.direct_builds,
+            sharded.cache.cells_run,
+            "shards = {shards}"
+        );
+    }
+}
+
+#[test]
 fn paired_design_ships_shared_snapshots_across_processes() {
     // The paired RAES-vs-SAER design shares every graph identity between its arms.
     // Sharded, the arms land in *different worker processes*, so the driver must ship
