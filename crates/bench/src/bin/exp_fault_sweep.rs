@@ -1,0 +1,159 @@
+//! E10 — guarantee survival under faults: crash-stop, message loss, lying loads and
+//! stragglers swept against SAER and RAES.
+//!
+//! The paper's model is fault-free; this experiment asks which of its guarantees are
+//! *robust*. A composite fault plan is scaled by an intensity knob (the fraction of
+//! servers crashed at round 2, the fraction lying about their load, the fraction
+//! straggling, and a proportional message loss) and swept against both protocols on
+//! identical instances. The table's verdict column splits the protocols: **SAER's
+//! hard c·d bound survives every fault** — it burns on the cumulative *request
+//! count*, which no fault here inflates — while **RAES's bound falls to lying
+//! loads**: its saturation check reads `current_load`, so a server under-reporting
+//! its load keeps accepting past c·d. Meanwhile the **completion guarantee degrades
+//! gracefully** for both: unserved balls and lost servers grow with intensity,
+//! measured against the paired fault-free baseline (same seeds, same graphs, so
+//! every delta is the fault plan's doing).
+
+use clb::prelude::*;
+use clb::report::fmt2;
+
+const C: u32 = 4;
+const D: u32 = 2;
+
+/// The composite plan at a given intensity (0 disables fault injection entirely, so
+/// the baseline row is a genuinely unwrapped run).
+fn plan_for(pct: u32) -> Option<FaultPlan> {
+    if pct == 0 {
+        return None;
+    }
+    let f = pct as f64 / 100.0;
+    Some(
+        FaultPlan::none()
+            .crash(2, f)
+            .lying_load(f, 0.5)
+            .message_loss(f / 4.0, f / 4.0)
+            .stragglers(f, 0.5),
+    )
+}
+
+fn main() {
+    // Worker hook: when the sharded runner re-executes this binary for one shard,
+    // execute that shard and exit before any driver code runs (see clb::shard).
+    clb::shard::maybe_run_worker();
+
+    // `paired_seeds`: every sweep point shares base seed 1300, so every (protocol,
+    // intensity) cell runs on identical graphs and identical request streams. The
+    // fault draws come from a dedicated RNG domain keyed by the same trial seeds, so
+    // raising the intensity perturbs the run without re-rolling the instance — the
+    // degradation columns are pure fault effects, not seed noise.
+    let scenario = Scenario::new(
+        "E10",
+        "guarantee survival under crash-stop, message loss, lying loads and stragglers",
+        "SAER's count-based c·d bound survives every fault; RAES's load-based bound falls to \
+         lying loads; completion degrades gracefully for both",
+    )
+    .max_rounds(400)
+    .paired_seeds();
+    scenario.announce();
+
+    let n = if scenario.quick() { 1 << 10 } else { 1 << 12 };
+
+    let sweep = Sweep::over("protocol", ["SAER", "RAES"]).cross("fault %", [0u32, 10, 25, 50]);
+    let config = |_: usize, point: &(&str, u32)| {
+        let (name, pct) = *point;
+        let protocol = match name {
+            "SAER" => ProtocolSpec::Saer { c: C, d: D },
+            _ => ProtocolSpec::Raes { c: C, d: D },
+        };
+        let config = ExperimentConfig::new(GraphSpec::RegularLogSquared { n, eta: 1.0 }, protocol)
+            .seed(1300);
+        match plan_for(pct) {
+            Some(plan) => config.faults(plan),
+            None => config,
+        }
+    };
+    // CLB_SHARDS=k distributes the grid across k worker processes; fault plans travel
+    // to the workers inside the wire-format configs, so a faulted sweep shards (and
+    // merges bit-identically) exactly like a fault-free one.
+    let report = match ShardPlan::from_env() {
+        Some(plan) => scenario
+            .run_sharded(sweep, config, &plan)
+            .expect("sharded run"),
+        None => scenario.run(sweep, config).expect("valid configuration"),
+    };
+
+    let points: Vec<_> = report.iter().collect();
+    let mut table = Table::new([
+        "protocol",
+        "fault %",
+        "completed",
+        "Δcompletion (pp)",
+        "rounds (mean)",
+        "surviving servers",
+        "unserved balls",
+        "max load",
+        "≤ c·d",
+    ]);
+    let bound = (C * D) as f64;
+    for ((name, pct), point) in &points {
+        // The paired fault-free row of the same protocol is the degradation baseline.
+        let baseline = points
+            .iter()
+            .find(|((base_name, base_pct), _)| base_name == name && *base_pct == 0)
+            .map(|(_, point)| *point)
+            .expect("every protocol sweeps intensity 0");
+        let degradation = point.degradation_vs(baseline);
+        let bound_held = point.max_load.max <= bound;
+        if *pct == 0 {
+            assert_eq!(
+                point.completion_rate(),
+                1.0,
+                "{name}: the fault-free baseline must complete"
+            );
+            assert!(
+                bound_held,
+                "{name}: the fault-free baseline must respect c·d (got {})",
+                point.max_load.max
+            );
+        }
+        // SAER burns on the cumulative request count, which no fault in this menu can
+        // inflate — its bound must therefore hold at every intensity. RAES saturates
+        // on current_load, so the lying-load fault legitimately breaks it; the table
+        // reports the verdict instead of asserting one.
+        assert!(
+            *name != "SAER" || bound_held,
+            "SAER at {pct}%: max load {} exceeded the c·d bound {bound} — \
+             no fault here can inflate a request count",
+            point.max_load.max
+        );
+        table.row([
+            name.to_string(),
+            format!("{pct}%"),
+            format!("{:.0}%", 100.0 * point.completion_rate()),
+            format!("{:+.0}", -100.0 * degradation.completion_drop + 0.0),
+            fmt2(point.rounds.mean),
+            fmt2(point.surviving_servers.mean),
+            fmt2(point.unassigned_balls.mean),
+            format!("{:.0}", point.max_load.max),
+            if bound_held { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+    println!(
+        "reading: the ≤ c·d column splits the protocols. SAER burns on the cumulative request"
+    );
+    println!(
+        "count — no crash, drop, lie or straggle inflates that counter, so its hard bound holds at"
+    );
+    println!(
+        "every intensity. RAES saturates on current load, so a server under-reporting its load"
+    );
+    println!("keeps accepting past c·d: the load-based guarantee is the one lying reports break.");
+    println!(
+        "Completion degrades gracefully for both: crashed servers take their spare capacity with"
+    );
+    println!(
+        "them and lost messages waste rounds, so unserved balls grow with intensity while the"
+    );
+    println!("surviving servers run the protocol unchanged (attribution is still future work).");
+}

@@ -156,6 +156,10 @@ fn main() {
         .map(|(_, point)| point.retained_bytes)
         .sum();
     let cells_per_sec = cells as f64 / (summary_ms / 1e3);
+    // On a single hardware thread every timing ratio above is contention noise, not
+    // parallel speedup — flag the run so downstream consumers of the JSON know to
+    // trust only the determinism verdicts.
+    let contended = hardware_threads == 1;
 
     println!();
     println!(
@@ -175,7 +179,7 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"parallel_scenario_grid\",\n  \"graph\": \"regular-log2 n={n}\",\n  \"cells\": {cells},\n  \"threads_sequential\": 1,\n  \"threads_parallel\": {threads},\n  \"hardware_threads\": {hardware_threads},\n  \"sequential_ms\": {sequential_ms:.1},\n  \"parallel_ms\": {parallel_ms:.1},\n  \"speedup\": {speedup:.2},\n  \"deterministic\": {deterministic},\n  \"shards\": {shards},\n  \"sharded_ms\": {sharded_ms:.1},\n  \"shard_deterministic\": {shard_deterministic},\n  \"summary_ms\": {summary_ms:.1},\n  \"cells_per_sec\": {cells_per_sec:.1},\n  \"peak_retained_bytes\": {peak_retained_bytes},\n  \"full_retained_bytes\": {full_retained_bytes},\n  \"summary_deterministic\": {summary_deterministic}\n}}\n"
+        "{{\n  \"bench\": \"parallel_scenario_grid\",\n  \"graph\": \"regular-log2 n={n}\",\n  \"cells\": {cells},\n  \"threads_sequential\": 1,\n  \"threads_parallel\": {threads},\n  \"hardware_threads\": {hardware_threads},\n  \"contended\": {contended},\n  \"sequential_ms\": {sequential_ms:.1},\n  \"parallel_ms\": {parallel_ms:.1},\n  \"speedup\": {speedup:.2},\n  \"deterministic\": {deterministic},\n  \"shards\": {shards},\n  \"sharded_ms\": {sharded_ms:.1},\n  \"shard_deterministic\": {shard_deterministic},\n  \"summary_ms\": {summary_ms:.1},\n  \"cells_per_sec\": {cells_per_sec:.1},\n  \"peak_retained_bytes\": {peak_retained_bytes},\n  \"full_retained_bytes\": {full_retained_bytes},\n  \"summary_deterministic\": {summary_deterministic}\n}}\n"
     );
     std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
     println!("\nwrote BENCH_parallel.json:\n{json}");

@@ -107,6 +107,8 @@ pub(crate) struct SummaryState {
     pub(crate) work_per_ball: StreamStat,
     pub(crate) max_load: StreamStat,
     pub(crate) closed_servers: StreamStat,
+    pub(crate) surviving_servers: StreamStat,
+    pub(crate) unassigned_balls: StreamStat,
     /// Present iff the burned-fraction measurement was recorded (created on the
     /// first outcome that carries a series, which the per-config measurement flag
     /// makes uniform across a point's trials).
@@ -122,6 +124,8 @@ impl SummaryState {
             work_per_ball: StreamStat::new(),
             max_load: StreamStat::new(),
             closed_servers: StreamStat::new(),
+            surviving_servers: StreamStat::new(),
+            unassigned_balls: StreamStat::new(),
             peak_burned: None,
         }
     }
@@ -134,6 +138,10 @@ impl SummaryState {
         self.max_load.record(outcome.result.max_load as f64);
         self.closed_servers
             .record(outcome.result.closed_servers as f64);
+        self.surviving_servers
+            .record(outcome.surviving_servers as f64);
+        self.unassigned_balls
+            .record(outcome.result.unassigned_balls as f64);
         if let Some(peak) = outcome.peak_burned_fraction() {
             self.peak_burned
                 .get_or_insert_with(StreamStat::new)
@@ -148,6 +156,8 @@ impl SummaryState {
         self.work_per_ball.merge(&other.work_per_ball);
         self.max_load.merge(&other.max_load);
         self.closed_servers.merge(&other.closed_servers);
+        self.surviving_servers.merge(&other.surviving_servers);
+        self.unassigned_balls.merge(&other.unassigned_balls);
         if let Some(theirs) = &other.peak_burned {
             match &mut self.peak_burned {
                 Some(ours) => ours.merge(theirs),
@@ -158,6 +168,7 @@ impl SummaryState {
 
     /// Wire-decode constructor: validates every cross-count invariant a corrupted
     /// or hand-crafted frame could violate.
+    #[allow(clippy::too_many_arguments)] // one per wire stat block, mirrored by the codec
     pub(crate) fn from_parts(
         trial_count: u64,
         completed: u64,
@@ -165,6 +176,8 @@ impl SummaryState {
         work_per_ball: StreamStat,
         max_load: StreamStat,
         closed_servers: StreamStat,
+        surviving_servers: StreamStat,
+        unassigned_balls: StreamStat,
         peak_burned: Option<StreamStat>,
     ) -> Result<Self, String> {
         if completed > trial_count {
@@ -175,6 +188,8 @@ impl SummaryState {
             ("work per ball", &work_per_ball),
             ("max load", &max_load),
             ("closed servers", &closed_servers),
+            ("surviving servers", &surviving_servers),
+            ("unassigned balls", &unassigned_balls),
         ] {
             if stat.summary.count() != trial_count {
                 return Err(format!(
@@ -202,6 +217,8 @@ impl SummaryState {
             work_per_ball,
             max_load,
             closed_servers,
+            surviving_servers,
+            unassigned_balls,
             peak_burned,
         })
     }
@@ -210,7 +227,7 @@ impl SummaryState {
     /// pure function of the layout (not of the trial count) — the number the
     /// `exp_scale_stress` memory assertion pins.
     fn retained_bytes(&self) -> u64 {
-        let histograms = 4 + u64::from(self.peak_burned.is_some());
+        let histograms = 6 + u64::from(self.peak_burned.is_some());
         std::mem::size_of::<Self>() as u64 + histograms * (STREAMING_HISTOGRAM_BUCKETS as u64) * 8
     }
 }
@@ -328,6 +345,8 @@ impl OutcomeAccumulator {
                     work_per_ball: state.work_per_ball.to_summary(),
                     max_load: state.max_load.to_summary(),
                     closed_servers: state.closed_servers.to_summary(),
+                    surviving_servers: state.surviving_servers.to_summary(),
+                    unassigned_balls: state.unassigned_balls.to_summary(),
                     peak_burned: state.peak_burned.as_ref().map(StreamStat::to_summary),
                     retained_bytes: retained,
                 }

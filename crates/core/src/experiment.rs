@@ -21,6 +21,7 @@ use clb_engine::{
     BurnedFractionObserver, Demand, NeighborhoodMassObserver, Observer, RunResult, SimConfig,
     Simulation, TrajectoryObserver,
 };
+use clb_faults::FaultPlan;
 use clb_graph::{DegreeStats, GraphSpec};
 use clb_protocols::ProtocolSpec;
 use rayon::prelude::*;
@@ -69,6 +70,11 @@ pub struct ExperimentConfig {
     /// How much per-trial data the aggregated report retains (defaults to
     /// [`Retention::Full`], the historical collect-everything behaviour).
     pub retention: Retention,
+    /// Faults to inject into every trial, if any. `None` runs the protocol bare;
+    /// `Some(plan)` wraps each trial's protocol in a
+    /// [`FaultAdapter`](clb_faults::FaultAdapter) drawing from that trial's seed, so
+    /// the faulted run inherits the full determinism contract.
+    pub faults: Option<FaultPlan>,
 }
 
 impl ExperimentConfig {
@@ -88,6 +94,7 @@ impl ExperimentConfig {
             max_rounds: SimConfig::DEFAULT_MAX_ROUNDS,
             measurements: Measurements::default(),
             retention: Retention::default(),
+            faults: None,
         }
     }
 
@@ -127,6 +134,12 @@ impl ExperimentConfig {
         self
     }
 
+    /// Injects the given [`FaultPlan`] into every trial (see [`clb_faults`]).
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Runs one trial with an explicit seed, building the graph from the spec.
     pub fn run_trial(&self, seed: u64) -> Result<TrialOutcome, clb_graph::GraphError> {
         let graph = self.graph.build(seed)?;
@@ -141,7 +154,10 @@ impl ExperimentConfig {
     /// instead of regenerating it per trial. Passing any other graph silently breaks
     /// the config/outcome correspondence recorded in [`TrialOutcome`].
     pub fn run_trial_on(&self, graph: &clb_graph::BipartiteGraph, seed: u64) -> TrialOutcome {
-        let protocol = self.protocol.build();
+        let protocol = match &self.faults {
+            Some(plan) => self.protocol.build_with(|inner| plan.wrap(inner, seed)),
+            None => self.protocol.build(),
+        };
         let config = SimConfig {
             seed,
             max_rounds: self.max_rounds,
@@ -169,9 +185,17 @@ impl ExperimentConfig {
             sim.run_observed(&mut observers)
         };
 
+        let degree_stats = DegreeStats::of(graph);
+        let surviving_servers = match &self.faults {
+            Some(plan) => {
+                plan.surviving_servers(seed, degree_stats.num_servers as u64, result.rounds)
+            }
+            None => degree_stats.num_servers as u64,
+        };
         TrialOutcome {
             seed,
-            degree_stats: DegreeStats::of(graph),
+            degree_stats,
+            surviving_servers,
             load_histogram: Histogram::of(sim.server_loads().iter().copied()),
             result,
             burned_fraction_series: self
@@ -223,6 +247,10 @@ pub struct TrialOutcome {
     pub seed: u64,
     /// Degree statistics of the generated graph.
     pub degree_stats: DegreeStats,
+    /// Servers that did not crash during this trial: the graph's server count minus
+    /// the fault plan's crash census (the full server count when no faults are
+    /// configured or the run ended before the crash round).
+    pub surviving_servers: u64,
     /// Engine-level outcome (rounds, work, max load, completion).
     pub result: RunResult,
     /// Histogram of final server loads.
@@ -283,6 +311,12 @@ pub struct ExperimentReport {
     /// Summary of the closed-server count at the end of each trial (burned for SAER,
     /// saturated for RAES).
     pub closed_servers: Summary,
+    /// Summary of the surviving-server count per trial (see
+    /// [`TrialOutcome::surviving_servers`]): constant at the graph's server count
+    /// unless a crash fault is configured.
+    pub surviving_servers: Summary,
+    /// Summary of the unserved-ball count per trial (0 for completed trials).
+    pub unassigned_balls: Summary,
     /// Number of trials that terminated within the round cap.
     pub completed_trials: usize,
     /// Summary of the per-trial peak burned fraction, when the burned-fraction
@@ -303,6 +337,11 @@ impl ExperimentReport {
             .iter()
             .map(|t| t.result.closed_servers as f64)
             .collect();
+        let surviving: Vec<f64> = trials.iter().map(|t| t.surviving_servers as f64).collect();
+        let unassigned: Vec<f64> = trials
+            .iter()
+            .map(|t| t.result.unassigned_balls as f64)
+            .collect();
         let completed_trials = trials.iter().filter(|t| t.result.completed).count();
         let peaks: Vec<f64> = trials
             .iter()
@@ -315,6 +354,8 @@ impl ExperimentReport {
             work_per_ball: Summary::of(&work),
             max_load: Summary::of(&max_load),
             closed_servers: Summary::of(&closed),
+            surviving_servers: Summary::of(&surviving),
+            unassigned_balls: Summary::of(&unassigned),
             completed_trials,
             peak_burned: (!peaks.is_empty()).then(|| Summary::of(&peaks)),
             retained_bytes: trials.iter().map(TrialOutcome::retained_bytes).sum(),
@@ -332,6 +373,21 @@ impl ExperimentReport {
     /// Summary of the peak burned fraction across trials, if it was measured.
     pub fn peak_burned_fraction(&self) -> Option<Summary> {
         self.peak_burned
+    }
+
+    /// Robustness of this (typically faulted) report relative to a fault-free
+    /// `baseline` of the same experiment.
+    ///
+    /// Meaningful when both reports ran the same sweep under `paired_seeds` — same
+    /// graphs, same trial seeds — so every difference is attributable to the fault
+    /// plan alone rather than to seed variance.
+    pub fn degradation_vs(&self, baseline: &ExperimentReport) -> Degradation {
+        Degradation {
+            completion_drop: baseline.completion_rate() - self.completion_rate(),
+            rounds_ratio: self.rounds.mean / baseline.rounds.mean,
+            extra_unassigned: self.unassigned_balls.mean - baseline.unassigned_balls.mean,
+            lost_servers: baseline.surviving_servers.mean - self.surviving_servers.mean,
+        }
     }
 
     /// One-paragraph markdown rendering of the aggregate results. Under
@@ -364,6 +420,22 @@ impl ExperimentReport {
         }
         rendered
     }
+}
+
+/// How much worse a (faulted) experiment did than a paired fault-free baseline.
+///
+/// Produced by [`ExperimentReport::degradation_vs`]; all fields compare per-trial
+/// means. A fault-free report compared against itself is all-zero (ratio 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Degradation {
+    /// Drop in completion rate: `baseline − self`, in `[-1, 1]` (positive = worse).
+    pub completion_drop: f64,
+    /// Mean rounds relative to the baseline: `self / baseline` (> 1 = slower).
+    pub rounds_ratio: f64,
+    /// Extra unserved balls per trial: `self − baseline` (positive = worse).
+    pub extra_unassigned: f64,
+    /// Servers lost to crashes per trial: `baseline − self` surviving-server means.
+    pub lost_servers: f64,
 }
 
 #[cfg(test)]
@@ -494,6 +566,8 @@ mod tests {
             (&summary.work_per_ball, &full.work_per_ball),
             (&summary.max_load, &full.max_load),
             (&summary.closed_servers, &full.closed_servers),
+            (&summary.surviving_servers, &full.surviving_servers),
+            (&summary.unassigned_balls, &full.unassigned_balls),
         ] {
             assert_eq!(s.count, f.count);
             assert_eq!(s.min, f.min);
@@ -523,6 +597,50 @@ mod tests {
         assert!(summary.to_markdown().contains("approximate"));
         let full = quick_config().run().unwrap();
         assert!(!full.to_markdown().contains("approximate"));
+    }
+
+    #[test]
+    fn fault_free_reports_count_every_server_as_surviving() {
+        let report = quick_config().run().unwrap();
+        let n = report.trials[0].degree_stats.num_servers as f64;
+        assert_eq!(report.surviving_servers.mean, n);
+        assert_eq!(report.surviving_servers.min, n);
+        assert_eq!(report.unassigned_balls.max, 0.0);
+    }
+
+    #[test]
+    fn faulted_experiment_reports_degradation_against_paired_baseline() {
+        let baseline = quick_config().max_rounds(60).run().unwrap();
+        // Crash 40% of servers from round 1 — same seeds, so every difference is the
+        // plan's doing. (The generous quick_config completes in one round, so a later
+        // crash round would never bite and the census would rightly report no losses.)
+        let faulted = quick_config()
+            .max_rounds(60)
+            .faults(FaultPlan::none().crash(1, 0.4))
+            .run()
+            .unwrap();
+        assert!(faulted.surviving_servers.mean < baseline.surviving_servers.mean);
+        let degradation = faulted.degradation_vs(&baseline);
+        assert!(degradation.lost_servers > 0.0);
+        assert!(degradation.completion_drop >= 0.0);
+        assert!(degradation.extra_unassigned >= 0.0);
+        // Self-comparison is the all-zero degradation.
+        let none = baseline.degradation_vs(&baseline);
+        assert_eq!(none.completion_drop, 0.0);
+        assert_eq!(none.rounds_ratio, 1.0);
+        assert_eq!(none.extra_unassigned, 0.0);
+        assert_eq!(none.lost_servers, 0.0);
+    }
+
+    #[test]
+    fn empty_fault_plan_runs_bit_identical_to_no_plan() {
+        let bare = quick_config().run().unwrap();
+        let wrapped = quick_config().faults(FaultPlan::none()).run().unwrap();
+        // The configs differ (`faults` field) but everything observable must match.
+        assert_eq!(bare.trials, wrapped.trials);
+        assert_eq!(bare.rounds, wrapped.rounds);
+        assert_eq!(bare.surviving_servers, wrapped.surviving_servers);
+        assert_eq!(bare.unassigned_balls, wrapped.unassigned_balls);
     }
 
     #[test]

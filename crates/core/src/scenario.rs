@@ -75,6 +75,7 @@
 use crate::accumulate::{merge_grid_fold, GridFold, Retention};
 use crate::experiment::{ExperimentConfig, ExperimentReport, Measurements};
 use clb_engine::Demand;
+use clb_faults::FaultPlan;
 use clb_graph::{snapshot, GraphError};
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -121,6 +122,7 @@ pub struct Scenario {
     measurements: Option<Measurements>,
     demand: Option<Demand>,
     retention: Option<Retention>,
+    faults: Option<FaultPlan>,
     pub(crate) paired_seeds: bool,
 }
 
@@ -140,6 +142,7 @@ impl Scenario {
             measurements: None,
             demand: None,
             retention: None,
+            faults: None,
             paired_seeds: false,
         }
     }
@@ -188,6 +191,14 @@ impl Scenario {
         self
     }
 
+    /// Injects a [`FaultPlan`] into every sweep point (see [`clb_faults`]). For
+    /// sweeps where the fault intensity is itself an axis, set
+    /// [`ExperimentConfig::faults`] per point in the config closure instead.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Declares that sweep points *deliberately* share base seeds, disabling the
     /// seed-disjointness assertion of [`Scenario::run`].
     ///
@@ -226,6 +237,9 @@ impl Scenario {
         }
         if let Some(retention) = self.retention {
             config.retention = retention;
+        }
+        if let Some(faults) = self.faults {
+            config.faults = Some(faults);
         }
         config
     }

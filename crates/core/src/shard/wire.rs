@@ -23,6 +23,7 @@ use clb_analysis::streaming::{
 };
 use clb_analysis::Histogram;
 use clb_engine::{Demand, RunResult};
+use clb_faults::{CrashFault, FaultPlan, LoadLieFault, MessageLossFault, StragglerFault};
 use clb_graph::{DegreeStats, GraphSpec};
 
 /// Magic number identifying a shard manifest ("CLBM" in ASCII).
@@ -31,12 +32,17 @@ pub const MANIFEST_MAGIC: u32 = 0x434C_424D;
 pub const REPORT_MAGIC: u32 = 0x434C_4252;
 /// Wire format version; bump when either encoding changes.
 ///
-/// Version 2 (this PR): configs carry a [`Retention`] tag, and a report's result
+/// Version 2: configs carry a [`Retention`] tag, and a report's result
 /// section became a tagged payload — either the historical per-cell
 /// [`TrialOutcome`] frames (`Retention::Full`) or per-point accumulator-state
 /// frames (`Retention::Summary`), which hold O(1) bytes per sweep point however
 /// many cells the shard executed.
-pub const WIRE_VERSION: u32 = 2;
+///
+/// Version 3 (this PR): configs carry an optional [`FaultPlan`] (so faulted sweeps
+/// shard exactly like fault-free ones), outcome frames carry the surviving-server
+/// census, and accumulator-state frames carry the surviving-servers and
+/// unassigned-balls robustness stats.
+pub const WIRE_VERSION: u32 = 3;
 
 /// One shard's work unit: which grid cells to run, the configs they index into, and
 /// the pre-built graph snapshots for identities shared across cells.
@@ -447,6 +453,97 @@ fn get_retention(r: &mut Reader) -> Result<Retention, ShardError> {
     }
 }
 
+/// Each fault kind travels as a presence flag followed by its parameters; the whole
+/// plan is behind one more flag so the fault-free common case costs 4 bytes.
+fn put_fault_plan(buf: &mut BytesMut, faults: &Option<FaultPlan>) {
+    let Some(plan) = faults else {
+        buf.put_u32_le(0);
+        return;
+    };
+    buf.put_u32_le(1);
+    match &plan.crash {
+        None => buf.put_u32_le(0),
+        Some(crash) => {
+            buf.put_u32_le(1);
+            buf.put_u32_le(crash.at_round);
+            buf.put_u64_le(crash.fraction.to_bits());
+        }
+    }
+    match &plan.load_lie {
+        None => buf.put_u32_le(0),
+        Some(lie) => {
+            buf.put_u32_le(1);
+            buf.put_u64_le(lie.fraction.to_bits());
+            buf.put_u64_le(lie.factor.to_bits());
+        }
+    }
+    match &plan.message_loss {
+        None => buf.put_u32_le(0),
+        Some(loss) => {
+            buf.put_u32_le(1);
+            buf.put_u64_le(loss.request_p.to_bits());
+            buf.put_u64_le(loss.accept_p.to_bits());
+        }
+    }
+    match &plan.straggler {
+        None => buf.put_u32_le(0),
+        Some(straggler) => {
+            buf.put_u32_le(1);
+            buf.put_u64_le(straggler.fraction.to_bits());
+            buf.put_u64_le(straggler.skip_p.to_bits());
+        }
+    }
+}
+
+fn get_fault_plan(r: &mut Reader) -> Result<Option<FaultPlan>, ShardError> {
+    if !r.flag("fault plan flag")? {
+        return Ok(None);
+    }
+    let crash = if r.flag("crash fault flag")? {
+        Some(CrashFault {
+            at_round: r.u32("crash at-round")?,
+            fraction: r.f64("crash fraction")?,
+        })
+    } else {
+        None
+    };
+    let load_lie = if r.flag("load-lie fault flag")? {
+        Some(LoadLieFault {
+            fraction: r.f64("load-lie fraction")?,
+            factor: r.f64("load-lie factor")?,
+        })
+    } else {
+        None
+    };
+    let message_loss = if r.flag("message-loss fault flag")? {
+        Some(MessageLossFault {
+            request_p: r.f64("message-loss request probability")?,
+            accept_p: r.f64("message-loss accept probability")?,
+        })
+    } else {
+        None
+    };
+    let straggler = if r.flag("straggler fault flag")? {
+        Some(StragglerFault {
+            fraction: r.f64("straggler fraction")?,
+            skip_p: r.f64("straggler skip probability")?,
+        })
+    } else {
+        None
+    };
+    let plan = FaultPlan {
+        crash,
+        load_lie,
+        message_loss,
+        straggler,
+    };
+    // The fluent builders validate eagerly, but a wire frame can carry anything —
+    // re-check so an out-of-range probability is a decode error, not a panic later.
+    plan.validate()
+        .map_err(|e| ShardError::Corrupt(format!("fault plan: {e}")))?;
+    Ok(Some(plan))
+}
+
 fn put_config(buf: &mut BytesMut, config: &ExperimentConfig) {
     put_graph_spec(buf, &config.graph);
     put_protocol_spec(buf, &config.protocol);
@@ -456,6 +553,7 @@ fn put_config(buf: &mut BytesMut, config: &ExperimentConfig) {
     buf.put_u32_le(config.max_rounds);
     put_measurements(buf, &config.measurements);
     put_retention(buf, config.retention);
+    put_fault_plan(buf, &config.faults);
 }
 
 fn get_config(r: &mut Reader) -> Result<ExperimentConfig, ShardError> {
@@ -467,6 +565,7 @@ fn get_config(r: &mut Reader) -> Result<ExperimentConfig, ShardError> {
     let max_rounds = r.u32("config max rounds")?;
     let measurements = get_measurements(r)?;
     let retention = get_retention(r)?;
+    let faults = get_fault_plan(r)?;
     let mut config = ExperimentConfig::new(graph, protocol);
     config.demand = demand;
     config.trials = trials;
@@ -474,6 +573,7 @@ fn get_config(r: &mut Reader) -> Result<ExperimentConfig, ShardError> {
     config.max_rounds = max_rounds;
     config.measurements = measurements;
     config.retention = retention;
+    config.faults = faults;
     Ok(config)
 }
 
@@ -578,6 +678,7 @@ fn get_f64_series(r: &mut Reader, what: &str) -> Result<Option<Vec<f64>>, ShardE
 fn put_outcome(buf: &mut BytesMut, outcome: &TrialOutcome) {
     buf.put_u64_le(outcome.seed);
     put_degree_stats(buf, &outcome.degree_stats);
+    buf.put_u64_le(outcome.surviving_servers);
     put_run_result(buf, &outcome.result);
     let buckets = outcome.load_histogram.buckets();
     buf.put_u64_le(buckets.len() as u64);
@@ -592,6 +693,7 @@ fn put_outcome(buf: &mut BytesMut, outcome: &TrialOutcome) {
 fn get_outcome(r: &mut Reader) -> Result<TrialOutcome, ShardError> {
     let seed = r.u64("outcome seed")?;
     let degree_stats = get_degree_stats(r)?;
+    let surviving_servers = r.u64("outcome surviving servers")?;
     let result = get_run_result(r)?;
     let len = r.len(8, "load histogram length")?;
     let mut buckets = Vec::with_capacity(len);
@@ -601,6 +703,7 @@ fn get_outcome(r: &mut Reader) -> Result<TrialOutcome, ShardError> {
     Ok(TrialOutcome {
         seed,
         degree_stats,
+        surviving_servers,
         result,
         load_histogram: Histogram::from_buckets(buckets),
         burned_fraction_series: get_f64_series(r, "burned fraction series")?,
@@ -710,6 +813,8 @@ fn put_summary_state(buf: &mut BytesMut, state: &SummaryState) {
     put_stream_stat(buf, &state.work_per_ball);
     put_stream_stat(buf, &state.max_load);
     put_stream_stat(buf, &state.closed_servers);
+    put_stream_stat(buf, &state.surviving_servers);
+    put_stream_stat(buf, &state.unassigned_balls);
     match &state.peak_burned {
         None => buf.put_u32_le(0),
         Some(stat) => {
@@ -726,6 +831,8 @@ fn get_summary_state(r: &mut Reader) -> Result<SummaryState, ShardError> {
     let work_per_ball = get_stream_stat(r, "work-per-ball stat")?;
     let max_load = get_stream_stat(r, "max-load stat")?;
     let closed_servers = get_stream_stat(r, "closed-servers stat")?;
+    let surviving_servers = get_stream_stat(r, "surviving-servers stat")?;
+    let unassigned_balls = get_stream_stat(r, "unassigned-balls stat")?;
     let peak_burned = if r.flag("peak-burned-fraction flag")? {
         Some(get_stream_stat(r, "peak-burned-fraction stat")?)
     } else {
@@ -738,6 +845,8 @@ fn get_summary_state(r: &mut Reader) -> Result<SummaryState, ShardError> {
         work_per_ball,
         max_load,
         closed_servers,
+        surviving_servers,
+        unassigned_balls,
         peak_burned,
     )
     .map_err(|e| ShardError::Corrupt(format!("accumulator state: {e}")))

@@ -14,6 +14,7 @@ use clb_core::shard::{
 };
 use clb_core::{ExperimentConfig, Measurements, OutcomeAccumulator, Retention, TrialOutcome};
 use clb_engine::{Demand, RunResult};
+use clb_faults::{CrashFault, FaultPlan, LoadLieFault, MessageLossFault, StragglerFault};
 use clb_graph::{DegreeStats, GraphSpec};
 use clb_protocols::ProtocolSpec;
 use proptest::prelude::*;
@@ -65,6 +66,39 @@ fn arb_demand() -> impl Strategy<Value = Demand> {
     )
 }
 
+fn arb_fault_plan() -> impl Strategy<Value = Option<FaultPlan>> {
+    (
+        (any::<bool>(), 1u32..100, 0.0f64..1.0),
+        (any::<bool>(), 0.0f64..1.0, 0.0f64..4.0),
+        (any::<bool>(), 0.0f64..1.0, 0.0f64..1.0),
+        (any::<bool>(), 0.0f64..1.0, 0.0f64..1.0),
+        any::<bool>(),
+    )
+        .prop_map(
+            |((hc, at_round, cf), (hl, lf, factor), (hm, rp, ap), (hs, sf, sp), present)| {
+                // `present` with every kind off exercises the Some-but-empty plan.
+                present.then(|| FaultPlan {
+                    crash: hc.then_some(CrashFault {
+                        at_round,
+                        fraction: cf,
+                    }),
+                    load_lie: hl.then_some(LoadLieFault {
+                        fraction: lf,
+                        factor,
+                    }),
+                    message_loss: hm.then_some(MessageLossFault {
+                        request_p: rp,
+                        accept_p: ap,
+                    }),
+                    straggler: hs.then_some(StragglerFault {
+                        fraction: sf,
+                        skip_p: sp,
+                    }),
+                })
+            },
+        )
+}
+
 fn arb_config() -> impl Strategy<Value = ExperimentConfig> {
     (
         arb_graph_spec(),
@@ -72,9 +106,17 @@ fn arb_config() -> impl Strategy<Value = ExperimentConfig> {
         arb_demand(),
         (1usize..20, any::<u64>(), 1u32..2000),
         (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()),
+        arb_fault_plan(),
     )
         .prop_map(
-            |(graph, protocol, demand, (trials, base_seed, max_rounds), (bf, nm, tr, summary))| {
+            |(
+                graph,
+                protocol,
+                demand,
+                (trials, base_seed, max_rounds),
+                (bf, nm, tr, summary),
+                faults,
+            )| {
                 let mut config = ExperimentConfig::new(graph, protocol);
                 config.demand = demand;
                 config.trials = trials;
@@ -90,6 +132,7 @@ fn arb_config() -> impl Strategy<Value = ExperimentConfig> {
                 } else {
                     Retention::Full
                 };
+                config.faults = faults;
                 config
             },
         )
@@ -138,17 +181,29 @@ fn arb_run_result() -> impl Strategy<Value = RunResult> {
 
 fn arb_outcome() -> impl Strategy<Value = TrialOutcome> {
     (
-        (any::<u64>(), arb_degree_stats(), arb_run_result()),
+        (
+            any::<u64>(),
+            arb_degree_stats(),
+            arb_run_result(),
+            0u64..1000,
+        ),
         prop::collection::vec(0u64..50, 0..8),
         (any::<bool>(), prop::collection::vec(0.0f64..1.0, 0..6)),
         (any::<bool>(), prop::collection::vec(0u64..100, 0..6)),
         (any::<bool>(), prop::collection::vec(0u64..100, 0..6)),
     )
         .prop_map(
-            |((seed, degree_stats, result), buckets, (has_bf, bf), (has_nm, nm), (has_al, al))| {
+            |(
+                (seed, degree_stats, result, surviving_servers),
+                buckets,
+                (has_bf, bf),
+                (has_nm, nm),
+                (has_al, al),
+            )| {
                 TrialOutcome {
                     seed,
                     degree_stats,
+                    surviving_servers,
                     result,
                     load_histogram: Histogram::from_buckets(buckets),
                     burned_fraction_series: has_bf.then_some(bf),
@@ -426,6 +481,38 @@ fn config_retention_round_trips_in_manifests() {
     let decoded = decode_manifest(&encode_manifest(&manifest)).expect("decode");
     assert_eq!(decoded.configs[0].retention, Retention::Summary);
     assert_eq!(decoded, manifest);
+}
+
+#[test]
+fn config_fault_plan_round_trips_in_manifests() {
+    let mut manifest = sample_manifest();
+    manifest.configs[0].faults = Some(
+        FaultPlan::none()
+            .crash(5, 0.25)
+            .lying_load(0.5, 0.5)
+            .message_loss(0.1, 0.05)
+            .stragglers(0.2, 0.75),
+    );
+    let decoded = decode_manifest(&encode_manifest(&manifest)).expect("decode");
+    assert_eq!(decoded.configs[0].faults, manifest.configs[0].faults);
+    assert_eq!(decoded, manifest);
+}
+
+#[test]
+fn out_of_range_fault_parameters_are_diagnosed() {
+    // The encoder writes whatever the struct holds; only the fluent builders
+    // validate. A frame carrying an impossible probability must be rejected at
+    // decode, not crash a worker later.
+    let mut manifest = sample_manifest();
+    manifest.configs[0].faults = Some(FaultPlan {
+        crash: Some(CrashFault {
+            at_round: 0,
+            fraction: 2.0,
+        }),
+        ..FaultPlan::none()
+    });
+    let err = decode_manifest(&encode_manifest(&manifest)).expect_err("invalid plan must fail");
+    assert!(err.to_string().contains("fault plan"), "got: {err}");
 }
 
 #[test]

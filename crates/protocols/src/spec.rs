@@ -60,6 +60,17 @@ impl ProtocolSpec {
         }
     }
 
+    /// Materialises the spec and pipes it through `wrap` — the composition hook for
+    /// adapter layers that decorate an erased protocol (fault injection wraps each
+    /// trial's protocol this way; tracing or accounting shims would slot in the same
+    /// hole). `build_with(|p| p)` is exactly [`ProtocolSpec::build`].
+    pub fn build_with(
+        &self,
+        wrap: impl FnOnce(Box<dyn ErasedProtocol>) -> Box<dyn ErasedProtocol>,
+    ) -> Box<dyn ErasedProtocol> {
+        wrap(self.build())
+    }
+
     /// Every spec variant with the given parameters, for exhaustive sweeps and tests.
     pub fn all_variants(c: u32, d: u32) -> Vec<ProtocolSpec> {
         vec![
@@ -102,6 +113,31 @@ mod tests {
             assert!(!spec.label().is_empty());
             assert_eq!(spec.label(), protocol.name());
         }
+    }
+
+    #[test]
+    fn build_with_identity_is_build() {
+        let spec = ProtocolSpec::Saer { c: 4, d: 2 };
+        assert_eq!(spec.build_with(|p| p).name(), spec.build().name());
+        // And the hook really does run: wrap with a rename shim.
+        struct Renamed(Box<dyn ErasedProtocol>);
+        impl Protocol for Renamed {
+            type ServerState = clb_engine::ErasedServerState;
+            fn init_server(&self) -> Self::ServerState {
+                self.0.erased_init_server()
+            }
+            fn server_decide(&self, state: &mut Self::ServerState, ctx: &ServerCtx) -> u32 {
+                self.0.erased_server_decide(state, ctx)
+            }
+            fn server_is_closed(&self, state: &Self::ServerState, load: u32) -> bool {
+                self.0.erased_server_is_closed(state, load)
+            }
+            fn name(&self) -> String {
+                format!("renamed:{}", self.0.erased_name())
+            }
+        }
+        let wrapped = spec.build_with(|p| erase(Renamed(p)));
+        assert_eq!(wrapped.name(), "renamed:saer(c=4, d=2)");
     }
 
     #[test]

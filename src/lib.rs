@@ -20,6 +20,7 @@
 //! | [`protocols`] (`clb-protocols`) | SAER, RAES, threshold and k-choice baselines; `ProtocolSpec` for runtime selection |
 //! | [`sequential`] (`clb-sequential`) | sequential one-choice / best-of-k / Godfrey greedy baselines |
 //! | [`analysis`] (`clb-analysis`) | the paper's recurrences, bounds and concentration inequalities; statistics |
+//! | [`faults`] (`clb-faults`) | deterministic fault injection: crash-stop, lying load reports, message loss, stragglers as a protocol wrapper |
 //! | [`experiment`]/[`scenario`] (`clb-core`) | declarative, parallel, seed-reproducible experiments and parameter sweeps |
 //!
 //! ## Quick start: one simulation
@@ -90,7 +91,43 @@
 //! assert!(point.trials.is_empty());        // outcomes were folded, not collected
 //! assert_eq!(point.trial_count, 64);       // ... but fully accounted for
 //! assert!(point.completion_rate().is_finite());
-//! assert!(point.retained_bytes < 100_000); // flat, however many trials run
+//! assert!(point.retained_bytes < 150_000); // flat, however many trials run
+//! ```
+//!
+//! ## Quick start: fault injection
+//!
+//! Any protocol can be wrapped in a [`FaultPlan`] — crash-stop, lying load reports,
+//! message loss, stragglers — without touching the engine. Fault draws come from a
+//! dedicated RNG domain keyed by `(server, fault kind, round)`, so a faulted run is
+//! exactly as reproducible as a fault-free one: bit-identical across thread counts,
+//! shard counts and retention modes. With `paired_seeds`, every sweep point reruns
+//! the *same* instances, so the degradation against the fault-free row measures the
+//! fault plan and nothing else.
+//!
+//! ```
+//! use clb::prelude::*;
+//!
+//! let scenario = Scenario::new("demo-f", "crash sweep", "completion degrades gracefully")
+//!     .trials(4)
+//!     .paired_seeds();
+//! let report = scenario
+//!     .run(Sweep::over("crash %", [0u32, 40]), |_, &pct| {
+//!         let config = ExperimentConfig::new(
+//!             GraphSpec::Regular { n: 64, delta: 16 },
+//!             ProtocolSpec::Saer { c: 8, d: 2 },
+//!         )
+//!         .seed(7);
+//!         match pct {
+//!             0 => config, // genuinely unwrapped baseline
+//!             _ => config.faults(FaultPlan::none().crash(1, pct as f64 / 100.0)),
+//!         }
+//!     })
+//!     .unwrap();
+//! let (baseline, faulted) = (report.report(0), report.report(1));
+//! let degradation = faulted.degradation_vs(baseline);
+//! assert!(faulted.surviving_servers.mean < baseline.surviving_servers.mean);
+//! assert!(degradation.lost_servers > 0.0);
+//! assert!(faulted.max_load.max <= 16.0); // SAER's hard c·d bound survives crashes
 //! ```
 
 #![forbid(unsafe_code)]
@@ -114,11 +151,15 @@ pub use clb_sequential as sequential;
 /// Re-export of `clb-analysis`.
 pub use clb_analysis as analysis;
 
+/// Re-export of `clb-faults`.
+pub use clb_faults as faults;
+
 pub use clb_core::{accumulate, experiment, report, scenario, shard};
 pub use clb_core::{
-    CacheStats, ExperimentConfig, ExperimentReport, Measurements, OutcomeAccumulator, Retention,
-    Scenario, ShardError, ShardPlan, Sweep, SweepReport, SweepRow, Table, TrialOutcome,
+    CacheStats, Degradation, ExperimentConfig, ExperimentReport, Measurements, OutcomeAccumulator,
+    Retention, Scenario, ShardError, ShardPlan, Sweep, SweepReport, SweepRow, Table, TrialOutcome,
 };
+pub use clb_faults::{FaultAdapter, FaultPlan};
 
 /// The most commonly used items, importable with `use clb::prelude::*`.
 pub mod prelude {
@@ -128,7 +169,7 @@ pub mod prelude {
     };
     pub use clb_core::accumulate::{OutcomeAccumulator, Retention};
     pub use clb_core::experiment::{
-        ExperimentConfig, ExperimentReport, Measurements, TrialOutcome,
+        Degradation, ExperimentConfig, ExperimentReport, Measurements, TrialOutcome,
     };
     pub use clb_core::report::Table;
     pub use clb_core::scenario::{
@@ -138,6 +179,9 @@ pub mod prelude {
     pub use clb_engine::{
         erase, Demand, ErasedProtocol, Protocol, RunResult, SimConfig, Simulation,
         SimulationBuilder,
+    };
+    pub use clb_faults::{
+        CrashFault, FaultAdapter, FaultPlan, LoadLieFault, MessageLossFault, StragglerFault,
     };
     pub use clb_graph::{generators, log2_squared, BipartiteGraph, DegreeStats, GraphSpec};
     pub use clb_protocols::{KChoice, OneShot, ProtocolSpec, Raes, Saer, Threshold};

@@ -104,6 +104,27 @@ fn erased_equivalence_holds_across_topology_families() {
 }
 
 #[test]
+fn empty_fault_plan_wrap_is_bit_identical_to_no_adapter() {
+    // The fault adapter sits between the engine and the protocol on every decide
+    // call, so an *empty* plan is the sharpest identity check the wrapper admits: if
+    // the pass-through perturbs a single RNG draw or decision, some spec diverges.
+    let d = 2;
+    let graph = generators::regular_random(128, log2_squared(128), 11).unwrap();
+    for spec in specs_under_test() {
+        for seed in [1u64, 99, 2024] {
+            let bare = run(&graph, spec.build(), d, seed);
+            let wrapped = run(&graph, FaultPlan::none().wrap(spec.build(), seed), d, seed);
+            assert_eq!(
+                bare,
+                wrapped,
+                "{} diverged under an empty FaultPlan wrap (seed {seed})",
+                spec.label()
+            );
+        }
+    }
+}
+
+#[test]
 fn erased_states_expose_concrete_state_for_inspection() {
     // The burned census of a dyn-dispatched SAER run is reachable through the opaque
     // state handles and matches the closed-server count the engine reports.
