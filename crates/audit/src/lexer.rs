@@ -1,0 +1,632 @@
+//! A minimal hand-rolled Rust token scanner with line/column tracking.
+//!
+//! The audit rules are lexical, not syntactic: they match token *patterns*
+//! (`. domain ( IDENT )`, `const X_DOMAIN`, `. load ( … Relaxed … )`), so a full
+//! parser — and with it a `syn`-sized dependency — is unnecessary. The scanner's
+//! job is to get the hard lexical cases right so the patterns never fire inside
+//! string literals or comments: nested block comments, raw strings (`r#"…"#`),
+//! byte strings, char literals vs. lifetimes, and numeric literals with
+//! underscores and suffixes.
+//!
+//! Comments are not discarded: `// clb-audit: allow(<rule>) -- <reason>`
+//! annotations are parsed into [`Allow`] records (the rules' escape hatch), and a
+//! comment that *tries* to be an annotation but fails to parse becomes a
+//! [`MalformedAllow`] so a typo cannot silently disable a rule.
+
+/// The lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword.
+    Ident,
+    /// An integer literal (decimal, hex, octal or binary, suffix included).
+    Int,
+    /// A float literal.
+    Float,
+    /// A string or byte-string literal (raw or escaped), quotes included.
+    Str,
+    /// A character or byte literal.
+    Char,
+    /// A lifetime (`'a`) or loop label.
+    Lifetime,
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// The token's source text, verbatim.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// A parsed `// clb-audit: allow(<rule>) -- <reason>` annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The rule the annotation exempts.
+    pub rule: String,
+    /// The justification after `--` (always non-empty; a missing reason is a
+    /// [`MalformedAllow`]).
+    pub reason: String,
+    /// Line the comment sits on.
+    pub line: u32,
+    /// True when the comment has the whole line to itself; such an allow covers
+    /// the *next* line, a trailing allow covers its own.
+    pub standalone: bool,
+}
+
+/// A comment that mentions `clb-audit` but does not parse as a valid annotation.
+#[derive(Debug, Clone)]
+pub struct MalformedAllow {
+    /// Line the comment sits on.
+    pub line: u32,
+    /// Why it failed to parse.
+    pub problem: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Semantic tokens in source order (comments and whitespace removed).
+    pub tokens: Vec<Token>,
+    /// Valid allow annotations.
+    pub allows: Vec<Allow>,
+    /// Annotation attempts that failed to parse.
+    pub malformed: Vec<MalformedAllow>,
+}
+
+struct Scanner<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Scanner<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `source`, returning tokens plus the allow annotations found in comments.
+pub fn lex(source: &str) -> Lexed {
+    let mut s = Scanner {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+    // Line number of the last token emitted; used to classify a line comment as
+    // trailing (code before it on the line) or standalone.
+    let mut last_token_line = 0u32;
+
+    while let Some(b) = s.peek() {
+        let (line, col) = (s.line, s.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                s.bump();
+            }
+            b'/' if s.peek_at(1) == Some(b'/') => {
+                let start = s.pos;
+                while s.peek().is_some_and(|c| c != b'\n') {
+                    s.bump();
+                }
+                let text = &source[start..s.pos];
+                scan_comment_for_allow(text, line, last_token_line == line, &mut out);
+            }
+            b'/' if s.peek_at(1) == Some(b'*') => {
+                let start = s.pos;
+                s.bump();
+                s.bump();
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (s.peek(), s.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            s.bump();
+                            s.bump();
+                            depth += 1;
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            s.bump();
+                            s.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            s.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                let text = &source[start..s.pos];
+                scan_comment_for_allow(text, line, last_token_line == line, &mut out);
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(&s) => {
+                let start = s.pos;
+                // Consume the r/b/br prefix.
+                while s.peek().is_some_and(|c| c == b'r' || c == b'b') && s.pos - start < 2 {
+                    if matches!(s.peek(), Some(b'"' | b'#')) {
+                        break;
+                    }
+                    s.bump();
+                }
+                let raw = source.as_bytes()[start..s.pos].contains(&b'r');
+                if raw {
+                    let mut hashes = 0usize;
+                    while s.peek() == Some(b'#') {
+                        hashes += 1;
+                        s.bump();
+                    }
+                    s.bump(); // opening quote
+                    loop {
+                        match s.bump() {
+                            None => break,
+                            Some(b'"') => {
+                                let mut seen = 0usize;
+                                while seen < hashes && s.peek() == Some(b'#') {
+                                    seen += 1;
+                                    s.bump();
+                                }
+                                if seen == hashes {
+                                    break;
+                                }
+                            }
+                            Some(_) => {}
+                        }
+                    }
+                } else {
+                    s.bump(); // opening quote
+                    consume_escaped_until(&mut s, b'"');
+                }
+                push_token(&mut out, TokenKind::Str, &source[start..s.pos], line, col);
+                last_token_line = line;
+            }
+            b'"' => {
+                let start = s.pos;
+                s.bump();
+                consume_escaped_until(&mut s, b'"');
+                push_token(&mut out, TokenKind::Str, &source[start..s.pos], line, col);
+                last_token_line = line;
+            }
+            b'\'' => {
+                let start = s.pos;
+                s.bump();
+                // Lifetime when an identifier follows and no closing quote comes
+                // right after it: 'a vs 'a'.
+                if s.peek().is_some_and(is_ident_start) {
+                    let mut ahead = 1usize;
+                    while s.peek_at(ahead).is_some_and(is_ident_continue) {
+                        ahead += 1;
+                    }
+                    if s.peek_at(ahead) != Some(b'\'') {
+                        while s.peek().is_some_and(is_ident_continue) {
+                            s.bump();
+                        }
+                        push_token(
+                            &mut out,
+                            TokenKind::Lifetime,
+                            &source[start..s.pos],
+                            line,
+                            col,
+                        );
+                        last_token_line = line;
+                        continue;
+                    }
+                }
+                consume_escaped_until(&mut s, b'\'');
+                push_token(&mut out, TokenKind::Char, &source[start..s.pos], line, col);
+                last_token_line = line;
+            }
+            b if b.is_ascii_digit() => {
+                let start = s.pos;
+                let mut kind = TokenKind::Int;
+                let radix_prefix = b == b'0'
+                    && matches!(s.peek_at(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'));
+                s.bump();
+                if radix_prefix {
+                    s.bump();
+                }
+                loop {
+                    match s.peek() {
+                        Some(c) if c.is_ascii_alphanumeric() || c == b'_' => {
+                            if (c == b'e' || c == b'E')
+                                && !radix_prefix
+                                && matches!(s.peek_at(1), Some(b'+' | b'-'))
+                            {
+                                kind = TokenKind::Float;
+                                s.bump();
+                                s.bump();
+                            } else {
+                                s.bump();
+                            }
+                        }
+                        // A dot continues the number only for `1.5`-style floats,
+                        // never for ranges (`0..n`) or method calls (`1.max(x)`).
+                        Some(b'.')
+                            if !radix_prefix
+                                && kind == TokenKind::Int
+                                && s.peek_at(1).is_some_and(|c| c.is_ascii_digit()) =>
+                        {
+                            kind = TokenKind::Float;
+                            s.bump();
+                        }
+                        _ => break,
+                    }
+                }
+                push_token(&mut out, kind, &source[start..s.pos], line, col);
+                last_token_line = line;
+            }
+            b if is_ident_start(b) => {
+                let start = s.pos;
+                while s.peek().is_some_and(is_ident_continue) {
+                    s.bump();
+                }
+                push_token(&mut out, TokenKind::Ident, &source[start..s.pos], line, col);
+                last_token_line = line;
+            }
+            _ => {
+                s.bump();
+                push_token(
+                    &mut out,
+                    TokenKind::Punct,
+                    &source[s.pos - 1..s.pos],
+                    line,
+                    col,
+                );
+                last_token_line = line;
+            }
+        }
+    }
+    out
+}
+
+/// Does the scanner sit at `r"`, `r#`, `b"`, `br"` or `br#` (a raw/byte string)
+/// rather than an ordinary identifier starting with r/b?
+fn starts_raw_or_byte_string(s: &Scanner) -> bool {
+    matches!(
+        (s.peek(), s.peek_at(1), s.peek_at(2)),
+        (Some(b'r'), Some(b'"' | b'#'), _)
+            | (Some(b'b'), Some(b'"'), _)
+            | (Some(b'b'), Some(b'r'), Some(b'"' | b'#'))
+    )
+}
+
+fn consume_escaped_until(s: &mut Scanner, quote: u8) {
+    while let Some(c) = s.bump() {
+        if c == b'\\' {
+            s.bump();
+        } else if c == quote {
+            break;
+        }
+    }
+}
+
+fn push_token(out: &mut Lexed, kind: TokenKind, text: &str, line: u32, col: u32) {
+    out.tokens.push(Token {
+        kind,
+        text: text.to_string(),
+        line,
+        col,
+    });
+}
+
+/// Parses `clb-audit:` annotations out of one comment's text.
+///
+/// Only a comment that *leads* with the marker is an annotation attempt —
+/// `// clb-audit: …` — so prose that merely mentions clb-audit (docs, quoted
+/// syntax in backticks) is never misread as a malformed allow.
+fn scan_comment_for_allow(comment: &str, line: u32, trailing: bool, out: &mut Lexed) {
+    let Some(at) = comment.find("clb-audit") else {
+        return;
+    };
+    if !comment[..at]
+        .bytes()
+        .all(|b| matches!(b, b'/' | b'*' | b'!' | b' ' | b'\t'))
+    {
+        return;
+    }
+    let rest = comment[at..].trim_start_matches("clb-audit");
+    let rest = rest.trim_start_matches(':').trim_start();
+    let Some(open) = rest.strip_prefix("allow(") else {
+        out.malformed.push(MalformedAllow {
+            line,
+            problem: "expected `clb-audit: allow(<rule>) -- <reason>`".into(),
+        });
+        return;
+    };
+    let Some(close) = open.find(')') else {
+        out.malformed.push(MalformedAllow {
+            line,
+            problem: "unclosed `allow(` in clb-audit annotation".into(),
+        });
+        return;
+    };
+    let rule = open[..close].trim();
+    if rule.is_empty() || !rule.bytes().all(|b| b.is_ascii_lowercase() || b == b'-') {
+        out.malformed.push(MalformedAllow {
+            line,
+            problem: format!("`{rule}` is not a kebab-case rule name"),
+        });
+        return;
+    }
+    let after = open[close + 1..].trim_start();
+    let Some(reason) = after.strip_prefix("--") else {
+        out.malformed.push(MalformedAllow {
+            line,
+            problem: "missing `-- <reason>`: every exemption must be justified".into(),
+        });
+        return;
+    };
+    let reason = reason.trim().trim_end_matches("*/").trim();
+    if reason.is_empty() {
+        out.malformed.push(MalformedAllow {
+            line,
+            problem: "empty reason after `--`: every exemption must be justified".into(),
+        });
+        return;
+    }
+    out.allows.push(Allow {
+        rule: rule.to_string(),
+        reason: reason.to_string(),
+        line,
+        standalone: !trailing,
+    });
+}
+
+/// Marks which tokens sit inside `#[cfg(test)]`- or `#[test]`-gated items, so
+/// rules can ignore test-only code in library files. Returns one flag per token.
+///
+/// The attribute's idents are inspected: any attribute containing the ident
+/// `test` (and not `not`, which would mean *excluded from* test builds) marks the
+/// item that follows — up to the matching `}` of its first brace block, or the
+/// terminating `;` for brace-less items.
+pub fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].text != "#" || tokens.get(i + 1).map(|t| t.text.as_str()) != Some("[") {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute group #[ ... ] with bracket nesting.
+        let attr_start = i;
+        let mut j = i + 2;
+        let mut depth = 1u32;
+        let mut has_test = false;
+        let mut has_not = false;
+        while j < tokens.len() && depth > 0 {
+            match tokens[j].text.as_str() {
+                "[" => depth += 1,
+                "]" => depth -= 1,
+                "test" if tokens[j].kind == TokenKind::Ident => has_test = true,
+                "not" if tokens[j].kind == TokenKind::Ident => has_not = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !has_test || has_not {
+            i = j;
+            continue;
+        }
+        // Mark through the end of the annotated item: skip any further attribute
+        // groups, then to the first `{`'s matching `}` (or a `;` before any brace).
+        let mut k = j;
+        loop {
+            if k + 1 < tokens.len() && tokens[k].text == "#" && tokens[k + 1].text == "[" {
+                let mut d = 1u32;
+                k += 2;
+                while k < tokens.len() && d > 0 {
+                    match tokens[k].text.as_str() {
+                        "[" => d += 1,
+                        "]" => d -= 1,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                continue;
+            }
+            break;
+        }
+        let mut brace = 0u32;
+        let mut end = tokens.len();
+        while k < tokens.len() {
+            match tokens[k].text.as_str() {
+                "{" => brace += 1,
+                "}" => {
+                    if brace <= 1 {
+                        end = k + 1;
+                        break;
+                    }
+                    brace -= 1;
+                }
+                ";" if brace == 0 => {
+                    end = k + 1;
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let stop = end.min(mask.len());
+        for flag in &mut mask[attr_start..stop] {
+            *flag = true;
+        }
+        i = end;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_puncts() {
+        assert_eq!(
+            texts("let x = 0x67_7261 + 9usize;"),
+            vec!["let", "x", "=", "0x67_7261", "+", "9usize", ";"]
+        );
+    }
+
+    #[test]
+    fn floats_vs_ranges() {
+        assert_eq!(texts("0..n"), vec!["0", ".", ".", "n"]);
+        assert_eq!(texts("1.5e-3"), vec!["1.5e-3"]);
+        let lexed = lex("1.5");
+        assert_eq!(lexed.tokens[0].kind, TokenKind::Float);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = lex(r#"let s = "HashMap.iter() // clb-audit";"#);
+        assert!(toks.tokens.iter().all(|t| t.text != "HashMap"));
+        assert!(toks.allows.is_empty() && toks.malformed.is_empty());
+        let raw = lex(r##"let s = r#"for x in map.keys()"#;"##);
+        assert!(raw.tokens.iter().all(|t| t.text != "keys"));
+    }
+
+    #[test]
+    fn comments_hide_tokens_and_nest() {
+        let toks = lex("/* outer /* HashMap */ still comment */ let x = 1;");
+        assert_eq!(
+            toks.tokens.iter().map(|t| &t.text).collect::<Vec<_>>(),
+            ["let", "x", "=", "1", ";"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        assert_eq!(texts("&'a str"), vec!["&", "'a", "str"]);
+        let lexed = lex("let c = 'x'; let n = '\\n';");
+        assert_eq!(lexed.tokens[3].kind, TokenKind::Char);
+        assert_eq!(lexed.tokens[3].text, "'x'");
+        assert_eq!(lexed.tokens[8].kind, TokenKind::Char);
+        assert_eq!(lexed.tokens[8].text, "'\\n'");
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let lexed = lex("a\n  bee");
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn allow_annotation_parses() {
+        let lexed =
+            lex("let x = 1; // clb-audit: allow(unordered-collection) -- membership only\n");
+        assert_eq!(lexed.allows.len(), 1);
+        let a = &lexed.allows[0];
+        assert_eq!(a.rule, "unordered-collection");
+        assert_eq!(a.reason, "membership only");
+        assert!(!a.standalone, "code precedes the comment on its line");
+        let lexed = lex("// clb-audit: allow(wall-clock) -- bench timing\nlet x = 1;");
+        assert!(lexed.allows[0].standalone);
+    }
+
+    #[test]
+    fn malformed_allows_are_reported() {
+        assert_eq!(
+            lex("// clb-audit: allow(x) \n").malformed.len(),
+            1,
+            "no reason"
+        );
+        assert_eq!(
+            lex("// clb-audit: alow(a-b) -- r\n").malformed.len(),
+            1,
+            "typo"
+        );
+        assert_eq!(
+            lex("// clb-audit: allow(Bad_Rule) -- r\n").malformed.len(),
+            1
+        );
+        assert!(lex("// clb-audit: allow(a-b) -- reason\n")
+            .malformed
+            .is_empty());
+    }
+
+    #[test]
+    fn prose_mentioning_the_tool_is_not_an_annotation() {
+        let lexed = lex(
+            "//! Enforced by `clb-audit` (run `cargo run -p clb-audit`).\n\
+                         /// The escape hatch is `// clb-audit: allow(<rule>) -- <reason>`.\n",
+        );
+        assert!(lexed.malformed.is_empty(), "{:?}", lexed.malformed);
+        assert!(lexed.allows.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_mask_covers_test_mod() {
+        let src =
+            "fn real() {}\n#[cfg(test)]\nmod tests {\n  fn t() { inner(); }\n}\nfn after() {}";
+        let lexed = lex(src);
+        let mask = test_region_mask(&lexed.tokens);
+        let masked: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .zip(&mask)
+            .filter(|&(_, &m)| m)
+            .map(|(t, _)| t.text.as_str())
+            .collect();
+        assert!(masked.contains(&"inner"));
+        assert!(!masked.contains(&"real"));
+        assert!(!masked.contains(&"after"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn shipped() { body(); }";
+        let lexed = lex(src);
+        let mask = test_region_mask(&lexed.tokens);
+        assert!(mask.iter().all(|&m| !m));
+    }
+
+    #[test]
+    fn test_attribute_marks_following_fn() {
+        let src = "#[test]\nfn check() { assert!(true); }\nfn prod() {}";
+        let lexed = lex(src);
+        let mask = test_region_mask(&lexed.tokens);
+        let masked: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .zip(&mask)
+            .filter(|&(_, &m)| m)
+            .map(|(t, _)| t.text.as_str())
+            .collect();
+        assert!(masked.contains(&"check"));
+        assert!(!masked.contains(&"prod"));
+    }
+}

@@ -1,0 +1,83 @@
+//! CLI entry point: `cargo run -p clb-audit [-- --deny-warnings]`.
+//!
+//! Prints one line per violation (`path:line:col: [rule] message`) followed by
+//! the greppable summary line. Exit status is 0 unless `--deny-warnings` is
+//! given and violations exist (CI mode), or the workspace could not be read.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut print_fingerprint = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-warnings" => deny = true,
+            "--print-wire-fingerprint" => print_fingerprint = true,
+            "--root" => root = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!(
+                    "usage: clb-audit [--deny-warnings] [--print-wire-fingerprint] [--root DIR]\n\
+                     \n\
+                     Statically audits the workspace against the determinism contract\n\
+                     (docs/DETERMINISM.md). --deny-warnings exits non-zero on violations;\n\
+                     --print-wire-fingerprint emits the `version hash` pin line for\n\
+                     crates/audit/wire_fingerprints.txt after an intentional format bump."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("clb-audit: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // The crate sits at <workspace>/crates/audit, so the workspace root is two
+    // levels up from the manifest — independent of the invocation directory.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+    });
+
+    if print_fingerprint {
+        let wire = match std::fs::read_to_string(root.join(clb_audit::WIRE_PATH)) {
+            Ok(src) => src,
+            Err(e) => {
+                eprintln!("clb-audit: cannot read {}: {e}", clb_audit::WIRE_PATH);
+                return ExitCode::from(2);
+            }
+        };
+        return match clb_audit::rules::wire_fingerprint(&wire) {
+            Some(fp) => {
+                println!("{} {:016x}", fp.version, fp.hash);
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("clb-audit: no WIRE_VERSION constant found in the wire module");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    match clb_audit::audit_repo(&root) {
+        Ok(outcome) => {
+            for (path, f) in &outcome.violations {
+                println!("{path}:{}:{}: [{}] {}", f.line, f.col, f.rule, f.message);
+            }
+            println!("{}", outcome.summary_line());
+            if deny && !outcome.violations.is_empty() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(message) => {
+            eprintln!("clb-audit: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! BAD (as wire-module code): `.expect` is still a panic; the message does not
+//! tell the runner which shard produced the bad frame.
+
+fn encode(report: &Report) -> Bytes {
+    let state = report.summary.as_ref().expect("summary must be present");
+    encode_state(state)
+}

@@ -1,0 +1,7 @@
+//! BAD (as wire-module code): a truncated frame aborts the worker instead of
+//! returning ShardError::Corrupt.
+
+fn get_u32(r: &mut Reader) -> u32 {
+    let bytes: [u8; 4] = r.take(4).try_into().unwrap();
+    u32::from_le_bytes(bytes)
+}

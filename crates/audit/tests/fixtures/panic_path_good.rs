@@ -1,0 +1,16 @@
+//! GOOD wire-module code: malformed input surfaces as a diagnosable error.
+
+fn get_u32(r: &mut Reader) -> Result<u32, ShardError> {
+    let bytes = r.take(4)?;
+    match <[u8; 4]>::try_from(bytes) {
+        Ok(b) => Ok(u32::from_le_bytes(b)),
+        Err(_) => Err(ShardError::Corrupt("truncated u32".to_string())),
+    }
+}
+
+fn encode(report: &Report) -> Result<Bytes, ShardError> {
+    let Some(state) = report.summary.as_ref() else {
+        return Err(ShardError::Corrupt("missing summary state".to_string()));
+    };
+    Ok(encode_state(state))
+}

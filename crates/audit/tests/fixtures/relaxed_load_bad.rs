@@ -1,0 +1,8 @@
+//! BAD: a relaxed load mid-run feeds a report field with no justification that
+//! ordering cannot change the observed value.
+
+fn snapshot(stats: &Stats) -> Report {
+    Report {
+        hits: stats.hits.load(Ordering::Relaxed),
+    }
+}

@@ -1,0 +1,7 @@
+//! BAD: same as relaxed_load_bad, with the ordering spelled as a full path.
+
+fn snapshot(stats: &Stats) -> u64 {
+    stats
+        .hits
+        .load(std::sync::atomic::Ordering::Relaxed)
+}

@@ -1,0 +1,11 @@
+//! GOOD: the load happens after the worker threads joined, and the annotation
+//! says so. `fetch_add` with relaxed ordering is not a load and is never
+//! flagged — increments commute, only racy *reads* can leak into results.
+
+fn finish(stats: &Stats) -> Report {
+    stats.hits.fetch_add(1, Ordering::Relaxed);
+    Report {
+        // clb-audit: allow(relaxed-load) -- read-after-join, exact total
+        hits: stats.hits.load(Ordering::Relaxed),
+    }
+}

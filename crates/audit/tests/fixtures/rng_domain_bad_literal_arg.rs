@@ -1,0 +1,5 @@
+//! BAD: ad-hoc numeric domain tag — cannot be checked for collisions.
+
+fn build_stream(seed: u64) -> Stream {
+    StreamFactory::new(seed).domain(7).stream(0, 0)
+}

@@ -1,0 +1,8 @@
+//! BAD: domain constant declared outside the central registry, then used.
+//! Two findings: the rogue declaration and the unregistered argument.
+
+const ROGUE_DOMAIN: u64 = 0x99;
+
+fn build_stream(seed: u64) -> Stream {
+    StreamFactory::new(seed).domain(ROGUE_DOMAIN).stream(0, 0)
+}

@@ -1,0 +1,13 @@
+//! GOOD: the argument names a constant registered in clb_rng::domains.
+
+use clb_rng::domains::PROTOCOL_DOMAIN;
+
+fn build_stream(seed: u64) -> Stream {
+    StreamFactory::new(seed).domain(PROTOCOL_DOMAIN).stream(0, 0)
+}
+
+fn qualified(seed: u64) -> Stream {
+    StreamFactory::new(seed)
+        .domain(clb_rng::domains::DEMAND_DOMAIN)
+        .stream(1, 2)
+}

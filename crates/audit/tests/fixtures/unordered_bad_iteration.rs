@@ -1,0 +1,14 @@
+//! BAD: iterating a hash map in result-path code — visit order varies between
+//! runs, so the accumulated totals are nondeterministic.
+
+fn tally(counts: Vec<(u64, u64)>) -> Vec<u64> {
+    let mut by_server: HashMap<u64, u64> = HashMap::new();
+    for (server, load) in counts {
+        *by_server.entry(server).or_insert(0) += load;
+    }
+    let mut out = Vec::new();
+    for load in by_server.values() {
+        out.push(*load);
+    }
+    out
+}

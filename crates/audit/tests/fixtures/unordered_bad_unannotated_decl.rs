@@ -1,0 +1,13 @@
+//! BAD: hash set in result-path code with no allow annotation stating the use
+//! is membership-only.
+
+fn dedup(edges: &[(u32, u32)]) -> usize {
+    let mut seen = std::collections::HashSet::new();
+    let mut kept = 0;
+    for &e in edges {
+        if seen.insert(e) {
+            kept += 1;
+        }
+    }
+    kept
+}

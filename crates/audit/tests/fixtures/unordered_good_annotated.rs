@@ -1,0 +1,13 @@
+//! GOOD: membership-only use, justified with an allow annotation.
+
+fn dedup(edges: &[(u32, u32)]) -> usize {
+    // clb-audit: allow(unordered-collection) -- membership-only duplicate check
+    let mut seen = std::collections::HashSet::new();
+    let mut kept = 0;
+    for &e in edges {
+        if seen.insert(e) {
+            kept += 1;
+        }
+    }
+    kept
+}

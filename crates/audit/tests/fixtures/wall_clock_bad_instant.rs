@@ -1,0 +1,14 @@
+//! BAD: wall-clock read outside crates/bench — results now depend on machine
+//! speed, not just (seed, config).
+
+use std::time::Instant;
+
+fn run_with_deadline(sim: &mut Simulation) -> u64 {
+    let start = Instant::now();
+    let mut rounds = 0;
+    while start.elapsed().as_millis() < 100 {
+        sim.step();
+        rounds += 1;
+    }
+    rounds
+}

@@ -1,0 +1,8 @@
+//! BAD: deriving a seed from the wall clock makes every run unreproducible.
+
+fn auto_seed() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}

@@ -1,0 +1,18 @@
+//! GOOD: the baseline mini wire module the fingerprint tests pin.
+
+pub const FRAME_MAGIC: u32 = 0x434C_4246;
+pub const WIRE_VERSION: u32 = 3;
+
+fn put_header(buf: &mut BytesMut) {
+    buf.put_u32_le(FRAME_MAGIC);
+    buf.put_u32_le(WIRE_VERSION);
+}
+
+fn put_cell(buf: &mut BytesMut, cell: &Cell) {
+    buf.put_u32_le(cell.index);
+    buf.put_u64_le(cell.trials);
+}
+
+fn helper_not_part_of_layout(x: u64) -> u64 {
+    x.rotate_left(1)
+}

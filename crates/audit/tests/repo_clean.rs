@@ -1,0 +1,66 @@
+//! Tier-1 gate: the workspace itself must audit clean.
+//!
+//! This is the same walk `cargo run -p clb-audit -- --deny-warnings` performs in
+//! CI, run in-process so `cargo test --workspace` fails on a duplicate domain
+//! tag, an unannotated unordered collection, a stray wall-clock read, or a wire
+//! layout edit without a version bump.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}
+
+#[test]
+fn workspace_audits_clean() {
+    let outcome = clb_audit::audit_repo(&workspace_root()).expect("workspace is readable");
+    assert!(
+        outcome.violations.is_empty(),
+        "determinism-contract violations:\n{}\n(see docs/DETERMINISM.md; escape hatch: \
+         `// clb-audit: allow(<rule>) -- <reason>`)",
+        outcome
+            .violations
+            .iter()
+            .map(|(path, f)| format!("  {path}:{}:{}: [{}] {}", f.line, f.col, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        outcome.files_scanned > 50,
+        "walker found only {} files — did the workspace layout change?",
+        outcome.files_scanned
+    );
+    assert!(
+        outcome.allows_in_effect >= 1,
+        "the workspace carries known membership-only annotations; zero allows in \
+         effect means allow matching broke"
+    );
+    println!("{}", outcome.summary_line());
+}
+
+#[test]
+fn workspace_registry_is_the_audits_registry() {
+    // The audit parses domains.rs textually; clb-rng compiles it. Cross-check
+    // that both views agree so neither can silently drift.
+    let source = std::fs::read_to_string(workspace_root().join(clb_audit::REGISTRY_PATH))
+        .expect("registry file exists");
+    let parsed = clb_audit::rules::parse_registry(&source);
+    assert_eq!(
+        parsed.len(),
+        clb_rng::domains::ALL.len(),
+        "textual parse and compiled registry disagree on domain count"
+    );
+    for (name, value) in &parsed {
+        let compiled = clb_rng::domains::ALL
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("{name} parsed from source but missing from domains::ALL"));
+        assert_eq!(
+            *value, compiled.1,
+            "{name}: parsed value {value:#x} != compiled value {:#x}",
+            compiled.1
+        );
+    }
+}

@@ -1,0 +1,209 @@
+//! Table-driven pin of the rules engine against the fixture corpus.
+//!
+//! Every rule has at least two bad snippets (each firing for a distinct reason)
+//! and one good snippet under `tests/fixtures/`. The fixtures are data, not
+//! compiled code, and the directory is excluded from the workspace walk — they
+//! are *deliberately* in violation.
+
+use clb_audit::rules::{
+    check_wire_fingerprint, parse_registry, wire_fingerprint, Registry, SourceClass,
+};
+use clb_audit::{audit_source, classify};
+
+fn fixture_registry() -> Registry {
+    parse_registry(
+        "pub const PROTOCOL_DOMAIN: u64 = 0x70726f74;\n\
+         pub const DEMAND_DOMAIN: u64 = 0x64656d;\n",
+    )
+}
+
+const LIB: SourceClass = SourceClass {
+    test_code: false,
+    bench_crate: false,
+    registry_file: false,
+    wire_file: false,
+};
+const WIRE: SourceClass = SourceClass {
+    test_code: false,
+    bench_crate: false,
+    registry_file: false,
+    wire_file: true,
+};
+
+/// (fixture, class, rules expected to fire — in line order, empty = clean).
+const CASES: &[(&str, &str, SourceClass, &[&str])] = &[
+    (
+        "rng_domain_bad_literal_arg.rs",
+        include_str!("fixtures/rng_domain_bad_literal_arg.rs"),
+        LIB,
+        &["rng-domain"],
+    ),
+    (
+        "rng_domain_bad_local_const.rs",
+        include_str!("fixtures/rng_domain_bad_local_const.rs"),
+        LIB,
+        &["rng-domain", "rng-domain"],
+    ),
+    (
+        "rng_domain_good.rs",
+        include_str!("fixtures/rng_domain_good.rs"),
+        LIB,
+        &[],
+    ),
+    (
+        "unordered_bad_iteration.rs",
+        include_str!("fixtures/unordered_bad_iteration.rs"),
+        LIB,
+        &["unordered-collection", "unordered-collection"],
+    ),
+    (
+        "unordered_bad_unannotated_decl.rs",
+        include_str!("fixtures/unordered_bad_unannotated_decl.rs"),
+        LIB,
+        &["unordered-collection"],
+    ),
+    (
+        "unordered_good_annotated.rs",
+        include_str!("fixtures/unordered_good_annotated.rs"),
+        LIB,
+        &[],
+    ),
+    (
+        "wall_clock_bad_instant.rs",
+        include_str!("fixtures/wall_clock_bad_instant.rs"),
+        LIB,
+        &["wall-clock", "wall-clock"],
+    ),
+    (
+        "wall_clock_bad_system_time.rs",
+        include_str!("fixtures/wall_clock_bad_system_time.rs"),
+        LIB,
+        &["wall-clock"],
+    ),
+    (
+        "wall_clock_good.rs",
+        include_str!("fixtures/wall_clock_good.rs"),
+        LIB,
+        &[],
+    ),
+    (
+        "relaxed_load_bad.rs",
+        include_str!("fixtures/relaxed_load_bad.rs"),
+        LIB,
+        &["relaxed-load"],
+    ),
+    (
+        "relaxed_load_bad_qualified.rs",
+        include_str!("fixtures/relaxed_load_bad_qualified.rs"),
+        LIB,
+        &["relaxed-load"],
+    ),
+    (
+        "relaxed_load_good_annotated.rs",
+        include_str!("fixtures/relaxed_load_good_annotated.rs"),
+        LIB,
+        &[],
+    ),
+    (
+        "panic_path_bad_unwrap.rs",
+        include_str!("fixtures/panic_path_bad_unwrap.rs"),
+        WIRE,
+        &["panic-path"],
+    ),
+    (
+        "panic_path_bad_expect.rs",
+        include_str!("fixtures/panic_path_bad_expect.rs"),
+        WIRE,
+        &["panic-path"],
+    ),
+    (
+        "panic_path_good.rs",
+        include_str!("fixtures/panic_path_good.rs"),
+        WIRE,
+        &[],
+    ),
+];
+
+#[test]
+fn fixture_corpus_pins_every_token_rule() {
+    let registry = fixture_registry();
+    for (name, source, class, expected) in CASES {
+        let audit = audit_source(source, *class, &registry);
+        let fired: Vec<&str> = audit.findings.iter().map(|f| f.rule).collect();
+        assert_eq!(
+            &fired, expected,
+            "{name}: expected {expected:?}, got findings {:?}",
+            audit.findings
+        );
+    }
+}
+
+#[test]
+fn good_fixtures_with_annotations_report_their_allows() {
+    let registry = fixture_registry();
+    for name in [
+        "unordered_good_annotated.rs",
+        "relaxed_load_good_annotated.rs",
+    ] {
+        let source = CASES
+            .iter()
+            .find(|(n, ..)| *n == name)
+            .map(|(_, s, ..)| *s)
+            .expect("fixture registered in CASES");
+        let audit = audit_source(source, LIB, &registry);
+        assert_eq!(audit.allows_used, 1, "{name} should use exactly one allow");
+    }
+}
+
+#[test]
+fn panic_fixtures_are_clean_outside_the_wire_module() {
+    // The panic-path rule is scoped: the same unwrap in ordinary library code
+    // is a style question, not a determinism violation.
+    let registry = fixture_registry();
+    let source = include_str!("fixtures/panic_path_bad_unwrap.rs");
+    assert!(audit_source(source, LIB, &registry).findings.is_empty());
+}
+
+const WIRE_BASE: &str = include_str!("fixtures/wire_fp_base.rs");
+const WIRE_DRIFT: &str = include_str!("fixtures/wire_fp_bad_layout_drift.rs");
+const WIRE_BUMPED: &str = include_str!("fixtures/wire_fp_good_bumped.rs");
+
+#[test]
+fn wire_fingerprint_passes_when_pinned() {
+    let fp = wire_fingerprint(WIRE_BASE).expect("base fixture declares WIRE_VERSION");
+    assert_eq!(fp.version, 3);
+    assert!(check_wire_fingerprint(WIRE_BASE, &[(fp.version, fp.hash)]).is_empty());
+}
+
+#[test]
+fn layout_drift_without_version_bump_is_rejected() {
+    let pinned = wire_fingerprint(WIRE_BASE).expect("base fixture declares WIRE_VERSION");
+    let findings = check_wire_fingerprint(WIRE_DRIFT, &[(pinned.version, pinned.hash)]);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, "wire-fingerprint");
+    assert!(
+        findings[0].message.contains("Bump WIRE_VERSION"),
+        "message should demand a version bump: {}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn version_bump_requires_a_new_pin_then_passes() {
+    let old = wire_fingerprint(WIRE_BASE).expect("base fixture declares WIRE_VERSION");
+    let unpinned = check_wire_fingerprint(WIRE_BUMPED, &[(old.version, old.hash)]);
+    assert_eq!(unpinned.len(), 1);
+    assert!(unpinned[0].message.contains("no pinned fingerprint"));
+
+    let new = wire_fingerprint(WIRE_BUMPED).expect("bumped fixture declares WIRE_VERSION");
+    assert_eq!(new.version, 4);
+    let pins = [(old.version, old.hash), (new.version, new.hash)];
+    assert!(check_wire_fingerprint(WIRE_BUMPED, &pins).is_empty());
+}
+
+#[test]
+fn classification_treats_fixture_paths_like_real_ones() {
+    // Sanity that the class constants above mirror what the walker would assign.
+    assert!(!classify("crates/engine/src/simulation.rs").test_code);
+    assert!(classify("crates/core/src/shard/wire.rs").wire_file);
+}

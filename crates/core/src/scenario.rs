@@ -324,7 +324,11 @@ impl Scenario {
         let cache = CacheStats {
             graphs_built: plan.identities.len(),
             cells_run: plan.grid.len(),
+            // Loaded after the parallel fold has joined, so every increment is
+            // visible and the totals are exact counts.
+            // clb-audit: allow(relaxed-load) -- read-after-join, exact total
             snapshot_hits: snapshot_hits.load(Ordering::Relaxed),
+            // clb-audit: allow(relaxed-load) -- read-after-join, exact total
             direct_builds: direct_builds.load(Ordering::Relaxed),
         };
 
@@ -390,6 +394,9 @@ pub(crate) fn plan_grid(configs: &[ExperimentConfig]) -> GridPlan {
         .collect();
 
     let mut identity_of_cell: Vec<usize> = Vec::with_capacity(grid.len());
+    // Membership-only dedup index: the Vec push order below, not map order,
+    // determines identity numbering.
+    // clb-audit: allow(unordered-collection) -- membership-only dedup index
     let mut identity_index: HashMap<(String, u64), usize> = HashMap::new();
     let mut identities: Vec<(usize, u64)> = Vec::new();
     let mut cells_per_identity: Vec<usize> = Vec::new();

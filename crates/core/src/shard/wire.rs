@@ -955,7 +955,12 @@ pub fn decode_manifest(data: &[u8]) -> Result<ShardManifest, ShardError> {
 }
 
 /// Serialises a shard result.
-pub fn encode_report(report: &ShardReport) -> Bytes {
+///
+/// Fails with [`ShardError::Corrupt`] if a summary payload carries an empty (or
+/// full-retention) accumulator: such a frame has no summary state to emit, and the
+/// decoder rejects zero trial counts anyway — refusing to encode keeps the
+/// diagnosis at the source instead of panicking mid-serialisation.
+pub fn encode_report(report: &ShardReport) -> Result<Bytes, ShardError> {
     let capacity = 64
         + match &report.payload {
             ShardPayload::Outcomes(outcomes) => outcomes.len() * 160,
@@ -980,16 +985,17 @@ pub fn encode_report(report: &ShardReport) -> Bytes {
             buf.put_u32_le(states.len() as u32);
             for (point, accumulator) in states {
                 buf.put_u32_le(*point);
-                put_summary_state(
-                    &mut buf,
-                    accumulator
-                        .summary_state()
-                        .expect("a summary payload only carries non-empty accumulators"),
-                );
+                let Some(state) = accumulator.summary_state() else {
+                    return Err(ShardError::Corrupt(format!(
+                        "summary payload for sweep point {point} carries an accumulator \
+                         with no summary state (empty, or built under Retention::Full)"
+                    )));
+                };
+                put_summary_state(&mut buf, state);
             }
         }
     }
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
 /// Reconstructs a shard result from [`encode_report`] output, validating every

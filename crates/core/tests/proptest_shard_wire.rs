@@ -312,7 +312,7 @@ proptest! {
 
     #[test]
     fn report_round_trips_exactly(report in arb_report()) {
-        let decoded = decode_report(&encode_report(&report)).expect("decode");
+        let decoded = decode_report(&encode_report(&report).expect("encode")).expect("decode");
         prop_assert_eq!(decoded, report);
     }
 
@@ -322,13 +322,13 @@ proptest! {
         // the wire bit-for-bit: the driver merges decoded states straight into its
         // fold, so any loss here would break the cross-process determinism
         // contract.
-        let decoded = decode_report(&encode_report(&report)).expect("decode");
+        let decoded = decode_report(&encode_report(&report).expect("encode")).expect("decode");
         prop_assert_eq!(decoded, report);
     }
 
     #[test]
     fn every_strict_prefix_of_a_summary_report_fails_to_decode(report in arb_summary_report()) {
-        let bytes = encode_report(&report);
+        let bytes = encode_report(&report).expect("encode");
         for cut in 0..bytes.len() {
             prop_assert!(
                 decode_report(&bytes[..cut]).is_err(),
@@ -371,7 +371,7 @@ proptest! {
 
     #[test]
     fn every_strict_prefix_of_a_report_fails_to_decode(report in arb_report()) {
-        let bytes = encode_report(&report);
+        let bytes = encode_report(&report).expect("encode");
         for cut in 0..bytes.len() {
             prop_assert!(
                 decode_report(&bytes[..cut]).is_err(),
@@ -430,7 +430,7 @@ fn sample_summary_report() -> ShardReport {
 
 #[test]
 fn summary_report_corrupted_magic_and_version_are_diagnosed() {
-    let good = encode_report(&sample_summary_report());
+    let good = encode_report(&sample_summary_report()).expect("encode");
     let mut bytes = good.to_vec();
     bytes[0] ^= 0xFF;
     let err = decode_report(&bytes).expect_err("bad magic must fail");
@@ -446,7 +446,9 @@ fn summary_report_corrupted_magic_and_version_are_diagnosed() {
 fn unknown_report_payload_tag_is_diagnosed() {
     // The payload tag sits right after the fixed header: magic + version (8),
     // shard index (4), first cell (8), two cache tallies (16).
-    let mut bytes = encode_report(&sample_summary_report()).to_vec();
+    let mut bytes = encode_report(&sample_summary_report())
+        .expect("encode")
+        .to_vec();
     bytes[36] = 7;
     let err = decode_report(&bytes).expect_err("unknown payload tag must fail");
     assert!(err.to_string().contains("payload tag"), "got: {err}");
@@ -458,7 +460,9 @@ fn inconsistent_accumulator_counts_are_diagnosed() {
     // state count and the point index, i.e. offset 36 + 4 + 4 + 4 = 48): every stat
     // then disagrees with it, which the decoder's cross-validation must catch
     // rather than hand the driver a self-contradictory accumulator.
-    let mut bytes = encode_report(&sample_summary_report()).to_vec();
+    let mut bytes = encode_report(&sample_summary_report())
+        .expect("encode")
+        .to_vec();
     bytes[48] = bytes[48].wrapping_add(1);
     let err = decode_report(&bytes).expect_err("count mismatch must fail");
     assert!(
@@ -469,9 +473,45 @@ fn inconsistent_accumulator_counts_are_diagnosed() {
 
 #[test]
 fn trailing_garbage_after_a_summary_report_is_rejected() {
-    let mut bytes = encode_report(&sample_summary_report()).to_vec();
+    let mut bytes = encode_report(&sample_summary_report())
+        .expect("encode")
+        .to_vec();
     bytes.push(0);
     assert!(matches!(decode_report(&bytes), Err(ShardError::Corrupt(_))));
+}
+
+#[test]
+fn encoding_an_empty_accumulator_is_a_diagnosable_error() {
+    // A summary payload can only legally carry accumulators that folded at least
+    // one trial. Encoding an empty one must fail with a Corrupt error naming the
+    // sweep point — not panic (this used to be an `.expect` in the encoder).
+    let report = ShardReport {
+        shard_index: 0,
+        first_cell: 0,
+        snapshot_hits: 0,
+        direct_builds: 0,
+        payload: ShardPayload::Accumulators(vec![(5, OutcomeAccumulator::new(Retention::Summary))]),
+    };
+    let err = encode_report(&report).expect_err("empty accumulator must not encode");
+    assert!(matches!(err, ShardError::Corrupt(_)), "got: {err}");
+    assert!(err.to_string().contains("point 5"), "got: {err}");
+}
+
+#[test]
+fn empty_accumulator_frame_is_rejected_on_decode() {
+    // Round-trip corruption: zero out the trial count of an otherwise valid
+    // accumulator frame. The u64 count sits right after the payload tag (at 36),
+    // the state count and the point index, i.e. bytes 48..56. Whichever
+    // cross-check fires first (count consistency or the zero-trials guard), the
+    // driver must see a diagnosable Corrupt error, never a zero-trial state.
+    let mut bytes = encode_report(&sample_summary_report())
+        .expect("encode")
+        .to_vec();
+    for b in &mut bytes[48..56] {
+        *b = 0;
+    }
+    let err = decode_report(&bytes).expect_err("zero-trial accumulator frame must fail");
+    assert!(matches!(err, ShardError::Corrupt(_)), "got: {err}");
 }
 
 #[test]
@@ -542,7 +582,7 @@ fn report_magic_is_not_a_manifest_magic() {
         direct_builds: 0,
         payload: ShardPayload::Outcomes(vec![]),
     };
-    let bytes = encode_report(&report);
+    let bytes = encode_report(&report).expect("encode");
     let err = decode_manifest(&bytes).expect_err("wrong magic must fail");
     assert!(err.to_string().contains("magic"), "got: {err}");
 }

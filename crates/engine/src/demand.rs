@@ -4,11 +4,9 @@
 //! notes that the general case of *at most* `d` balls is analogous. The engine supports
 //! both, plus fully explicit per-client demand for adversarial test workloads.
 
+use clb_rng::domains::DEMAND_DOMAIN;
 use clb_rng::{RandomSource, StreamFactory};
 use serde::{Deserialize, Serialize};
-
-/// Domain tag for demand randomness.
-const DEMAND_DOMAIN: u64 = 0x64656d; // "dem"
 
 /// Number of balls each client must place.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]

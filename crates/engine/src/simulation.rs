@@ -21,6 +21,7 @@ use crate::{
     protocol::{Protocol, ServerCtx},
 };
 use clb_graph::{BipartiteGraph, ClientId};
+use clb_rng::domains::PROTOCOL_DOMAIN;
 use clb_rng::{RandomSource, StreamFactory};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -28,10 +29,6 @@ use std::any::Any;
 
 /// Sentinel for "ball not yet assigned to any server".
 const UNASSIGNED: u32 = u32::MAX;
-
-/// Domain tag for the protocol-execution randomness (distinct from graph generation and
-/// demand materialisation).
-const PROTOCOL_DOMAIN: u64 = 0x70726f74; // "prot"
 
 /// Checks that a round's request count (`alive × choices`) fits the engine's 32-bit
 /// request indexing and returns it.

@@ -54,7 +54,8 @@ use serde::{Deserialize, Serialize};
 
 /// The [`StreamFactory`] domain tag reserved for fault draws (`b"flts"`), distinct from
 /// the engine's protocol-execution domain so faults never correlate with ball routing.
-pub const FAULT_DOMAIN: u64 = 0x666c_7473;
+/// Registered in — and re-exported from — the central `clb_rng::domains` registry.
+pub use clb_rng::domains::FAULT_DOMAIN;
 
 /// Sub-entity tags separating the per-kind fault streams of one server.
 const CRASH: u64 = 1;

@@ -14,6 +14,8 @@ pub struct GraphBuilder {
     num_clients: usize,
     num_servers: usize,
     edges: Vec<(u32, u32)>,
+    // Membership-only duplicate check; edge order lives in the Vec above.
+    // clb-audit: allow(unordered-collection) -- membership-only duplicate check
     seen: HashSet<(u32, u32)>,
     dedup: bool,
 }
@@ -34,6 +36,7 @@ impl GraphBuilder {
             num_clients,
             num_servers,
             edges: Vec::new(),
+            // clb-audit: allow(unordered-collection) -- membership-only duplicate check
             seen: HashSet::new(),
             dedup,
         }

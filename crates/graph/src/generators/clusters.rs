@@ -7,9 +7,8 @@
 //! cluster and `inter_degree` random servers outside it.
 
 use crate::{bipartite::BipartiteGraph, GraphBuilder, GraphError, Result};
+use clb_rng::domains::CLUSTER_DOMAIN;
 use clb_rng::{floyd_sample, StreamFactory};
-
-const CLUSTER_DOMAIN: u64 = 0x636c7573; // "clus"
 
 /// Generates a trust-cluster bipartite graph with `n` clients and `n` servers.
 ///

@@ -9,12 +9,9 @@
 //! the repair loop terminates after a handful of swaps.
 
 use crate::{bipartite::BipartiteGraph, GraphError, Result};
+use clb_rng::domains::GENERATOR_DOMAIN;
 use clb_rng::{shuffle, RandomSource, StreamFactory};
 use std::collections::HashMap;
-
-/// Domain tag for the stream factory so graph generation never shares randomness with
-/// protocol execution even when the same experiment seed is reused.
-const GENERATOR_DOMAIN: u64 = 0x67_7261_7068; // "graph"
 
 /// Generates a uniform-ish random *simple* bipartite graph with the given degree
 /// sequences.
@@ -77,6 +74,9 @@ pub fn configuration_model(
     shuffle(&mut server_of, &mut rng);
 
     // Multiset of edges; a position is "bad" while its edge has multiplicity > 1.
+    // Lookups and entry updates only — the repair loop walks positions in index
+    // order, never the map.
+    // clb-audit: allow(unordered-collection) -- membership/count lookups only
     let mut multiplicity: HashMap<(u32, u32), u32> = HashMap::with_capacity(total * 2);
     for p in 0..total {
         *multiplicity
@@ -132,6 +132,7 @@ pub fn configuration_model(
     BipartiteGraph::from_edges(num_clients, num_servers, &edges)
 }
 
+// clb-audit: allow(unordered-collection) -- keyed update of a single entry
 fn decrement(map: &mut HashMap<(u32, u32), u32>, key: (u32, u32)) {
     if let Some(v) = map.get_mut(&key) {
         if *v <= 1 {

@@ -1,9 +1,8 @@
 //! Dense topologies: the regime of Becchetti et al.'s original RAES analysis.
 
 use crate::{bipartite::BipartiteGraph, GraphBuilder, GraphError, Result};
+use clb_rng::domains::ER_DOMAIN;
 use clb_rng::{floyd_sample, Binomial, StreamFactory};
-
-const ER_DOMAIN: u64 = 0x6572_6e64; // "ernd"
 
 /// The complete bipartite graph `K_{num_clients, num_servers}`: every client may contact
 /// every server. This is the classic (unconstrained) parallel balls-into-bins setting.

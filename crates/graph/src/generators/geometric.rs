@@ -7,9 +7,8 @@
 //! torus `[0,1)²` and a client may contact exactly the servers within distance `radius`.
 
 use crate::{bipartite::BipartiteGraph, GraphBuilder, GraphError, Result};
+use clb_rng::domains::GEO_DOMAIN;
 use clb_rng::{RandomSource, StreamFactory};
-
-const GEO_DOMAIN: u64 = 0x67656f; // "geo"
 
 /// Returns the radius for which the *expected* client degree on the unit torus is
 /// `expected_degree` when `n` servers are placed uniformly at random:

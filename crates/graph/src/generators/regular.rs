@@ -2,11 +2,8 @@
 
 use super::configuration::configuration_model;
 use crate::{bipartite::BipartiteGraph, log2_squared, GraphError, Result};
+use clb_rng::domains::DEGREE_DOMAIN;
 use clb_rng::{RandomSource, StreamFactory};
-
-/// Domain tag for degree-sequence randomness (distinct from the matching randomness
-/// inside the configuration model).
-const DEGREE_DOMAIN: u64 = 0x6465_6772_6565; // "degree"
 
 /// Generates a Δ-regular random bipartite graph with `n` clients and `n` servers.
 ///

@@ -1,0 +1,128 @@
+//! Central registry of [`StreamFactory`](crate::StreamFactory) domain tags.
+//!
+//! A domain tag separates the RNG streams of one subsystem from every other
+//! subsystem that derives streams from the *same experiment seed*. Two subsystems
+//! that accidentally share a tag draw **correlated** randomness — a graph generator
+//! and a protocol reusing a tag would silently couple topology and routing choices,
+//! corrupting results in a way no determinism test can see (the run is still
+//! bit-reproducible, just statistically wrong).
+//!
+//! Every domain tag in the workspace therefore lives *here and only here*, so that
+//! pairwise distinctness is a single local property. The rule is enforced twice:
+//!
+//! * dynamically, by the [`are_distinct`] unit test below, and
+//! * statically, by `clb-audit` (`cargo run -p clb-audit`), whose `rng-domain` rule
+//!   rejects `const *_DOMAIN` declarations outside this file and
+//!   `StreamFactory::domain(...)` arguments that do not name a registered constant.
+//!
+//! To add a subsystem: declare its `pub const *_DOMAIN: u64` here with a fresh
+//! value, append it to [`ALL`], and import it at the use site
+//! (`use clb_rng::domains::MY_DOMAIN;`). See `docs/DETERMINISM.md` for the full
+//! contract.
+
+/// The implicit domain of [`StreamFactory::new`](crate::StreamFactory::new) before
+/// [`domain`](crate::StreamFactory::domain) is called. Reserved so no subsystem can
+/// register a tag that collides with "forgot to pick a domain".
+pub const DEFAULT_DOMAIN: u64 = 0;
+
+/// Protocol execution (ball picks and server decisions) in `clb-engine`.
+pub const PROTOCOL_DOMAIN: u64 = 0x70726f74; // "prot"
+
+/// Per-client demand realisation (`Demand::UniformAtMost`) in `clb-engine`.
+pub const DEMAND_DOMAIN: u64 = 0x64656d; // "dem"
+
+/// Degree-sequence sampling for almost-regular graphs in `clb-graph`.
+pub const DEGREE_DOMAIN: u64 = 0x6465_6772_6565; // "degree"
+
+/// The configuration-model stub matching in `clb-graph` (the substrate every
+/// random generator builds on).
+pub const GENERATOR_DOMAIN: u64 = 0x67_7261_7068; // "graph"
+
+/// Cluster-topology wiring (`trust_clusters`) in `clb-graph`.
+pub const CLUSTER_DOMAIN: u64 = 0x636c7573; // "clus"
+
+/// Erdős–Rényi edge sampling in `clb-graph`.
+pub const ER_DOMAIN: u64 = 0x6572_6e64; // "ernd"
+
+/// Geometric (proximity) topology sampling in `clb-graph`.
+pub const GEO_DOMAIN: u64 = 0x67656f; // "geo"
+
+/// Fault-injection draws (crash/lie/loss/straggler membership and per-round coin
+/// flips) in `clb-faults`, distinct from protocol execution so faults never
+/// correlate with ball routing.
+pub const FAULT_DOMAIN: u64 = 0x666c_7473; // "flts"
+
+/// The sequential Greedy baseline (Kenthapadi–Panigrahy) in `clb-sequential`.
+pub const SEQ_DOMAIN: u64 = 0x736571; // "seq"
+
+/// Every registered domain tag with its name, in declaration order. The audit and
+/// the distinctness test below both read this table; keep it in sync with the
+/// constants (a mismatch fails [`all_constants_are_registered`]).
+pub const ALL: &[(&str, u64)] = &[
+    ("DEFAULT_DOMAIN", DEFAULT_DOMAIN),
+    ("PROTOCOL_DOMAIN", PROTOCOL_DOMAIN),
+    ("DEMAND_DOMAIN", DEMAND_DOMAIN),
+    ("DEGREE_DOMAIN", DEGREE_DOMAIN),
+    ("GENERATOR_DOMAIN", GENERATOR_DOMAIN),
+    ("CLUSTER_DOMAIN", CLUSTER_DOMAIN),
+    ("ER_DOMAIN", ER_DOMAIN),
+    ("GEO_DOMAIN", GEO_DOMAIN),
+    ("FAULT_DOMAIN", FAULT_DOMAIN),
+    ("SEQ_DOMAIN", SEQ_DOMAIN),
+];
+
+/// Returns `Err((name_a, name_b))` for the first pair of registered domains that
+/// share a tag value, `Ok(())` when all tags are pairwise distinct.
+pub fn are_distinct() -> Result<(), (&'static str, &'static str)> {
+    for (i, &(name_a, value_a)) in ALL.iter().enumerate() {
+        for &(name_b, value_b) in &ALL[i + 1..] {
+            if value_a == value_b {
+                return Err((name_a, name_b));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registered_domains_are_pairwise_distinct() {
+        if let Err((a, b)) = are_distinct() {
+            panic!("domain tags {a} and {b} collide; streams derived from the same seed would correlate");
+        }
+    }
+
+    #[test]
+    fn all_constants_are_registered() {
+        // The table is the registry of record; a constant missing from it would
+        // escape both the distinctness check above and the static audit.
+        let names: Vec<&str> = ALL.iter().map(|&(name, _)| name).collect();
+        for required in [
+            "DEFAULT_DOMAIN",
+            "PROTOCOL_DOMAIN",
+            "DEMAND_DOMAIN",
+            "DEGREE_DOMAIN",
+            "GENERATOR_DOMAIN",
+            "CLUSTER_DOMAIN",
+            "ER_DOMAIN",
+            "GEO_DOMAIN",
+            "FAULT_DOMAIN",
+            "SEQ_DOMAIN",
+        ] {
+            assert!(names.contains(&required), "{required} missing from ALL");
+        }
+        assert_eq!(ALL.len(), 10, "update this test when registering a domain");
+    }
+
+    #[test]
+    fn default_domain_is_the_factory_default() {
+        use crate::{RandomSource, StreamFactory};
+        let f = StreamFactory::new(99);
+        let mut implicit = f.stream(1, 2);
+        let mut explicit = f.domain(DEFAULT_DOMAIN).stream(1, 2);
+        assert_eq!(implicit.next_u64(), explicit.next_u64());
+    }
+}

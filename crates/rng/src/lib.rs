@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod domains;
 pub mod mix;
 pub mod sample;
 pub mod splitmix;

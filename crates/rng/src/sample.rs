@@ -38,6 +38,8 @@ pub fn floyd_sample<R: RandomSource>(n: usize, k: usize, rng: &mut R) -> Vec<usi
         all.truncate(k);
         return all;
     }
+    // Membership-only collision check; `out` preserves the draw order.
+    // clb-audit: allow(unordered-collection) -- membership-only collision check
     let mut chosen = std::collections::HashSet::with_capacity(k * 2);
     let mut out = Vec::with_capacity(k);
     for j in (n - k)..n {

@@ -2,10 +2,8 @@
 
 use crate::outcome::SequentialOutcome;
 use clb_graph::BipartiteGraph;
+use clb_rng::domains::SEQ_DOMAIN;
 use clb_rng::{RandomSource, StreamFactory};
-
-/// Domain tag for sequential-algorithm randomness.
-const SEQ_DOMAIN: u64 = 0x736571; // "seq"
 
 /// Places `d` balls per client, one ball at a time in client order, each on a uniformly
 /// random server of the owner's neighbourhood.

@@ -129,6 +129,18 @@
 //! assert!(degradation.lost_servers > 0.0);
 //! assert!(faulted.max_load.max <= 16.0); // SAER's hard c·d bound survives crashes
 //! ```
+//!
+//! ## The determinism contract
+//!
+//! Every result above is a pure function of `(seed, config)`: bit-identical across
+//! thread counts, shard counts, retention modes and fault plans. The contract is
+//! documented in `docs/DETERMINISM.md` and enforced twice — dynamically by the
+//! determinism test suites and CI matrix diffs, and statically by `clb-audit`
+//! (`cargo run -p clb-audit -- --deny-warnings`), which checks that every RNG
+//! domain tag comes from the central `clb_rng::domains` registry, that no
+//! result-path code depends on hash-iteration order, wall clocks, or racy relaxed
+//! loads, that the shard wire module never panics on malformed frames, and that
+//! the wire layout cannot drift without a `WIRE_VERSION` bump.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
