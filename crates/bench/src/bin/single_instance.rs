@@ -1,0 +1,159 @@
+//! Single-instance throughput benchmark for the intra-round parallel `step()`:
+//! ONE simulation with up to 10^7 balls, stepped round by round under a 1-thread
+//! and a 4-thread pool, recorded to `BENCH_single_instance.json` in the working
+//! directory.
+//!
+//! This is the axis `perf_smoke` cannot see: that benchmark parallelises *across*
+//! grid cells, so a lone huge instance gains nothing from it. Here the piece plan
+//! derived from the instance sizes (see `clb_engine::Simulation`) splits the
+//! counting sort, the server decisions, the ball settling and the census inside
+//! every round, and the per-point `deterministic` flag is the hard gate: the
+//! per-round `RoundRecord`s, the final `RunResult` and the server loads must be
+//! bit-identical at every thread count. Timings are context; on a contended
+//! container (`"contended": true`) only the determinism verdicts are meaningful.
+//!
+//! Quick mode (`--quick` or `CLB_QUICK=1`) caps n at 10^6; the full run adds 10^7.
+
+use clb::prelude::*;
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+const MAX_ROUNDS: usize = 200;
+
+/// Deterministic degree-8 "striped" graph: client `c` is wired to the eight
+/// servers `(7c + i) mod S`, `S = n/32`. No RNG, O(E) to materialise, and the
+/// stride-7 offset spreads consecutive clients over distinct server runs so the
+/// per-server fan-in (~256 clients, ~32 requests/round) is near-uniform — the
+/// round cost stays flat while balls drain, which is what a per-round throughput
+/// number wants. `S ≥ 8` keeps the eight neighbours distinct (simple graph).
+fn striped_graph(n: usize) -> BipartiteGraph {
+    let servers = (n / 32).max(8);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * 8);
+    for c in 0..n {
+        for i in 0..8 {
+            edges.push((c as u32, ((c * 7 + i) % servers) as u32));
+        }
+    }
+    BipartiteGraph::from_edges(n, servers, &edges).expect("striped edges are simple and in range")
+}
+
+/// Everything observable from one (n, threads) run: the timing plus the full
+/// determinism evidence diffed across thread counts.
+struct PointRun {
+    rounds: usize,
+    total_ms: f64,
+    records: Vec<RoundRecord>,
+    result: RunResult,
+    loads: Vec<u32>,
+}
+
+/// Steps one simulation to completion (or the round cap) inside a dedicated
+/// `threads`-wide pool, timing only the round loop. The untimed warm-up instance
+/// spawns the pool's workers and faults in the allocator paths first.
+fn run_point(graph: &BipartiteGraph, warm: &BipartiteGraph, threads: usize) -> PointRun {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("stub pools always build");
+    pool.install(|| {
+        let mut warm_sim = build_sim(warm);
+        let _ = warm_sim.run();
+
+        let mut sim = build_sim(graph);
+        let mut records: Vec<RoundRecord> = Vec::with_capacity(MAX_ROUNDS);
+        let start = Instant::now();
+        while !sim.is_complete() && sim.round() < MAX_ROUNDS as u32 {
+            records.push(sim.step());
+        }
+        let total_ms = start.elapsed().as_secs_f64() * 1e3;
+        PointRun {
+            rounds: records.len(),
+            total_ms,
+            records,
+            result: sim.result(),
+            loads: sim.server_loads().to_vec(),
+        }
+    })
+}
+
+/// One ball per client against SAER with c·d = 48: total capacity 1.5n, so the
+/// instance drains in a handful of rounds with every phase of `step()` loaded.
+fn build_sim(graph: &BipartiteGraph) -> Simulation<'_, Box<dyn ErasedProtocol>> {
+    Simulation::builder(graph)
+        .protocol(ProtocolSpec::Saer { c: 24, d: 2 }.build())
+        .demand(Demand::Constant(1))
+        .seed(88)
+        .max_rounds(MAX_ROUNDS as u32)
+        .build()
+}
+
+fn main() {
+    let quick = quick_mode() || std::env::args().any(|a| a == "--quick");
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
+    // On a single hardware thread the thread-count ratio is contention noise, not
+    // speedup — flag the run so JSON consumers trust only the determinism column.
+    let contended = hardware_threads == 1;
+    let sizes: &[usize] = if quick {
+        &[100_000, 1_000_000]
+    } else {
+        &[100_000, 1_000_000, 10_000_000]
+    };
+
+    println!(
+        "single_instance: one simulation per point, intra-round parallel step() \
+         (hardware threads: {hardware_threads}, quick: {quick})"
+    );
+    println!();
+    println!("| n | servers | threads | rounds | total (ms) | ms/round | rounds/sec |");
+    println!("|---|---|---|---|---|---|---|");
+
+    let warm = striped_graph(1 << 12);
+    let mut points = String::new();
+    let mut all_deterministic = true;
+    for &n in sizes {
+        let graph = striped_graph(n);
+        let servers = graph.num_servers();
+        let mut runs: Vec<(usize, PointRun)> = Vec::new();
+        for &threads in &THREAD_COUNTS {
+            let run = run_point(&graph, &warm, threads);
+            let ms_per_round = run.total_ms / run.rounds.max(1) as f64;
+            let rounds_per_sec = run.rounds as f64 / (run.total_ms / 1e3);
+            println!(
+                "| {n} | {servers} | {threads} | {} | {:.1} | {ms_per_round:.3} | {rounds_per_sec:.1} |",
+                run.rounds, run.total_ms
+            );
+            runs.push((threads, run));
+        }
+        let base = &runs[0].1;
+        let deterministic = runs.iter().all(|(_, r)| {
+            r.records == base.records && r.result == base.result && r.loads == base.loads
+        });
+        all_deterministic &= deterministic;
+        println!("| {n} |  |  |  |  |  | bit-identical: {deterministic} |");
+        for (threads, run) in &runs {
+            let ms_per_round = run.total_ms / run.rounds.max(1) as f64;
+            let rounds_per_sec = run.rounds as f64 / (run.total_ms / 1e3);
+            points.push_str(&format!(
+                "    {{ \"n\": {n}, \"servers\": {servers}, \"threads\": {threads}, \"rounds\": {}, \
+                 \"total_ms\": {:.1}, \"ms_per_round\": {ms_per_round:.3}, \
+                 \"rounds_per_sec\": {rounds_per_sec:.1}, \"deterministic\": {deterministic} }},\n",
+                run.rounds, run.total_ms
+            ));
+        }
+    }
+    let points = points.trim_end_matches(",\n").to_string();
+
+    assert!(
+        all_deterministic,
+        "a single instance diverged across thread counts — intra-round determinism contract broken"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"single_instance\",\n  \"graph\": \"striped degree-8, servers = n/32\",\n  \"protocol\": \"SAER c=24 d=2, demand 1\",\n  \"hardware_threads\": {hardware_threads},\n  \"contended\": {contended},\n  \"quick\": {quick},\n  \"points\": [\n{points}\n  ]\n}}\n"
+    );
+    std::fs::write("BENCH_single_instance.json", &json).expect("write BENCH_single_instance.json");
+    println!("\nwrote BENCH_single_instance.json:\n{json}");
+    println!("single_instance: deterministic: true at every (n, threads) point");
+}

@@ -15,18 +15,22 @@
 //!   [`Simulation`] hot loop with bit-identical results.
 //! * [`Simulation`] — executes rounds: every alive ball picks destination servers
 //!   uniformly at random from its owner's neighbourhood (symmetric, non-adaptive),
-//!   servers apply the protocol's threshold rule, and accepted balls settle. Request
-//!   generation and ball bookkeeping are parallelised with rayon; all randomness is
-//!   derived from per-(ball, round) streams so results are bit-identical regardless of
-//!   the number of worker threads. Construction goes through the fluent
-//!   [`Simulation::builder`].
+//!   servers apply the protocol's threshold rule, and accepted balls settle. The
+//!   *inside* of a round is parallelised end to end: every phase splits into
+//!   contiguous pieces (request ranges, server ranges, ball-slot ranges) whose
+//!   boundaries depend on problem sizes only — never the thread count — and whose
+//!   results merge in piece-index order, so one simulation with millions of balls
+//!   scales across cores with bit-identical results at every thread count. All
+//!   randomness is derived from per-(ball, round) streams, making the work order
+//!   irrelevant. Construction goes through the fluent [`Simulation::builder`].
 //!
 //!   The round loop is **allocation-free after construction**: all per-round scratch
-//!   (the flat slot-major request buffer phase 1 writes picks into, the stable
-//!   `O(R + S)` counting sort that groups requests server-major for phase 2, the
-//!   accept flags, the per-server counts/closed census and the double-buffered
-//!   alive-ball list) lives in a `RoundBuffers` struct owned by the simulation and
-//!   sized once at build time — see the `simulation` module docs and the
+//!   (the flat slot-major request buffer phase 1 writes picks into, the rank buffers
+//!   of the three-pass `O(R + P·S)` parallel counting sort that groups requests
+//!   server-major for phase 2, the per-server accept counts, the per-piece settle
+//!   scratch, the closed census and the double-buffered alive-ball list) lives in a
+//!   `RoundBuffers` struct owned by the simulation and sized once at build time —
+//!   piece descriptors live on the stack. See the `simulation` module docs and the
 //!   counting-allocator harness in `tests/alloc_free.rs`.
 //! * [`observe`] — round observers that record the quantities the paper's analysis
 //!   tracks: the burned/saturated fraction `S_t`, the per-neighbourhood request mass

@@ -50,9 +50,15 @@ pub trait Protocol: Sync {
     /// Observers use this to measure the `S_t` quantity of the paper's analysis.
     fn server_is_closed(&self, state: &Self::ServerState, current_load: u32) -> bool;
 
-    /// Called when a ball that was accepted by this server in the current round settles
+    /// Called when balls that were accepted by this server in the current round settle
     /// elsewhere (only possible when `choices_per_round() > 1`). `count` balls are
     /// released; implementations that track cumulative accepted counts should subtract.
+    ///
+    /// The engine aggregates a round's surplus accepts and makes **at most one call per
+    /// server per round**, carrying the server's whole release total, in ascending
+    /// server order after every ball has settled. Implementations must therefore treat
+    /// `count` as a batch (not assume `count == 1`), and may not rely on interleaving
+    /// with other servers' releases.
     fn server_on_release(&self, state: &mut Self::ServerState, count: u32) {
         let _ = (state, count);
     }

@@ -1,18 +1,30 @@
 //! The synchronous round executor and its fluent builder.
 //!
-//! # Hot-loop design: `RoundBuffers`
+//! # Hot-loop design: `RoundBuffers` + intra-round pieces
 //!
 //! A round is executed entirely inside scratch space that is sized once at build time
 //! and reused for the whole run ([`RoundBuffers`], owned by [`Simulation`]): the flat
-//! slot-major request buffer phase 1 writes into, the counting-sort output that groups
-//! requests server-major for phase 2, the per-request accept flags, the per-server
-//! counts and closed census the observers read, and the double-buffered alive-ball
-//! list. After the buffers are warm (i.e. after construction), [`Simulation::step`]
-//! performs **no heap allocation** — pinned by the counting-allocator harness in
-//! `crates/engine/tests/alloc_free.rs`. Server-major grouping is an `O(R + S)` stable
-//! counting sort over server ids, replacing the earlier `O(R log R)` key sort while
-//! producing the identical canonical order (ascending server id, ascending request
-//! index within a server).
+//! slot-major request buffer phase 1 writes into, the per-request rank buffer the
+//! three-pass counting sort produces, the per-server request counts, accept counts and
+//! closed census the observers read, the per-piece settle scratch, and the
+//! double-buffered alive-ball list. After the buffers are warm (i.e. after
+//! construction), [`Simulation::step`] performs **no heap allocation** — pinned by the
+//! counting-allocator harness in `crates/engine/tests/alloc_free.rs`.
+//!
+//! Every phase of a round is split into contiguous **pieces** (request ranges, server
+//! ranges, ball-slot ranges) that run in parallel and merge in piece-index order, so a
+//! single simulation scales across cores while staying bit-identical at every thread
+//! count. The piece plan ([`PiecePlan`]) is derived from problem sizes alone — never
+//! from the thread count — so the plan (and therefore every intermediate) is a pure
+//! function of `(graph, protocol, seed)`.
+//!
+//! Server-major grouping is rank-based rather than materialized: a three-pass
+//! `O(R + P·S)` computation assigns each request its rank within its destination
+//! server's segment (ascending request index within a server — the same canonical
+//! order the former explicit counting-sort permutation produced), and phase 3 tests
+//! `rank < accept_count[server]` instead of reading a permuted index array. Every
+//! parallel write lands in a disjoint carved sub-slice, which is why the whole engine
+//! stays `#![forbid(unsafe_code)]`.
 
 use crate::{
     config::SimConfig,
@@ -26,16 +38,83 @@ use clb_rng::{RandomSource, StreamFactory};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::any::Any;
+use std::ops::Range;
 
 /// Sentinel for "ball not yet assigned to any server".
 const UNASSIGNED: u32 = u32::MAX;
 
+/// Upper bound on the number of pieces any phase is split into. Piece descriptor
+/// arrays live on the stack (`[Option<_>; MAX_INTRA_PIECES]`), so `step()` stays
+/// allocation-free no matter the plan.
+const MAX_INTRA_PIECES: usize = 32;
+
+/// Minimum requests per sort piece; below this the histogram passes run serially.
+const MIN_SORT_PIECE: usize = 1 << 14;
+
+/// Minimum servers per phase-2/census piece.
+const MIN_SERVER_PIECE: usize = 1 << 12;
+
+/// Minimum ball slots per phase-3 piece.
+const MIN_SLOT_PIECE: usize = 1 << 14;
+
+/// The `k`-th of `pieces` contiguous ranges tiling `0..len` (balanced to within one).
+///
+/// Ranges are exactly adjacent (`range(k).end == range(k + 1).start`), which the
+/// carving loops below rely on to split buffers without gaps.
+fn piece_range(len: usize, pieces: usize, k: usize) -> Range<usize> {
+    (k * len / pieces)..((k + 1) * len / pieces)
+}
+
+/// How many pieces each phase of a round is split into.
+///
+/// Derived from problem sizes only — **never** the thread count — so the piece
+/// boundaries (and every per-piece intermediate) are identical whether the pieces run
+/// on one core or sixteen. Different plans also produce bit-identical results (the
+/// merges are in piece-index order and the per-(ball, round) RNG streams make work
+/// order irrelevant); `intra_step_pieces_do_not_change_results` pins that.
+#[derive(Debug, Clone, Copy)]
+struct PiecePlan {
+    /// Pieces for the three-pass request sort (contiguous request ranges).
+    sort: usize,
+    /// Pieces for phase 2 decisions, the sort combine and the census (server ranges).
+    server: usize,
+    /// Pieces for phase 3 settling (contiguous ball-slot ranges).
+    slot: usize,
+}
+
+impl PiecePlan {
+    fn for_sizes(
+        request_capacity: usize,
+        num_servers: usize,
+        total_balls: usize,
+        over: Option<usize>,
+    ) -> Self {
+        if let Some(pieces) = over {
+            let pieces = pieces.clamp(1, MAX_INTRA_PIECES);
+            return Self {
+                sort: pieces,
+                server: pieces,
+                slot: pieces,
+            };
+        }
+        // The parallel sort costs an extra O(sort · S) combine; capping the piece
+        // count by R / 4S keeps that overhead under a quarter of the O(R) pass, and
+        // drops to a single piece (the fused serial sort) when servers rival requests.
+        let sort = (request_capacity / MIN_SORT_PIECE)
+            .min(request_capacity / (4 * num_servers.max(1)))
+            .clamp(1, MAX_INTRA_PIECES);
+        let server = (num_servers / MIN_SERVER_PIECE).clamp(1, MAX_INTRA_PIECES);
+        let slot = (total_balls / MIN_SLOT_PIECE).clamp(1, MAX_INTRA_PIECES);
+        Self { sort, server, slot }
+    }
+}
+
 /// Checks that a round's request count (`alive × choices`) fits the engine's 32-bit
 /// request indexing and returns it.
 ///
-/// Request indices are stored as `u32` in the counting-sort buffer (and were packed
-/// into the low 32 bits of the sort keys before the counting-sort rewrite), so a round
-/// may carry at most `u32::MAX` requests. The guard panics with a diagnosable message
+/// Request indices are stored as `u32` in the sort buffers (and were packed into the
+/// low 32 bits of the sort keys before the counting-sort rewrite), so a round may
+/// carry at most `u32::MAX` requests. The guard panics with a diagnosable message
 /// instead of silently corrupting indices.
 fn checked_request_count(alive: usize, choices: u32) -> usize {
     match alive.checked_mul(choices as usize) {
@@ -50,43 +129,95 @@ fn checked_request_count(alive: usize, choices: u32) -> usize {
 
 /// Reusable per-round scratch space, hoisted out of the hot loop.
 ///
-/// The PR-1 engine allocated six vectors per round (the request list, the sort keys,
-/// the accept flags, the per-server counts, the closed census and the next alive list)
-/// plus one `picks` Vec per ball inside phase 1. All of that scratch now lives here,
-/// sized once in [`SimulationBuilder::build`], so a steady-state round never touches
-/// the allocator (`clear()` + `resize()` within reserved capacity only moves the
-/// length).
+/// Everything a round touches lives here, sized once in [`SimulationBuilder::build`],
+/// so a steady-state round never touches the allocator. The request-indexed buffers
+/// are built at full capacity and *sliced* to the live request count each round — no
+/// `clear()`/`resize()` zero-fill, because the covering passes overwrite every slot
+/// they later read (the invariants are stated at each use site).
 struct RoundBuffers {
     /// Phase-1 picks in a flat slot-major layout: entry `slot * choices + k` is the
     /// destination server of the k-th pick of the ball at `alive_balls[slot]`.
     request_server: Vec<u32>,
-    /// Request indices grouped server-major by the counting sort. The scatter is
-    /// stable, so within a server's segment the indices ascend — the same canonical
-    /// order the former `(server << 32) | index` key sort produced.
-    sorted_requests: Vec<u32>,
+    /// Rank of each request within its destination server's segment, counting requests
+    /// in ascending request-index order — the position the former explicit counting
+    /// sort would have scattered it to, minus the segment base. A request is accepted
+    /// iff `request_rank < accept_count[server]`.
+    request_rank: Vec<u32>,
     /// Requests each server received this round (read by observers via [`RoundView`]).
     requests_per_server: Vec<u32>,
-    /// Counting-sort cursor: prefix sums before the scatter, segment ends after it.
-    server_cursor: Vec<u32>,
-    /// Per-request accept flags for the current round.
-    accepted: Vec<bool>,
+    /// Requests each server accepted this round. Entries for servers with zero
+    /// incoming requests are stale from earlier rounds; phase 3 only consults servers
+    /// that received at least one request this round.
+    accept_count: Vec<u32>,
     /// Per-server closed census at the end of the round (read by observers).
     closed: Vec<bool>,
     /// Double-buffer swapped with `Simulation::alive_balls` at the end of phase 3.
     alive_next: Vec<u32>,
+    /// Per-piece survivor lists (phase 3), concatenated into `alive_next` in
+    /// piece-index order after the join.
+    alive_scratch: Vec<u32>,
+    /// Per-piece settled balls (phase 3), packed `(ball << 32) | server`, applied to
+    /// `ball_assigned` after the join.
+    assigned_scratch: Vec<u64>,
+    /// Per-piece released-server lists (phase 3); empty when `choices == 1`, which
+    /// can never produce surplus accepts.
+    release_scratch: Vec<u32>,
+    /// Per-server release tally; kept all-zero between rounds (the aggregation resets
+    /// every slot it touched). Empty when `choices == 1`.
+    release_count: Vec<u32>,
+    /// Servers with at least one release this round; sorted so releases are applied
+    /// in ascending server order. Empty when `choices == 1`.
+    touched_servers: Vec<u32>,
+    /// Per-piece server histograms for the parallel sort, piece-major
+    /// (`piece_hist[k * S + s]`). Empty when `plan.sort == 1`.
+    piece_hist: Vec<u32>,
+    /// Exclusive prefix offsets for the parallel sort, server-major
+    /// (`piece_off[s * plan.sort + k]` = requests for server `s` in pieces `< k`).
+    /// Empty when `plan.sort == 1`.
+    piece_off: Vec<u32>,
+    /// The piece plan, fixed at build time.
+    plan: PiecePlan,
 }
 
 impl RoundBuffers {
-    fn new(num_servers: usize, total_balls: usize, choices: u32) -> Self {
+    fn new(num_servers: usize, total_balls: usize, choices: u32, plan: PiecePlan) -> Self {
         let request_capacity = checked_request_count(total_balls, choices);
+        let k_choice = choices > 1;
         Self {
-            request_server: Vec::with_capacity(request_capacity),
-            sorted_requests: Vec::with_capacity(request_capacity),
+            request_server: vec![0; request_capacity],
+            request_rank: vec![0; request_capacity],
             requests_per_server: vec![0; num_servers],
-            server_cursor: vec![0; num_servers],
-            accepted: Vec::with_capacity(request_capacity),
+            accept_count: vec![0; num_servers],
             closed: vec![false; num_servers],
             alive_next: Vec::with_capacity(total_balls),
+            alive_scratch: vec![0; total_balls],
+            assigned_scratch: vec![0; total_balls],
+            release_scratch: if k_choice {
+                vec![0; request_capacity]
+            } else {
+                Vec::new()
+            },
+            release_count: if k_choice {
+                vec![0; num_servers]
+            } else {
+                Vec::new()
+            },
+            touched_servers: Vec::with_capacity(if k_choice {
+                num_servers.min(request_capacity)
+            } else {
+                0
+            }),
+            piece_hist: if plan.sort > 1 {
+                vec![0; plan.sort * num_servers]
+            } else {
+                Vec::new()
+            },
+            piece_off: if plan.sort > 1 {
+                vec![0; plan.sort * num_servers]
+            } else {
+                Vec::new()
+            },
+            plan,
         }
     }
 }
@@ -151,6 +282,191 @@ impl RunResult {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The three-pass parallel counting sort (rank form).
+//
+// Pass A (per request piece): count requests per server into the piece's own
+// histogram row and record each request's rank *within its piece*.
+// Pass B (per server range): turn the piece-major histogram matrix into server-major
+// exclusive prefix offsets and per-server totals.
+// Pass C (per request piece): rebase each piece-local rank by its piece's offset for
+// the request's server, yielding the global within-segment rank.
+//
+// Ranks count requests in (piece index, within-piece index) order = ascending global
+// request index, so `segment_base[s] + rank` reproduces the former stable counting
+// sort's scatter positions exactly (`parallel_rank_sort_matches_serial_permutation`
+// pins this against the reference permutation).
+// ---------------------------------------------------------------------------
+
+/// Pass A over one request range; also the whole serial sort when called with the
+/// full range and `requests_per_server` as the histogram row.
+fn sort_pass_histogram(request_server: &[u32], rank: &mut [u32], hist_row: &mut [u32]) {
+    hist_row.fill(0);
+    for (rank_slot, &server) in rank.iter_mut().zip(request_server) {
+        let count = &mut hist_row[server as usize];
+        *rank_slot = *count;
+        *count += 1;
+    }
+}
+
+/// Pass B over one server range: exclusive prefix over pieces per server, plus the
+/// per-server totals phase 2 and the observers read.
+fn sort_pass_combine(
+    hist: &[u32],
+    num_servers: usize,
+    server_lo: usize,
+    off: &mut [u32],
+    totals: &mut [u32],
+) {
+    let pieces = hist.len() / num_servers;
+    for (i, total) in totals.iter_mut().enumerate() {
+        let server = server_lo + i;
+        let mut acc = 0u32;
+        for k in 0..pieces {
+            off[i * pieces + k] = acc;
+            acc += hist[k * num_servers + server];
+        }
+        *total = acc;
+    }
+}
+
+/// Pass C over one request range: piece-local rank → global within-segment rank.
+fn sort_pass_rebase(
+    request_server: &[u32],
+    rank: &mut [u32],
+    off: &[u32],
+    piece: usize,
+    pieces: usize,
+) {
+    for (rank_slot, &server) in rank.iter_mut().zip(request_server) {
+        *rank_slot += off[server as usize * pieces + piece];
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Piece descriptors. Each phase carves its buffers into disjoint sub-slices held by
+// stack-allocated descriptors, then `drive_pieces` runs them in parallel; merges
+// afterwards walk the descriptors in piece-index order. All borrows are plain safe
+// `split_at_mut` carving — no unsafe, no overlapping writes.
+// ---------------------------------------------------------------------------
+
+/// Runs every populated piece descriptor, in parallel when the pool allows it. The
+/// merge discipline is the caller's: walk `pieces` in index order afterwards.
+fn drive_pieces<D: Send, F: Fn(&mut D) + Send + Sync>(pieces: &mut [Option<D>], task: F) {
+    pieces.par_iter_mut().for_each(|slot| {
+        if let Some(piece) = slot.as_mut() {
+            task(piece);
+        }
+    });
+}
+
+/// Pass-A piece: one contiguous request range plus its own histogram row.
+struct HistPiece<'a> {
+    req: &'a [u32],
+    rank: &'a mut [u32],
+    row: &'a mut [u32],
+}
+
+/// Pass-B piece: one contiguous server range of the offset matrix and totals.
+struct CombinePiece<'a> {
+    server_lo: usize,
+    off: &'a mut [u32],
+    totals: &'a mut [u32],
+}
+
+/// Pass-C piece: one contiguous request range, rebased in place.
+struct RebasePiece<'a> {
+    piece: usize,
+    req: &'a [u32],
+    rank: &'a mut [u32],
+}
+
+/// Phase-2 piece: one contiguous server range (states, loads, accept counts).
+struct DecidePiece<'a, S> {
+    server_lo: usize,
+    states: &'a mut [S],
+    loads: &'a mut [u32],
+    incoming: &'a [u32],
+    accept: &'a mut [u32],
+}
+
+/// Phase-3 per-piece output tallies.
+#[derive(Debug, Clone, Copy, Default)]
+struct SettleCounts {
+    alive: u32,
+    assigned: u32,
+    released: u32,
+}
+
+/// Phase-3 piece: one contiguous ball-slot range writing into carved scratch.
+struct SettlePiece<'a> {
+    slot_lo: usize,
+    slots: &'a [u32],
+    alive_out: &'a mut [u32],
+    assigned_out: &'a mut [u64],
+    release_out: &'a mut [u32],
+    counts: SettleCounts,
+}
+
+impl SettlePiece<'_> {
+    /// Settles every ball in this piece's slot range: the first accepted choice wins
+    /// (`rank < accept_count`), surplus accepts are recorded for the post-join release
+    /// aggregation, survivors go to `alive_out` in slot order.
+    fn run(
+        &mut self,
+        choices: usize,
+        request_server: &[u32],
+        request_rank: &[u32],
+        accept_count: &[u32],
+    ) {
+        let mut alive = 0usize;
+        let mut assigned = 0usize;
+        let mut released = 0usize;
+        for (i, &ball) in self.slots.iter().enumerate() {
+            let base = (self.slot_lo + i) * choices;
+            let mut settled: Option<u32> = None;
+            for idx in base..base + choices {
+                let server = request_server[idx];
+                // `accept_count[server]` is fresh: this server received at least one
+                // request this round (this one), so phase 2 visited it.
+                if request_rank[idx] >= accept_count[server as usize] {
+                    continue;
+                }
+                if settled.is_none() {
+                    settled = Some(server);
+                } else {
+                    self.release_out[released] = server;
+                    released += 1;
+                }
+            }
+            match settled {
+                Some(server) => {
+                    self.assigned_out[assigned] = (u64::from(ball) << 32) | u64::from(server);
+                    assigned += 1;
+                }
+                None => {
+                    self.alive_out[alive] = ball;
+                    alive += 1;
+                }
+            }
+        }
+        self.counts = SettleCounts {
+            alive: alive as u32,
+            assigned: assigned as u32,
+            released: released as u32,
+        };
+    }
+}
+
+/// Census piece: one contiguous server range folding closed flags and max load.
+struct CensusPiece<'a, S> {
+    states: &'a [S],
+    loads: &'a [u32],
+    closed: &'a mut [bool],
+    closed_count: u64,
+    max_load: u32,
+}
+
 /// Fluent constructor for [`Simulation`], obtained from [`Simulation::builder`].
 ///
 /// The graph and the protocol are required; demand defaults to `Constant(1)`, the seed
@@ -185,6 +501,7 @@ pub struct SimulationBuilder<'g, P: Protocol> {
     demand: Demand,
     config: SimConfig,
     observers: Vec<Box<dyn AnyObserver + Send>>,
+    intra_pieces: Option<usize>,
 }
 
 impl<'g, P: Protocol> SimulationBuilder<'g, P> {
@@ -195,6 +512,7 @@ impl<'g, P: Protocol> SimulationBuilder<'g, P> {
             demand: Demand::Constant(1),
             config: SimConfig::default(),
             observers: Vec::new(),
+            intra_pieces: None,
         }
     }
 
@@ -225,6 +543,17 @@ impl<'g, P: Protocol> SimulationBuilder<'g, P> {
     /// Replaces the whole simulation config (seed + round cap) at once.
     pub fn config(mut self, config: SimConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Overrides the intra-round piece plan (clamped to `1..=32` pieces for every
+    /// phase). The plan is normally derived from problem sizes alone, so small
+    /// instances run the fused serial path; this override forces the parallel code
+    /// paths regardless of size. Results are **bit-identical for every setting** —
+    /// the override exists so tests and benchmarks can exercise the parallel path on
+    /// instances small enough to check exhaustively.
+    pub fn intra_step_pieces(mut self, pieces: usize) -> Self {
+        self.intra_pieces = Some(pieces);
         self
     }
 
@@ -274,11 +603,15 @@ impl<'g, P: Protocol> SimulationBuilder<'g, P> {
         let server_states = (0..graph.num_servers())
             .map(|_| protocol.init_server())
             .collect();
-        let buffers = RoundBuffers::new(
+        let choices = protocol.choices_per_round().max(1);
+        let request_capacity = checked_request_count(total_balls, choices);
+        let plan = PiecePlan::for_sizes(
+            request_capacity,
             graph.num_servers(),
             total_balls,
-            protocol.choices_per_round().max(1),
+            self.intra_pieces,
         );
+        let buffers = RoundBuffers::new(graph.num_servers(), total_balls, choices, plan);
         Simulation {
             graph,
             protocol,
@@ -292,6 +625,8 @@ impl<'g, P: Protocol> SimulationBuilder<'g, P> {
             round: 0,
             alive_balls: (0..total_balls as u32).collect(),
             total_messages: 0,
+            last_closed_servers: 0,
+            last_max_load: 0,
             buffers,
             observers: self.observers,
         }
@@ -319,6 +654,11 @@ pub struct Simulation<'g, P: Protocol> {
     round: u32,
     alive_balls: Vec<u32>,
     total_messages: u64,
+
+    // Census cache written by the round's closed/max fold; valid once `round > 0`,
+    // so `result()` never re-scans the servers after a round has run.
+    last_closed_servers: u64,
+    last_max_load: u32,
 
     buffers: RoundBuffers,
     observers: Vec<Box<dyn AnyObserver + Send>>,
@@ -437,18 +777,27 @@ impl<'g, P: Protocol> Simulation<'g, P> {
 
     /// The outcome so far (callable at any point; `completed` reflects the current
     /// alive-ball count).
+    ///
+    /// Once a round has run this reuses the census the round already folded (closed
+    /// count and max load) instead of re-scanning every server; the cold path below
+    /// only runs for a `result()` call before the first `step()`.
     pub fn result(&self) -> RunResult {
-        let closed_servers = self
-            .server_states
-            .iter()
-            .zip(&self.server_load)
-            .filter(|(state, &load)| self.protocol.server_is_closed(state, load))
-            .count() as u64;
+        let (closed_servers, max_load) = if self.round > 0 {
+            (self.last_closed_servers, self.last_max_load)
+        } else {
+            let closed = self
+                .server_states
+                .iter()
+                .zip(&self.server_load)
+                .filter(|(state, &load)| self.protocol.server_is_closed(state, load))
+                .count() as u64;
+            (closed, self.server_load.iter().copied().max().unwrap_or(0))
+        };
         RunResult {
             completed: self.is_complete(),
             rounds: self.round,
             total_messages: self.total_messages,
-            max_load: self.server_load.iter().copied().max().unwrap_or(0),
+            max_load,
             unassigned_balls: self.alive_balls.len() as u64,
             total_balls: self.ball_owner.len() as u64,
             closed_servers,
@@ -456,35 +805,49 @@ impl<'g, P: Protocol> Simulation<'g, P> {
     }
 
     /// One round: phase 1 (clients submit), phase 2 (servers decide), phase 3 (balls
-    /// settle). The per-server request counts and closed flags the observers need stay
-    /// behind in [`RoundBuffers`]; nothing is allocated on the way.
+    /// settle), census. Every phase runs over contiguous pieces per the build-time
+    /// [`PiecePlan`] and merges in piece-index order; nothing is allocated on the way.
     fn step_internal(&mut self) -> RoundRecord {
         self.round += 1;
         let round = self.round;
         let choices = self.protocol.choices_per_round().max(1);
+        let per_ball = choices as usize;
         let graph = self.graph;
+        let num_servers = graph.num_servers();
         let factory = self.factory;
         let ball_owner = &self.ball_owner;
-        let total_requests = checked_request_count(self.alive_balls.len(), choices);
+        let alive = self.alive_balls.len();
+        let total_requests = checked_request_count(alive, choices);
 
         let RoundBuffers {
             request_server,
-            sorted_requests,
+            request_rank,
             requests_per_server,
-            server_cursor,
-            accepted,
+            accept_count,
             closed,
             alive_next,
+            alive_scratch,
+            assigned_scratch,
+            release_scratch,
+            release_count,
+            touched_servers,
+            piece_hist,
+            piece_off,
+            plan,
         } = &mut self.buffers;
+        let plan = *plan;
 
         // Phase 1 — every alive ball picks `choices` destinations independently and
         // uniformly at random (with replacement) from its owner's neighbourhood,
         // written straight into the flat slot-major request buffer. Parallel over
         // balls; the per-(ball, round) stream keeps it deterministic.
-        request_server.clear();
-        request_server.resize(total_requests, 0);
-        request_server
-            .par_chunks_mut(choices as usize)
+        //
+        // Covering invariant: the buffer is sliced, never zeroed — the slice holds
+        // exactly `alive` chunks of `choices` slots, the zip pairs every chunk with an
+        // alive ball, and the inner loop writes every slot of its chunk. Stale tail
+        // entries beyond `total_requests` are never read.
+        request_server[..total_requests]
+            .par_chunks_mut(per_ball)
             .zip(self.alive_balls.par_iter())
             .for_each(|(picks, &ball)| {
                 let client = ball_owner[ball as usize];
@@ -498,97 +861,302 @@ impl<'g, P: Protocol> Simulation<'g, P> {
         let num_requests = total_requests as u64;
         self.total_messages += 2 * num_requests;
 
-        // Canonical server-major grouping: a stable O(R + S) counting sort over server
-        // ids. Within a server's segment the scatter preserves ascending request
-        // index — exactly the order the former `(server << 32) | index` key sort gave.
-        requests_per_server.fill(0);
-        for &server in request_server.iter() {
-            requests_per_server[server as usize] += 1;
-        }
-        let mut acc = 0u32;
-        for (cursor, &count) in server_cursor.iter_mut().zip(requests_per_server.iter()) {
-            *cursor = acc;
-            acc += count;
-        }
-        sorted_requests.clear();
-        sorted_requests.resize(total_requests, 0);
-        for (index, &server) in request_server.iter().enumerate() {
-            let position = server_cursor[server as usize];
-            sorted_requests[position as usize] = index as u32;
-            server_cursor[server as usize] = position + 1;
+        // Canonical server-major grouping, rank form: `request_rank[j]` becomes the
+        // position of request `j` within its server's segment, counting in ascending
+        // request index — the order the former explicit counting sort produced. The
+        // rank buffer is sliced, never zeroed: pass A writes every slot in the slice.
+        if plan.sort == 1 {
+            // Fused serial sort: one pass fills both ranks and per-server totals.
+            sort_pass_histogram(
+                &request_server[..total_requests],
+                &mut request_rank[..total_requests],
+                requests_per_server,
+            );
+        } else {
+            let pieces = plan.sort;
+            // Pass A — per-piece histograms + piece-local ranks, carved by request range.
+            {
+                let req_all: &[u32] = &request_server[..total_requests];
+                let mut descs: [Option<HistPiece>; MAX_INTRA_PIECES] =
+                    std::array::from_fn(|_| None);
+                let mut rank_rest: &mut [u32] = &mut request_rank[..total_requests];
+                let mut hist_rest: &mut [u32] = piece_hist;
+                let mut consumed = 0;
+                for (k, slot) in descs[..pieces].iter_mut().enumerate() {
+                    let hi = piece_range(total_requests, pieces, k).end;
+                    let (rank, rest) = std::mem::take(&mut rank_rest).split_at_mut(hi - consumed);
+                    rank_rest = rest;
+                    let (row, rest) = std::mem::take(&mut hist_rest).split_at_mut(num_servers);
+                    hist_rest = rest;
+                    *slot = Some(HistPiece {
+                        req: &req_all[consumed..hi],
+                        rank,
+                        row,
+                    });
+                    consumed = hi;
+                }
+                drive_pieces(&mut descs[..pieces], |p| {
+                    sort_pass_histogram(p.req, p.rank, p.row)
+                });
+            }
+            // Pass B — exclusive prefix across pieces, carved by server range.
+            {
+                let hist: &[u32] = piece_hist;
+                let combine_pieces = plan.server;
+                let mut descs: [Option<CombinePiece>; MAX_INTRA_PIECES] =
+                    std::array::from_fn(|_| None);
+                let mut off_rest: &mut [u32] = piece_off;
+                let mut totals_rest: &mut [u32] = requests_per_server;
+                let mut consumed = 0;
+                for (k, slot) in descs[..combine_pieces].iter_mut().enumerate() {
+                    let hi = piece_range(num_servers, combine_pieces, k).end;
+                    let take = hi - consumed;
+                    let (off, rest) = std::mem::take(&mut off_rest).split_at_mut(take * pieces);
+                    off_rest = rest;
+                    let (totals, rest) = std::mem::take(&mut totals_rest).split_at_mut(take);
+                    totals_rest = rest;
+                    *slot = Some(CombinePiece {
+                        server_lo: consumed,
+                        off,
+                        totals,
+                    });
+                    consumed = hi;
+                }
+                drive_pieces(&mut descs[..combine_pieces], |p| {
+                    sort_pass_combine(hist, num_servers, p.server_lo, p.off, p.totals)
+                });
+            }
+            // Pass C — rebase piece-local ranks to global within-segment ranks.
+            {
+                let req_all: &[u32] = &request_server[..total_requests];
+                let off: &[u32] = piece_off;
+                let mut descs: [Option<RebasePiece>; MAX_INTRA_PIECES] =
+                    std::array::from_fn(|_| None);
+                let mut rank_rest: &mut [u32] = &mut request_rank[..total_requests];
+                let mut consumed = 0;
+                for (k, slot) in descs[..pieces].iter_mut().enumerate() {
+                    let hi = piece_range(total_requests, pieces, k).end;
+                    let (rank, rest) = std::mem::take(&mut rank_rest).split_at_mut(hi - consumed);
+                    rank_rest = rest;
+                    *slot = Some(RebasePiece {
+                        piece: k,
+                        req: &req_all[consumed..hi],
+                        rank,
+                    });
+                    consumed = hi;
+                }
+                drive_pieces(&mut descs[..pieces], |p| {
+                    sort_pass_rebase(p.req, p.rank, off, p.piece, pieces)
+                });
+            }
         }
 
-        // Phase 2 — per-server threshold decisions, in ascending server order over the
-        // servers that received at least one request. After the scatter the cursor
-        // points at each segment's end.
-        accepted.clear();
-        accepted.resize(total_requests, false);
-        for server in 0..graph.num_servers() {
-            let incoming = requests_per_server[server];
-            if incoming == 0 {
-                continue;
+        // Phase 2 — per-server threshold decisions over carved server ranges. Each
+        // server's decision touches only its own state, load and accept count, so the
+        // pieces are disjoint; within a piece servers run in ascending order, the same
+        // order the serial loop used.
+        //
+        // Covering invariant for `accept_count`: entries for servers with zero
+        // incoming requests stay stale, and phase 3 only reads `accept_count[s]` for
+        // `s = request_server[idx]` — a server that received at least one request.
+        {
+            let server_pieces = plan.server;
+            let incoming_all: &[u32] = requests_per_server;
+            let mut descs: [Option<DecidePiece<P::ServerState>>; MAX_INTRA_PIECES] =
+                std::array::from_fn(|_| None);
+            let mut states_rest: &mut [P::ServerState] = &mut self.server_states;
+            let mut loads_rest: &mut [u32] = &mut self.server_load;
+            let mut accept_rest: &mut [u32] = accept_count;
+            let mut consumed = 0;
+            for (k, slot) in descs[..server_pieces].iter_mut().enumerate() {
+                let hi = piece_range(num_servers, server_pieces, k).end;
+                let take = hi - consumed;
+                let (states, rest) = std::mem::take(&mut states_rest).split_at_mut(take);
+                states_rest = rest;
+                let (loads, rest) = std::mem::take(&mut loads_rest).split_at_mut(take);
+                loads_rest = rest;
+                let (accept, rest) = std::mem::take(&mut accept_rest).split_at_mut(take);
+                accept_rest = rest;
+                *slot = Some(DecidePiece {
+                    server_lo: consumed,
+                    states,
+                    loads,
+                    incoming: &incoming_all[consumed..hi],
+                    accept,
+                });
+                consumed = hi;
             }
-            let segment_end = server_cursor[server] as usize;
-            let segment_start = segment_end - incoming as usize;
-            let ctx = ServerCtx {
-                server: server as u32,
-                round,
-                current_load: self.server_load[server],
-                incoming,
-            };
-            let accept = self
-                .protocol
-                .server_decide(&mut self.server_states[server], &ctx)
-                .min(incoming);
-            self.server_load[server] += accept;
-            for &request in &sorted_requests[segment_start..segment_start + accept as usize] {
-                accepted[request as usize] = true;
-            }
+            let protocol = &self.protocol;
+            drive_pieces(&mut descs[..server_pieces], |p| {
+                for i in 0..p.incoming.len() {
+                    let incoming = p.incoming[i];
+                    if incoming == 0 {
+                        continue;
+                    }
+                    let ctx = ServerCtx {
+                        server: (p.server_lo + i) as u32,
+                        round,
+                        current_load: p.loads[i],
+                        incoming,
+                    };
+                    let accept = protocol.server_decide(&mut p.states[i], &ctx).min(incoming);
+                    p.loads[i] += accept;
+                    p.accept[i] = accept;
+                }
+            });
         }
 
-        // Phase 3 — balls settle. With a single choice per round each ball has exactly
-        // one request; with k choices a ball keeps the first accepted destination and
-        // the engine releases the rest back to their servers. The surviving balls go
-        // into the double buffer, which then swaps with the alive list.
+        // Phase 3 — balls settle over carved slot ranges. With a single choice per
+        // round each ball has exactly one request; with k choices a ball keeps the
+        // first accepted destination and surplus accepts are *recorded* per piece,
+        // then aggregated into one `server_on_release` call per server, applied in
+        // ascending server order after the join. Both the single-piece and the
+        // many-piece plan use this exact aggregation, so the piece count can never
+        // change what a protocol observes.
         let mut balls_assigned = 0u64;
-        alive_next.clear();
-        let per_ball = choices as usize;
-        for (slot, &ball) in self.alive_balls.iter().enumerate() {
-            let base = slot * per_ball;
-            let mut settled: Option<u32> = None;
-            for offset in 0..per_ball {
-                let idx = base + offset;
-                if !accepted[idx] {
-                    continue;
-                }
-                let server = request_server[idx];
-                if settled.is_none() {
-                    settled = Some(server);
+        {
+            let slot_pieces = plan.slot;
+            let slots_all: &[u32] = &self.alive_balls;
+            let req_all: &[u32] = &request_server[..total_requests];
+            let rank_all: &[u32] = &request_rank[..total_requests];
+            let accept_all: &[u32] = accept_count;
+            let mut descs: [Option<SettlePiece>; MAX_INTRA_PIECES] = std::array::from_fn(|_| None);
+            let mut alive_rest: &mut [u32] = &mut alive_scratch[..alive];
+            let mut assigned_rest: &mut [u64] = &mut assigned_scratch[..alive];
+            let mut release_rest: &mut [u32] = if per_ball > 1 {
+                &mut release_scratch[..total_requests]
+            } else {
+                &mut []
+            };
+            let mut consumed = 0;
+            for (k, slot) in descs[..slot_pieces].iter_mut().enumerate() {
+                let hi = piece_range(alive, slot_pieces, k).end;
+                let take = hi - consumed;
+                let (alive_out, rest) = std::mem::take(&mut alive_rest).split_at_mut(take);
+                alive_rest = rest;
+                let (assigned_out, rest) = std::mem::take(&mut assigned_rest).split_at_mut(take);
+                assigned_rest = rest;
+                let release_out: &mut [u32] = if per_ball > 1 {
+                    let (r, rest) = std::mem::take(&mut release_rest).split_at_mut(take * per_ball);
+                    release_rest = rest;
+                    r
                 } else {
-                    // Surplus accept: release it.
-                    self.server_load[server as usize] -= 1;
-                    self.protocol
-                        .server_on_release(&mut self.server_states[server as usize], 1);
-                }
+                    &mut []
+                };
+                *slot = Some(SettlePiece {
+                    slot_lo: consumed,
+                    slots: &slots_all[consumed..hi],
+                    alive_out,
+                    assigned_out,
+                    release_out,
+                    counts: SettleCounts::default(),
+                });
+                consumed = hi;
             }
-            match settled {
-                Some(server) => {
-                    self.ball_assigned[ball as usize] = server;
-                    balls_assigned += 1;
-                }
-                None => alive_next.push(ball),
+            drive_pieces(&mut descs[..slot_pieces], |p| {
+                p.run(per_ball, req_all, rank_all, accept_all)
+            });
+
+            // Merge in piece-index order: survivors concatenate piece-by-piece (so
+            // `alive_next` is in ascending slot order, exactly the serial order).
+            alive_next.clear();
+            for p in descs[..slot_pieces].iter().flatten() {
+                alive_next.extend_from_slice(&p.alive_out[..p.counts.alive as usize]);
+                balls_assigned += u64::from(p.counts.assigned);
             }
+
+            // The two remaining applications touch disjoint state (ball assignments
+            // vs server loads/states), so they run as the two arms of a join.
+            let descs_done = &descs[..slot_pieces];
+            let ball_assigned = &mut self.ball_assigned;
+            let server_load = &mut self.server_load;
+            let server_states = &mut self.server_states;
+            let protocol = &self.protocol;
+            rayon::join(
+                || {
+                    for p in descs_done.iter().flatten() {
+                        for &packed in &p.assigned_out[..p.counts.assigned as usize] {
+                            ball_assigned[(packed >> 32) as usize] = packed as u32;
+                        }
+                    }
+                },
+                || {
+                    // Aggregate surplus releases per server (piece-index order in,
+                    // ascending server order out), then apply each server's total
+                    // with a single `server_on_release` call. `release_count` is
+                    // all-zero on entry and reset to all-zero on the way out.
+                    for p in descs_done.iter().flatten() {
+                        for &server in &p.release_out[..p.counts.released as usize] {
+                            if release_count[server as usize] == 0 {
+                                touched_servers.push(server);
+                            }
+                            release_count[server as usize] += 1;
+                        }
+                    }
+                    touched_servers.sort_unstable();
+                    for &server in touched_servers.iter() {
+                        let s = server as usize;
+                        let total = release_count[s];
+                        release_count[s] = 0;
+                        server_load[s] -= total;
+                        protocol.server_on_release(&mut server_states[s], total);
+                    }
+                    touched_servers.clear();
+                },
+            );
         }
         std::mem::swap(&mut self.alive_balls, alive_next);
 
-        // Closed-server census for the observers and the record.
-        let protocol = &self.protocol;
-        closed
-            .par_iter_mut()
-            .zip(self.server_states.par_iter())
-            .zip(self.server_load.par_iter())
-            .for_each(|((flag, state), &load)| *flag = protocol.server_is_closed(state, load));
-        let closed_servers = closed.iter().filter(|&&c| c).count() as u64;
+        // Census — closed flags, closed count and max load folded in one pass over
+        // carved server ranges, reduced in piece-index order. The fold is cached so
+        // `result()` never re-scans the servers.
+        let (closed_servers, max_load) = {
+            let census_pieces = plan.server;
+            let states_all: &[P::ServerState] = &self.server_states;
+            let loads_all: &[u32] = &self.server_load;
+            let mut descs: [Option<CensusPiece<P::ServerState>>; MAX_INTRA_PIECES] =
+                std::array::from_fn(|_| None);
+            let mut closed_rest: &mut [bool] = closed;
+            let mut consumed = 0;
+            for (k, slot) in descs[..census_pieces].iter_mut().enumerate() {
+                let hi = piece_range(num_servers, census_pieces, k).end;
+                let (closed_piece, rest) =
+                    std::mem::take(&mut closed_rest).split_at_mut(hi - consumed);
+                closed_rest = rest;
+                *slot = Some(CensusPiece {
+                    states: &states_all[consumed..hi],
+                    loads: &loads_all[consumed..hi],
+                    closed: closed_piece,
+                    closed_count: 0,
+                    max_load: 0,
+                });
+                consumed = hi;
+            }
+            let protocol = &self.protocol;
+            drive_pieces(&mut descs[..census_pieces], |p| {
+                let mut count = 0u64;
+                let mut max = 0u32;
+                for ((flag, state), &load) in
+                    p.closed.iter_mut().zip(p.states.iter()).zip(p.loads.iter())
+                {
+                    let is_closed = protocol.server_is_closed(state, load);
+                    *flag = is_closed;
+                    count += u64::from(is_closed);
+                    max = max.max(load);
+                }
+                p.closed_count = count;
+                p.max_load = max;
+            });
+            let mut total = 0u64;
+            let mut max = 0u32;
+            for p in descs[..census_pieces].iter().flatten() {
+                total += p.closed_count;
+                max = max.max(p.max_load);
+            }
+            (total, max)
+        };
+        self.last_closed_servers = closed_servers;
+        self.last_max_load = max_load;
 
         RoundRecord {
             round,
@@ -597,7 +1165,7 @@ impl<'g, P: Protocol> Simulation<'g, P> {
             alive_after: self.alive_balls.len() as u64,
             messages: 2 * num_requests,
             closed_servers,
-            max_load: self.server_load.iter().copied().max().unwrap_or(0),
+            max_load,
         }
     }
 }
@@ -766,9 +1334,9 @@ mod tests {
         }
     }
 
-    // NOTE: under the vendored sequential rayon stub (stubs/rayon) this compares two
-    // sequential runs, so it cannot currently fail for scheduling reasons; it re-arms
-    // automatically once the real rayon is swapped back in (see stubs/README.md).
+    // Since PR 3 the vendored rayon stub is a real work-distributing thread pool, so
+    // this genuinely exercises scheduling; `.intra_step_pieces(8)` additionally forces
+    // the intra-round parallel path on this deliberately small instance.
     #[test]
     fn deterministic_across_thread_counts() {
         let g = generators::regular_random(64, 16, 21).unwrap();
@@ -782,6 +1350,7 @@ mod tests {
                     .protocol(OpensAt(2))
                     .demand(Demand::Constant(2))
                     .seed(77)
+                    .intra_step_pieces(8)
                     .build();
                 let result = sim.run();
                 (result, sim.server_loads().to_vec())
@@ -791,6 +1360,138 @@ mod tests {
         let (r4, loads4) = run_with(4);
         assert_eq!(r1, r4);
         assert_eq!(loads1, loads4);
+    }
+
+    /// Builds the within-segment ranks with a given sort-piece count via the same
+    /// three passes `step_internal` drives, serially.
+    fn rank_with_pieces(
+        request_server: &[u32],
+        num_servers: usize,
+        pieces: usize,
+    ) -> (Vec<u32>, Vec<u32>) {
+        let len = request_server.len();
+        let mut rank = vec![0u32; len];
+        let mut totals = vec![0u32; num_servers];
+        if pieces == 1 {
+            sort_pass_histogram(request_server, &mut rank, &mut totals);
+            return (rank, totals);
+        }
+        let mut hist = vec![0u32; pieces * num_servers];
+        for k in 0..pieces {
+            let r = piece_range(len, pieces, k);
+            sort_pass_histogram(
+                &request_server[r.clone()],
+                &mut rank[r],
+                &mut hist[k * num_servers..(k + 1) * num_servers],
+            );
+        }
+        let mut off = vec![0u32; pieces * num_servers];
+        sort_pass_combine(&hist, num_servers, 0, &mut off, &mut totals);
+        for k in 0..pieces {
+            let r = piece_range(len, pieces, k);
+            sort_pass_rebase(&request_server[r.clone()], &mut rank[r], &off, k, pieces);
+        }
+        (rank, totals)
+    }
+
+    #[test]
+    fn parallel_rank_sort_matches_serial_permutation() {
+        // A skewed request pattern over 7 servers (server 5 gets nothing, server 0 is
+        // hot) with a length that does not divide evenly into any piece count.
+        let num_servers = 7;
+        let request_server: Vec<u32> = (0..203u32)
+            .map(
+                |i| match i.wrapping_mul(2654435761).wrapping_mul(i + 1) % 10 {
+                    0..=3 => 0,
+                    4..=5 => 3,
+                    6 => 1,
+                    7 => 2,
+                    8 => 4,
+                    _ => 6,
+                },
+            )
+            .collect();
+
+        // Reference: the former explicit stable counting sort's permutation.
+        let mut counts = vec![0u32; num_servers];
+        for &s in &request_server {
+            counts[s as usize] += 1;
+        }
+        let mut base = vec![0u32; num_servers];
+        let mut acc = 0u32;
+        for (b, &c) in base.iter_mut().zip(&counts) {
+            *b = acc;
+            acc += c;
+        }
+        let mut cursor = base.clone();
+        let mut reference = vec![0u32; request_server.len()];
+        for (i, &s) in request_server.iter().enumerate() {
+            reference[cursor[s as usize] as usize] = i as u32;
+            cursor[s as usize] += 1;
+        }
+
+        for pieces in [1, 2, 3, 8] {
+            let (rank, totals) = rank_with_pieces(&request_server, num_servers, pieces);
+            assert_eq!(totals, counts, "pieces={pieces}");
+            // `base[s] + rank[i]` must be exactly where the reference scattered `i`.
+            let mut sorted = vec![u32::MAX; request_server.len()];
+            for (i, &s) in request_server.iter().enumerate() {
+                let position = (base[s as usize] + rank[i]) as usize;
+                assert_eq!(
+                    sorted[position],
+                    u32::MAX,
+                    "pieces={pieces}: rank collision"
+                );
+                sorted[position] = i as u32;
+            }
+            assert_eq!(sorted, reference, "pieces={pieces}");
+        }
+    }
+
+    /// Runs step-by-step under a forced piece plan (or the size-derived default for
+    /// `None`) and returns everything a caller could observe.
+    fn run_with_pieces<P: Protocol>(
+        g: &clb_graph::BipartiteGraph,
+        protocol: P,
+        pieces: Option<usize>,
+    ) -> (Vec<RoundRecord>, RunResult, Vec<u32>) {
+        let mut builder = Simulation::builder(g)
+            .protocol(protocol)
+            .demand(Demand::Constant(2))
+            .seed(9)
+            .max_rounds(200);
+        if let Some(p) = pieces {
+            builder = builder.intra_step_pieces(p);
+        }
+        let mut sim = builder.build();
+        let mut records = Vec::new();
+        while !sim.is_complete() && sim.round() < 200 {
+            records.push(sim.step());
+        }
+        (records, sim.result(), sim.server_loads().to_vec())
+    }
+
+    #[test]
+    fn intra_step_pieces_do_not_change_results() {
+        let g = generators::regular_random(96, 12, 33).unwrap();
+        let piece_grid = [Some(2), Some(5), Some(32), None];
+        // One-choice (no releases) and two-choice (release aggregation) protocols.
+        let baseline = run_with_pieces(&g, OpensAt(3), Some(1));
+        for pieces in piece_grid {
+            assert_eq!(
+                run_with_pieces(&g, OpensAt(3), pieces),
+                baseline,
+                "pieces={pieces:?}"
+            );
+        }
+        let baseline = run_with_pieces(&g, TwoChoiceCapacityOne, Some(1));
+        for pieces in piece_grid {
+            assert_eq!(
+                run_with_pieces(&g, TwoChoiceCapacityOne, pieces),
+                baseline,
+                "pieces={pieces:?}"
+            );
+        }
     }
 
     #[test]

@@ -10,14 +10,17 @@
 //! `src/simulation.rs`), so the steady-state count across any number of rounds must be
 //! exactly zero.
 //!
-//! Two execution contexts are pinned:
+//! Three execution contexts are pinned:
 //!
 //! 1. the classic sequential path (`ThreadPool::install(1)` scopes the rayon stub to
-//!    one thread, exactly the pre-pool behaviour), and
-//! 2. `step()` running *on pool workers* — how `Scenario::run` executes trials since
+//!    one thread, exactly the pre-pool behaviour),
+//! 2. the same single-thread scope with the intra-round piece plan forced to 8, so
+//!    the parallel sort / decide / settle / census code paths (carved descriptors,
+//!    piece merges, release aggregation) run through the counted window, and
+//! 3. `step()` running *on pool workers* — how `Scenario::run` executes trials since
 //!    the rayon stub became genuinely parallel. Nested parallel calls inside a pool
 //!    job run sequentially on the worker, so the hot loop must stay allocation-free
-//!    there too.
+//!    there too, including with the intra-step parallel path active.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -182,6 +185,59 @@ fn round_loop_is_allocation_free_after_build() {
 }
 
 #[test]
+fn round_loop_is_allocation_free_with_forced_intra_pieces() {
+    // Forcing the piece plan to 8 on instances this small routes every phase through
+    // the carved-descriptor parallel path (three-pass sort, per-piece settle scratch,
+    // release aggregation) — the descriptors live on the stack and all scratch is in
+    // RoundBuffers, so the counted window must stay at exactly zero.
+    let sequential = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    sequential.install(|| {
+        let graph = generators::regular_random(256, 16, 21).unwrap();
+        let mut sim = Simulation::builder(&graph)
+            .protocol(OpensAt(u32::MAX))
+            .demand(Demand::Constant(3))
+            .seed(7)
+            .intra_step_pieces(8)
+            .build();
+        sim.step();
+        let (allocations, ()) = counted(|| {
+            for _ in 0..40 {
+                sim.step();
+            }
+        });
+        assert_eq!(
+            allocations, 0,
+            "single-choice step() with 8 intra pieces allocated {allocations} times"
+        );
+
+        let graph = generators::complete(64, 64).unwrap();
+        let mut sim = Simulation::builder(&graph)
+            .protocol(TwoChoiceCapacityOne)
+            .demand(Demand::Constant(1))
+            .seed(3)
+            .max_rounds(500)
+            .intra_step_pieces(8)
+            .build();
+        sim.step();
+        let (allocations, ()) = counted(|| {
+            for _ in 0..10 {
+                if sim.is_complete() {
+                    break;
+                }
+                sim.step();
+            }
+        });
+        assert_eq!(
+            allocations, 0,
+            "two-choice step() with 8 intra pieces allocated {allocations} times"
+        );
+    });
+}
+
+#[test]
 fn round_loop_is_allocation_free_on_pool_workers() {
     // The scenario runner executes whole trials on pool workers; inside a worker the
     // engine's nested par_* calls run sequentially, and the steady-state round loop
@@ -194,6 +250,9 @@ fn round_loop_is_allocation_free_on_pool_workers() {
                 .protocol(OpensAt(u32::MAX))
                 .demand(Demand::Constant(3))
                 .seed(seed)
+                // Half the sims force the intra-step parallel path; on a worker its
+                // nested drives run sequentially but still walk the piece machinery.
+                .intra_step_pieces(if seed % 2 == 0 { 8 } else { 1 })
                 .build();
             sim.step(); // warm-up outside the counted window
             sim

@@ -63,57 +63,45 @@ impl BipartiteGraph {
 
         let mut client_edges = vec![ServerId(0); edges.len()];
         let mut server_edges = vec![ClientId(0); edges.len()];
-        let mut client_cursor = client_offsets.clone();
-        let mut server_cursor = server_offsets.clone();
+        // One cursor buffer serves both scatters (refilled from the offsets per
+        // side) instead of cloning each offset vector — graph build is on the
+        // n = 10^7 critical path via snapshot decode, where those clones were two
+        // extra O(n) allocations.
+        let mut cursor: Vec<u64> = Vec::with_capacity(num_clients.max(num_servers));
+        cursor.extend_from_slice(&client_offsets[..num_clients]);
         for &(c, s) in edges {
-            let (ci, si) = (c as usize, s as usize);
-            let cc = client_cursor[ci] as usize;
-            client_edges[cc] = ServerId(s);
-            client_cursor[ci] += 1;
-            let sc = server_cursor[si] as usize;
-            server_edges[sc] = ClientId(c);
-            server_cursor[si] += 1;
+            let slot = &mut cursor[c as usize];
+            client_edges[*slot as usize] = ServerId(s);
+            *slot += 1;
+        }
+        cursor.clear();
+        cursor.extend_from_slice(&server_offsets[..num_servers]);
+        for &(c, s) in edges {
+            let slot = &mut cursor[s as usize];
+            server_edges[*slot as usize] = ClientId(c);
+            *slot += 1;
         }
 
-        let mut graph = Self {
+        // Canonical per-range order makes equality, snapshots and duplicate
+        // detection deterministic. The two sides are disjoint buffers, so they sort
+        // as the two arms of a join; duplicate detection rides along in the client
+        // walk (an edge list has a duplicate iff some client range has adjacent
+        // equal entries once sorted — the server side mirrors the same multiset).
+        let (duplicate, ()) = rayon::join(
+            || sort_ranges_detect_duplicate(&client_offsets, &mut client_edges),
+            || sort_ranges(&server_offsets, &mut server_edges),
+        );
+        if let Some((client, server)) = duplicate {
+            return Err(GraphError::DuplicateEdge { client, server });
+        }
+        Ok(Self {
             num_clients,
             num_servers,
             client_offsets,
             client_edges,
             server_offsets,
             server_edges,
-        };
-        graph.sort_adjacency();
-        graph.check_no_duplicates()?;
-        Ok(graph)
-    }
-
-    /// Sorts each adjacency list; canonical order makes equality, snapshots and
-    /// duplicate detection deterministic.
-    fn sort_adjacency(&mut self) {
-        for c in 0..self.num_clients {
-            let (lo, hi) = self.client_range(c);
-            self.client_edges[lo..hi].sort_unstable();
-        }
-        for s in 0..self.num_servers {
-            let (lo, hi) = self.server_range(s);
-            self.server_edges[lo..hi].sort_unstable();
-        }
-    }
-
-    fn check_no_duplicates(&self) -> Result<()> {
-        for c in 0..self.num_clients {
-            let neigh = self.client_neighbors(ClientId::new(c));
-            for w in neigh.windows(2) {
-                if w[0] == w[1] {
-                    return Err(GraphError::DuplicateEdge {
-                        client: c,
-                        server: w[0].index(),
-                    });
-                }
-            }
-        }
-        Ok(())
+        })
     }
 
     #[inline]
@@ -204,6 +192,30 @@ impl BipartiteGraph {
     pub fn has_isolated_client(&self) -> bool {
         self.clients().any(|c| self.client_degree(c) == 0)
     }
+}
+
+/// Sorts each CSR range (`offsets[i]..offsets[i + 1]`) in place.
+fn sort_ranges<T: Ord>(offsets: &[u64], edges: &mut [T]) {
+    for w in offsets.windows(2) {
+        edges[w[0] as usize..w[1] as usize].sort_unstable();
+    }
+}
+
+/// Sorts each client CSR range in place and reports the first duplicate as
+/// `(client, server)` — the adjacent-equal check runs in the same walk as the sort,
+/// in ascending client order, so the reported edge matches what a separate
+/// ascending scan of the sorted adjacency would have found.
+fn sort_ranges_detect_duplicate(offsets: &[u64], edges: &mut [ServerId]) -> Option<(usize, usize)> {
+    for (client, w) in offsets.windows(2).enumerate() {
+        let range = &mut edges[w[0] as usize..w[1] as usize];
+        range.sort_unstable();
+        for pair in range.windows(2) {
+            if pair[0] == pair[1] {
+                return Some((client, pair[0].index()));
+            }
+        }
+    }
+    None
 }
 
 fn prefix_sum(degrees: &[u64]) -> Vec<u64> {

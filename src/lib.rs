@@ -189,7 +189,7 @@ pub mod prelude {
     };
     pub use clb_core::shard::{ShardError, ShardPlan};
     pub use clb_engine::{
-        erase, Demand, ErasedProtocol, Protocol, RunResult, SimConfig, Simulation,
+        erase, Demand, ErasedProtocol, Protocol, RoundRecord, RunResult, SimConfig, Simulation,
         SimulationBuilder,
     };
     pub use clb_faults::{

@@ -180,6 +180,52 @@ impl<P: Producer> ParIter<P> {
             pool::run_parallel(self.producer, &|piece: P| piece.into_seq().for_each(&f));
         }
     }
+
+    /// Mirror of rayon's `for_each_init`: per-executor scratch, created once per
+    /// contiguous piece and threaded through that piece's items in index order.
+    ///
+    /// Upstream calls `init` once per rayon *job*; here it runs once per piece, which
+    /// is the same contract observable-behaviour-wise: code must already treat the
+    /// scratch as arbitrary-reuse (a cached allocation, an RNG to reseed per item),
+    /// never as a cross-item accumulator — a fold through the scratch would depend on
+    /// piece boundaries under either implementation.
+    pub fn for_each_init<OP, INIT, T>(self, init: INIT, op: OP)
+    where
+        INIT: Fn() -> T + Send + Sync,
+        OP: Fn(&mut T, P::Item) + Send + Sync,
+    {
+        if pool::run_sequentially(self.producer.len()) {
+            let mut scratch = init();
+            self.producer
+                .into_seq()
+                .for_each(|item| op(&mut scratch, item));
+        } else {
+            pool::run_parallel(self.producer, &|piece: P| {
+                let mut scratch = init();
+                piece.into_seq().for_each(|item| op(&mut scratch, item));
+            });
+        }
+    }
+}
+
+/// Mirror of `rayon::join`: runs both closures, potentially in parallel, and returns
+/// both results.
+///
+/// The stub executes `b` as one claimable pool job while the caller runs `a`; if no
+/// worker is free the caller claims `b` back itself, so the pair never waits on pool
+/// capacity. Under `RAYON_NUM_THREADS=1`, an `install(1)` scope, or when nested
+/// inside a pool job, both closures run sequentially on the current thread with zero
+/// pool involvement and zero allocation. Unlike upstream, a join *arm* never fans
+/// back out — parallel calls inside an arm run sequentially, the stub's blanket
+/// nesting rule. Panics propagate to the caller, `a`'s first.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    pool::join(oper_a, oper_b)
 }
 
 /// Mirror of `rayon::iter::IntoParallelIterator`.
@@ -554,6 +600,96 @@ mod tests {
             assert_eq!(max.to_bits(), seq_max.to_bits(), "threads = {threads}");
             assert_eq!(count, seq_count, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn join_returns_both_results_at_any_thread_count() {
+        for threads in [1, 2, 4] {
+            let (a, b) = with_threads(threads, || {
+                join(
+                    || (0..1000u64).sum::<u64>(),
+                    || (0..1000u64).map(|x| x * 2).sum::<u64>(),
+                )
+            });
+            assert_eq!(a, 499_500, "threads = {threads}");
+            assert_eq!(b, 999_000, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn join_arms_can_mutate_disjoint_borrows() {
+        let mut left = vec![0u32; 512];
+        let mut right = vec![0u32; 512];
+        with_threads(4, || {
+            join(
+                || left.iter_mut().enumerate().for_each(|(i, x)| *x = i as u32),
+                || right.iter_mut().for_each(|x| *x = 7),
+            )
+        });
+        assert_eq!(left[511], 511);
+        assert!(right.iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn join_nested_inside_a_pool_job_stays_sequential() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        with_threads(4, || {
+            (0..8usize).into_par_iter().for_each(|_| {
+                let outer = std::thread::current().id();
+                let (a, b) = join(
+                    || std::thread::current().id(),
+                    || std::thread::current().id(),
+                );
+                assert_eq!(a, outer);
+                assert_eq!(b, outer);
+                ids.lock().unwrap().insert(outer);
+            });
+        });
+        assert!(!ids.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn join_propagates_panics_from_either_arm() {
+        let err = std::panic::catch_unwind(|| {
+            with_threads(4, || join(|| 1, || panic!("right arm boom")))
+        })
+        .expect_err("panic must propagate");
+        let message = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(message.contains("right arm boom"), "got: {message}");
+
+        let err =
+            std::panic::catch_unwind(|| with_threads(4, || join(|| panic!("left arm boom"), || 2)))
+                .expect_err("panic must propagate");
+        let message = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(message.contains("left arm boom"), "got: {message}");
+    }
+
+    #[test]
+    fn for_each_init_reuses_scratch_within_a_piece() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+        let inits = AtomicUsize::new(0);
+        let seen = Mutex::new(vec![false; 10_000]);
+        with_threads(4, || {
+            (0..10_000usize).into_par_iter().for_each_init(
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    Vec::<usize>::with_capacity(8)
+                },
+                |scratch, i| {
+                    scratch.clear();
+                    scratch.push(i);
+                    seen.lock().unwrap()[scratch[0]] = true;
+                },
+            );
+        });
+        assert!(seen.lock().unwrap().iter().all(|&s| s));
+        // One init per piece, never per item.
+        // clb-audit: allow(relaxed-load) -- read-after-join, exact total
+        let init_count = inits.load(Ordering::Relaxed);
+        assert!(init_count <= 64, "init ran {init_count} times");
     }
 
     #[test]

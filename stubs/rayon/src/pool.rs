@@ -224,6 +224,112 @@ fn worker_main() {
 }
 
 // ---------------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------------
+
+/// Shared state of one `join`: the pending closure and its result slot. Lives on the
+/// driving thread's stack under the same latch protocol as a `Batch`.
+struct JoinTask<B, RB> {
+    func: Mutex<Option<B>>,
+    result: Mutex<Option<std::thread::Result<RB>>>,
+}
+
+impl<B, RB> JoinTask<B, RB>
+where
+    B: FnOnce() -> RB,
+{
+    /// Claims the closure if it is still pending and runs it, catching panics.
+    /// Idempotent: whoever takes the closure first (worker token or the driver after
+    /// finishing its own half) runs it; the other side sees `None` and does nothing.
+    fn claim_and_run(&self) {
+        let func = self.func.lock().unwrap().take();
+        if let Some(func) = func {
+            let result = catch_unwind(AssertUnwindSafe(func));
+            *self.result.lock().unwrap() = Some(result);
+        }
+    }
+}
+
+unsafe fn join_token_entry<B, RB>(data: *const ())
+where
+    B: FnOnce() -> RB,
+{
+    // SAFETY: `data` was created from a `&JoinTask<B, RB>` in `join` and is alive for
+    // the duration of this call (latch protocol, see module docs).
+    let task = unsafe { &*(data as *const JoinTask<B, RB>) };
+    task.claim_and_run();
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+///
+/// Sequential whenever a drive over 2 units would be (`RAYON_NUM_THREADS=1`, an
+/// `install(1)` scope, or nesting inside a pool job): `a` then `b` on the current
+/// thread, no pool involvement, no allocation. Otherwise `b` is enqueued as a
+/// claimable job, the caller runs `a` inline, then claims `b` back itself if no
+/// worker got there first — so `join` never idles the caller while `b` waits in the
+/// queue. Panics are re-raised on the caller, `a`'s first (piece-index order).
+pub(crate) fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if run_sequentially(2) {
+        let ra = oper_a();
+        let rb = oper_b();
+        return (ra, rb);
+    }
+
+    let task = JoinTask {
+        func: Mutex::new(Some(oper_b)),
+        result: Mutex::new(None),
+    };
+    let latch = std::sync::Arc::new(TokenLatch {
+        outstanding: Mutex::new(1),
+        done: Condvar::new(),
+    });
+    ensure_workers(1);
+    {
+        let shared = pool();
+        let mut queue = shared.queue.lock().unwrap();
+        queue.push_back(Job {
+            data: &task as *const JoinTask<B, RB> as *const (),
+            exec: join_token_entry::<B, RB>,
+            latch: std::sync::Arc::clone(&latch),
+        });
+        drop(queue);
+        shared.ready.notify_one();
+    }
+
+    // Both halves run flagged as in-job, so drives nested inside a join arm stay
+    // sequential (the same rule as every other pool job).
+    let result_a = {
+        let _guard = enter_job();
+        catch_unwind(AssertUnwindSafe(oper_a))
+    };
+    {
+        let _guard = enter_job();
+        task.claim_and_run();
+    }
+    // The token may still be queued (it finds the closure gone and exits); the task
+    // must outlive it regardless, exactly like a batch outlives its claim tokens.
+    latch.wait();
+
+    let result_b = task
+        .result
+        .lock()
+        .unwrap()
+        .take()
+        .expect("join closure never executed");
+    match (result_a, result_b) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(payload), _) => resume_unwind(payload),
+        (_, Err(payload)) => resume_unwind(payload),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Batch execution
 // ---------------------------------------------------------------------------
 

@@ -82,6 +82,43 @@ fn summary_retention_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn intra_round_parallelism_is_bit_identical_across_thread_counts() {
+    // PR 8 parallelised the *inside* of a round (sort, decisions, settling, census
+    // split into index-merged pieces). That axis must compose with the pool: one
+    // simulation, stepped round by round, has to produce identical records, result
+    // and loads at every thread count, with the piece plan forced so the parallel
+    // path really runs on an instance this small.
+    let graph = generators::regular_random(2048, 24, 91).unwrap();
+    let run = |threads: usize| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| {
+                let mut sim = Simulation::builder(&graph)
+                    .protocol(ProtocolSpec::Saer { c: 3, d: 2 }.build())
+                    .demand(Demand::Constant(2))
+                    .seed(4242)
+                    .max_rounds(300)
+                    .intra_step_pieces(16)
+                    .build();
+                let mut records: Vec<RoundRecord> = Vec::new();
+                while !sim.is_complete() && sim.round() < 300 {
+                    records.push(sim.step());
+                }
+                (records, sim.result(), sim.server_loads().to_vec())
+            })
+    };
+    let baseline = run(1);
+    assert!(
+        baseline.0.len() > 1,
+        "instance should take several rounds or the per-round comparison is vacuous"
+    );
+    assert_eq!(baseline, run(2), "diverged between 1 and 2 threads");
+    assert_eq!(baseline, run(4), "diverged between 1 and 4 threads");
+}
+
+#[test]
 fn paired_design_is_bit_identical_across_thread_counts() {
     // The paired RAES-vs-SAER design additionally shares graph identities across
     // arms, so the parallel pass decodes shared snapshots concurrently — the decoded
