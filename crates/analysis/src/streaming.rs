@@ -709,9 +709,24 @@ impl StreamingHistogram {
         if self.total == 0 {
             return None;
         }
-        let lo = self.value_at_rank((self.total - 1) / 2);
-        let hi = self.value_at_rank(self.total / 2);
-        Some((lo + hi) / 2.0)
+        // Resolve both middle ranks in one bucket scan: lo_rank <= hi_rank, so the
+        // lower value is captured first and the walk continues (at most one more
+        // bucket) until the cumulative count passes the upper rank.
+        let lo_rank = (self.total - 1) / 2;
+        let hi_rank = self.total / 2;
+        let mut lo = None;
+        let mut seen = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if lo.is_none() && seen > lo_rank {
+                lo = Some(Self::bucket_value(index));
+            }
+            if seen > hi_rank {
+                let lo = lo.expect("lo_rank <= hi_rank resolves first");
+                return Some((lo + Self::bucket_value(index)) / 2.0);
+            }
+        }
+        unreachable!("total() covers all buckets");
     }
 
     /// The representative value at a 0-based rank in the sorted sample. Panics if
@@ -994,6 +1009,34 @@ mod tests {
         let median = h.median().unwrap();
         assert!((median - 51.0).abs() / 51.0 < 0.02, "median {median}");
         assert_eq!(h.total(), 101);
+    }
+
+    #[test]
+    fn histogram_median_single_pass_matches_rank_pair() {
+        // Regression for the two-scan median: the fused single pass must resolve
+        // exactly the same (lo, hi) middle-rank pair value_at_rank would, for both
+        // parities — including totals where the two middle ranks land in different
+        // buckets (even total built from two well-separated values).
+        let mut h = StreamingHistogram::new();
+        for (count, value) in [(7, 0.25f64), (7, 3000.0)] {
+            for _ in 0..count {
+                h.record(value);
+            }
+        }
+        // 14 observations: ranks 6 and 7 straddle the two populated buckets.
+        let even_total = h.total();
+        assert_eq!(even_total % 2, 0);
+        let expected_even =
+            (h.value_at_rank((even_total - 1) / 2) + h.value_at_rank(even_total / 2)) / 2.0;
+        assert_eq!(h.median().unwrap(), expected_even);
+
+        h.record(3000.0); // odd total: both middle ranks coincide
+        let odd_total = h.total();
+        assert_eq!(odd_total % 2, 1);
+        let expected_odd =
+            (h.value_at_rank((odd_total - 1) / 2) + h.value_at_rank(odd_total / 2)) / 2.0;
+        assert_eq!(h.median().unwrap(), expected_odd);
+        assert_eq!(h.median().unwrap(), h.value_at_rank(odd_total / 2));
     }
 
     #[test]

@@ -25,7 +25,9 @@
 //! produce bit-identical reports at every thread and shard count, in both retention
 //! modes, by construction rather than by careful scheduling.
 
-use crate::experiment::{ExperimentConfig, ExperimentReport, TrialOutcome};
+use crate::experiment::{
+    ExperimentConfig, ExperimentReport, OnlineReport, OnlineStats, TrialOutcome,
+};
 use clb_analysis::streaming::{RunningSummary, StreamingHistogram, STREAMING_HISTOGRAM_BUCKETS};
 use clb_analysis::Summary;
 use serde::{Deserialize, Serialize};
@@ -95,6 +97,82 @@ impl StreamStat {
     }
 }
 
+/// The online fold state of a sweep point whose trials carried [`OnlineStats`]:
+/// the stability tally plus streaming stats of the quantities [`OnlineReport`]
+/// summarises.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct OnlineSummaryState {
+    /// Trials whose stability verdict was true.
+    pub(crate) stable: u64,
+    pub(crate) peak_backlog: StreamStat,
+    pub(crate) peak_load: StreamStat,
+    pub(crate) latency_p99: StreamStat,
+}
+
+impl OnlineSummaryState {
+    fn new() -> Self {
+        Self {
+            stable: 0,
+            peak_backlog: StreamStat::new(),
+            peak_load: StreamStat::new(),
+            latency_p99: StreamStat::new(),
+        }
+    }
+
+    fn push(&mut self, online: &OnlineStats) {
+        self.stable += u64::from(online.stable);
+        self.peak_backlog.record(online.peak_backlog as f64);
+        self.peak_load.record(f64::from(online.peak_load));
+        self.latency_p99.record(online.latency_p99);
+    }
+
+    fn merge(&mut self, other: &Self) {
+        self.stable += other.stable;
+        self.peak_backlog.merge(&other.peak_backlog);
+        self.peak_load.merge(&other.peak_load);
+        self.latency_p99.merge(&other.latency_p99);
+    }
+
+    fn to_report(&self) -> OnlineReport {
+        OnlineReport {
+            stable_trials: self.stable as usize,
+            peak_backlog: self.peak_backlog.to_summary(),
+            peak_load: self.peak_load.to_summary(),
+            latency_p99: self.latency_p99.to_summary(),
+        }
+    }
+
+    /// Wire-decode constructor; the counts of the three stats must agree (they fold
+    /// the same trials) and bound the stability tally.
+    pub(crate) fn from_parts(
+        stable: u64,
+        peak_backlog: StreamStat,
+        peak_load: StreamStat,
+        latency_p99: StreamStat,
+    ) -> Result<Self, String> {
+        let folded = peak_backlog.summary.count();
+        if peak_load.summary.count() != folded || latency_p99.summary.count() != folded {
+            return Err(format!(
+                "online stats folded {} peak-backlog but {} peak-load and {} latency observations",
+                folded,
+                peak_load.summary.count(),
+                latency_p99.summary.count()
+            ));
+        }
+        if stable > folded {
+            return Err(format!(
+                "{stable} stable trials out of {folded} online observations"
+            ));
+        }
+        Ok(Self {
+            stable,
+            peak_backlog,
+            peak_load,
+            latency_p99,
+        })
+    }
+}
+
 /// The `Retention::Summary` fold state of one sweep point: O(1) memory regardless of
 /// how many trials it has folded.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,6 +181,8 @@ pub(crate) struct SummaryState {
     pub(crate) trial_count: u64,
     /// Trials that terminated within the round cap.
     pub(crate) completed: u64,
+    /// Trials that stopped because they hit the round cap with work left.
+    pub(crate) capped: u64,
     pub(crate) rounds: StreamStat,
     pub(crate) work_per_ball: StreamStat,
     pub(crate) max_load: StreamStat,
@@ -113,6 +193,9 @@ pub(crate) struct SummaryState {
     /// first outcome that carries a series, which the per-config measurement flag
     /// makes uniform across a point's trials).
     pub(crate) peak_burned: Option<StreamStat>,
+    /// Present iff the config carried a workload (same all-or-none argument as
+    /// `peak_burned`: presence is config-driven, so uniform across a point).
+    pub(crate) online: Option<OnlineSummaryState>,
 }
 
 impl SummaryState {
@@ -120,6 +203,7 @@ impl SummaryState {
         Self {
             trial_count: 0,
             completed: 0,
+            capped: 0,
             rounds: StreamStat::new(),
             work_per_ball: StreamStat::new(),
             max_load: StreamStat::new(),
@@ -127,12 +211,14 @@ impl SummaryState {
             surviving_servers: StreamStat::new(),
             unassigned_balls: StreamStat::new(),
             peak_burned: None,
+            online: None,
         }
     }
 
     fn push(&mut self, outcome: &TrialOutcome) {
         self.trial_count += 1;
         self.completed += u64::from(outcome.result.completed);
+        self.capped += u64::from(outcome.result.hit_round_cap);
         self.rounds.record(outcome.result.rounds as f64);
         self.work_per_ball.record(outcome.result.work_per_ball());
         self.max_load.record(outcome.result.max_load as f64);
@@ -147,11 +233,17 @@ impl SummaryState {
                 .get_or_insert_with(StreamStat::new)
                 .record(peak);
         }
+        if let Some(online) = &outcome.online {
+            self.online
+                .get_or_insert_with(OnlineSummaryState::new)
+                .push(online);
+        }
     }
 
     fn merge(&mut self, other: &Self) {
         self.trial_count += other.trial_count;
         self.completed += other.completed;
+        self.capped += other.capped;
         self.rounds.merge(&other.rounds);
         self.work_per_ball.merge(&other.work_per_ball);
         self.max_load.merge(&other.max_load);
@@ -164,6 +256,12 @@ impl SummaryState {
                 None => self.peak_burned = Some(theirs.clone()),
             }
         }
+        if let Some(theirs) = &other.online {
+            match &mut self.online {
+                Some(ours) => ours.merge(theirs),
+                None => self.online = Some(theirs.clone()),
+            }
+        }
     }
 
     /// Wire-decode constructor: validates every cross-count invariant a corrupted
@@ -172,6 +270,7 @@ impl SummaryState {
     pub(crate) fn from_parts(
         trial_count: u64,
         completed: u64,
+        capped: u64,
         rounds: StreamStat,
         work_per_ball: StreamStat,
         max_load: StreamStat,
@@ -179,9 +278,13 @@ impl SummaryState {
         surviving_servers: StreamStat,
         unassigned_balls: StreamStat,
         peak_burned: Option<StreamStat>,
+        online: Option<OnlineSummaryState>,
     ) -> Result<Self, String> {
         if completed > trial_count {
             return Err(format!("{completed} completed trials out of {trial_count}"));
+        }
+        if capped > trial_count {
+            return Err(format!("{capped} round-capped trials out of {trial_count}"));
         }
         for (name, stat) in [
             ("rounds", &rounds),
@@ -210,9 +313,20 @@ impl SummaryState {
                 ));
             }
         }
+        // Same presence-consistency rule as peak_burned: a present online state
+        // folded between 1 and trial_count observations.
+        if let Some(state) = &online {
+            let folded = state.peak_backlog.summary.count();
+            if folded == 0 || folded > trial_count {
+                return Err(format!(
+                    "online stats folded {folded} observations for {trial_count} trials"
+                ));
+            }
+        }
         Ok(Self {
             trial_count,
             completed,
+            capped,
             rounds,
             work_per_ball,
             max_load,
@@ -220,6 +334,7 @@ impl SummaryState {
             surviving_servers,
             unassigned_balls,
             peak_burned,
+            online,
         })
     }
 
@@ -227,7 +342,8 @@ impl SummaryState {
     /// pure function of the layout (not of the trial count) — the number the
     /// `exp_scale_stress` memory assertion pins.
     fn retained_bytes(&self) -> u64 {
-        let histograms = 6 + u64::from(self.peak_burned.is_some());
+        let histograms =
+            6 + u64::from(self.peak_burned.is_some()) + 3 * u64::from(self.online.is_some());
         std::mem::size_of::<Self>() as u64 + histograms * (STREAMING_HISTOGRAM_BUCKETS as u64) * 8
     }
 }
@@ -341,6 +457,8 @@ impl OutcomeAccumulator {
                     trials: Vec::new(),
                     trial_count: state.trial_count as usize,
                     completed_trials: state.completed as usize,
+                    capped_trials: state.capped as usize,
+                    online: state.online.as_ref().map(OnlineSummaryState::to_report),
                     rounds: state.rounds.to_summary(),
                     work_per_ball: state.work_per_ball.to_summary(),
                     max_load: state.max_load.to_summary(),

@@ -16,10 +16,11 @@
 //! retained memory is O(1) in the trial count — see [`crate::accumulate`].
 
 use crate::accumulate::{merge_grid_fold, GridFold, Retention};
+use clb_analysis::streaming::StreamingHistogram;
 use clb_analysis::{Histogram, Summary};
 use clb_engine::{
-    BurnedFractionObserver, Demand, NeighborhoodMassObserver, Observer, RunResult, SimConfig,
-    Simulation, TrajectoryObserver,
+    BurnedFractionObserver, Demand, NeighborhoodMassObserver, Observer, OnlineWorkload,
+    RoundRecord, RoundView, RunResult, SimConfig, Simulation, TrajectoryObserver,
 };
 use clb_faults::FaultPlan;
 use clb_graph::{DegreeStats, GraphSpec};
@@ -75,6 +76,11 @@ pub struct ExperimentConfig {
     /// [`FaultAdapter`](clb_faults::FaultAdapter) drawing from that trial's seed, so
     /// the faulted run inherits the full determinism contract.
     pub faults: Option<FaultPlan>,
+    /// Online workload, if any. `None` runs the historical batch semantics (all
+    /// balls present from round 1, settled balls stay forever). `Some(workload)`
+    /// attaches the engine's arrival/departure machinery to every trial and makes
+    /// the trial report [`OnlineStats`] alongside the batch statistics.
+    pub workload: Option<OnlineWorkload>,
 }
 
 impl ExperimentConfig {
@@ -95,6 +101,7 @@ impl ExperimentConfig {
             measurements: Measurements::default(),
             retention: Retention::default(),
             faults: None,
+            workload: None,
         }
     }
 
@@ -140,6 +147,13 @@ impl ExperimentConfig {
         self
     }
 
+    /// Attaches an online workload to every trial (see [`clb_engine::workload`]).
+    /// Combine with `demand(Demand::Constant(0))` for a purely open system.
+    pub fn workload(mut self, workload: OnlineWorkload) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
     /// Runs one trial with an explicit seed, building the graph from the spec.
     pub fn run_trial(&self, seed: u64) -> Result<TrialOutcome, clb_graph::GraphError> {
         let graph = self.graph.build(seed)?;
@@ -162,15 +176,19 @@ impl ExperimentConfig {
             seed,
             max_rounds: self.max_rounds,
         };
-        let mut sim = Simulation::builder(graph)
+        let mut builder = Simulation::builder(graph)
             .protocol(protocol)
             .demand(self.demand.clone())
-            .config(config)
-            .build();
+            .config(config);
+        if let Some(workload) = &self.workload {
+            builder = builder.workload(workload.clone());
+        }
+        let mut sim = builder.build();
 
         let mut burned = BurnedFractionObserver::new();
         let mut mass = NeighborhoodMassObserver::new();
         let mut trajectory = TrajectoryObserver::new();
+        let mut online_recorder = OnlineRecorder::default();
         let result = {
             let mut observers: Vec<&mut dyn Observer> = Vec::new();
             if self.measurements.burned_fraction {
@@ -182,6 +200,9 @@ impl ExperimentConfig {
             if self.measurements.trajectory {
                 observers.push(&mut trajectory);
             }
+            if self.workload.is_some() {
+                observers.push(&mut online_recorder);
+            }
             sim.run_observed(&mut observers)
         };
 
@@ -192,12 +213,19 @@ impl ExperimentConfig {
             }
             None => degree_stats.num_servers as u64,
         };
+        let online = self.workload.as_ref().map(|_| {
+            let latencies = sim
+                .settle_latencies()
+                .expect("a workload-attached simulation reports settle latencies");
+            OnlineStats::compute(&online_recorder.records, &latencies)
+        });
         TrialOutcome {
             seed,
             degree_stats,
             surviving_servers,
             load_histogram: Histogram::of(sim.server_loads().iter().copied()),
             result,
+            online,
             burned_fraction_series: self
                 .measurements
                 .burned_fraction
@@ -240,6 +268,114 @@ impl ExperimentConfig {
     }
 }
 
+/// Internal observer that keeps every [`RoundRecord`] of a workload-attached run so
+/// [`OnlineStats`] can be computed after it; attached only when a workload is
+/// configured, so batch trials pay nothing.
+#[derive(Default)]
+struct OnlineRecorder {
+    records: Vec<RoundRecord>,
+}
+
+impl Observer for OnlineRecorder {
+    fn on_round(&mut self, view: &RoundView<'_>) {
+        self.records.push(*view.record);
+    }
+}
+
+/// Steady-state statistics of one online (arrival/departure) trial.
+///
+/// The backlog is the number of in-system unsettled balls after each round
+/// (`RoundRecord::alive_after`). The stability verdict compares the mean backlog
+/// over the first and last quarter of the run: a stable system's backlog plateaus,
+/// an overloaded one's grows without bound, so `late ≤ 2·early + 8` separates the
+/// two far away from the boundary (the slack absorbs empty-start transients and
+/// integer noise on tiny runs). Latency quantiles are read off a
+/// [`StreamingHistogram`] of per-ball settle latencies, so they are deterministic
+/// and mergeable like every other statistic in this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    /// Balls injected by the arrival process over the run.
+    pub total_arrivals: u64,
+    /// Balls whose service completed (their server slot was released).
+    pub total_departures: u64,
+    /// Balls that settled at least once — the population the latency fields cover.
+    pub settled_balls: u64,
+    /// Maximum end-of-round backlog (unsettled in-system balls).
+    pub peak_backlog: u64,
+    /// Maximum end-of-round server load over the whole run. `RunResult::max_load`
+    /// reports the *final* loads, which an online run has largely drained by the
+    /// time it ends — this is the in-flight peak the `c·d` bound is judged against.
+    pub peak_load: u32,
+    /// Mean backlog over the first `max(1, rounds/4)` rounds.
+    pub early_backlog_mean: f64,
+    /// Mean backlog over the last `max(1, rounds/4)` rounds.
+    pub late_backlog_mean: f64,
+    /// Stability verdict: `late_backlog_mean <= 2 * early_backlog_mean + 8`.
+    pub stable: bool,
+    /// Mean settle latency in rounds (arrival round through settle round, ≥ 1).
+    pub latency_mean: f64,
+    /// Median settle latency (histogram-approximate).
+    pub latency_p50: f64,
+    /// 99th-percentile settle latency (histogram-approximate).
+    pub latency_p99: f64,
+    /// Maximum settle latency (exact).
+    pub latency_max: u32,
+}
+
+impl OnlineStats {
+    /// Computes the statistics from a run's per-round records and its per-ball
+    /// settle latencies (see `Simulation::settle_latencies`).
+    pub fn compute(records: &[RoundRecord], latencies: &[u32]) -> Self {
+        let total_arrivals = records.iter().map(|r| r.arrivals).sum();
+        let total_departures = records.iter().map(|r| r.departures).sum();
+        let peak_backlog = records.iter().map(|r| r.alive_after).max().unwrap_or(0);
+        let peak_load = records.iter().map(|r| r.max_load).max().unwrap_or(0);
+        let backlog_mean = |window: &[RoundRecord]| {
+            if window.is_empty() {
+                return 0.0;
+            }
+            window.iter().map(|r| r.alive_after).sum::<u64>() as f64 / window.len() as f64
+        };
+        let window = (records.len() / 4).max(1).min(records.len());
+        let early_backlog_mean = backlog_mean(&records[..window.min(records.len())]);
+        let late_backlog_mean = backlog_mean(&records[records.len() - window.min(records.len())..]);
+        let stable = late_backlog_mean <= 2.0 * early_backlog_mean + 8.0;
+
+        let mut histogram = StreamingHistogram::new();
+        let mut sum = 0u64;
+        let mut latency_max = 0u32;
+        for &latency in latencies {
+            histogram.record(f64::from(latency));
+            sum += u64::from(latency);
+            latency_max = latency_max.max(latency);
+        }
+        let settled_balls = latencies.len() as u64;
+        let (latency_mean, latency_p50, latency_p99) = if settled_balls == 0 {
+            (0.0, 0.0, 0.0)
+        } else {
+            (
+                sum as f64 / settled_balls as f64,
+                histogram.median().expect("non-empty histogram"),
+                histogram.value_at_rank((settled_balls - 1).saturating_mul(99) / 100),
+            )
+        };
+        Self {
+            total_arrivals,
+            total_departures,
+            settled_balls,
+            peak_backlog,
+            peak_load,
+            early_backlog_mean,
+            late_backlog_mean,
+            stable,
+            latency_mean,
+            latency_p50,
+            latency_p99,
+            latency_max,
+        }
+    }
+}
+
 /// Outcome of one trial.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrialOutcome {
@@ -253,6 +389,8 @@ pub struct TrialOutcome {
     pub surviving_servers: u64,
     /// Engine-level outcome (rounds, work, max load, completion).
     pub result: RunResult,
+    /// Steady-state online statistics; present iff the config carries a workload.
+    pub online: Option<OnlineStats>,
     /// Histogram of final server loads.
     pub load_histogram: Histogram,
     /// `S_t` per round, when requested.
@@ -319,6 +457,12 @@ pub struct ExperimentReport {
     pub unassigned_balls: Summary,
     /// Number of trials that terminated within the round cap.
     pub completed_trials: usize,
+    /// Number of trials that stopped *because* they hit the round cap with work
+    /// left (`RunResult::hit_round_cap`). Online sweeps routinely run to the cap
+    /// by design; batch sweeps use this to tell "drained" from "truncated".
+    pub capped_trials: usize,
+    /// Aggregated online statistics, when the config carried a workload.
+    pub online: Option<OnlineReport>,
     /// Summary of the per-trial peak burned fraction, when the burned-fraction
     /// measurement was recorded.
     pub peak_burned: Option<Summary>,
@@ -343,6 +487,30 @@ impl ExperimentReport {
             .map(|t| t.result.unassigned_balls as f64)
             .collect();
         let completed_trials = trials.iter().filter(|t| t.result.completed).count();
+        let capped_trials = trials.iter().filter(|t| t.result.hit_round_cap).count();
+        let online_stats: Vec<&OnlineStats> =
+            trials.iter().filter_map(|t| t.online.as_ref()).collect();
+        let online = (!online_stats.is_empty()).then(|| OnlineReport {
+            stable_trials: online_stats.iter().filter(|o| o.stable).count(),
+            peak_backlog: Summary::of(
+                &online_stats
+                    .iter()
+                    .map(|o| o.peak_backlog as f64)
+                    .collect::<Vec<f64>>(),
+            ),
+            peak_load: Summary::of(
+                &online_stats
+                    .iter()
+                    .map(|o| f64::from(o.peak_load))
+                    .collect::<Vec<f64>>(),
+            ),
+            latency_p99: Summary::of(
+                &online_stats
+                    .iter()
+                    .map(|o| o.latency_p99)
+                    .collect::<Vec<f64>>(),
+            ),
+        });
         let peaks: Vec<f64> = trials
             .iter()
             .filter_map(|t| t.peak_burned_fraction())
@@ -357,6 +525,8 @@ impl ExperimentReport {
             surviving_servers: Summary::of(&surviving),
             unassigned_balls: Summary::of(&unassigned),
             completed_trials,
+            capped_trials,
+            online,
             peak_burned: (!peaks.is_empty()).then(|| Summary::of(&peaks)),
             retained_bytes: trials.iter().map(TrialOutcome::retained_bytes).sum(),
             trials,
@@ -420,6 +590,22 @@ impl ExperimentReport {
         }
         rendered
     }
+}
+
+/// Aggregated online statistics of an [`ExperimentReport`] whose config carried a
+/// workload: how many trials the stability verdict passed, and summaries of the
+/// per-trial peak backlog, peak in-flight load and p99 settle latency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnlineReport {
+    /// Trials whose [`OnlineStats::stable`] verdict was true.
+    pub stable_trials: usize,
+    /// Summary of the per-trial peak backlog.
+    pub peak_backlog: Summary,
+    /// Summary of the per-trial peak end-of-round server load (the in-flight peak
+    /// the `c·d` bound is judged against — `max_load` summarises *final* loads).
+    pub peak_load: Summary,
+    /// Summary of the per-trial p99 settle latency.
+    pub latency_p99: Summary,
 }
 
 /// How much worse a (faulted) experiment did than a paired fault-free baseline.

@@ -34,7 +34,10 @@ pub mod scenario;
 pub mod shard;
 
 pub use accumulate::{OutcomeAccumulator, Retention};
-pub use experiment::{Degradation, ExperimentConfig, ExperimentReport, Measurements, TrialOutcome};
+pub use experiment::{
+    Degradation, ExperimentConfig, ExperimentReport, Measurements, OnlineReport, OnlineStats,
+    TrialOutcome,
+};
 pub use report::Table;
 pub use scenario::{
     default_trials, n_sweep, quick_mode, CacheStats, Scenario, Sweep, SweepReport, SweepRow,

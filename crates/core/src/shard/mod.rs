@@ -41,7 +41,7 @@
 //!
 //! # Wire format
 //!
-//! Both messages open with a `u32` magic and a `u32` version (`VERSION = 3`); all
+//! Both messages open with a `u32` magic and a `u32` version (`VERSION = 4`); all
 //! integers are little-endian, `f64` fields are `to_bits()` patterns, `Option`/`bool`
 //! are `u32` flags restricted to 0/1, and every variable-length field is
 //! length-prefixed and validated against the remaining buffer before allocation.
@@ -53,11 +53,11 @@
 //! | magic, version | `u32`, `u32` |
 //! | shard_index, shard_count | `u32`, `u32` (index < count) |
 //! | first_cell | `u64` — global grid index of the first cell |
-//! | configs | `u32` count, then per config: graph spec (`u32` tag + params), protocol spec (`u32` tag + params), demand (`u32` tag + params), trials `u64`, base_seed `u64`, max_rounds `u32`, measurements bitmask `u32`, retention tag `u32`, fault plan (`u32` flag; when set, four per-kind `u32` flags each followed by its parameters — crash `u32` round + fraction bits, lie/loss/straggler two `f64`-bits each) |
+//! | configs | `u32` count, then per config: graph spec (`u32` tag + params), protocol spec (`u32` tag + params), demand (`u32` tag + params), trials `u64`, base_seed `u64`, max_rounds `u32`, measurements bitmask `u32`, retention tag `u32`, fault plan (`u32` flag; when set, four per-kind `u32` flags each followed by its parameters — crash `u32` round + fraction bits, lie/loss/straggler two `f64`-bits each), workload (`u32` flag; when set, arrival process `u32` tag + params and service distribution `u32` tag + params) |
 //! | snapshots | `u32` count, then per snapshot: `u64` length + raw `clb_graph::snapshot` bytes |
 //! | cells | `u64` count, then per cell: point `u32` (index into configs), trial `u64`, source tag `u32` (0 = build direct, 1 = decode snapshot + `u32` snapshot index) |
 //!
-//! `ShardReport` (worker → driver, magic `"CLBR"`, version 3):
+//! `ShardReport` (worker → driver, magic `"CLBR"`, version 4):
 //!
 //! | field | encoding |
 //! |-------|----------|
@@ -66,8 +66,8 @@
 //! | first_cell | `u64` — echo of the manifest |
 //! | snapshot_hits, direct_builds | `u64`, `u64` — this shard's cache tallies |
 //! | payload tag | `u32` — 0 = per-cell outcomes (`Retention::Full`), 1 = per-point accumulators (`Retention::Summary`) |
-//! | payload 0: outcomes | `u64` count, then per outcome: seed `u64`, degree stats (9 × `u64`/bits), surviving servers `u64`, run result (`u32` completed flag, `u32` rounds, `u64` messages, `u32` max load, `u64` unassigned, `u64` balls, `u64` closed), load histogram (`u64` length + `u64` buckets), and three optional series (`u32` flag + `u64` length + items) |
-//! | payload 1: accumulators | `u32` state count, then per state: point `u32` (strictly increasing), trial count `u64`, completed `u64`, six stat blocks (rounds, work/ball, max load, closed servers, surviving servers, unassigned balls) and an optional peak-burned block (`u32` flag), each block = running summary (count `u64`, min/max bits, 34 + 67 exact-sum limbs) + sparse histogram (`u32` entries, then strictly-increasing `u32` bucket + non-zero `u64` count pairs) |
+//! | payload 0: outcomes | `u64` count, then per outcome: seed `u64`, degree stats (9 × `u64`/bits), surviving servers `u64`, run result (`u32` completed flag, `u32` hit-round-cap flag, `u32` rounds, `u64` messages, `u32` max load, `u64` unassigned, `u64` balls, `u64` closed), optional online stats (`u32` flag; when set, four `u64` counts, `u32` peak load, two `f64`-bits backlog means, `u32` stable flag, three `f64`-bits latency stats, `u32` latency max), load histogram (`u64` length + `u64` buckets), and three optional series (`u32` flag + `u64` length + items) |
+//! | payload 1: accumulators | `u32` state count, then per state: point `u32` (strictly increasing), trial count `u64`, completed `u64`, capped `u64`, six stat blocks (rounds, work/ball, max load, closed servers, surviving servers, unassigned balls), an optional peak-burned block (`u32` flag) and an optional online block (`u32` flag; when set, stable count `u64` + peak-backlog, peak-load and latency-p99 stat blocks), each block = running summary (count `u64`, min/max bits, 34 + 67 exact-sum limbs) + sparse histogram (`u32` entries, then strictly-increasing `u32` bucket + non-zero `u64` count pairs) |
 //!
 //! Decoding rejects bad magic, unknown versions, truncation, trailing bytes,
 //! out-of-range flags/tags, dangling config/snapshot references and inconsistent

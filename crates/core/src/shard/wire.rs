@@ -14,15 +14,17 @@
 //! See the [`crate::shard`] module docs for the full layout tables.
 
 use super::ShardError;
-use crate::accumulate::{OutcomeAccumulator, Retention, StreamStat, SummaryState};
-use crate::experiment::{ExperimentConfig, Measurements, TrialOutcome};
+use crate::accumulate::{
+    OnlineSummaryState, OutcomeAccumulator, Retention, StreamStat, SummaryState,
+};
+use crate::experiment::{ExperimentConfig, Measurements, OnlineStats, TrialOutcome};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use clb_analysis::streaming::{
     RunningSummary, RunningSummaryState, StreamingHistogram, EXACT_SUM_LIMBS, EXACT_SUM_SQ_LIMBS,
     STREAMING_HISTOGRAM_BUCKETS,
 };
 use clb_analysis::Histogram;
-use clb_engine::{Demand, RunResult};
+use clb_engine::{ArrivalProcess, Demand, OnlineWorkload, RunResult, ServiceDistribution};
 use clb_faults::{CrashFault, FaultPlan, LoadLieFault, MessageLossFault, StragglerFault};
 use clb_graph::{DegreeStats, GraphSpec};
 
@@ -38,11 +40,17 @@ pub const REPORT_MAGIC: u32 = 0x434C_4252;
 /// frames (`Retention::Summary`), which hold O(1) bytes per sweep point however
 /// many cells the shard executed.
 ///
-/// Version 3 (this PR): configs carry an optional [`FaultPlan`] (so faulted sweeps
+/// Version 3: configs carry an optional [`FaultPlan`] (so faulted sweeps
 /// shard exactly like fault-free ones), outcome frames carry the surviving-server
 /// census, and accumulator-state frames carry the surviving-servers and
 /// unassigned-balls robustness stats.
-pub const WIRE_VERSION: u32 = 3;
+///
+/// Version 4 (this PR): configs carry an optional [`OnlineWorkload`] (arrival
+/// process + service distribution, so online sweeps shard like batch ones), the
+/// protocol-spec table gains the JSQ tag, run results carry the `hit_round_cap`
+/// flag, outcome frames carry optional [`OnlineStats`], and accumulator-state
+/// frames carry the capped-trial tally plus an optional online block.
+pub const WIRE_VERSION: u32 = 4;
 
 /// One shard's work unit: which grid cells to run, the configs they index into, and
 /// the pre-built graph snapshots for identities shared across cells.
@@ -347,6 +355,10 @@ fn put_protocol_spec(buf: &mut BytesMut, spec: &clb_protocols::ProtocolSpec) {
             buf.put_u32_le(capacity);
         }
         ProtocolSpec::OneShot => buf.put_u32_le(4),
+        ProtocolSpec::Jsq { d } => {
+            buf.put_u32_le(5);
+            buf.put_u32_le(d);
+        }
     }
 }
 
@@ -370,6 +382,7 @@ fn get_protocol_spec(r: &mut Reader) -> Result<clb_protocols::ProtocolSpec, Shar
             capacity: r.u32("k-choice capacity")?,
         },
         4 => ProtocolSpec::OneShot,
+        5 => ProtocolSpec::Jsq { d: r.u32("jsq d")? },
         other => {
             return Err(ShardError::Corrupt(format!(
                 "unknown protocol spec tag {other}"
@@ -544,6 +557,122 @@ fn get_fault_plan(r: &mut Reader) -> Result<Option<FaultPlan>, ShardError> {
     Ok(Some(plan))
 }
 
+/// An online workload travels as a presence flag, then a tagged arrival process and
+/// a tagged service distribution — mirroring the fault-plan idiom, so the batch
+/// common case costs 4 bytes.
+fn put_workload(buf: &mut BytesMut, workload: &Option<OnlineWorkload>) {
+    let Some(workload) = workload else {
+        buf.put_u32_le(0);
+        return;
+    };
+    buf.put_u32_le(1);
+    match &workload.arrivals {
+        ArrivalProcess::Batch { per_round, rounds } => {
+            buf.put_u32_le(0);
+            buf.put_u32_le(*per_round);
+            buf.put_u32_le(*rounds);
+        }
+        ArrivalProcess::Poisson { rate, rounds } => {
+            buf.put_u32_le(1);
+            buf.put_u64_le(rate.to_bits());
+            buf.put_u32_le(*rounds);
+        }
+        ArrivalProcess::Bursty {
+            on_rate,
+            on_rounds,
+            off_rounds,
+            rounds,
+        } => {
+            buf.put_u32_le(2);
+            buf.put_u64_le(on_rate.to_bits());
+            buf.put_u32_le(*on_rounds);
+            buf.put_u32_le(*off_rounds);
+            buf.put_u32_le(*rounds);
+        }
+        ArrivalProcess::Trace { arrivals } => {
+            buf.put_u32_le(3);
+            buf.put_u64_le(arrivals.len() as u64);
+            for &count in arrivals {
+                buf.put_u32_le(count);
+            }
+        }
+    }
+    match &workload.service {
+        ServiceDistribution::Deterministic { rounds } => {
+            buf.put_u32_le(0);
+            buf.put_u32_le(*rounds);
+        }
+        ServiceDistribution::Geometric { p } => {
+            buf.put_u32_le(1);
+            buf.put_u64_le(p.to_bits());
+        }
+        ServiceDistribution::Uniform { min, max } => {
+            buf.put_u32_le(2);
+            buf.put_u32_le(*min);
+            buf.put_u32_le(*max);
+        }
+    }
+}
+
+fn get_workload(r: &mut Reader) -> Result<Option<OnlineWorkload>, ShardError> {
+    if !r.flag("workload flag")? {
+        return Ok(None);
+    }
+    let arrivals = match r.u32("arrival process tag")? {
+        0 => ArrivalProcess::Batch {
+            per_round: r.u32("batch per-round")?,
+            rounds: r.u32("batch rounds")?,
+        },
+        1 => ArrivalProcess::Poisson {
+            rate: r.f64("poisson rate")?,
+            rounds: r.u32("poisson rounds")?,
+        },
+        2 => ArrivalProcess::Bursty {
+            on_rate: r.f64("bursty on-rate")?,
+            on_rounds: r.u32("bursty on-rounds")?,
+            off_rounds: r.u32("bursty off-rounds")?,
+            rounds: r.u32("bursty rounds")?,
+        },
+        3 => {
+            let len = r.len(4, "trace length")?;
+            let mut arrivals = Vec::with_capacity(len);
+            for _ in 0..len {
+                arrivals.push(r.u32("trace entry")?);
+            }
+            ArrivalProcess::Trace { arrivals }
+        }
+        other => {
+            return Err(ShardError::Corrupt(format!(
+                "unknown arrival process tag {other}"
+            )))
+        }
+    };
+    let service = match r.u32("service distribution tag")? {
+        0 => ServiceDistribution::Deterministic {
+            rounds: r.u32("deterministic service rounds")?,
+        },
+        1 => ServiceDistribution::Geometric {
+            p: r.f64("geometric service p")?,
+        },
+        2 => ServiceDistribution::Uniform {
+            min: r.u32("uniform service min")?,
+            max: r.u32("uniform service max")?,
+        },
+        other => {
+            return Err(ShardError::Corrupt(format!(
+                "unknown service distribution tag {other}"
+            )))
+        }
+    };
+    let workload = OnlineWorkload { arrivals, service };
+    // Like fault plans: the builders validate eagerly, a wire frame can carry
+    // anything — re-check so a NaN rate is a decode error, not a worker panic.
+    workload
+        .validate()
+        .map_err(|e| ShardError::Corrupt(format!("workload: {e}")))?;
+    Ok(Some(workload))
+}
+
 fn put_config(buf: &mut BytesMut, config: &ExperimentConfig) {
     put_graph_spec(buf, &config.graph);
     put_protocol_spec(buf, &config.protocol);
@@ -554,6 +683,7 @@ fn put_config(buf: &mut BytesMut, config: &ExperimentConfig) {
     put_measurements(buf, &config.measurements);
     put_retention(buf, config.retention);
     put_fault_plan(buf, &config.faults);
+    put_workload(buf, &config.workload);
 }
 
 fn get_config(r: &mut Reader) -> Result<ExperimentConfig, ShardError> {
@@ -566,6 +696,7 @@ fn get_config(r: &mut Reader) -> Result<ExperimentConfig, ShardError> {
     let measurements = get_measurements(r)?;
     let retention = get_retention(r)?;
     let faults = get_fault_plan(r)?;
+    let workload = get_workload(r)?;
     let mut config = ExperimentConfig::new(graph, protocol);
     config.demand = demand;
     config.trials = trials;
@@ -574,6 +705,7 @@ fn get_config(r: &mut Reader) -> Result<ExperimentConfig, ShardError> {
     config.measurements = measurements;
     config.retention = retention;
     config.faults = faults;
+    config.workload = workload;
     Ok(config)
 }
 
@@ -605,6 +737,7 @@ fn get_degree_stats(r: &mut Reader) -> Result<DegreeStats, ShardError> {
 
 fn put_run_result(buf: &mut BytesMut, result: &RunResult) {
     buf.put_u32_le(result.completed as u32);
+    buf.put_u32_le(result.hit_round_cap as u32);
     buf.put_u32_le(result.rounds);
     buf.put_u64_le(result.total_messages);
     buf.put_u32_le(result.max_load);
@@ -616,6 +749,7 @@ fn put_run_result(buf: &mut BytesMut, result: &RunResult) {
 fn get_run_result(r: &mut Reader) -> Result<RunResult, ShardError> {
     Ok(RunResult {
         completed: r.flag("run completed")?,
+        hit_round_cap: r.flag("run hit round cap")?,
         rounds: r.u32("run rounds")?,
         total_messages: r.u64("run total messages")?,
         max_load: r.u32("run max load")?,
@@ -675,11 +809,52 @@ fn get_f64_series(r: &mut Reader, what: &str) -> Result<Option<Vec<f64>>, ShardE
     Ok(Some(values))
 }
 
+fn put_online_stats(buf: &mut BytesMut, online: &Option<OnlineStats>) {
+    let Some(o) = online else {
+        buf.put_u32_le(0);
+        return;
+    };
+    buf.put_u32_le(1);
+    buf.put_u64_le(o.total_arrivals);
+    buf.put_u64_le(o.total_departures);
+    buf.put_u64_le(o.settled_balls);
+    buf.put_u64_le(o.peak_backlog);
+    buf.put_u32_le(o.peak_load);
+    buf.put_u64_le(o.early_backlog_mean.to_bits());
+    buf.put_u64_le(o.late_backlog_mean.to_bits());
+    buf.put_u32_le(o.stable as u32);
+    buf.put_u64_le(o.latency_mean.to_bits());
+    buf.put_u64_le(o.latency_p50.to_bits());
+    buf.put_u64_le(o.latency_p99.to_bits());
+    buf.put_u32_le(o.latency_max);
+}
+
+fn get_online_stats(r: &mut Reader) -> Result<Option<OnlineStats>, ShardError> {
+    if !r.flag("online stats flag")? {
+        return Ok(None);
+    }
+    Ok(Some(OnlineStats {
+        total_arrivals: r.u64("online total arrivals")?,
+        total_departures: r.u64("online total departures")?,
+        settled_balls: r.u64("online settled balls")?,
+        peak_backlog: r.u64("online peak backlog")?,
+        peak_load: r.u32("online peak load")?,
+        early_backlog_mean: r.f64("online early backlog mean")?,
+        late_backlog_mean: r.f64("online late backlog mean")?,
+        stable: r.flag("online stable verdict")?,
+        latency_mean: r.f64("online latency mean")?,
+        latency_p50: r.f64("online latency p50")?,
+        latency_p99: r.f64("online latency p99")?,
+        latency_max: r.u32("online latency max")?,
+    }))
+}
+
 fn put_outcome(buf: &mut BytesMut, outcome: &TrialOutcome) {
     buf.put_u64_le(outcome.seed);
     put_degree_stats(buf, &outcome.degree_stats);
     buf.put_u64_le(outcome.surviving_servers);
     put_run_result(buf, &outcome.result);
+    put_online_stats(buf, &outcome.online);
     let buckets = outcome.load_histogram.buckets();
     buf.put_u64_le(buckets.len() as u64);
     for &count in buckets {
@@ -695,6 +870,7 @@ fn get_outcome(r: &mut Reader) -> Result<TrialOutcome, ShardError> {
     let degree_stats = get_degree_stats(r)?;
     let surviving_servers = r.u64("outcome surviving servers")?;
     let result = get_run_result(r)?;
+    let online = get_online_stats(r)?;
     let len = r.len(8, "load histogram length")?;
     let mut buckets = Vec::with_capacity(len);
     for _ in 0..len {
@@ -705,6 +881,7 @@ fn get_outcome(r: &mut Reader) -> Result<TrialOutcome, ShardError> {
         degree_stats,
         surviving_servers,
         result,
+        online,
         load_histogram: Histogram::from_buckets(buckets),
         burned_fraction_series: get_f64_series(r, "burned fraction series")?,
         neighborhood_mass_series: get_u64_series(r, "neighborhood mass series")?,
@@ -809,6 +986,7 @@ fn get_stream_stat(r: &mut Reader, what: &str) -> Result<StreamStat, ShardError>
 fn put_summary_state(buf: &mut BytesMut, state: &SummaryState) {
     buf.put_u64_le(state.trial_count);
     buf.put_u64_le(state.completed);
+    buf.put_u64_le(state.capped);
     put_stream_stat(buf, &state.rounds);
     put_stream_stat(buf, &state.work_per_ball);
     put_stream_stat(buf, &state.max_load);
@@ -822,11 +1000,22 @@ fn put_summary_state(buf: &mut BytesMut, state: &SummaryState) {
             put_stream_stat(buf, stat);
         }
     }
+    match &state.online {
+        None => buf.put_u32_le(0),
+        Some(online) => {
+            buf.put_u32_le(1);
+            buf.put_u64_le(online.stable);
+            put_stream_stat(buf, &online.peak_backlog);
+            put_stream_stat(buf, &online.peak_load);
+            put_stream_stat(buf, &online.latency_p99);
+        }
+    }
 }
 
 fn get_summary_state(r: &mut Reader) -> Result<SummaryState, ShardError> {
     let trial_count = r.u64("accumulator trial count")?;
     let completed = r.u64("accumulator completed count")?;
+    let capped = r.u64("accumulator capped count")?;
     let rounds = get_stream_stat(r, "rounds stat")?;
     let work_per_ball = get_stream_stat(r, "work-per-ball stat")?;
     let max_load = get_stream_stat(r, "max-load stat")?;
@@ -838,9 +1027,22 @@ fn get_summary_state(r: &mut Reader) -> Result<SummaryState, ShardError> {
     } else {
         None
     };
+    let online = if r.flag("online stats flag")? {
+        let stable = r.u64("online stable count")?;
+        let peak_backlog = get_stream_stat(r, "online peak-backlog stat")?;
+        let peak_load = get_stream_stat(r, "online peak-load stat")?;
+        let latency_p99 = get_stream_stat(r, "online latency-p99 stat")?;
+        Some(
+            OnlineSummaryState::from_parts(stable, peak_backlog, peak_load, latency_p99)
+                .map_err(|e| ShardError::Corrupt(format!("online accumulator state: {e}")))?,
+        )
+    } else {
+        None
+    };
     SummaryState::from_parts(
         trial_count,
         completed,
+        capped,
         rounds,
         work_per_ball,
         max_load,
@@ -848,6 +1050,7 @@ fn get_summary_state(r: &mut Reader) -> Result<SummaryState, ShardError> {
         surviving_servers,
         unassigned_balls,
         peak_burned,
+        online,
     )
     .map_err(|e| ShardError::Corrupt(format!("accumulator state: {e}")))
 }

@@ -12,8 +12,10 @@ use clb_core::shard::{
     decode_manifest, decode_report, encode_manifest, encode_report, partition_cells, GraphSource,
     ShardCell, ShardError, ShardManifest, ShardPayload, ShardReport,
 };
-use clb_core::{ExperimentConfig, Measurements, OutcomeAccumulator, Retention, TrialOutcome};
-use clb_engine::{Demand, RunResult};
+use clb_core::{
+    ExperimentConfig, Measurements, OnlineStats, OutcomeAccumulator, Retention, TrialOutcome,
+};
+use clb_engine::{ArrivalProcess, Demand, OnlineWorkload, RunResult, ServiceDistribution};
 use clb_faults::{CrashFault, FaultPlan, LoadLieFault, MessageLossFault, StragglerFault};
 use clb_graph::{DegreeStats, GraphSpec};
 use clb_protocols::ProtocolSpec;
@@ -47,13 +49,53 @@ fn arb_graph_spec() -> impl Strategy<Value = GraphSpec> {
 }
 
 fn arb_protocol_spec() -> impl Strategy<Value = ProtocolSpec> {
-    (0u32..5, 1u32..64, 1u32..8).prop_map(|(tag, c, d)| match tag {
+    (0u32..6, 1u32..64, 1u32..8).prop_map(|(tag, c, d)| match tag {
         0 => ProtocolSpec::Saer { c, d },
         1 => ProtocolSpec::Raes { c, d },
         2 => ProtocolSpec::Threshold { per_round: c },
         3 => ProtocolSpec::KChoice { k: d, capacity: c },
-        _ => ProtocolSpec::OneShot,
+        4 => ProtocolSpec::OneShot,
+        _ => ProtocolSpec::Jsq { d },
     })
+}
+
+fn arb_workload() -> impl Strategy<Value = Option<OnlineWorkload>> {
+    (
+        (0u32..4, 1u32..16, 1u32..200, 0.01f64..8.0),
+        (1u32..10, 1u32..10, prop::collection::vec(0u32..8, 1..12)),
+        (0u32..3, 1u32..6, 0.05f64..1.0, 1u32..4),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(
+                (arrival_tag, per_round, rounds, rate),
+                (on_rounds, off_rounds, trace),
+                (service_tag, det_rounds, p, extra),
+                present,
+            )| {
+                present.then(|| OnlineWorkload {
+                    arrivals: match arrival_tag {
+                        0 => ArrivalProcess::Batch { per_round, rounds },
+                        1 => ArrivalProcess::Poisson { rate, rounds },
+                        2 => ArrivalProcess::Bursty {
+                            on_rate: rate,
+                            on_rounds,
+                            off_rounds,
+                            rounds,
+                        },
+                        _ => ArrivalProcess::Trace { arrivals: trace },
+                    },
+                    service: match service_tag {
+                        0 => ServiceDistribution::Deterministic { rounds: det_rounds },
+                        1 => ServiceDistribution::Geometric { p },
+                        _ => ServiceDistribution::Uniform {
+                            min: det_rounds,
+                            max: det_rounds + extra,
+                        },
+                    },
+                })
+            },
+        )
 }
 
 fn arb_demand() -> impl Strategy<Value = Demand> {
@@ -107,6 +149,7 @@ fn arb_config() -> impl Strategy<Value = ExperimentConfig> {
         (1usize..20, any::<u64>(), 1u32..2000),
         (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()),
         arb_fault_plan(),
+        arb_workload(),
     )
         .prop_map(
             |(
@@ -116,6 +159,7 @@ fn arb_config() -> impl Strategy<Value = ExperimentConfig> {
                 (trials, base_seed, max_rounds),
                 (bf, nm, tr, summary),
                 faults,
+                workload,
             )| {
                 let mut config = ExperimentConfig::new(graph, protocol);
                 config.demand = demand;
@@ -133,6 +177,7 @@ fn arb_config() -> impl Strategy<Value = ExperimentConfig> {
                     Retention::Full
                 };
                 config.faults = faults;
+                config.workload = workload;
                 config
             },
         )
@@ -162,10 +207,13 @@ fn arb_degree_stats() -> impl Strategy<Value = DegreeStats> {
 fn arb_run_result() -> impl Strategy<Value = RunResult> {
     (
         (any::<bool>(), 0u32..5000, any::<u64>(), 0u32..100),
-        (0u64..1000, 0u64..1000, 0u64..1000),
+        (0u64..1000, 0u64..1000, 0u64..1000, any::<bool>()),
     )
         .prop_map(
-            |((completed, rounds, total_messages, max_load), (unassigned, total, closed))| {
+            |(
+                (completed, rounds, total_messages, max_load),
+                (unassigned, total, closed, hit_round_cap),
+            )| {
                 RunResult {
                     completed,
                     rounds,
@@ -174,7 +222,40 @@ fn arb_run_result() -> impl Strategy<Value = RunResult> {
                     unassigned_balls: unassigned,
                     total_balls: total,
                     closed_servers: closed,
+                    hit_round_cap,
                 }
+            },
+        )
+}
+
+fn arb_online_stats() -> impl Strategy<Value = Option<OnlineStats>> {
+    (
+        (0u64..5000, 0u64..5000, 0u64..5000, 0u64..200),
+        (0u32..50, 0.0f64..64.0, 0.0f64..64.0, any::<bool>()),
+        (0.0f64..100.0, 0.0f64..100.0, 0.0f64..100.0, 0u32..500),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(
+                (arrivals, departures, settled, peak),
+                (peak_load, early, late, stable),
+                (mean, p50, p99, max),
+                present,
+            )| {
+                present.then_some(OnlineStats {
+                    total_arrivals: arrivals,
+                    total_departures: departures,
+                    settled_balls: settled,
+                    peak_backlog: peak,
+                    peak_load,
+                    early_backlog_mean: early,
+                    late_backlog_mean: late,
+                    stable,
+                    latency_mean: mean,
+                    latency_p50: p50,
+                    latency_p99: p99,
+                    latency_max: max,
+                })
             },
         )
 }
@@ -187,6 +268,7 @@ fn arb_outcome() -> impl Strategy<Value = TrialOutcome> {
             arb_run_result(),
             0u64..1000,
         ),
+        arb_online_stats(),
         prop::collection::vec(0u64..50, 0..8),
         (any::<bool>(), prop::collection::vec(0.0f64..1.0, 0..6)),
         (any::<bool>(), prop::collection::vec(0u64..100, 0..6)),
@@ -195,6 +277,7 @@ fn arb_outcome() -> impl Strategy<Value = TrialOutcome> {
         .prop_map(
             |(
                 (seed, degree_stats, result, surviving_servers),
+                online,
                 buckets,
                 (has_bf, bf),
                 (has_nm, nm),
@@ -205,6 +288,7 @@ fn arb_outcome() -> impl Strategy<Value = TrialOutcome> {
                     degree_stats,
                     surviving_servers,
                     result,
+                    online,
                     load_histogram: Histogram::from_buckets(buckets),
                     burned_fraction_series: has_bf.then_some(bf),
                     neighborhood_mass_series: has_nm.then_some(nm),

@@ -24,15 +24,15 @@ pub enum Demand {
 impl Demand {
     /// Materialises the per-client ball counts for `num_clients` clients.
     ///
+    /// `Constant(0)` is allowed: it is the pure-open-system idiom when an online
+    /// workload supplies the balls. The simulation builder rejects the genuinely
+    /// vacuous case (zero demand *and* no arrivals) with a dedicated panic.
+    ///
     /// # Panics
-    /// Panics if an [`Demand::Explicit`] vector has the wrong length, or if a constant
-    /// demand of zero is requested (the problem is vacuous without balls).
+    /// Panics if an [`Demand::Explicit`] vector has the wrong length.
     pub fn materialize(&self, num_clients: usize, seed: u64) -> Vec<u32> {
         match self {
-            Demand::Constant(d) => {
-                assert!(*d > 0, "constant demand must be positive");
-                vec![*d; num_clients]
-            }
+            Demand::Constant(d) => vec![*d; num_clients],
             Demand::UniformAtMost(d) => {
                 assert!(*d > 0, "demand bound must be positive");
                 let factory = StreamFactory::new(seed).domain(DEMAND_DOMAIN);
@@ -78,9 +78,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn zero_constant_demand_panics() {
-        let _ = Demand::Constant(0).materialize(5, 1);
+    fn zero_constant_demand_is_the_open_system_idiom() {
+        // Allowed here; the simulation builder rejects zero demand only when no
+        // online workload supplies arrivals.
+        assert_eq!(Demand::Constant(0).materialize(3, 1), vec![0, 0, 0]);
+        assert_eq!(Demand::Constant(0).max_per_client(), 0);
     }
 
     #[test]

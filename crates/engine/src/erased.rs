@@ -40,7 +40,7 @@
 //!
 //! [`Simulation`]: crate::Simulation
 
-use crate::protocol::{Protocol, ServerCtx};
+use crate::protocol::{Protocol, ServerCtx, SettleRule};
 use std::any::Any;
 
 /// Object-safe mirror of [`Protocol`].
@@ -68,6 +68,12 @@ pub trait ErasedProtocol: Send + Sync {
 
     /// Mirror of [`Protocol::server_on_release`].
     fn erased_server_on_release(&self, state: &mut ErasedServerState, count: u32);
+
+    /// Mirror of [`Protocol::settle_rule`].
+    fn erased_settle_rule(&self) -> SettleRule;
+
+    /// Mirror of [`Protocol::server_on_depart`].
+    fn erased_server_on_depart(&self, state: &mut ErasedServerState, count: u32);
 
     /// Mirror of [`Protocol::name`].
     fn erased_name(&self) -> String;
@@ -176,6 +182,17 @@ where
         self.server_on_release(state, count)
     }
 
+    fn erased_settle_rule(&self) -> SettleRule {
+        self.settle_rule()
+    }
+
+    fn erased_server_on_depart(&self, state: &mut ErasedServerState, count: u32) {
+        let state = state
+            .downcast_mut::<P::ServerState>()
+            .expect("erased server state does not belong to this protocol");
+        self.server_on_depart(state, count)
+    }
+
     fn erased_name(&self) -> String {
         self.name()
     }
@@ -204,6 +221,14 @@ impl Protocol for Box<dyn ErasedProtocol> {
 
     fn server_on_release(&self, state: &mut ErasedServerState, count: u32) {
         (**self).erased_server_on_release(state, count)
+    }
+
+    fn settle_rule(&self) -> SettleRule {
+        (**self).erased_settle_rule()
+    }
+
+    fn server_on_depart(&self, state: &mut ErasedServerState, count: u32) {
+        (**self).erased_server_on_depart(state, count)
     }
 
     fn name(&self) -> String {

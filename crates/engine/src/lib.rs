@@ -37,6 +37,13 @@
 //!   `r_t(N(v))`, alive balls, loads and work. Observers can be borrowed per run
 //!   ([`Simulation::run_observed`]) or owned by the simulation via the builder's
 //!   `observer(..)` and read back with [`Simulation::observer`].
+//! * [`workload`] — online (open-system) workloads: an [`ArrivalProcess`] injects
+//!   balls at round boundaries, settled balls depart after a sampled
+//!   [`ServiceDistribution`] time and free their server's slot. The batch semantics
+//!   above are the default and are bit-for-bit unchanged when no workload is
+//!   attached; arrival counts, owners and service times live in dedicated RNG
+//!   domains keyed by round/ball ids, so online runs stay deterministic at every
+//!   thread count too.
 //! * Work accounting follows the paper exactly: each submitted request is one message
 //!   and each accept/reject answer is another, so the reported work is
 //!   `2 · Σ_t (requests sent in round t)`.
@@ -113,6 +120,7 @@ pub mod erased;
 pub mod observe;
 pub mod protocol;
 pub mod simulation;
+pub mod workload;
 
 pub use config::SimConfig;
 pub use demand::Demand;
@@ -121,5 +129,6 @@ pub use observe::{
     AliveBallsObserver, BurnedFractionObserver, MaxLoadObserver, NeighborhoodMassObserver,
     Observer, RoundView, TrajectoryObserver,
 };
-pub use protocol::{Protocol, ServerCtx};
+pub use protocol::{Protocol, ServerCtx, SettleRule};
 pub use simulation::{RoundRecord, RunResult, Simulation, SimulationBuilder};
+pub use workload::{ArrivalProcess, OnlineWorkload, ServiceDistribution};

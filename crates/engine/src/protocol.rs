@@ -19,6 +19,18 @@ pub struct ServerCtx {
     pub incoming: u32,
 }
 
+/// How a ball that was accepted by more than one server in a round picks where it
+/// settles (only relevant when [`Protocol::choices_per_round`] `> 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SettleRule {
+    /// Settle on the first accepting server in the ball's slot order (the historical
+    /// behaviour; choice order is itself a deterministic function of the RNG stream).
+    FirstAccepted,
+    /// Settle on the accepting server with the smallest post-decision load, ties
+    /// broken by the smallest server index — the join-shortest-queue family.
+    LeastLoaded,
+}
+
 /// A symmetric, non-adaptive, threshold-style protocol.
 ///
 /// Implementations keep whatever per-server bookkeeping they need in `ServerState`
@@ -60,6 +72,27 @@ pub trait Protocol: Sync {
     /// `count` as a batch (not assume `count == 1`), and may not rely on interleaving
     /// with other servers' releases.
     fn server_on_release(&self, state: &mut Self::ServerState, count: u32) {
+        let _ = (state, count);
+    }
+
+    /// How a multi-accepted ball picks its settle server (see [`SettleRule`]).
+    /// Defaults to [`SettleRule::FirstAccepted`], the paper's behaviour.
+    fn settle_rule(&self) -> SettleRule {
+        SettleRule::FirstAccepted
+    }
+
+    /// Called when `count` previously-settled balls *depart* this server after their
+    /// service time elapses (online workloads only). The engine has already
+    /// decremented the server's load; implementations that gate acceptance on their
+    /// own load bookkeeping should mirror the decrement here. The default keeps the
+    /// state untouched — which is exactly SAER's semantics: its cumulative
+    /// received-request counter never forgets, so a burned server stays burned even
+    /// as traffic drains.
+    ///
+    /// Like [`Protocol::server_on_release`], the engine aggregates a round's
+    /// departures and makes at most one call per server per round, in ascending
+    /// server order, before any request of the round is routed.
+    fn server_on_depart(&self, state: &mut Self::ServerState, count: u32) {
         let _ = (state, count);
     }
 
@@ -132,5 +165,21 @@ mod tests {
         let mut s = 2;
         p.server_on_release(&mut s, 1);
         assert_eq!(s, 2);
+    }
+
+    #[test]
+    fn default_settle_rule_is_first_accepted() {
+        assert_eq!(UpTo(3).settle_rule(), SettleRule::FirstAccepted);
+    }
+
+    #[test]
+    fn default_depart_is_noop() {
+        let p = UpTo(3);
+        let mut s = 2;
+        p.server_on_depart(&mut s, 2);
+        assert_eq!(
+            s, 2,
+            "SAER semantics: state keeps counting after departures"
+        );
     }
 }

@@ -30,7 +30,8 @@ use crate::{
     config::SimConfig,
     demand::Demand,
     observe::{AnyObserver, Observer, RoundView},
-    protocol::{Protocol, ServerCtx},
+    protocol::{Protocol, ServerCtx, SettleRule},
+    workload::OnlineWorkload,
 };
 use clb_graph::{BipartiteGraph, ClientId};
 use clb_rng::domains::PROTOCOL_DOMAIN;
@@ -239,13 +240,29 @@ pub struct RoundRecord {
     pub closed_servers: u64,
     /// Maximum server load at the end of this round.
     pub max_load: u32,
+    /// Balls injected by the online workload at the start of this round (0 in batch
+    /// mode, where every ball is present from round 1).
+    pub arrivals: u64,
+    /// Balls whose service time elapsed at the start of this round (0 in batch mode,
+    /// where settled balls occupy their server forever).
+    pub departures: u64,
+    /// Balls occupying a server at the end of this round. In batch mode this is the
+    /// cumulative number of settled balls; online it is the in-system service load.
+    pub in_service_after: u64,
 }
 
 /// Final outcome of a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RunResult {
-    /// True if every ball was assigned within the round cap.
+    /// True if every ball was assigned within the round cap (online: and no arrivals
+    /// remain to be injected).
     pub completed: bool,
+    /// True if the run stopped because it reached the round cap with work left —
+    /// the complement of `completed` *for a finished run*. Distinguishing "drained"
+    /// from "truncated at the horizon" matters for online workloads, which routinely
+    /// run to the cap by design: a stability verdict read off a truncated run is
+    /// only meaningful because this flag says the truncation happened.
+    pub hit_round_cap: bool,
     /// Rounds executed.
     pub rounds: u32,
     /// Total messages exchanged (the paper's work complexity).
@@ -409,45 +426,70 @@ struct SettlePiece<'a> {
 }
 
 impl SettlePiece<'_> {
-    /// Settles every ball in this piece's slot range: the first accepted choice wins
-    /// (`rank < accept_count`), surplus accepts are recorded for the post-join release
-    /// aggregation, survivors go to `alive_out` in slot order.
+    /// Settles every ball in this piece's slot range; surplus accepts are recorded for
+    /// the post-join release aggregation, survivors go to `alive_out` in slot order.
+    ///
+    /// Under [`SettleRule::FirstAccepted`] the first accepted choice wins
+    /// (`rank < accept_count`). Under [`SettleRule::LeastLoaded`] the accepted choice
+    /// with the smallest `(post-decision load, server index)` wins; `loads` is the
+    /// phase-2 output snapshot, identical for every piece, so the pick is a pure
+    /// function of the round's decisions — never of piece or thread scheduling.
     fn run(
         &mut self,
         choices: usize,
+        rule: SettleRule,
         request_server: &[u32],
         request_rank: &[u32],
         accept_count: &[u32],
+        loads: &[u32],
     ) {
         let mut alive = 0usize;
         let mut assigned = 0usize;
         let mut released = 0usize;
         for (i, &ball) in self.slots.iter().enumerate() {
             let base = (self.slot_lo + i) * choices;
-            let mut settled: Option<u32> = None;
+            // Pick the winning accepted request, if any. `accept_count[server]` is
+            // fresh for every request's server: that server received at least one
+            // request this round (this one), so phase 2 visited it.
+            let mut winner: Option<usize> = None;
             for idx in base..base + choices {
                 let server = request_server[idx];
-                // `accept_count[server]` is fresh: this server received at least one
-                // request this round (this one), so phase 2 visited it.
                 if request_rank[idx] >= accept_count[server as usize] {
                     continue;
                 }
-                if settled.is_none() {
-                    settled = Some(server);
-                } else {
-                    self.release_out[released] = server;
-                    released += 1;
-                }
+                winner = Some(match (winner, rule) {
+                    (None, _) => idx,
+                    (Some(best), SettleRule::FirstAccepted) => best,
+                    (Some(best), SettleRule::LeastLoaded) => {
+                        let best_server = request_server[best];
+                        let key = (loads[server as usize], server);
+                        if key < (loads[best_server as usize], best_server) {
+                            idx
+                        } else {
+                            best
+                        }
+                    }
+                });
             }
-            match settled {
-                Some(server) => {
-                    self.assigned_out[assigned] = (u64::from(ball) << 32) | u64::from(server);
-                    assigned += 1;
+            // Every accepted request except the winner is a surplus accept: the
+            // server bumped its load for it in phase 2, so it must be released.
+            if let Some(winner) = winner {
+                for idx in base..base + choices {
+                    if idx == winner {
+                        continue;
+                    }
+                    let server = request_server[idx];
+                    if request_rank[idx] < accept_count[server as usize] {
+                        self.release_out[released] = server;
+                        released += 1;
+                    }
                 }
-                None => {
-                    self.alive_out[alive] = ball;
-                    alive += 1;
-                }
+                let server = request_server[winner];
+                self.assigned_out[assigned] = (u64::from(ball) << 32) | u64::from(server);
+                assigned += 1;
+            } else {
+                self.alive_out[alive] = ball;
+                alive += 1;
             }
         }
         self.counts = SettleCounts {
@@ -502,6 +544,7 @@ pub struct SimulationBuilder<'g, P: Protocol> {
     config: SimConfig,
     observers: Vec<Box<dyn AnyObserver + Send>>,
     intra_pieces: Option<usize>,
+    workload: Option<OnlineWorkload>,
 }
 
 impl<'g, P: Protocol> SimulationBuilder<'g, P> {
@@ -513,6 +556,7 @@ impl<'g, P: Protocol> SimulationBuilder<'g, P> {
             config: SimConfig::default(),
             observers: Vec::new(),
             intra_pieces: None,
+            workload: None,
         }
     }
 
@@ -565,13 +609,24 @@ impl<'g, P: Protocol> SimulationBuilder<'g, P> {
         self
     }
 
+    /// Attaches an online workload: balls arrive at round boundaries per the arrival
+    /// process and depart after their sampled service time (see [`OnlineWorkload`]).
+    /// The demand still seeds the system with an initial batch (use
+    /// `Demand::Constant(0)` for a pure open system). Without a workload, the
+    /// simulation runs the paper's batch semantics, bit-for-bit unchanged.
+    pub fn workload(mut self, workload: OnlineWorkload) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
     /// Builds the simulation.
     ///
     /// # Panics
     /// Panics if no protocol was set, if a client with a non-empty demand has an empty
     /// neighbourhood (its balls could never be placed, so the run would trivially never
-    /// complete), or if the demand is inconsistent with the graph (see
-    /// [`Demand::materialize`]).
+    /// complete), if the demand is inconsistent with the graph (see
+    /// [`Demand::materialize`]), or if the system is vacuous — zero demand and no
+    /// online workload supplying arrivals.
     pub fn build(self) -> Simulation<'g, P> {
         let protocol = self
             .protocol
@@ -593,13 +648,63 @@ impl<'g, P: Protocol> SimulationBuilder<'g, P> {
             acc += balls;
             ball_offsets.push(acc);
         }
-        let total_balls = acc as usize;
-        let mut ball_owner = vec![0u32; total_balls];
+        let initial_balls = acc as usize;
+        let mut ball_owner = vec![0u32; initial_balls];
         for c in 0..n {
             for b in ball_offsets[c]..ball_offsets[c + 1] {
                 ball_owner[b as usize] = c as u32;
             }
         }
+
+        // Online workload: materialize the whole arrival schedule and every arriving
+        // ball's owner up front. Ball ids, owners and per-round counts become pure
+        // functions of `(seed, workload)` fixed before the first round runs, and the
+        // round buffers can be sized once for the system's lifetime total.
+        let online = self.workload.map(|workload| {
+            if let Err(msg) = workload.validate() {
+                panic!("SimulationBuilder: invalid online workload: {msg}");
+            }
+            let arrivals_per_round = workload.arrivals_per_round(config.seed);
+            let total_arrivals: u64 = arrivals_per_round.iter().map(|&c| u64::from(c)).sum();
+            let capacity = (initial_balls as u64).checked_add(total_arrivals);
+            let capacity = match capacity {
+                Some(c) if c <= u64::from(u32::MAX) => c as usize,
+                _ => panic!(
+                    "online workload overflows the engine's 2^32 - 1 ball-id limit: \
+                     {initial_balls} initial balls + {total_arrivals} arrivals"
+                ),
+            };
+            let eligible: Vec<u32> = (0..n)
+                .filter(|&c| graph.client_degree(ClientId::new(c)) > 0)
+                .map(|c| c as u32)
+                .collect();
+            assert!(
+                total_arrivals == 0 || !eligible.is_empty(),
+                "online workload has arrivals but no client has an admissible server"
+            );
+            for ball in initial_balls as u64..capacity as u64 {
+                let owner = eligible[workload.owner_index(config.seed, ball, eligible.len())];
+                ball_owner.push(owner);
+            }
+            let mut birth_round = vec![1u32; initial_balls];
+            birth_round.resize(capacity, 0);
+            OnlineState {
+                workload,
+                arrivals_per_round,
+                total_arrivals,
+                injected: 0,
+                next_ball: initial_balls as u32,
+                birth_round,
+                settle_round: vec![0; capacity],
+                depart_calendar: Vec::new(),
+            }
+        });
+
+        let total_balls = ball_owner.len();
+        assert!(
+            total_balls > 0,
+            "simulation has no balls: the demand is zero and no online workload supplies arrivals"
+        );
         let server_states = (0..graph.num_servers())
             .map(|_| protocol.init_server())
             .collect();
@@ -623,14 +728,46 @@ impl<'g, P: Protocol> SimulationBuilder<'g, P> {
             server_load: vec![0; graph.num_servers()],
             server_states,
             round: 0,
-            alive_balls: (0..total_balls as u32).collect(),
+            alive_balls: (0..initial_balls as u32).collect(),
             total_messages: 0,
             last_closed_servers: 0,
             last_max_load: 0,
+            in_service: 0,
+            online,
             buffers,
             observers: self.observers,
         }
     }
+}
+
+/// Mutable bookkeeping for an online workload (present iff one was attached).
+///
+/// The arrival schedule, every ball's owner and every ball's service time are pure
+/// functions of `(seed, workload)` fixed at build; this struct only tracks *progress*
+/// through that predetermined script plus the per-ball birth/settle rounds the
+/// latency accounting needs.
+struct OnlineState {
+    workload: OnlineWorkload,
+    /// Balls arriving at the start of round `t` (index `t - 1`); fixed at build.
+    arrivals_per_round: Vec<u32>,
+    /// Sum of `arrivals_per_round`, cached.
+    total_arrivals: u64,
+    /// Arrivals injected so far; the run is over when this reaches `total_arrivals`
+    /// and the alive list is drained.
+    injected: u64,
+    /// First not-yet-injected ball id (arriving balls get ids after the initial batch).
+    next_ball: u32,
+    /// Round each ball entered the system (1 for the initial batch, the arrival round
+    /// for online balls, 0 = not yet arrived).
+    birth_round: Vec<u32>,
+    /// Round each ball settled (0 = not yet settled). Latency of a settled ball is
+    /// `settle_round - birth_round + 1`.
+    settle_round: Vec<u32>,
+    /// `depart_calendar[t]` holds one entry per ball departing at the start of round
+    /// `t` — the server it releases. Entries are aggregated per server and applied in
+    /// ascending server order, so their push order (piece-index order within a round)
+    /// never matters.
+    depart_calendar: Vec<Vec<u32>>,
 }
 
 /// A protocol run on a fixed graph: owns all mutable state of the process.
@@ -659,6 +796,11 @@ pub struct Simulation<'g, P: Protocol> {
     // so `result()` never re-scans the servers after a round has run.
     last_closed_servers: u64,
     last_max_load: u32,
+
+    // Balls currently occupying a server (settled, not yet departed). In batch mode
+    // departures never happen, so this is the cumulative settled count.
+    in_service: u64,
+    online: Option<OnlineState>,
 
     buffers: RoundBuffers,
     observers: Vec<Box<dyn AnyObserver + Send>>,
@@ -695,9 +837,38 @@ impl<'g, P: Protocol> Simulation<'g, P> {
         self.ball_owner.len() as u64
     }
 
-    /// True if every ball has been assigned.
+    /// True if every ball has been assigned and (online) no arrivals remain.
     pub fn is_complete(&self) -> bool {
-        self.alive_balls.is_empty()
+        self.alive_balls.is_empty() && self.pending_arrivals() == 0
+    }
+
+    /// Balls the online workload has not injected yet (0 in batch mode).
+    pub fn pending_arrivals(&self) -> u64 {
+        self.online
+            .as_ref()
+            .map_or(0, |o| o.total_arrivals - o.injected)
+    }
+
+    /// Balls currently occupying a server (settled and not yet departed). In batch
+    /// mode this is the cumulative settled count.
+    pub fn in_service(&self) -> u64 {
+        self.in_service
+    }
+
+    /// Per-ball settle latencies (`settle_round - birth_round + 1`) for every ball
+    /// settled so far, in ball-id order. `None` unless an online workload is attached
+    /// (batch mode does not track per-ball birth/settle rounds).
+    pub fn settle_latencies(&self) -> Option<Vec<u32>> {
+        let online = self.online.as_ref()?;
+        Some(
+            online
+                .settle_round
+                .iter()
+                .zip(&online.birth_round)
+                .filter(|&(&settle, _)| settle != 0)
+                .map(|(&settle, &birth)| settle - birth + 1)
+                .collect(),
+        )
     }
 
     /// Current load of every server.
@@ -793,12 +964,14 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                 .count() as u64;
             (closed, self.server_load.iter().copied().max().unwrap_or(0))
         };
+        let completed = self.is_complete();
         RunResult {
-            completed: self.is_complete(),
+            completed,
+            hit_round_cap: !completed && self.round >= self.config.max_rounds,
             rounds: self.round,
             total_messages: self.total_messages,
             max_load,
-            unassigned_balls: self.alive_balls.len() as u64,
+            unassigned_balls: self.alive_balls.len() as u64 + self.pending_arrivals(),
             total_balls: self.ball_owner.len() as u64,
             closed_servers,
         }
@@ -810,8 +983,50 @@ impl<'g, P: Protocol> Simulation<'g, P> {
     fn step_internal(&mut self) -> RoundRecord {
         self.round += 1;
         let round = self.round;
+
+        // Online round prologue — departures, then arrivals, both before any request
+        // of the round is routed. Departures aggregate to at most one
+        // `server_on_depart` call per server, applied in ascending server order (the
+        // same discipline as phase-3 releases); arrivals append to the alive list in
+        // ascending ball-id order. Both orders are pure functions of the schedule, so
+        // the prologue is trivially thread- and piece-independent.
+        let mut departures = 0u64;
+        let mut arrivals = 0u64;
+        if let Some(online) = self.online.as_mut() {
+            if let Some(due) = online.depart_calendar.get_mut(round as usize) {
+                let mut due = std::mem::take(due);
+                due.sort_unstable();
+                departures = due.len() as u64;
+                let mut i = 0;
+                while i < due.len() {
+                    let server = due[i];
+                    let mut count = 0u32;
+                    while i < due.len() && due[i] == server {
+                        count += 1;
+                        i += 1;
+                    }
+                    let s = server as usize;
+                    self.server_load[s] -= count;
+                    self.protocol
+                        .server_on_depart(&mut self.server_states[s], count);
+                }
+                self.in_service -= departures;
+            }
+            if let Some(&count) = online.arrivals_per_round.get(round as usize - 1) {
+                for _ in 0..count {
+                    let ball = online.next_ball;
+                    online.next_ball += 1;
+                    online.birth_round[ball as usize] = round;
+                    self.alive_balls.push(ball);
+                }
+                online.injected += u64::from(count);
+                arrivals = u64::from(count);
+            }
+        }
+
         let choices = self.protocol.choices_per_round().max(1);
         let per_ball = choices as usize;
+        let rule = self.protocol.settle_rule();
         let graph = self.graph;
         let num_servers = graph.num_servers();
         let factory = self.factory;
@@ -1053,8 +1268,18 @@ impl<'g, P: Protocol> Simulation<'g, P> {
                 });
                 consumed = hi;
             }
+            // Post-decision load snapshot for the least-loaded settle rule; the same
+            // slice is visible to every piece, so the pick is scheduling-independent.
+            let loads_snapshot: &[u32] = &self.server_load;
             drive_pieces(&mut descs[..slot_pieces], |p| {
-                p.run(per_ball, req_all, rank_all, accept_all)
+                p.run(
+                    per_ball,
+                    rule,
+                    req_all,
+                    rank_all,
+                    accept_all,
+                    loads_snapshot,
+                )
             });
 
             // Merge in piece-index order: survivors concatenate piece-by-piece (so
@@ -1066,17 +1291,49 @@ impl<'g, P: Protocol> Simulation<'g, P> {
             }
 
             // The two remaining applications touch disjoint state (ball assignments
-            // vs server loads/states), so they run as the two arms of a join.
+            // plus online settle bookkeeping vs server loads/states), so they run as
+            // the two arms of a join.
             let descs_done = &descs[..slot_pieces];
             let ball_assigned = &mut self.ball_assigned;
+            let online = self.online.as_mut();
+            let seed = self.config.seed;
+            let max_rounds = self.config.max_rounds;
             let server_load = &mut self.server_load;
             let server_states = &mut self.server_states;
             let protocol = &self.protocol;
             rayon::join(
-                || {
-                    for p in descs_done.iter().flatten() {
-                        for &packed in &p.assigned_out[..p.counts.assigned as usize] {
-                            ball_assigned[(packed >> 32) as usize] = packed as u32;
+                || match online {
+                    None => {
+                        for p in descs_done.iter().flatten() {
+                            for &packed in &p.assigned_out[..p.counts.assigned as usize] {
+                                ball_assigned[(packed >> 32) as usize] = packed as u32;
+                            }
+                        }
+                    }
+                    Some(online) => {
+                        // Settled balls record their latency and schedule their
+                        // departure. The service draw is keyed by ball id alone, and
+                        // calendar entries are re-aggregated per server when applied,
+                        // so piece order cannot leak into anything observable. A
+                        // departure falling beyond the round cap is not scheduled:
+                        // it could never be applied within the run, and skipping it
+                        // keeps the calendar bounded by `max_rounds`.
+                        for p in descs_done.iter().flatten() {
+                            for &packed in &p.assigned_out[..p.counts.assigned as usize] {
+                                let ball = (packed >> 32) as usize;
+                                ball_assigned[ball] = packed as u32;
+                                online.settle_round[ball] = round;
+                                let service = online.workload.service_rounds(seed, ball as u64);
+                                if let Some(due) = round.checked_add(service) {
+                                    if due <= max_rounds {
+                                        let due = due as usize;
+                                        if online.depart_calendar.len() <= due {
+                                            online.depart_calendar.resize_with(due + 1, Vec::new);
+                                        }
+                                        online.depart_calendar[due].push(packed as u32);
+                                    }
+                                }
+                            }
                         }
                     }
                 },
@@ -1106,6 +1363,7 @@ impl<'g, P: Protocol> Simulation<'g, P> {
             );
         }
         std::mem::swap(&mut self.alive_balls, alive_next);
+        self.in_service += balls_assigned;
 
         // Census — closed flags, closed count and max load folded in one pass over
         // carved server ranges, reduced in piece-index order. The fold is cached so
@@ -1166,6 +1424,9 @@ impl<'g, P: Protocol> Simulation<'g, P> {
             messages: 2 * num_requests,
             closed_servers,
             max_load,
+            arrivals,
+            departures,
+            in_service_after: self.in_service,
         }
     }
 }
@@ -1282,9 +1543,31 @@ mod tests {
             .build();
         let result = sim.run();
         assert!(!result.completed);
+        assert!(
+            result.hit_round_cap,
+            "an incomplete run that reached max_rounds must report the cap"
+        );
         assert_eq!(result.rounds, 7);
         assert_eq!(result.unassigned_balls, 8);
         assert_eq!(result.max_load, 0);
+    }
+
+    #[test]
+    fn completed_runs_do_not_report_the_round_cap() {
+        let g = generators::regular_random(8, 2, 3).unwrap();
+        let mut sim = Simulation::builder(&g)
+            .protocol(AcceptAll)
+            .demand(Demand::Constant(1))
+            .seed(1)
+            .max_rounds(1)
+            .build();
+        let result = sim.run();
+        assert!(result.completed);
+        assert_eq!(result.rounds, 1);
+        assert!(
+            !result.hit_round_cap,
+            "finishing exactly at the cap is not a truncation"
+        );
     }
 
     #[test]
@@ -1626,9 +1909,272 @@ mod tests {
     }
 
     #[test]
+    fn least_loaded_settle_prefers_light_servers() {
+        // One ball, two accepted choices: server 0 carries load 5, server 1 load 2.
+        let slots = [0u32];
+        let request_server = [0u32, 1];
+        let request_rank = [0u32, 0];
+        let accept_count = [1u32, 1];
+        let loads = [5u32, 2];
+        let run_rule = |rule: SettleRule| {
+            let mut alive_out = [0u32; 1];
+            let mut assigned_out = [0u64; 1];
+            let mut release_out = [0u32; 2];
+            let mut piece = SettlePiece {
+                slot_lo: 0,
+                slots: &slots,
+                alive_out: &mut alive_out,
+                assigned_out: &mut assigned_out,
+                release_out: &mut release_out,
+                counts: SettleCounts::default(),
+            };
+            piece.run(
+                2,
+                rule,
+                &request_server,
+                &request_rank,
+                &accept_count,
+                &loads,
+            );
+            assert_eq!(piece.counts.assigned, 1);
+            assert_eq!(piece.counts.released, 1);
+            (assigned_out[0] as u32, release_out[0])
+        };
+        // First-accepted keeps the slot-order winner (server 0), releasing server 1.
+        assert_eq!(run_rule(SettleRule::FirstAccepted), (0, 1));
+        // Least-loaded settles on the lighter server 1, releasing server 0.
+        assert_eq!(run_rule(SettleRule::LeastLoaded), (1, 0));
+    }
+
+    #[test]
+    fn least_loaded_ties_break_to_smallest_server_index() {
+        let slots = [0u32];
+        let request_server = [3u32, 1];
+        let request_rank = [0u32, 0];
+        let accept_count = [0u32, 1, 0, 1];
+        let loads = [0u32, 4, 0, 4];
+        let mut alive_out = [0u32; 1];
+        let mut assigned_out = [0u64; 1];
+        let mut release_out = [0u32; 2];
+        let mut piece = SettlePiece {
+            slot_lo: 0,
+            slots: &slots,
+            alive_out: &mut alive_out,
+            assigned_out: &mut assigned_out,
+            release_out: &mut release_out,
+            counts: SettleCounts::default(),
+        };
+        piece.run(
+            2,
+            SettleRule::LeastLoaded,
+            &request_server,
+            &request_rank,
+            &accept_count,
+            &loads,
+        );
+        assert_eq!(
+            assigned_out[0] as u32, 1,
+            "equal loads: smallest index wins"
+        );
+        assert_eq!(release_out[0], 3);
+    }
+
+    /// One slot per server, freed again when the occupant departs: the shape of an
+    /// online queueing server (contrast with `TwoChoiceCapacityOne`, whose private
+    /// counter never forgets — that is the SAER-style churn-incompatible shape).
+    struct LoadCapOne;
+    impl Protocol for LoadCapOne {
+        type ServerState = ();
+        fn init_server(&self) {}
+        fn server_decide(&self, _state: &mut (), ctx: &ServerCtx) -> u32 {
+            1u32.saturating_sub(ctx.current_load).min(ctx.incoming)
+        }
+        fn server_is_closed(&self, _state: &(), load: u32) -> bool {
+            load >= 1
+        }
+    }
+
+    fn trace_workload(arrivals: Vec<u32>, service_rounds: u32) -> OnlineWorkload {
+        OnlineWorkload {
+            arrivals: crate::workload::ArrivalProcess::Trace { arrivals },
+            service: crate::workload::ServiceDistribution::Deterministic {
+                rounds: service_rounds,
+            },
+        }
+    }
+
+    #[test]
+    fn departures_free_capacity_for_later_arrivals() {
+        // One client, one capacity-1 server, one arrival per round for three rounds
+        // with one-round service: each ball must settle in its arrival round because
+        // the previous occupant departed at the round boundary. Without the departure
+        // path, balls 2 and 3 could never settle.
+        let g = clb_graph::BipartiteGraph::from_edges(1, 1, &[(0, 0)]).unwrap();
+        let mut sim = Simulation::builder(&g)
+            .protocol(LoadCapOne)
+            .demand(Demand::Explicit(vec![0]))
+            .workload(trace_workload(vec![1, 1, 1], 1))
+            .seed(5)
+            .max_rounds(10)
+            .build();
+        assert_eq!(sim.total_balls(), 3);
+        let mut records = Vec::new();
+        while !sim.is_complete() && sim.round() < 10 {
+            records.push(sim.step());
+        }
+        let result = sim.result();
+        assert!(result.completed, "all arrivals settled: {result:?}");
+        assert!(!result.hit_round_cap);
+        assert_eq!(result.rounds, 3);
+        assert_eq!(result.unassigned_balls, 0);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.arrivals, 1);
+            assert_eq!(r.balls_assigned, 1, "round {} settles its arrival", i + 1);
+            assert_eq!(r.departures, u64::from(i > 0), "prior occupant departs");
+            assert_eq!(r.in_service_after, 1);
+            assert_eq!(r.max_load, 1);
+        }
+        // Every settled ball spent exactly one round alive.
+        assert_eq!(sim.settle_latencies().unwrap(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn zero_demand_open_system_runs_on_arrivals_alone() {
+        // `Demand::Constant(0)` plus a workload is the pure open system: every ball
+        // in the run is an arrival.
+        let g = clb_graph::BipartiteGraph::from_edges(1, 1, &[(0, 0)]).unwrap();
+        let mut sim = Simulation::builder(&g)
+            .protocol(AcceptAll)
+            .demand(Demand::Constant(0))
+            .workload(trace_workload(vec![2, 0, 1], 1))
+            .seed(5)
+            .max_rounds(10)
+            .build();
+        assert_eq!(sim.total_balls(), 3);
+        let result = sim.run();
+        assert!(result.completed);
+        assert_eq!(result.total_balls, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no balls")]
+    fn zero_demand_without_a_workload_is_vacuous() {
+        let g = clb_graph::BipartiteGraph::from_edges(1, 1, &[(0, 0)]).unwrap();
+        let _ = Simulation::builder(&g)
+            .protocol(AcceptAll)
+            .demand(Demand::Constant(0))
+            .seed(5)
+            .build();
+    }
+
+    #[test]
+    fn online_run_conserves_balls_and_loads() {
+        let g = generators::regular_random(24, 6, 3).unwrap();
+        let mut sim = Simulation::builder(&g)
+            .protocol(AcceptAll)
+            .demand(Demand::Constant(1))
+            .workload(OnlineWorkload {
+                arrivals: crate::workload::ArrivalProcess::Poisson {
+                    rate: 3.0,
+                    rounds: 12,
+                },
+                service: crate::workload::ServiceDistribution::Uniform { min: 1, max: 4 },
+            })
+            .seed(31)
+            .max_rounds(100)
+            .build();
+        let mut records = Vec::new();
+        while !sim.is_complete() && sim.round() < 100 {
+            records.push(sim.step());
+        }
+        let result = sim.result();
+        assert!(
+            result.completed,
+            "accept-all drains every arrival: {result:?}"
+        );
+        let total_arrivals: u64 = records.iter().map(|r| r.arrivals).sum();
+        let total_assigned: u64 = records.iter().map(|r| r.balls_assigned).sum();
+        assert_eq!(
+            total_assigned,
+            24 + total_arrivals,
+            "initial batch + arrivals"
+        );
+        assert_eq!(result.total_balls, 24 + total_arrivals);
+        // In-service accounting: load on the servers equals settled minus departed.
+        let total_departed: u64 = records.iter().map(|r| r.departures).sum();
+        let load_sum: u64 = sim.server_loads().iter().map(|&l| u64::from(l)).sum();
+        assert_eq!(load_sum, total_assigned - total_departed);
+        assert_eq!(sim.in_service(), load_sum);
+        let last = records.last().unwrap();
+        assert_eq!(last.in_service_after, sim.in_service());
+        // Latencies cover every settled ball and are at least one round.
+        let latencies = sim.settle_latencies().unwrap();
+        assert_eq!(latencies.len() as u64, total_assigned);
+        assert!(latencies.iter().all(|&l| l >= 1));
+    }
+
+    #[test]
+    fn online_runs_are_identical_across_piece_counts() {
+        let g = generators::regular_random(32, 8, 17).unwrap();
+        let run = |pieces: Option<usize>| {
+            let workload = OnlineWorkload {
+                arrivals: crate::workload::ArrivalProcess::Bursty {
+                    on_rate: 4.0,
+                    on_rounds: 3,
+                    off_rounds: 2,
+                    rounds: 15,
+                },
+                service: crate::workload::ServiceDistribution::Geometric { p: 0.4 },
+            };
+            let mut builder = Simulation::builder(&g)
+                .protocol(TwoChoiceCapacityOne)
+                .demand(Demand::Constant(1))
+                .workload(workload)
+                .seed(13)
+                .max_rounds(150);
+            if let Some(p) = pieces {
+                builder = builder.intra_step_pieces(p);
+            }
+            let mut sim = builder.build();
+            let mut records = Vec::new();
+            while !sim.is_complete() && sim.round() < 150 {
+                records.push(sim.step());
+            }
+            (
+                records,
+                sim.result(),
+                sim.server_loads().to_vec(),
+                sim.settle_latencies().unwrap(),
+            )
+        };
+        let baseline = run(Some(1));
+        for pieces in [Some(2), Some(7), Some(32), None] {
+            assert_eq!(run(pieces), baseline, "pieces={pieces:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid online workload")]
+    fn invalid_workload_is_rejected_at_build() {
+        let g = generators::regular_random(4, 2, 5).unwrap();
+        let _ = Simulation::builder(&g)
+            .protocol(AcceptAll)
+            .demand(Demand::Constant(1))
+            .workload(OnlineWorkload {
+                arrivals: crate::workload::ArrivalProcess::Poisson {
+                    rate: f64::NAN,
+                    rounds: 4,
+                },
+                service: crate::workload::ServiceDistribution::Deterministic { rounds: 1 },
+            })
+            .build();
+    }
+
+    #[test]
     fn work_per_ball_helper() {
         let r = RunResult {
             completed: true,
+            hit_round_cap: false,
             rounds: 3,
             total_messages: 600,
             max_load: 4,

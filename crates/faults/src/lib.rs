@@ -438,6 +438,16 @@ impl Protocol for FaultAdapter {
         self.inner.erased_server_on_release(state, count);
     }
 
+    fn settle_rule(&self) -> clb_engine::SettleRule {
+        self.inner.erased_settle_rule()
+    }
+
+    fn server_on_depart(&self, state: &mut ErasedServerState, count: u32) {
+        // Departures are ground truth (the ball really left), not a message a fault
+        // could drop, so the adapter forwards them untouched.
+        self.inner.erased_server_on_depart(state, count);
+    }
+
     fn name(&self) -> String {
         format!("{}+faults[{}]", self.inner.erased_name(), self.plan.label())
     }
@@ -629,6 +639,50 @@ mod tests {
             straggler: Some(StragglerFault {
                 fraction: -0.1,
                 skip_p: 0.5
+            }),
+            ..FaultPlan::none()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_probabilities() {
+        // NaN compares false against both range bounds, so a plain
+        // `(0.0..=1.0).contains(&p)` check happens to reject it — but these tests pin
+        // the behaviour explicitly so a refactor to clamp-style handling (the bug this
+        // guards against: `f64::clamp` passes NaN through) cannot slip in silently.
+        assert!(FaultPlan {
+            crash: Some(CrashFault {
+                at_round: 1,
+                fraction: f64::NAN
+            }),
+            ..FaultPlan::none()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultPlan {
+            message_loss: Some(MessageLossFault {
+                request_p: f64::NAN,
+                accept_p: 0.0
+            }),
+            ..FaultPlan::none()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultPlan {
+            straggler: Some(StragglerFault {
+                fraction: 0.5,
+                skip_p: f64::INFINITY
+            }),
+            ..FaultPlan::none()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultPlan {
+            load_lie: Some(LoadLieFault {
+                fraction: f64::NEG_INFINITY,
+                factor: 1.0
             }),
             ..FaultPlan::none()
         }

@@ -15,6 +15,9 @@
 //!   collision-style baseline for the dense regime.
 //! * [`OneShot`] — servers accept everything; the one-round uniform baseline whose
 //!   maximum load is the classic `Θ(log n / log log n)`.
+//! * [`Jsq`] — join-shortest-queue among `d` sampled choices: accept-all servers plus
+//!   the engine's least-loaded settle rule. The stability yardstick for online
+//!   (arrival/departure) workloads, where SAER's burn-forever rule cannot recover.
 //! * [`ProtocolSpec`] — a serde-configurable description of any of the above;
 //!   [`ProtocolSpec::build`] materialises it as a `Box<dyn ErasedProtocol>`
 //!   (the object-safe layer of `clb-engine`), which drops into the simulation builder
@@ -65,6 +68,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod jsq;
 pub mod kchoice;
 pub mod one_shot;
 pub mod raes;
@@ -72,6 +76,7 @@ pub mod saer;
 pub mod spec;
 pub mod threshold;
 
+pub use jsq::Jsq;
 pub use kchoice::KChoice;
 pub use one_shot::OneShot;
 pub use raes::{Raes, RaesServerState};

@@ -11,7 +11,7 @@
 //! adding a protocol no longer means threading a new variant through five dispatch
 //! methods — implement `Protocol`, add a constructor arm here, done.
 
-use crate::{KChoice, OneShot, Raes, Saer, Threshold};
+use crate::{Jsq, KChoice, OneShot, Raes, Saer, Threshold};
 use clb_engine::{erase, ErasedProtocol};
 use serde::{Deserialize, Serialize};
 
@@ -46,6 +46,11 @@ pub enum ProtocolSpec {
     },
     /// Accept-everything single-round baseline.
     OneShot,
+    /// Join-shortest-queue among `d` sampled choices (online stability baseline).
+    Jsq {
+        /// Choices per ball per round.
+        d: u32,
+    },
 }
 
 impl ProtocolSpec {
@@ -57,6 +62,7 @@ impl ProtocolSpec {
             ProtocolSpec::Threshold { per_round } => erase(Threshold::new(per_round)),
             ProtocolSpec::KChoice { k, capacity } => erase(KChoice::new(k, capacity)),
             ProtocolSpec::OneShot => erase(OneShot::new()),
+            ProtocolSpec::Jsq { d } => erase(Jsq::new(d)),
         }
     }
 
@@ -84,6 +90,7 @@ impl ProtocolSpec {
                 capacity: c * d,
             },
             ProtocolSpec::OneShot,
+            ProtocolSpec::Jsq { d: d.max(1) },
         ]
     }
 
@@ -96,6 +103,7 @@ impl ProtocolSpec {
             ProtocolSpec::Threshold { per_round } => format!("threshold(T={per_round})"),
             ProtocolSpec::KChoice { k, capacity } => format!("kchoice(k={k}, cap={capacity})"),
             ProtocolSpec::OneShot => "one-shot".to_string(),
+            ProtocolSpec::Jsq { d } => format!("jsq(d={d})"),
         }
     }
 }
@@ -190,6 +198,7 @@ mod tests {
             ProtocolSpec::Threshold { per_round: 4 },
             ProtocolSpec::KChoice { k: 2, capacity: 16 },
             ProtocolSpec::OneShot,
+            ProtocolSpec::Jsq { d: 2 },
         ] {
             let mut sim = Simulation::builder(&graph)
                 .protocol(spec.build())

@@ -55,6 +55,14 @@ pub const FAULT_DOMAIN: u64 = 0x666c_7473; // "flts"
 /// The sequential Greedy baseline (Kenthapadi–Panigrahy) in `clb-sequential`.
 pub const SEQ_DOMAIN: u64 = 0x736571; // "seq"
 
+/// Online-workload ball arrivals (per-round counts and per-ball owner picks) in
+/// `clb-engine`, distinct from protocol execution so the traffic process never
+/// correlates with routing.
+pub const ARRIVAL_DOMAIN: u64 = 0x61727276; // "arrv"
+
+/// Online-workload service-time draws (one stream per ball) in `clb-engine`.
+pub const SERVICE_DOMAIN: u64 = 0x73727663; // "srvc"
+
 /// Every registered domain tag with its name, in declaration order. The audit and
 /// the distinctness test below both read this table; keep it in sync with the
 /// constants (a mismatch fails [`all_constants_are_registered`]).
@@ -69,6 +77,8 @@ pub const ALL: &[(&str, u64)] = &[
     ("GEO_DOMAIN", GEO_DOMAIN),
     ("FAULT_DOMAIN", FAULT_DOMAIN),
     ("SEQ_DOMAIN", SEQ_DOMAIN),
+    ("ARRIVAL_DOMAIN", ARRIVAL_DOMAIN),
+    ("SERVICE_DOMAIN", SERVICE_DOMAIN),
 ];
 
 /// Returns `Err((name_a, name_b))` for the first pair of registered domains that
@@ -111,10 +121,12 @@ mod tests {
             "GEO_DOMAIN",
             "FAULT_DOMAIN",
             "SEQ_DOMAIN",
+            "ARRIVAL_DOMAIN",
+            "SERVICE_DOMAIN",
         ] {
             assert!(names.contains(&required), "{required} missing from ALL");
         }
-        assert_eq!(ALL.len(), 10, "update this test when registering a domain");
+        assert_eq!(ALL.len(), 12, "update this test when registering a domain");
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod xoshiro;
 pub use mix::mix3;
 pub use sample::{
     alias::AliasTable, floyd_sample, reservoir_sample, sample_distinct_pair, shuffle, Bernoulli,
-    Binomial, Geometric,
+    Binomial, Geometric, Poisson,
 };
 pub use splitmix::SplitMix64;
 pub use stream::{Stream, StreamFactory};

@@ -100,8 +100,16 @@ pub struct Bernoulli {
 }
 
 impl Bernoulli {
-    /// Creates a Bernoulli distribution; `p` is clamped into `[0, 1]`.
+    /// Creates a Bernoulli distribution; finite `p` is clamped into `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics on a non-finite `p`: `f64::clamp` passes NaN straight through, so a
+    /// NaN probability would silently skew every draw instead of erroring.
     pub fn new(p: f64) -> Self {
+        assert!(
+            p.is_finite(),
+            "bernoulli success probability must be finite, got {p}"
+        );
         Self {
             p: p.clamp(0.0, 1.0),
         }
@@ -126,7 +134,15 @@ pub struct Geometric {
 
 impl Geometric {
     /// Creates a geometric distribution with success probability `p` in `(0, 1]`.
+    ///
+    /// # Panics
+    /// Panics on `p` outside `(0, 1]` — including NaN, which fails the range check
+    /// but deserves its own message so the caller sees *what* was wrong.
     pub fn new(p: f64) -> Self {
+        assert!(
+            p.is_finite(),
+            "geometric success probability must be finite, got {p}"
+        );
         assert!(
             p > 0.0 && p <= 1.0,
             "geometric success probability must be in (0,1]"
@@ -161,8 +177,16 @@ pub struct Binomial {
 }
 
 impl Binomial {
-    /// Creates a binomial distribution; `p` is clamped into `[0, 1]`.
+    /// Creates a binomial distribution; finite `p` is clamped into `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics on a non-finite `p`: `f64::clamp` passes NaN straight through, so a
+    /// NaN probability would silently skew sampling instead of erroring.
     pub fn new(n: u64, p: f64) -> Self {
+        assert!(
+            p.is_finite(),
+            "binomial success probability must be finite, got {p}"
+        );
         Self {
             n,
             p: p.clamp(0.0, 1.0),
@@ -209,6 +233,60 @@ impl Binomial {
         } else {
             count
         }
+    }
+}
+
+/// A Poisson distribution with rate `lambda`.
+///
+/// Sampling uses Knuth's multiplication method (expected `O(lambda)` per draw),
+/// exact and allocation-free — the online arrival rates this serves stay small
+/// (tens of balls per round), so the linear cost is negligible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution with rate `lambda >= 0`.
+    ///
+    /// # Panics
+    /// Panics on a non-finite or negative rate.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "poisson rate must be finite and non-negative, got {lambda}"
+        );
+        Self { lambda }
+    }
+
+    /// Rate parameter.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: RandomSource>(&self, rng: &mut R) -> u64 {
+        if self.lambda <= 0.0 {
+            return 0;
+        }
+        // Knuth: multiply uniforms until the product drops below e^-lambda. For
+        // large rates, split into chunks of 16 so e^-lambda never underflows.
+        let mut remaining = self.lambda;
+        let mut count = 0u64;
+        while remaining > 0.0 {
+            let chunk = remaining.min(16.0);
+            remaining -= chunk;
+            let threshold = (-chunk).exp();
+            let mut product = 1.0f64;
+            loop {
+                product *= rng.next_f64();
+                if product <= threshold {
+                    break;
+                }
+                count += 1;
+            }
+        }
+        count
     }
 }
 
@@ -458,6 +536,70 @@ mod tests {
                 "Bin({n},{p}): mean {mean} vs {expected}"
             );
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "bernoulli success probability must be finite")]
+    fn bernoulli_rejects_nan() {
+        let _ = Bernoulli::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "bernoulli success probability must be finite")]
+    fn bernoulli_rejects_infinity() {
+        let _ = Bernoulli::new(f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometric success probability must be finite")]
+    fn geometric_rejects_nan() {
+        let _ = Geometric::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "binomial success probability must be finite")]
+    fn binomial_rejects_nan() {
+        let _ = Binomial::new(10, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "binomial success probability must be finite")]
+    fn binomial_rejects_negative_infinity() {
+        let _ = Binomial::new(10, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn finite_out_of_range_p_still_clamps() {
+        // The finite-clamping contract predates the NaN fix and must survive it.
+        assert_eq!(Bernoulli::new(-0.5).p(), 0.0);
+        assert_eq!(Bernoulli::new(1.5).p(), 1.0);
+        let mut r = rng();
+        assert_eq!(Binomial::new(5, 2.0).sample(&mut r), 5);
+        assert_eq!(Binomial::new(5, -1.0).sample(&mut r), 0);
+    }
+
+    #[test]
+    fn poisson_mean_matches() {
+        let mut r = rng();
+        for lambda in [0.5f64, 3.0, 40.0] {
+            let p = Poisson::new(lambda);
+            let reps = 20_000;
+            let total: u64 = (0..reps).map(|_| p.sample(&mut r)).sum();
+            let mean = total as f64 / reps as f64;
+            let sigma = lambda.sqrt();
+            assert!(
+                (mean - lambda).abs() <= 4.0 * sigma / (reps as f64).sqrt() + 0.05,
+                "Poisson({lambda}): mean {mean}"
+            );
+        }
+        assert_eq!(Poisson::new(0.0).sample(&mut r), 0);
+        assert_eq!(Poisson::new(0.0).lambda(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "poisson rate must be finite and non-negative")]
+    fn poisson_rejects_nan() {
+        let _ = Poisson::new(f64::NAN);
     }
 
     #[test]

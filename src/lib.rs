@@ -168,8 +168,9 @@ pub use clb_faults as faults;
 
 pub use clb_core::{accumulate, experiment, report, scenario, shard};
 pub use clb_core::{
-    CacheStats, Degradation, ExperimentConfig, ExperimentReport, Measurements, OutcomeAccumulator,
-    Retention, Scenario, ShardError, ShardPlan, Sweep, SweepReport, SweepRow, Table, TrialOutcome,
+    CacheStats, Degradation, ExperimentConfig, ExperimentReport, Measurements, OnlineReport,
+    OnlineStats, OutcomeAccumulator, Retention, Scenario, ShardError, ShardPlan, Sweep,
+    SweepReport, SweepRow, Table, TrialOutcome,
 };
 pub use clb_faults::{FaultAdapter, FaultPlan};
 
@@ -181,7 +182,8 @@ pub mod prelude {
     };
     pub use clb_core::accumulate::{OutcomeAccumulator, Retention};
     pub use clb_core::experiment::{
-        Degradation, ExperimentConfig, ExperimentReport, Measurements, TrialOutcome,
+        Degradation, ExperimentConfig, ExperimentReport, Measurements, OnlineReport, OnlineStats,
+        TrialOutcome,
     };
     pub use clb_core::report::Table;
     pub use clb_core::scenario::{
@@ -189,13 +191,13 @@ pub mod prelude {
     };
     pub use clb_core::shard::{ShardError, ShardPlan};
     pub use clb_engine::{
-        erase, Demand, ErasedProtocol, Protocol, RoundRecord, RunResult, SimConfig, Simulation,
-        SimulationBuilder,
+        erase, ArrivalProcess, Demand, ErasedProtocol, OnlineWorkload, Protocol, RoundRecord,
+        RunResult, ServiceDistribution, SettleRule, SimConfig, Simulation, SimulationBuilder,
     };
     pub use clb_faults::{
         CrashFault, FaultAdapter, FaultPlan, LoadLieFault, MessageLossFault, StragglerFault,
     };
     pub use clb_graph::{generators, log2_squared, BipartiteGraph, DegreeStats, GraphSpec};
-    pub use clb_protocols::{KChoice, OneShot, ProtocolSpec, Raes, Saer, Threshold};
+    pub use clb_protocols::{Jsq, KChoice, OneShot, ProtocolSpec, Raes, Saer, Threshold};
     pub use clb_sequential::{best_of_k, godfrey_greedy, one_choice, SequentialOutcome};
 }

@@ -153,6 +153,7 @@ tuple_strategy!(A / 0, B / 1, C / 2);
 tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
 tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
 tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
 
 /// Types with a canonical full-domain strategy (mirror of `Arbitrary`).
 pub trait Arbitrary: Sized {

@@ -38,6 +38,7 @@ fn run_concrete(spec: &ProtocolSpec, graph: &BipartiteGraph, d: u32, seed: u64) 
         ProtocolSpec::Threshold { per_round } => run(graph, Threshold::new(per_round), d, seed),
         ProtocolSpec::KChoice { k, capacity } => run(graph, KChoice::new(k, capacity), d, seed),
         ProtocolSpec::OneShot => run(graph, OneShot::new(), d, seed),
+        ProtocolSpec::Jsq { d: pd } => run(graph, Jsq::new(pd), d, seed),
     }
 }
 

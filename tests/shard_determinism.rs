@@ -116,6 +116,52 @@ fn summary_retention_is_bit_identical_at_every_shard_count() {
 }
 
 #[test]
+fn online_scenarios_are_bit_identical_across_shard_counts() {
+    // The online axis of the same contract (the shard half of the proptest in
+    // clb-engine's `online_determinism.rs`): a sweep whose configs carry an
+    // OnlineWorkload — arrivals, departures, settle latencies, stability verdicts
+    // — must survive the v4 wire round-trip to worker processes and merge
+    // bit-identically at shard counts 1 and 2, under both retention modes.
+    let run_scenario = |retention| {
+        Scenario::new("SHARD-ON", "online sharded determinism", "bit-identical")
+            .trials(3)
+            .max_rounds(80)
+            .retention(retention)
+    };
+    let sweep = || Sweep::over("rate", [1.0f64, 3.0]);
+    let config = |idx: usize, &rate: &f64| {
+        ExperimentConfig::new(
+            GraphSpec::Regular { n: 64, delta: 16 },
+            ProtocolSpec::Raes { c: 4, d: 2 },
+        )
+        .seed(900 + 1000 * idx as u64)
+        .demand(Demand::Constant(0))
+        .workload(OnlineWorkload {
+            arrivals: ArrivalProcess::Poisson { rate, rounds: 40 },
+            service: ServiceDistribution::Geometric { p: 0.5 },
+        })
+    };
+
+    for retention in [Retention::Full, Retention::Summary] {
+        let baseline = run_scenario(retention).run(sweep(), config).unwrap();
+        for (_, point) in baseline.iter() {
+            let online = point.online.expect("online sweeps aggregate OnlineStats");
+            assert_eq!(online.stable_trials, 3, "light traffic on RAES is stable");
+        }
+        for shards in [1usize, 2] {
+            let sharded = run_scenario(retention)
+                .run_sharded(sweep(), config, &plan(shards))
+                .unwrap_or_else(|e| panic!("online sharded run ({shards} shards) failed: {e}"));
+            assert_eq!(
+                baseline, sharded,
+                "online SweepReport diverged between in-process and {shards}-shard execution \
+                 ({retention:?})"
+            );
+        }
+    }
+}
+
+#[test]
 fn paired_design_ships_shared_snapshots_across_processes() {
     // The paired RAES-vs-SAER design shares every graph identity between its arms.
     // Sharded, the arms land in *different worker processes*, so the driver must ship
