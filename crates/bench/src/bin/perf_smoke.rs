@@ -81,6 +81,14 @@ fn main() {
     let hardware_threads = std::thread::available_parallelism()
         .map(|t| t.get())
         .unwrap_or(1);
+    // The *effective* worker count is what an install scope actually grants, not
+    // what `RAYON_NUM_THREADS` says — record that so multi-core CI JSONs are
+    // attributable to the parallelism that really ran.
+    let effective_threads = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("stub pools always build")
+        .install(rayon::current_num_threads);
     let cells = 3 * scenario.trials_per_point();
 
     // Warm-up outside every timed window: lazy pool spawn, allocator, page cache.
@@ -178,8 +186,27 @@ fn main() {
         "summary-mode SweepReport diverged across thread counts — determinism contract broken"
     );
 
+    // Work-stealing scheduler diagnostics, cumulative over every leg above. The
+    // `pool:` line is greppable by CI; `steals_succeeded > 0` on a multi-core box
+    // means nested intra-step drives really fanned out to other workers.
+    let stats = rayon::pool_stats();
+    println!();
+    println!(
+        "pool: workers={} tasks={} steals={}/{} parks={}",
+        stats.workers,
+        stats.tasks_executed,
+        stats.steals_succeeded,
+        stats.steals_attempted,
+        stats.parks
+    );
+
     let json = format!(
-        "{{\n  \"bench\": \"parallel_scenario_grid\",\n  \"graph\": \"regular-log2 n={n}\",\n  \"cells\": {cells},\n  \"threads_sequential\": 1,\n  \"threads_parallel\": {threads},\n  \"hardware_threads\": {hardware_threads},\n  \"contended\": {contended},\n  \"sequential_ms\": {sequential_ms:.1},\n  \"parallel_ms\": {parallel_ms:.1},\n  \"speedup\": {speedup:.2},\n  \"deterministic\": {deterministic},\n  \"shards\": {shards},\n  \"sharded_ms\": {sharded_ms:.1},\n  \"shard_deterministic\": {shard_deterministic},\n  \"summary_ms\": {summary_ms:.1},\n  \"cells_per_sec\": {cells_per_sec:.1},\n  \"peak_retained_bytes\": {peak_retained_bytes},\n  \"full_retained_bytes\": {full_retained_bytes},\n  \"summary_deterministic\": {summary_deterministic}\n}}\n"
+        "{{\n  \"bench\": \"parallel_scenario_grid\",\n  \"graph\": \"regular-log2 n={n}\",\n  \"cells\": {cells},\n  \"threads_sequential\": 1,\n  \"threads_parallel\": {threads},\n  \"effective_threads\": {effective_threads},\n  \"hardware_threads\": {hardware_threads},\n  \"contended\": {contended},\n  \"sequential_ms\": {sequential_ms:.1},\n  \"parallel_ms\": {parallel_ms:.1},\n  \"speedup\": {speedup:.2},\n  \"deterministic\": {deterministic},\n  \"shards\": {shards},\n  \"sharded_ms\": {sharded_ms:.1},\n  \"shard_deterministic\": {shard_deterministic},\n  \"summary_ms\": {summary_ms:.1},\n  \"cells_per_sec\": {cells_per_sec:.1},\n  \"peak_retained_bytes\": {peak_retained_bytes},\n  \"full_retained_bytes\": {full_retained_bytes},\n  \"summary_deterministic\": {summary_deterministic},\n  \"pool_workers\": {},\n  \"tasks\": {},\n  \"steals\": {},\n  \"steals_attempted\": {},\n  \"parks\": {}\n}}\n",
+        stats.workers,
+        stats.tasks_executed,
+        stats.steals_succeeded,
+        stats.steals_attempted,
+        stats.parks
     );
     std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
     println!("\nwrote BENCH_parallel.json:\n{json}");

@@ -13,8 +13,16 @@
 //! container (`"contended": true`) only the determinism verdicts are meaningful.
 //!
 //! Quick mode (`--quick` or `CLB_QUICK=1`) caps n at 10^6; the full run adds 10^7.
+//!
+//! Since the pool's work-stealing rewrite this binary also runs a **two-level leg**:
+//! several mid-size sims stepped *inside* an outer parallel drive (the scenario
+//! runner's shape) with the intra-step plan forced, so nested drives genuinely fan
+//! out from pool workers — diffed bit-for-bit against the 1-thread baseline and
+//! reported as the greppable `nested two-level` verdict. The `pool:` line and the
+//! `tasks`/`steals` JSON keys expose the scheduler counters behind it.
 
 use clb::prelude::*;
+use rayon::prelude::*;
 use std::time::Instant;
 
 const THREAD_COUNTS: [usize; 2] = [1, 4];
@@ -42,6 +50,10 @@ fn striped_graph(n: usize) -> BipartiteGraph {
 struct PointRun {
     rounds: usize,
     total_ms: f64,
+    /// What the install scope actually granted (`rayon::current_num_threads()`
+    /// inside the pool), as opposed to the requested count or the env var —
+    /// recorded so multi-core CI JSONs are attributable.
+    effective_threads: usize,
     records: Vec<RoundRecord>,
     result: RunResult,
     loads: Vec<u32>,
@@ -69,6 +81,7 @@ fn run_point(graph: &BipartiteGraph, warm: &BipartiteGraph, threads: usize) -> P
         PointRun {
             rounds: records.len(),
             total_ms,
+            effective_threads: rayon::current_num_threads(),
             records,
             result: sim.result(),
             loads: sim.server_loads().to_vec(),
@@ -136,10 +149,11 @@ fn main() {
             let ms_per_round = run.total_ms / run.rounds.max(1) as f64;
             let rounds_per_sec = run.rounds as f64 / (run.total_ms / 1e3);
             points.push_str(&format!(
-                "    {{ \"n\": {n}, \"servers\": {servers}, \"threads\": {threads}, \"rounds\": {}, \
+                "    {{ \"n\": {n}, \"servers\": {servers}, \"threads\": {threads}, \
+                 \"effective_threads\": {}, \"rounds\": {}, \
                  \"total_ms\": {:.1}, \"ms_per_round\": {ms_per_round:.3}, \
                  \"rounds_per_sec\": {rounds_per_sec:.1}, \"deterministic\": {deterministic} }},\n",
-                run.rounds, run.total_ms
+                run.effective_threads, run.rounds, run.total_ms
             ));
         }
     }
@@ -150,8 +164,66 @@ fn main() {
         "a single instance diverged across thread counts — intra-round determinism contract broken"
     );
 
+    // Two-level leg: grid-level parallelism (an outer drive over several sims, the
+    // scenario runner's shape) combined with forced intra-step piece parallelism in
+    // every round. Under the work-stealing pool the inner drives push tokens onto
+    // the worker stepping that sim, and idle workers steal them — both levels run
+    // at once. The verdict diffs every record, result and load vector against the
+    // 1-thread baseline.
+    let nested_deterministic = {
+        let graph = striped_graph(1 << 14);
+        let run = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("stub pools always build")
+                .install(|| {
+                    (0..4u64)
+                        .into_par_iter()
+                        .map(|seed| {
+                            let mut sim = Simulation::builder(&graph)
+                                .protocol(ProtocolSpec::Saer { c: 24, d: 2 }.build())
+                                .demand(Demand::Constant(1))
+                                .seed(88 + seed)
+                                .max_rounds(MAX_ROUNDS as u32)
+                                .intra_step_pieces(8)
+                                .build();
+                            let mut records: Vec<RoundRecord> = Vec::new();
+                            while !sim.is_complete() && sim.round() < MAX_ROUNDS as u32 {
+                                records.push(sim.step());
+                            }
+                            (records, sim.result(), sim.server_loads().to_vec())
+                        })
+                        .collect::<Vec<_>>()
+                })
+        };
+        run(1) == run(4)
+    };
+    println!();
+    println!("nested two-level (grid x intra-step): bit-identical: {nested_deterministic}");
+    assert!(
+        nested_deterministic,
+        "two-level runs diverged from the sequential baseline — work-stealing broke determinism"
+    );
+
+    // Scheduler diagnostics, cumulative over every leg above (greppable by CI).
+    let stats = rayon::pool_stats();
+    println!(
+        "pool: workers={} tasks={} steals={}/{} parks={}",
+        stats.workers,
+        stats.tasks_executed,
+        stats.steals_succeeded,
+        stats.steals_attempted,
+        stats.parks
+    );
+
     let json = format!(
-        "{{\n  \"bench\": \"single_instance\",\n  \"graph\": \"striped degree-8, servers = n/32\",\n  \"protocol\": \"SAER c=24 d=2, demand 1\",\n  \"hardware_threads\": {hardware_threads},\n  \"contended\": {contended},\n  \"quick\": {quick},\n  \"points\": [\n{points}\n  ]\n}}\n"
+        "{{\n  \"bench\": \"single_instance\",\n  \"graph\": \"striped degree-8, servers = n/32\",\n  \"protocol\": \"SAER c=24 d=2, demand 1\",\n  \"hardware_threads\": {hardware_threads},\n  \"contended\": {contended},\n  \"quick\": {quick},\n  \"nested_two_level_deterministic\": {nested_deterministic},\n  \"pool_workers\": {},\n  \"tasks\": {},\n  \"steals\": {},\n  \"steals_attempted\": {},\n  \"parks\": {},\n  \"points\": [\n{points}\n  ]\n}}\n",
+        stats.workers,
+        stats.tasks_executed,
+        stats.steals_succeeded,
+        stats.steals_attempted,
+        stats.parks
     );
     std::fs::write("BENCH_single_instance.json", &json).expect("write BENCH_single_instance.json");
     println!("\nwrote BENCH_single_instance.json:\n{json}");

@@ -81,6 +81,15 @@ pub struct ExperimentConfig {
     /// attaches the engine's arrival/departure machinery to every trial and makes
     /// the trial report [`OnlineStats`] alongside the batch statistics.
     pub workload: Option<OnlineWorkload>,
+    /// Intra-round piece plan override applied to every trial's simulation (see
+    /// `SimulationBuilder::intra_step_pieces`); `None` uses the engine's size-derived
+    /// plan. A scheduling knob, not a semantic one: piece plans are pure functions
+    /// of problem size and never change results (pinned by
+    /// `intra_step_pieces_do_not_change_results` in `clb-engine`), which is why this
+    /// field is deliberately **not** shard-wire-encoded — a remote shard may run a
+    /// different plan and still produce bit-identical outcomes, so shipping it would
+    /// buy nothing and cost a `WIRE_VERSION` bump.
+    pub intra_step_pieces: Option<usize>,
 }
 
 impl ExperimentConfig {
@@ -102,6 +111,7 @@ impl ExperimentConfig {
             retention: Retention::default(),
             faults: None,
             workload: None,
+            intra_step_pieces: None,
         }
     }
 
@@ -154,6 +164,15 @@ impl ExperimentConfig {
         self
     }
 
+    /// Forces the engine's intra-round piece plan for every trial (see the field
+    /// docs on [`ExperimentConfig::intra_step_pieces`]). Used by the two-level
+    /// parallelism tests to guarantee nested drives fire while the scenario grid is
+    /// itself running on pool workers.
+    pub fn intra_step_pieces(mut self, pieces: usize) -> Self {
+        self.intra_step_pieces = Some(pieces);
+        self
+    }
+
     /// Runs one trial with an explicit seed, building the graph from the spec.
     pub fn run_trial(&self, seed: u64) -> Result<TrialOutcome, clb_graph::GraphError> {
         let graph = self.graph.build(seed)?;
@@ -182,6 +201,9 @@ impl ExperimentConfig {
             .config(config);
         if let Some(workload) = &self.workload {
             builder = builder.workload(workload.clone());
+        }
+        if let Some(pieces) = self.intra_step_pieces {
+            builder = builder.intra_step_pieces(pieces);
         }
         let mut sim = builder.build();
 

@@ -296,6 +296,13 @@ impl Scenario {
         // is point-major, so merges only ever join *adjacent* trial chunks of one
         // point). Under Retention::Summary the outcome is dropped right here, so
         // resident outcome memory is bounded by the piece count — not the grid size.
+        //
+        // Two-level parallelism: since the pool's work-stealing rewrite, a trial's
+        // own intra-step drives fan out from the worker running its cell, so this
+        // reduce-merge overlaps with intra-cell work — workers idling at the grid's
+        // uneven tail steal nested pieces from cells still in flight. Results are
+        // unaffected either way: merges happen at fixed piece indices regardless of
+        // who executed what (`tests/nested_parallel_determinism.rs` pins this).
         let accumulators: Result<GridFold<usize>, GraphError> = plan
             .grid
             .par_iter()

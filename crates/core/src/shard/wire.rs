@@ -684,6 +684,9 @@ fn put_config(buf: &mut BytesMut, config: &ExperimentConfig) {
     put_retention(buf, config.retention);
     put_fault_plan(buf, &config.faults);
     put_workload(buf, &config.workload);
+    // `config.intra_step_pieces` is deliberately not encoded: piece plans never
+    // change results (see the field docs), so a shard running its own plan is
+    // bit-identical anyway and the omission saves a WIRE_VERSION bump.
 }
 
 fn get_config(r: &mut Reader) -> Result<ExperimentConfig, ShardError> {

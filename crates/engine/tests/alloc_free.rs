@@ -17,10 +17,14 @@
 //! 2. the same single-thread scope with the intra-round piece plan forced to 8, so
 //!    the parallel sort / decide / settle / census code paths (carved descriptors,
 //!    piece merges, release aggregation) run through the counted window, and
-//! 3. `step()` running *on pool workers* — how `Scenario::run` executes trials since
-//!    the rayon stub became genuinely parallel. Nested parallel calls inside a pool
-//!    job run sequentially on the worker, so the hot loop must stay allocation-free
-//!    there too, including with the intra-step parallel path active.
+//! 3. `step()` running *on pool workers* — how `Scenario::run` executes trials.
+//!    Since the pool's work-stealing rewrite, nested drives **fan out** from workers
+//!    instead of running sequentially, and fanning out dispatches real jobs: piece
+//!    and result vectors plus a completion latch, allocated on the driving thread.
+//!    Zero is therefore the wrong pin here; what must hold instead is that the
+//!    per-round dispatch cost is bounded by a small constant and **independent of
+//!    the instance size** (piece counts are plan-derived or capped, never
+//!    `O(n)`), so the allocator never re-enters the per-item hot loops.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -237,43 +241,75 @@ fn round_loop_is_allocation_free_with_forced_intra_pieces() {
     });
 }
 
-#[test]
-fn round_loop_is_allocation_free_on_pool_workers() {
-    // The scenario runner executes whole trials on pool workers; inside a worker the
-    // engine's nested par_* calls run sequentially, and the steady-state round loop
-    // must stay allocation-free *on that worker thread*. Each closure counts on the
-    // thread that actually runs it (main thread or worker — both must be clean).
-    let graph = generators::regular_random(256, 16, 21).unwrap();
+/// Steps four sims of `n` clients on a 4-thread pool with the intra-step plan forced
+/// to 8 pieces, and returns the worst per-round allocation count observed on any
+/// driving thread (main or worker — whichever ran that sim's piece).
+fn worker_allocations_per_round(n: usize) -> u64 {
+    const ROUNDS: u64 = 20;
+    let graph = generators::regular_random(n, 16, 21).unwrap();
     let sims: Vec<_> = (0..4u64)
         .map(|seed| {
             let mut sim = Simulation::builder(&graph)
                 .protocol(OpensAt(u32::MAX))
                 .demand(Demand::Constant(3))
                 .seed(seed)
-                // Half the sims force the intra-step parallel path; on a worker its
-                // nested drives run sequentially but still walk the piece machinery.
-                .intra_step_pieces(if seed % 2 == 0 { 8 } else { 1 })
+                .intra_step_pieces(8)
                 .build();
             sim.step(); // warm-up outside the counted window
             sim
         })
         .collect();
 
+    let worst = std::sync::Mutex::new(0u64);
     rayon::ThreadPoolBuilder::new()
         .num_threads(4)
         .build()
         .unwrap()
         .install(|| {
             sims.into_par_iter().for_each(|mut sim| {
+                // Uncounted rounds let this thread's pool queues reach steady-state
+                // capacity before the measured window opens.
+                for _ in 0..3 {
+                    sim.step();
+                }
                 let (allocations, ()) = counted(|| {
-                    for _ in 0..20 {
+                    for _ in 0..ROUNDS {
                         sim.step();
                     }
                 });
-                assert_eq!(
-                    allocations, 0,
-                    "step() allocated {allocations} times on a pool worker"
-                );
+                let mut worst = worst.lock().unwrap();
+                *worst = (*worst).max(allocations);
             });
         });
+    let worst = worst.into_inner().unwrap();
+    worst.div_ceil(ROUNDS)
+}
+
+#[test]
+fn round_loop_dispatch_on_pool_workers_is_bounded_and_size_independent() {
+    // The scenario runner executes whole trials on pool workers; since the
+    // work-stealing rewrite the engine's nested par_* calls *fan out* from there
+    // (tokens go onto the worker's own deque, idle workers steal them), and each
+    // nested drive allocates its dispatch record on the driving thread. The
+    // per-item hot loops are still allocation-free — all per-round scratch lives in
+    // RoundBuffers — so the count per round must be (a) small and (b) flat in `n`:
+    // every piece count involved is either the forced plan (8) or the pool's cap
+    // (64), never proportional to clients or balls. A 4x bigger instance therefore
+    // must not dispatch measurably more. (Zero-allocation execution is still pinned
+    // — for the sequential path — by the two install(1) tests above.)
+    let small = worker_allocations_per_round(256);
+    let large = worker_allocations_per_round(1024);
+    assert!(
+        small > 0,
+        "nested drives are expected to dispatch real pool jobs from workers now"
+    );
+    assert!(
+        small <= 256,
+        "per-round dispatch cost exploded: {small} allocations per round"
+    );
+    assert!(
+        large <= small * 2,
+        "dispatch allocations must not scale with instance size: \
+         {small}/round at n=256 vs {large}/round at n=1024"
+    );
 }

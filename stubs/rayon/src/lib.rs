@@ -1,21 +1,28 @@
 //! Offline stand-in for `rayon`: the parallel-iterator surface used by this
-//! workspace, executed on a real `std::thread` work-distributing pool. See
+//! workspace, executed on a real `std::thread` **work-stealing** pool. See
 //! `stubs/README.md`.
 //!
 //! The API mirrors `rayon` 1.x exactly where the workspace uses it, so swapping in
-//! the upstream crate stays a one-line `Cargo.toml` change. Unlike upstream there is
-//! no work stealing — pieces are claimed dynamically from a shared queue instead —
-//! but the results are **bit-identical to sequential execution** by construction:
-//! producers split into contiguous index ranges and every driver merges piece
-//! results in index order (`pool` module docs spell out the contract).
+//! the upstream crate stays a one-line `Cargo.toml` change. Like upstream, the
+//! scheduler is a per-worker-deque work stealer with true nested parallelism:
+//! `join`, [`scope`] and parallel drives issued *from inside a pool job* push their
+//! sub-tasks onto the running worker's own deque, where idle workers steal them —
+//! nesting fans out instead of degrading to sequential execution (`pool` module
+//! docs describe the scheduler). Results are **bit-identical to sequential
+//! execution** by construction regardless: producers split into contiguous index
+//! ranges and every driver merges piece results in index order, so stealing decides
+//! *who* runs a piece, never *where its result merges*.
 //!
 //! Thread count: `RAYON_NUM_THREADS` (read once; unset/`0` means the machine's
 //! available parallelism, `1` forces the pre-pool sequential path), scoped overrides
-//! via [`ThreadPool::install`]. Parallel calls nested inside a pool job run
-//! sequentially on the current thread.
+//! via [`ThreadPool::install`]; nested drives inherit the parallelism of the drive
+//! that spawned them. Drives shorter than [`SMALL_DRIVE_CUTOFF`] skip the pool
+//! entirely. [`pool_stats`] exposes scheduler counters for bench observability.
 
 mod pool;
 pub mod producer;
+
+pub use pool::{PoolStats, Scope, SMALL_DRIVE_CUTOFF};
 
 use producer::{
     ChunksMutProducer, EnumerateProducer, FilterProducer, FlatMapProducer, IndexedProducer,
@@ -211,13 +218,15 @@ impl<P: Producer> ParIter<P> {
 /// Mirror of `rayon::join`: runs both closures, potentially in parallel, and returns
 /// both results.
 ///
-/// The stub executes `b` as one claimable pool job while the caller runs `a`; if no
-/// worker is free the caller claims `b` back itself, so the pair never waits on pool
-/// capacity. Under `RAYON_NUM_THREADS=1`, an `install(1)` scope, or when nested
-/// inside a pool job, both closures run sequentially on the current thread with zero
-/// pool involvement and zero allocation. Unlike upstream, a join *arm* never fans
-/// back out — parallel calls inside an arm run sequentially, the stub's blanket
-/// nesting rule. Panics propagate to the caller, `a`'s first.
+/// The stub executes `b` as one stealable pool job while the caller runs `a` — when
+/// the caller is itself a pool worker the job goes onto *its own deque*, so nested
+/// joins fan back out to idle workers exactly like upstream. If no thief takes `b`,
+/// the caller claims it back itself, so the pair never waits on pool capacity, and
+/// each arm may start further parallel work (it inherits the caller's parallelism).
+/// Under `RAYON_NUM_THREADS=1` or an `install(1)` scope both closures run
+/// sequentially on the current thread with zero pool involvement and zero
+/// allocation. Panics propagate to the caller, `a`'s first — even when a stolen
+/// `b`'s panic landed chronologically earlier.
 pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -226,6 +235,43 @@ where
     RB: Send,
 {
     pool::join(oper_a, oper_b)
+}
+
+/// Mirror of `rayon::scope`: spawn any number of tasks that may borrow from the
+/// enclosing stack frame; `scope` returns only after every spawn (including
+/// transitively spawned ones) has finished.
+///
+/// Spawns go onto the calling worker's own deque (or the shared injector from a
+/// non-worker thread) and may be stolen by idle workers; the scope owner drains its
+/// remaining spawns itself while it waits, so the scope never deadlocks on pool
+/// capacity. Under an effective parallelism of 1, spawns run inline at the spawn
+/// point (upstream defers them to scope exit — upstream makes no ordering guarantee
+/// between the scope body and spawns, so code correct against rayon is correct
+/// here). A panicking spawn is re-raised from `scope`; a panic in `op` itself takes
+/// precedence, matching upstream.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    pool::scope(op)
+}
+
+/// Mirror of `rayon::current_num_threads`: the *effective* parallelism a drive
+/// started on this thread right now would get — an [`ThreadPool::install`] override
+/// first, then the parallelism inherited from the enclosing pool job, then the
+/// process default. Bench binaries record this (rather than `RAYON_NUM_THREADS`,
+/// which an `install` may override) so BENCH JSONs are attributable.
+pub fn current_num_threads() -> usize {
+    pool::current_num_threads()
+}
+
+/// Scheduler diagnostics: per-worker counters (tasks executed, steal scans
+/// attempted/succeeded, parks) summed into one snapshot. Counters are cumulative
+/// for the process lifetime and cost one relaxed `fetch_add` per event; they never
+/// feed results — bench binaries print them as the greppable `pool: ...` line.
+pub fn pool_stats() -> PoolStats {
+    pool::pool_stats()
 }
 
 /// Mirror of `rayon::iter::IntoParallelIterator`.
@@ -561,21 +607,81 @@ mod tests {
     }
 
     #[test]
-    fn nested_parallel_calls_run_sequentially_on_the_worker() {
+    fn nested_drives_fan_out_to_other_workers_via_stealing() {
         use std::collections::HashSet;
         use std::sync::Mutex;
-        // The inner drive inside each outer piece must not fan back out to the pool.
-        let inner_ids = Mutex::new(HashSet::new());
-        with_threads(4, || {
-            (0..8usize).into_par_iter().for_each(|_| {
-                let outer = std::thread::current().id();
-                (0..100usize).into_par_iter().for_each(|_| {
-                    assert_eq!(std::thread::current().id(), outer);
+        // The acceptance test for true nested parallelism: an inner drive issued
+        // from a pool worker must execute at least one sub-task on a *different*
+        // thread than the worker driving it, and the steal counters must move —
+        // nested tokens live on the owning worker's deque, so the only way another
+        // thread runs one is by stealing it. Sleeping inner items give idle workers
+        // ample time to steal even on a loaded single-CPU machine; like
+        // `pieces_actually_run_on_multiple_threads`, retry batches rather than
+        // asserting on timing. A pool where nesting degrades to sequential (the
+        // pre-work-stealing behaviour) fails the final assert no matter how many
+        // retries run.
+        let steals_before = pool_stats().steals_succeeded;
+        let fanned_out = Mutex::new(false);
+        for _ in 0..50 {
+            with_threads(4, || {
+                (0..4usize).into_par_iter().for_each(|_| {
+                    let outer = std::thread::current().id();
+                    let inner_ids = Mutex::new(HashSet::new());
+                    (0..32usize).into_par_iter().for_each(|_| {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                        inner_ids
+                            .lock()
+                            .unwrap()
+                            .insert(std::thread::current().id());
+                    });
+                    let inner_ids = inner_ids.lock().unwrap();
+                    if inner_ids.iter().any(|&id| id != outer) {
+                        *fanned_out.lock().unwrap() = true;
+                    }
                 });
-                inner_ids.lock().unwrap().insert(outer);
+            });
+            if *fanned_out.lock().unwrap() {
+                break;
+            }
+        }
+        assert!(
+            *fanned_out.lock().unwrap(),
+            "no inner drive ever executed a sub-task off its driving worker"
+        );
+        let steals_after = pool_stats().steals_succeeded;
+        assert!(
+            steals_after > steals_before,
+            "fan-out without steals should be impossible: {steals_before} -> {steals_after}"
+        );
+    }
+
+    #[test]
+    fn small_drives_run_inline_and_are_bit_identical_across_the_cutoff() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        // Below the cutoff there is no job setup at all: every item runs on the
+        // calling thread even with a 4-thread pool available.
+        let ids = Mutex::new(HashSet::new());
+        with_threads(4, || {
+            (0..SMALL_DRIVE_CUTOFF - 1).into_par_iter().for_each(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
             });
         });
-        assert!(!inner_ids.lock().unwrap().is_empty());
+        assert_eq!(ids.lock().unwrap().len(), 1);
+        assert!(ids.lock().unwrap().contains(&std::thread::current().id()));
+
+        // And the results on both sides of the cutoff are bit-identical to
+        // sequential execution — the cutoff is a scheduling decision, not a
+        // semantic one.
+        for len in [SMALL_DRIVE_CUTOFF - 1, SMALL_DRIVE_CUTOFF] {
+            let expected: Vec<usize> = (0..len).map(|x| x * 31 + 7).collect();
+            for threads in [1, 2, 4, 8] {
+                let got: Vec<usize> = with_threads(threads, || {
+                    (0..len).into_par_iter().map(|x| x * 31 + 7).collect()
+                });
+                assert_eq!(got, expected, "len = {len}, threads = {threads}");
+            }
+        }
     }
 
     #[test]
@@ -631,23 +737,144 @@ mod tests {
     }
 
     #[test]
-    fn join_nested_inside_a_pool_job_stays_sequential() {
-        use std::collections::HashSet;
-        use std::sync::Mutex;
-        let ids = Mutex::new(HashSet::new());
+    fn join_nested_inside_par_iter_preserves_result_order_at_every_thread_count() {
+        // A join inside every piece of an outer drive — results must merge in index
+        // order and match sequential execution bit-for-bit at every thread count,
+        // whether the b-arms were stolen or claimed back.
+        let expected: Vec<(usize, u64, u64)> = (0..64)
+            .map(|i| {
+                let a: u64 = (0..100).map(|x| x * i as u64).sum();
+                let b: u64 = (0..100).map(|x| x ^ i as u64).sum();
+                (i, a, b)
+            })
+            .collect();
+        for threads in [1, 2, 4, 8] {
+            let got: Vec<(usize, u64, u64)> = with_threads(threads, || {
+                (0..64usize)
+                    .into_par_iter()
+                    .map(|i| {
+                        let (a, b) = join(
+                            || (0..100u64).map(|x| x * i as u64).sum::<u64>(),
+                            || (0..100u64).map(|x| x ^ i as u64).sum::<u64>(),
+                        );
+                        (i, a, b)
+                    })
+                    .collect()
+            });
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn join_panics_are_raised_a_first_even_when_both_arms_panic() {
+        // Panic-first semantics: `a` runs on the caller and its payload wins even if
+        // a (possibly stolen) `b` panicked chronologically earlier. With `b` forced
+        // to panic before `a` does, the caller must still re-raise `a`'s payload.
+        use std::sync::mpsc;
+        let err = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                let (tx, rx) = mpsc::channel::<()>();
+                join(
+                    move || {
+                        // Wait until `b` has certainly panicked (channel closes when
+                        // the sender is dropped by `b`'s unwinding).
+                        let _ = rx.recv();
+                        panic!("a arm boom");
+                    },
+                    move || {
+                        let _tx = tx;
+                        panic!("b arm boom");
+                    },
+                )
+            })
+        })
+        .expect_err("panic must propagate");
+        let message = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(message.contains("a arm boom"), "got: {message}");
+    }
+
+    #[test]
+    fn scope_spawns_complete_before_scope_returns() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let done = AtomicUsize::new(0);
+        for threads in [1, 4] {
+            done.store(0, Ordering::Relaxed);
+            with_threads(threads, || {
+                scope(|s| {
+                    for _ in 0..16 {
+                        s.spawn(|inner| {
+                            // Transitive spawns must also be awaited.
+                            inner.spawn(|_| {
+                                done.fetch_add(1, Ordering::Relaxed);
+                            });
+                            done.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            });
+            // clb-audit: allow(relaxed-load) -- read-after-join, exact total
+            assert_eq!(done.load(Ordering::Relaxed), 32, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn scope_spawns_may_borrow_the_enclosing_frame() {
+        let mut parts = vec![0u64; 4];
         with_threads(4, || {
-            (0..8usize).into_par_iter().for_each(|_| {
-                let outer = std::thread::current().id();
-                let (a, b) = join(
-                    || std::thread::current().id(),
-                    || std::thread::current().id(),
-                );
-                assert_eq!(a, outer);
-                assert_eq!(b, outer);
-                ids.lock().unwrap().insert(outer);
+            let (a, rest) = parts.split_at_mut(1);
+            let (b, rest) = rest.split_at_mut(1);
+            let (c, d) = rest.split_at_mut(1);
+            scope(|s| {
+                s.spawn(|_| a[0] = 1);
+                s.spawn(|_| b[0] = 2);
+                s.spawn(|_| c[0] = 3);
+                d[0] = 4;
             });
         });
-        assert!(!ids.lock().unwrap().is_empty());
+        assert_eq!(parts, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn scope_propagates_spawn_panics_with_body_panic_taking_precedence() {
+        let err = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                scope(|s| {
+                    s.spawn(|_| panic!("spawn boom"));
+                });
+            })
+        })
+        .expect_err("spawn panic must propagate");
+        let message = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(message.contains("spawn boom"), "got: {message}");
+
+        let err = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                scope(|s| {
+                    s.spawn(|_| panic!("spawn boom"));
+                    panic!("body boom");
+                })
+            })
+        })
+        .expect_err("body panic must propagate");
+        let message = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(message.contains("body boom"), "got: {message}");
+    }
+
+    #[test]
+    fn pool_stats_counters_move_when_parallel_work_runs() {
+        let before = pool_stats();
+        with_threads(4, || {
+            (0..512usize).into_par_iter().for_each(|_| {
+                std::hint::black_box(());
+            });
+        });
+        let after = pool_stats();
+        assert!(after.workers >= 1);
+        assert!(
+            after.tasks_executed + after.steals_attempted + after.parks
+                >= before.tasks_executed + before.steals_attempted + before.parks,
+            "counters must be monotone"
+        );
     }
 
     #[test]

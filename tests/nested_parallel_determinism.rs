@@ -1,0 +1,83 @@
+//! Two-level parallelism determinism, pinned end-to-end as a property: a `Scenario`
+//! grid running on pool workers **while every trial's intra-step drives fan out from
+//! those same workers** must produce reports bit-identical to the 1-thread baseline,
+//! at every thread count and in every retention mode.
+//!
+//! This is the acceptance property of the work-stealing pool rewrite. Before it,
+//! nested drives degraded to sequential execution, so grid-level and intra-step
+//! parallelism never actually composed; now the intra-step claim tokens live on the
+//! deque of the worker running the cell and are stolen by idle workers — e.g. at the
+//! grid's uneven tail — so the two levels genuinely interleave. `intra_step_pieces(8)`
+//! is forced on every config so the nested path really runs on instances this small
+//! (the plan is a scheduling knob and never changes results; see
+//! `docs/DETERMINISM.md`, "Why stealing cannot reorder results").
+//!
+//! `SweepReport: PartialEq` compares every per-point statistic — every trial
+//! outcome under `Retention::Full`, every accumulator summary under
+//! `Retention::Summary`, and the cache tallies — not just the means.
+
+use clb::prelude::*;
+use proptest::prelude::*;
+
+fn two_level_scenario(
+    threads: usize,
+    retention: Retention,
+    n: usize,
+    c: u32,
+    seed: u64,
+) -> SweepReport<u32> {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap()
+        .install(|| {
+            Scenario::new("DET-2L", "grid x intra-step determinism", "bit-identical")
+                .trials(3)
+                .max_rounds(300)
+                .retention(retention)
+                .run(Sweep::over("c", [c, c + 1]), move |idx, &c| {
+                    ExperimentConfig::new(
+                        GraphSpec::Regular { n, delta: 32 },
+                        ProtocolSpec::Saer { c, d: 2 },
+                    )
+                    .seed(seed + 1000 * idx as u64)
+                    .intra_step_pieces(8)
+                })
+                .unwrap()
+        })
+}
+
+proptest! {
+    // Each case runs 2 retention modes x 4 thread counts = 8 full scenario sweeps,
+    // so a handful of cases already covers many (seed, size, c) combinations without
+    // blowing up wall-clock time.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn grid_times_intra_step_runs_are_bit_identical_across_threads_and_retention(
+        seed in 0u64..10_000,
+        c in 2u32..6,
+        n in 128usize..=192,
+    ) {
+        for retention in [Retention::Full, Retention::Summary] {
+            let baseline = two_level_scenario(1, retention, n, c, seed);
+            // Teeth: the grid really ran and was fully accounted for.
+            prop_assert_eq!(
+                baseline.cache.snapshot_hits + baseline.cache.direct_builds,
+                baseline.cache.cells_run
+            );
+            for (_, point) in baseline.iter() {
+                prop_assert_eq!(point.trial_count, 3);
+            }
+            for threads in [2usize, 4, 8] {
+                let parallel = two_level_scenario(threads, retention, n, c, seed);
+                prop_assert_eq!(
+                    &parallel,
+                    &baseline,
+                    "two-level run diverged: threads = {}, retention = {:?}",
+                    threads,
+                    retention
+                );
+            }
+        }
+    }
+}
